@@ -1,0 +1,40 @@
+//! Regenerates the paper's **Fig. 3(b)**: the simulated normalized power
+//! distribution of two cascaded 50-50 Y-branch splitters — the
+//! motivation for modeling splitting loss at all.
+//!
+//! ```text
+//! cargo run -p operon-bench --release --bin fig3b
+//! ```
+
+use operon_optics::splitter::{cascade_outputs, fig3b_table, YBranch};
+use operon_optics::splitting_loss_db;
+
+fn bar(frac: f64) -> String {
+    let width = (frac * 40.0).round() as usize;
+    "#".repeat(width)
+}
+
+fn main() {
+    println!("ideal 50-50 Y-branch cascade (normalized input power 1.0):\n");
+    println!("{:<14} {:>8}  ", "node", "power");
+    for (label, p) in fig3b_table(&YBranch::ideal()) {
+        println!("{label:<14} {p:>8.3}  {}", bar(p));
+    }
+
+    println!("\nwith 0.3 dB excess loss per branch:\n");
+    for (label, p) in fig3b_table(&YBranch::with_excess_loss(0.3)) {
+        println!("{label:<14} {p:>8.3}  {}", bar(p));
+    }
+
+    // Cross-check the analytic splitting-loss model of Eq. (2) against the
+    // simulated cascade, stage by stage.
+    println!("\nEq. (2) splitting-loss model vs simulated cascade (ideal devices):");
+    println!("{:<8} {:>12} {:>12}", "stages", "model (dB)", "sim (dB)");
+    for stages in 1..=4 {
+        let arms = vec![2usize; stages];
+        let model = splitting_loss_db(&arms);
+        let sim = -10.0
+            * cascade_outputs(&YBranch::ideal(), stages)[0].log10();
+        println!("{stages:<8} {model:>12.3} {sim:>12.3}");
+    }
+}

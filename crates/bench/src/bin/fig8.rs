@@ -1,0 +1,50 @@
+//! Regenerates the paper's **Fig. 8**: for each benchmark, the number of
+//! optical connections, the WDMs right after the sweep placement, and the
+//! WDMs after the min-cost max-flow assignment — normalized to the
+//! connection count, as in the paper's bar chart.
+//!
+//! ```text
+//! cargo run -p operon-bench --release --bin fig8
+//! ```
+
+use operon_bench::{benchmarks, run_flow};
+
+fn bar(pct: f64) -> String {
+    "#".repeat((pct / 2.5).round() as usize)
+}
+
+fn main() {
+    println!(
+        "{:<6} {:>8} {:>9} {:>8} {:>9} {:>8}",
+        "Bench", "#Conn", "#Initial", "(%)", "#Final", "(%)"
+    );
+    let mut reductions = Vec::new();
+    let mut chart: Vec<(String, f64, f64)> = Vec::new();
+    for cfg in benchmarks() {
+        let result = run_flow(&cfg);
+        let conn = result.wdm.connections.len().max(1);
+        let initial = result.wdm.initial_count;
+        let final_count = result.wdm.final_count();
+        let ipct = 100.0 * initial as f64 / conn as f64;
+        let fpct = 100.0 * final_count as f64 / conn as f64;
+        println!(
+            "{:<6} {:>8} {:>9} {:>7.1}% {:>9} {:>7.1}%",
+            cfg.name, conn, initial, ipct, final_count, fpct
+        );
+        if initial > 0 {
+            reductions.push(1.0 - final_count as f64 / initial as f64);
+        }
+        chart.push((cfg.name.clone(), ipct, fpct));
+    }
+    let avg = 100.0 * reductions.iter().sum::<f64>() / reductions.len().max(1) as f64;
+    println!(
+        "\naverage WDM reduction by the flow assignment: {avg:.1}% (paper: 8.9%)"
+    );
+
+    println!("\nnormalized WDM counts (connections = 100%):");
+    for (name, ipct, fpct) in chart {
+        println!("{name:<4} connections  {:<42} 100.0%", bar(100.0));
+        println!("{:<4} initial WDMs {:<42} {ipct:.1}%", "", bar(ipct));
+        println!("{:<4} final WDMs   {:<42} {fpct:.1}%", "", bar(fpct));
+    }
+}

@@ -1,0 +1,65 @@
+//! Sensitivity sweeps over the physical parameters: how the
+//! optical/electrical split and the total power react to the detection
+//! budget `l_m`, the WDM capacity, and the crossing loss β.
+//!
+//! These are the "knob" experiments a user of the tool runs before
+//! committing to a device library — and they expose the crossover
+//! structure the paper's model implies.
+//!
+//! ```text
+//! cargo run -p operon-bench --release --bin sweep
+//! ```
+
+use operon::config::OperonConfig;
+use operon::flow::OperonFlow;
+use operon_bench::instance;
+use operon_netlist::synth::paper_benchmark;
+use operon_netlist::Design;
+
+fn run(design: &Design, config: OperonConfig) -> (f64, usize, usize, usize) {
+    let r = OperonFlow::new(config).run(design).expect("flow");
+    (
+        r.total_power_mw(),
+        r.optical_net_count(),
+        r.hyper_nets.len(),
+        r.wdm.final_count(),
+    )
+}
+
+fn main() {
+    let synth = paper_benchmark("I1").expect("I1 exists");
+    let design = instance(&synth);
+    let base = OperonConfig::default();
+    println!("benchmark: I1 substitute ({} bits)\n", design.bit_count());
+
+    println!("-- detection budget l_m (dB) --");
+    println!("{:>6} {:>11} {:>12} {:>7}", "l_m", "power(mW)", "optical", "WDMs");
+    for lm in [5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0] {
+        let mut config = base.clone();
+        config.optical.max_loss_db = lm;
+        let (p, opt, total, wdms) = run(&design, config);
+        println!("{lm:>6} {p:>11.1} {opt:>8}/{total:<3} {wdms:>7}");
+    }
+
+    println!("\n-- WDM capacity (channels) --");
+    println!("{:>6} {:>11} {:>12} {:>7}", "cap", "power(mW)", "optical", "WDMs");
+    for cap in [8usize, 16, 32, 64] {
+        let mut config = base.clone();
+        config.optical.wdm_capacity = cap;
+        config.cluster.capacity = cap;
+        let (p, opt, total, wdms) = run(&design, config);
+        println!("{cap:>6} {p:>11.1} {opt:>8}/{total:<3} {wdms:>7}");
+    }
+
+    println!("\n-- crossing loss beta (dB per crossing) --");
+    println!("{:>6} {:>11} {:>12} {:>7}", "beta", "power(mW)", "optical", "WDMs");
+    for beta in [0.1, 0.3, 0.52, 1.0, 2.0] {
+        let mut config = base.clone();
+        config.optical.beta_db_per_crossing = beta;
+        let (p, opt, total, wdms) = run(&design, config);
+        println!("{beta:>6} {p:>11.1} {opt:>8}/{total:<3} {wdms:>7}");
+    }
+
+    println!("\nexpected shapes: power falls and the optical share rises with l_m");
+    println!("and capacity; both degrade as beta grows.");
+}

@@ -1,0 +1,165 @@
+//! Shared harness for regenerating the OPERON paper's tables and figures.
+//!
+//! Binaries:
+//!
+//! * `table1` — the power/runtime comparison of Table 1,
+//! * `fig3b` — the cascaded Y-branch splitter power distribution,
+//! * `fig8` — WDM counts before placement / before assignment / after,
+//! * `fig9` — optical & electrical power hotspot maps, GLOW vs OPERON.
+//!
+//! Criterion benches (`cargo bench -p operon-bench`) time the LR-vs-ILP
+//! selection, the individual flow stages, and the algorithmic substrates.
+
+use operon::baselines::{electrical_power_mw, BaselineSelection};
+use operon::config::{OperonConfig, Selector};
+use operon::flow::{FlowResult, OperonFlow};
+use operon_netlist::synth::{generate, paper_suite, SynthConfig};
+use operon_netlist::Design;
+use std::time::Duration;
+
+/// The fixed seed all harness binaries use, so every figure is
+/// regenerated from the identical benchmark instances.
+pub const HARNESS_SEED: u64 = 2018;
+
+/// One row of the Table 1 comparison.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Benchmark name (I1–I5).
+    pub name: String,
+    /// Signal bits ("#Net").
+    pub nets: usize,
+    /// Hyper nets ("#HNet").
+    pub hnets: usize,
+    /// Hyper pins ("#HPin").
+    pub hpins: usize,
+    /// Pure-electrical power (Streak-like), mW.
+    pub electrical_mw: f64,
+    /// GLOW-like optical power, mW.
+    pub optical_mw: f64,
+    /// OPERON power with the ILP selector, mW.
+    pub ilp_mw: f64,
+    /// Whether the ILP proved optimality within its budget.
+    pub ilp_optimal: bool,
+    /// ILP selection runtime.
+    pub ilp_cpu: Duration,
+    /// OPERON power with the LR selector, mW.
+    pub lr_mw: f64,
+    /// LR selection runtime.
+    pub lr_cpu: Duration,
+}
+
+/// Loads one benchmark instance.
+pub fn instance(config: &SynthConfig) -> Design {
+    generate(config, HARNESS_SEED)
+}
+
+/// The five paper-benchmark substitutes.
+pub fn benchmarks() -> Vec<SynthConfig> {
+    paper_suite()
+}
+
+/// Runs the full Table 1 column set on one benchmark.
+///
+/// `ilp_limit` caps the exact solver per benchmark (the paper capped
+/// Gurobi at 3000 s). `None` skips the ILP columns entirely (useful for
+/// quick runs), reporting the LR values there.
+pub fn run_table1_row(synth: &SynthConfig, ilp_limit: Option<Duration>) -> BenchRow {
+    let design = instance(synth);
+    let config = OperonConfig::default();
+
+    let electrical_mw = electrical_power_mw(&design, &config.electrical);
+
+    let flow = OperonFlow::new(config.clone());
+    let glow = flow.run_glow(&design).expect("glow baseline");
+
+    let lr_result = flow.run(&design).expect("LR flow");
+
+    let (ilp_mw, ilp_optimal, ilp_cpu) = match ilp_limit {
+        Some(limit) => {
+            let mut ilp_config = config.clone();
+            ilp_config.selector = Selector::Ilp {
+                time_limit_secs: limit.as_secs().max(1),
+            };
+            let r = OperonFlow::new(ilp_config).run(&design).expect("ILP flow");
+            (
+                r.total_power_mw(),
+                r.selection.proven_optimal,
+                r.selection.elapsed,
+            )
+        }
+        None => (
+            lr_result.total_power_mw(),
+            false,
+            lr_result.selection.elapsed,
+        ),
+    };
+
+    BenchRow {
+        name: synth.name.clone(),
+        nets: design.bit_count(),
+        hnets: lr_result.hyper_nets.len(),
+        hpins: lr_result.hyper_pin_count(),
+        electrical_mw,
+        optical_mw: glow.selection.power_mw,
+        ilp_mw,
+        ilp_optimal,
+        ilp_cpu,
+        lr_mw: lr_result.total_power_mw(),
+        lr_cpu: lr_result.selection.elapsed,
+    }
+}
+
+/// Runs the OPERON LR flow on one benchmark (for the figure harnesses).
+pub fn run_flow(synth: &SynthConfig) -> FlowResult {
+    let design = instance(synth);
+    OperonFlow::new(OperonConfig::default())
+        .run(&design)
+        .expect("flow")
+}
+
+/// Runs the GLOW baseline on one benchmark.
+pub fn run_glow(synth: &SynthConfig) -> BaselineSelection {
+    let design = instance(synth);
+    OperonFlow::new(OperonConfig::default())
+        .run_glow(&design)
+        .expect("glow")
+}
+
+/// Formats a milliwatt value in the paper's "relative" style with one
+/// decimal in watts-scale units (the paper's Table 1 prints small
+/// numbers; absolute units differ between testbeds).
+pub fn fmt_power(mw: f64) -> String {
+    format!("{:.2}", mw / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmarks_are_the_paper_suite() {
+        let names: Vec<String> = benchmarks().into_iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["I1", "I2", "I3", "I4", "I5"]);
+    }
+
+    #[test]
+    fn table1_row_without_ilp_is_consistent() {
+        // Use a reduced instance for test speed: shrink I3 to 10% size.
+        let mut cfg = benchmarks().remove(2);
+        cfg.target_bits = 500;
+        let row = run_table1_row(&cfg, None);
+        assert_eq!(row.nets, 500);
+        assert!(row.electrical_mw > 0.0);
+        assert!(row.optical_mw > 0.0);
+        assert!(row.lr_mw > 0.0);
+        assert_eq!(row.ilp_mw, row.lr_mw);
+        // Table 1 ordering.
+        assert!(row.optical_mw < row.electrical_mw);
+        assert!(row.lr_mw <= row.optical_mw * 1.05);
+    }
+
+    #[test]
+    fn fmt_power_scales_to_watts() {
+        assert_eq!(fmt_power(12_345.0), "12.35");
+    }
+}

@@ -1,0 +1,186 @@
+//! Bottom-up agglomerative clustering of pin locations (paper §3.1.2).
+//!
+//! Every pin starts as its own cluster; the closest pair (Euclidean,
+//! between gravity centers) is merged while their distance stays below a
+//! threshold. The result is the hyper-pin partition: each cluster's
+//! gravity center will represent its member pins during routing.
+
+use operon_geom::{FPoint, Point};
+
+/// Agglomerates `points` into clusters whose pairwise gravity-center
+/// distance is at least `threshold`.
+///
+/// Returns the member-index lists; each input index appears in exactly one
+/// cluster. With `threshold <= 0` no merging occurs; with a very large
+/// threshold everything collapses into one cluster.
+///
+/// The merge loop is O(n³) in the worst case, fine for the dozens of pins
+/// a hyper net carries.
+///
+/// # Examples
+///
+/// ```
+/// use operon_cluster::agglomerate;
+/// use operon_geom::Point;
+///
+/// let pins = [
+///     Point::new(0, 0),
+///     Point::new(2, 0),     // near the first pin
+///     Point::new(100, 100), // far away
+/// ];
+/// let clusters = agglomerate(&pins, 10.0);
+/// assert_eq!(clusters.len(), 2);
+/// ```
+pub fn agglomerate(points: &[Point], threshold: f64) -> Vec<Vec<usize>> {
+    let mut clusters: Vec<Vec<usize>> = (0..points.len()).map(|i| vec![i]).collect();
+    let mut centers: Vec<FPoint> = points.iter().map(|p| p.to_fpoint()).collect();
+
+    loop {
+        // Find the closest pair of clusters.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for i in 0..clusters.len() {
+            for j in i + 1..clusters.len() {
+                let d = centers[i].euclidean(centers[j]);
+                if best.is_none_or(|(bd, _, _)| d < bd) {
+                    best = Some((d, i, j));
+                }
+            }
+        }
+        match best {
+            Some((d, i, j)) if d < threshold => {
+                // Merge j into i; gravity center weighted by member count.
+                let (ni, nj) = (clusters[i].len() as f64, clusters[j].len() as f64);
+                centers[i] = FPoint::new(
+                    (centers[i].x * ni + centers[j].x * nj) / (ni + nj),
+                    (centers[i].y * ni + centers[j].y * nj) / (ni + nj),
+                );
+                let moved = clusters.swap_remove(j);
+                centers.swap_remove(j);
+                // After swap_remove, index i is still valid because j > i.
+                clusters[i].extend(moved);
+            }
+            _ => break,
+        }
+    }
+    clusters
+}
+
+/// The gravity center of a cluster of points, rounded to the lattice.
+///
+/// # Panics
+///
+/// Panics if `members` is empty.
+pub(crate) fn gravity_center(points: &[Point], members: &[usize]) -> Point {
+    assert!(!members.is_empty(), "gravity center of an empty cluster");
+    FPoint::centroid(members.iter().map(|&i| points[i].to_fpoint()))
+        .expect("non-empty members")
+        .round()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input_gives_no_clusters() {
+        assert!(agglomerate(&[], 10.0).is_empty());
+    }
+
+    #[test]
+    fn zero_threshold_keeps_singletons() {
+        let pts = [Point::new(0, 0), Point::new(1, 0), Point::new(2, 0)];
+        let clusters = agglomerate(&pts, 0.0);
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn huge_threshold_collapses_everything() {
+        let pts = [Point::new(0, 0), Point::new(50, 0), Point::new(0, 50)];
+        let clusters = agglomerate(&pts, 1e9);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn two_groups_separate_cleanly() {
+        let pts = [
+            Point::new(0, 0),
+            Point::new(3, 0),
+            Point::new(0, 3),
+            Point::new(1000, 1000),
+            Point::new(1004, 1000),
+        ];
+        let clusters = agglomerate(&pts, 50.0);
+        assert_eq!(clusters.len(), 2);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = clusters.iter().map(Vec::len).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn chain_merging_uses_gravity_centers() {
+        // Points at 0, 10, 20 with threshold 11: 0 and 10 merge (center 5);
+        // center-to-20 distance is 15 >= 11, so 20 stays separate even
+        // though it was within 11 of the original point at 10.
+        let pts = [Point::new(0, 0), Point::new(10, 0), Point::new(20, 0)];
+        let clusters = agglomerate(&pts, 11.0);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn gravity_center_of_square() {
+        let pts = [
+            Point::new(0, 0),
+            Point::new(4, 0),
+            Point::new(4, 4),
+            Point::new(0, 4),
+        ];
+        assert_eq!(gravity_center(&pts, &[0, 1, 2, 3]), Point::new(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn gravity_center_of_empty_panics() {
+        let _ = gravity_center(&[Point::origin()], &[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn partition_is_exact(
+            pts in proptest::collection::vec((-300i64..300, -300i64..300), 0..25),
+            threshold in 0.0f64..200.0,
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let clusters = agglomerate(&pts, threshold);
+            let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+            all.sort_unstable();
+            let expect: Vec<usize> = (0..pts.len()).collect();
+            prop_assert_eq!(all, expect);
+        }
+
+        #[test]
+        fn final_centers_respect_threshold(
+            pts in proptest::collection::vec((-300i64..300, -300i64..300), 2..20),
+            threshold in 1.0f64..100.0,
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let clusters = agglomerate(&pts, threshold);
+            let centers: Vec<_> = clusters
+                .iter()
+                .map(|c| gravity_center(&pts, c).to_fpoint())
+                .collect();
+            for i in 0..centers.len() {
+                for j in i + 1..centers.len() {
+                    // Rounded centers may drift by up to ~1 dbu from the
+                    // exact gravity centers the algorithm compared.
+                    prop_assert!(centers[i].euclidean(centers[j]) >= threshold - 2.0);
+                }
+            }
+        }
+    }
+}

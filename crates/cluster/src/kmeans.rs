@@ -1,0 +1,323 @@
+//! Capacity-constrained K-Means (Lloyd's algorithm with spill-over).
+//!
+//! Plain K-Means cannot bound cluster sizes, so OPERON extends it: after
+//! each assignment pass, clusters over capacity spill their farthest
+//! members to the next-closest centroid with head-room (paper §3.1.1).
+//! Iteration stops when the total within-cluster variance improves by less
+//! than a tolerance or the iteration cap is hit; empty clusters are
+//! dropped at the end.
+
+use operon_geom::{FPoint, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the constrained K-Means run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KmeansParams {
+    /// Maximum members per cluster (the WDM capacity).
+    pub capacity: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Stop when relative variance improvement drops below this.
+    pub tolerance: f64,
+    /// Seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for KmeansParams {
+    fn default() -> Self {
+        Self {
+            capacity: 32,
+            max_iters: 50,
+            tolerance: 1e-3,
+            seed: 0x0965,
+        }
+    }
+}
+
+/// Partitions `points` into clusters of at most `params.capacity` members.
+///
+/// `k` is chosen as `ceil(len / capacity)`, the minimum number of clusters
+/// that can hold all points. Returns the member-index lists of the
+/// non-empty clusters; every input index appears in exactly one cluster.
+///
+/// # Panics
+///
+/// Panics if `params.capacity` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use operon_cluster::kmeans::{cluster_capacitated, KmeansParams};
+/// use operon_geom::Point;
+///
+/// let pts: Vec<Point> = (0..10).map(|i| Point::new(i * 10, 0)).collect();
+/// let params = KmeansParams { capacity: 4, ..KmeansParams::default() };
+/// let clusters = cluster_capacitated(&pts, &params);
+/// assert!(clusters.iter().all(|c| c.len() <= 4));
+/// let total: usize = clusters.iter().map(Vec::len).sum();
+/// assert_eq!(total, 10);
+/// ```
+pub fn cluster_capacitated(points: &[Point], params: &KmeansParams) -> Vec<Vec<usize>> {
+    assert!(params.capacity > 0, "capacity must be positive");
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let k = points.len().div_ceil(params.capacity);
+    if k == 1 {
+        return vec![(0..points.len()).collect()];
+    }
+
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut centroids = init_centroids(points, k, &mut rng);
+    let mut assignment = vec![0usize; points.len()];
+    let mut prev_variance = f64::INFINITY;
+
+    for _ in 0..params.max_iters {
+        assign_capacitated(points, &centroids, params.capacity, &mut assignment);
+        update_centroids(points, &assignment, &mut centroids);
+        let variance = total_variance(points, &assignment, &centroids);
+        if prev_variance.is_finite() {
+            let improvement = (prev_variance - variance) / prev_variance.max(1e-12);
+            if improvement < params.tolerance {
+                break;
+            }
+        }
+        prev_variance = variance;
+    }
+
+    // Gather non-empty clusters.
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &c) in assignment.iter().enumerate() {
+        clusters[c].push(i);
+    }
+    clusters.retain(|c| !c.is_empty());
+    clusters
+}
+
+/// K-Means++-style initialization: first centroid uniform, the rest chosen
+/// with probability proportional to squared distance from the nearest
+/// existing centroid.
+fn init_centroids(points: &[Point], k: usize, rng: &mut StdRng) -> Vec<FPoint> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].to_fpoint());
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| {
+                        let d = c.euclidean(p.to_fpoint());
+                        d * d
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 1e-12 {
+            // All points coincide with centroids: duplicate one.
+            centroids.push(centroids[0]);
+            continue;
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, &d) in dists.iter().enumerate() {
+            if pick < d {
+                chosen = i;
+                break;
+            }
+            pick -= d;
+        }
+        centroids.push(points[chosen].to_fpoint());
+    }
+    centroids
+}
+
+/// Assigns each point to the closest centroid, spilling overflow to the
+/// next-closest cluster with room (then the next, and so on).
+///
+/// Points are processed closest-first so that a full cluster keeps its
+/// tightest members and spills the stragglers — the "additional bits will
+/// be assigned to the second closest one" rule of the paper.
+fn assign_capacitated(
+    points: &[Point],
+    centroids: &[FPoint],
+    capacity: usize,
+    assignment: &mut [usize],
+) {
+    let k = centroids.len();
+    // (distance to own best centroid, point index) processed in order.
+    let mut order: Vec<(f64, usize)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let d = centroids
+                .iter()
+                .map(|c| c.euclidean(p.to_fpoint()))
+                .fold(f64::INFINITY, f64::min);
+            (d, i)
+        })
+        .collect();
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+
+    let mut load = vec![0usize; k];
+    for &(_, i) in &order {
+        let p = points[i].to_fpoint();
+        let mut prefs: Vec<(f64, usize)> = centroids
+            .iter()
+            .enumerate()
+            .map(|(c, ctr)| (ctr.euclidean(p), c))
+            .collect();
+        prefs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let target = prefs
+            .iter()
+            .find(|&&(_, c)| load[c] < capacity)
+            .map(|&(_, c)| c)
+            .expect("k = ceil(n/capacity) guarantees head-room somewhere");
+        assignment[i] = target;
+        load[target] += 1;
+    }
+}
+
+fn update_centroids(points: &[Point], assignment: &[usize], centroids: &mut [FPoint]) {
+    let k = centroids.len();
+    let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+    for (i, &c) in assignment.iter().enumerate() {
+        sums[c].0 += points[i].x as f64;
+        sums[c].1 += points[i].y as f64;
+        sums[c].2 += 1;
+    }
+    for (c, &(sx, sy, n)) in sums.iter().enumerate() {
+        if n > 0 {
+            centroids[c] = FPoint::new(sx / n as f64, sy / n as f64);
+        }
+        // Empty clusters keep their centroid; they may re-acquire members
+        // in a later iteration or be dropped at the end.
+    }
+}
+
+fn total_variance(points: &[Point], assignment: &[usize], centroids: &[FPoint]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let d = centroids[c].euclidean(points[i].to_fpoint());
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params(capacity: usize) -> KmeansParams {
+        KmeansParams {
+            capacity,
+            max_iters: 50,
+            tolerance: 1e-4,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_no_clusters() {
+        assert!(cluster_capacitated(&[], &params(4)).is_empty());
+    }
+
+    #[test]
+    fn under_capacity_input_is_one_cluster() {
+        let pts = [Point::new(0, 0), Point::new(100, 100)];
+        let clusters = cluster_capacitated(&pts, &params(32));
+        assert_eq!(clusters, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = cluster_capacitated(&[Point::origin()], &params(0));
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let pts: Vec<Point> = (0..100).map(|i| Point::new(i, i * 3 % 17)).collect();
+        let clusters = cluster_capacitated(&pts, &params(7));
+        assert!(clusters.iter().all(|c| c.len() <= 7));
+    }
+
+    #[test]
+    fn every_point_assigned_exactly_once() {
+        let pts: Vec<Point> = (0..57).map(|i| Point::new(i * 13 % 101, i * 7 % 89)).collect();
+        let clusters = cluster_capacitated(&pts, &params(10));
+        let mut seen = vec![false; pts.len()];
+        for c in &clusters {
+            for &i in c {
+                assert!(!seen[i], "point {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn well_separated_blobs_stay_separate() {
+        // Two blobs of 4 points each, far apart; capacity 4 forces exactly
+        // the natural split.
+        let mut pts = Vec::new();
+        for i in 0..4 {
+            pts.push(Point::new(i, 0));
+        }
+        for i in 0..4 {
+            pts.push(Point::new(10_000 + i, 0));
+        }
+        let clusters = cluster_capacitated(&pts, &params(4));
+        assert_eq!(clusters.len(), 2);
+        for c in &clusters {
+            let blob_of = |i: usize| pts[i].x >= 5_000;
+            assert!(c.iter().all(|&i| blob_of(i) == blob_of(c[0])),
+                "blob split across clusters: {c:?}");
+        }
+    }
+
+    #[test]
+    fn identical_points_cluster_fine() {
+        let pts = vec![Point::new(5, 5); 20];
+        let clusters = cluster_capacitated(&pts, &params(8));
+        assert!(clusters.iter().all(|c| c.len() <= 8));
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts: Vec<Point> = (0..40).map(|i| Point::new(i * 17 % 53, i * 5 % 47)).collect();
+        let a = cluster_capacitated(&pts, &params(6));
+        let b = cluster_capacitated(&pts, &params(6));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn partition_invariants(
+            pts in proptest::collection::vec((-500i64..500, -500i64..500), 1..60),
+            capacity in 1usize..20,
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let clusters = cluster_capacitated(&pts, &params(capacity));
+            // Capacity respected.
+            prop_assert!(clusters.iter().all(|c| c.len() <= capacity));
+            // No empty clusters.
+            prop_assert!(clusters.iter().all(|c| !c.is_empty()));
+            // Exact partition.
+            let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+            all.sort_unstable();
+            let expect: Vec<usize> = (0..pts.len()).collect();
+            prop_assert_eq!(all, expect);
+            // Cluster count is at least the lower bound.
+            prop_assert!(clusters.len() >= pts.len().div_ceil(capacity));
+        }
+    }
+}

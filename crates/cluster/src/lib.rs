@@ -1,0 +1,36 @@
+//! Signal processing: hyper-net and hyper-pin construction (paper §3.1).
+//!
+//! Before routing, OPERON reduces the problem size in two directions:
+//!
+//! * **Top-down**: each signal group whose bit count exceeds the WDM
+//!   capacity is partitioned by a capacity-constrained K-Means
+//!   ([`kmeans`]) so that every resulting *hyper net* fits on one WDM.
+//! * **Bottom-up**: within a hyper net, neighboring electrical pins are
+//!   agglomerated into *hyper pins* ([`agglomerate`]) — gravity centers
+//!   that stand in for their member pins during topology construction.
+//!
+//! [`build_hyper_nets`] runs both stages over a whole design.
+//!
+//! # Examples
+//!
+//! ```
+//! use operon_cluster::{build_hyper_nets, ClusterConfig};
+//! use operon_netlist::synth::{generate, SynthConfig};
+//!
+//! let design = generate(&SynthConfig::small(), 1);
+//! let nets = build_hyper_nets(&design, &ClusterConfig::default());
+//! assert!(!nets.is_empty());
+//! for net in &nets {
+//!     assert!(net.bit_count() <= 32);
+//! }
+//! ```
+
+mod agglomerate;
+mod hypernet;
+pub mod kmeans;
+
+pub use agglomerate::agglomerate;
+pub use hypernet::{
+    build_hyper_nets, group_clusters, ClusterConfig, ElectricalPin, HyperNet, HyperNetId,
+    HyperPin, PinRole,
+};

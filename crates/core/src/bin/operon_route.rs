@@ -1,0 +1,223 @@
+//! Command-line front end for the OPERON flow.
+//!
+//! ```text
+//! operon_route <design.sig> [--ilp SECS] [--capacity N] [--max-loss DB]
+//!              [--max-delay PS] [--scale N/D] [--maps] [--nets] [--svg FILE]
+//! ```
+//!
+//! Reads a design in the `operon-netlist` text format (see
+//! `operon_netlist::io`), runs the flow, and prints the selection summary.
+//! `--maps` additionally renders the optical/electrical power maps as
+//! ASCII heat maps; `--svg` writes the routed layout as an SVG drawing.
+
+use operon::config::{OperonConfig, Selector};
+use operon::flow::OperonFlow;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: operon_route <design.sig> [--ilp SECS] [--capacity N] [--max-loss DB] \
+         [--max-delay PS] [--scale N/D] [--maps] [--nets] [--svg FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+
+    let mut config = OperonConfig::default();
+    let mut show_maps = false;
+    let mut show_nets = false;
+    let mut scale: Option<(i64, i64)> = None;
+    let mut svg_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ilp" => {
+                let Some(secs) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                config.selector = Selector::Ilp {
+                    time_limit_secs: secs,
+                };
+                i += 2;
+            }
+            "--capacity" => {
+                let Some(cap) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                config.optical.wdm_capacity = cap;
+                config.cluster.capacity = cap;
+                i += 2;
+            }
+            "--max-loss" => {
+                let Some(db) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                config.optical.max_loss_db = db;
+                i += 2;
+            }
+            "--max-delay" => {
+                let Some(ps) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                config.max_delay_ps = Some(ps);
+                i += 2;
+            }
+            "--maps" => {
+                show_maps = true;
+                i += 1;
+            }
+            "--nets" => {
+                show_nets = true;
+                i += 1;
+            }
+            "--scale" => {
+                // "N/D" or a plain integer factor.
+                let Some(spec) = args.get(i + 1) else {
+                    return usage();
+                };
+                let parts: Vec<&str> = spec.splitn(2, '/').collect();
+                let num = parts[0].parse::<i64>().ok();
+                let den = parts
+                    .get(1)
+                    .map_or(Some(1), |d| d.parse::<i64>().ok());
+                match (num, den) {
+                    (Some(n), Some(d)) if n > 0 && d > 0 => scale = Some((n, d)),
+                    _ => return usage(),
+                }
+                i += 2;
+            }
+            "--svg" => {
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                svg_path = Some(path.clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut design = match operon_netlist::io::read_design(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some((n, d)) = scale {
+        design = design.rescaled(n, d);
+    }
+
+    let flow = OperonFlow::new(config.clone());
+    let result = match flow.run(&design) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flow failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{}: {} bits in {} groups -> {} hyper nets ({} hyper pins)",
+        design.name(),
+        design.bit_count(),
+        design.group_count(),
+        result.hyper_nets.len(),
+        result.hyper_pin_count()
+    );
+    println!(
+        "selection: {} optical / {} electrical hyper nets{}",
+        result.optical_net_count(),
+        result.electrical_net_count(),
+        if result.selection.proven_optimal {
+            " (proven optimal)"
+        } else {
+            ""
+        }
+    );
+    println!("total power: {:.2} mW", result.total_power_mw());
+    println!(
+        "WDMs: {} connections -> {} placed -> {} final",
+        result.wdm.connections.len(),
+        result.wdm.initial_count,
+        result.wdm.final_count()
+    );
+    println!(
+        "stage times: cluster {:.0?} | codesign {:.0?} | crossings {:.0?} | select {:.0?} | wdm {:.0?}",
+        result.times.clustering,
+        result.times.codesign,
+        result.times.crossing,
+        result.times.selection,
+        result.times.wdm
+    );
+
+    if show_nets {
+        println!(
+            "\n{:<6} {:<8} {:>5} {:>11} {:>5} {:>5} {:>11} {:>9} {:>10}",
+            "net", "group", "bits", "medium", "nmod", "ndet", "power(mW)", "loss(dB)", "delay(ps)"
+        );
+        for s in result.net_summaries(&config) {
+            println!(
+                "{:<6} {:<8} {:>5} {:>11} {:>5} {:>5} {:>11.2} {:>9.2} {:>10.0}",
+                s.net_index,
+                s.group.to_string(),
+                s.bits,
+                s.medium.to_string(),
+                s.n_mod,
+                s.n_det,
+                s.power_mw,
+                s.worst_fixed_loss_db,
+                s.worst_delay_ps
+            );
+        }
+        println!();
+    }
+
+    if config.max_delay_ps.is_some() {
+        let violations = result.delay_violations(&config);
+        println!(
+            "worst arrival: {:.0} ps; {} nets violate the delay bound",
+            result.worst_delay_ps(&config),
+            violations.len()
+        );
+    }
+
+    if show_maps {
+        let maps = result.power_maps(&design, &config);
+        println!("\noptical layer ({:.1} mW):", maps.optical.total());
+        print!("{}", maps.optical.normalized());
+        println!("\nelectrical layer ({:.1} mW):", maps.electrical.total());
+        print!("{}", maps.electrical.normalized());
+    }
+
+    if let Some(path) = svg_path {
+        let svg = operon::render::render_svg(
+            design.die(),
+            &result.candidates,
+            &result.selection.choice,
+            Some(&result.wdm),
+            &operon::render::RenderOptions::default(),
+        );
+        if let Err(e) = std::fs::write(&path, svg) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("layout written to {path}");
+    }
+    ExitCode::SUCCESS
+}

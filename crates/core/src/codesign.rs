@@ -1,0 +1,1032 @@
+//! Optical-electrical route co-design (paper §3.2).
+//!
+//! Given a baseline tree topology over a hyper net's pins, every edge can
+//! be realized optically (a waveguide segment, any direction) or
+//! electrically (a rectilinear wire). The *co-design* stage enumerates
+//! Pareto-efficient assignments with a bottom-up dynamic program inspired
+//! by classic buffer insertion (paper Fig. 5): labels carry accumulated
+//! conversion power, electrical wirelength, and the pending optical losses
+//! of the subtree; dominated labels are pruned at every merge.
+//!
+//! Conventions (light flows root → sinks):
+//!
+//! * A maximal connected set of optical edges is an *optical region*. The
+//!   region's top node carries one modulator (`p_mod`); every point where
+//!   the signal is tapped back to electrical — a sink hyper pin reached
+//!   optically, or a hand-off feeding electrical child edges — carries one
+//!   detector (`p_det`).
+//! * At a node inside a region, the light splits `arms` ways: one arm per
+//!   optical child edge plus one for a local tap. `arms >= 2` incurs
+//!   `10·log10(arms)` dB of splitting loss on **every** arm (Eq. (2)).
+//! * The detection constraint applies per *stretch*: the loss accumulated
+//!   from a region's modulator to each of its detectors must stay within
+//!   `l_m` (crossing loss is added later by the selection stage).
+
+use crate::config::OperonConfig;
+use crate::topology::baseline_topologies;
+use operon_cluster::HyperNet;
+use operon_geom::{dbu_to_cm, BoundingBox, Point, Segment};
+use operon_optics::{ElectricalParams, OpticalLib};
+use operon_steiner::{NodeKind, RouteTree, TreeNodeId};
+
+/// The physical medium assigned to one tree edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeMedium {
+    /// Optical waveguide (Euclidean length, loss accrues).
+    Optical,
+    /// Electrical wire (Manhattan length, dynamic power accrues).
+    Electrical,
+}
+
+/// The loss budget of one modulator-to-detector stretch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathLoss {
+    /// The node carrying the detector of this stretch.
+    pub sink: TreeNodeId,
+    /// Propagation + splitting loss of the stretch, dB (crossing loss is
+    /// added by the selection stage).
+    pub fixed_db: f64,
+    /// Indices into [`CandidateRoute::optical_segments`] of the segments
+    /// on this stretch — the segments whose crossings load this path.
+    pub segments: Vec<usize>,
+}
+
+/// One co-design candidate: a topology plus a medium per edge, with its
+/// power and loss accounting (a row of paper Fig. 5(c)).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CandidateRoute {
+    /// The tree topology (root = source hyper pin).
+    pub tree: RouteTree,
+    /// Medium of the edge above node `i + 1` (the root has no edge).
+    pub media: Vec<EdgeMedium>,
+    /// Channel count: every conversion and wire is replicated per bit.
+    pub bits: usize,
+    /// Modulators per bit (optical regions).
+    pub n_mod: usize,
+    /// Detectors per bit (taps).
+    pub n_det: usize,
+    /// EO/OE conversion power, mW (Eq. (1), scaled by `bits`).
+    pub conversion_power_mw: f64,
+    /// Electrical wire power, mW (Eq. (6), scaled by `bits`).
+    pub electrical_power_mw: f64,
+    /// Physical optical segments (any-angle).
+    pub optical_segments: Vec<Segment>,
+    /// Locations of the modulators (one per optical region).
+    pub modulator_points: Vec<Point>,
+    /// Locations of the detectors (one per tap).
+    pub detector_points: Vec<Point>,
+    /// Per-detector loss budgets.
+    pub paths: Vec<PathLoss>,
+    /// Bounding box of the optical segments, if any — drives the paper's
+    /// ILP variable-reduction (non-overlapping pairs cannot cross).
+    pub optical_bbox: Option<BoundingBox>,
+}
+
+impl CandidateRoute {
+    /// Total power of the candidate, mW.
+    pub fn total_power_mw(&self) -> f64 {
+        self.conversion_power_mw + self.electrical_power_mw
+    }
+
+    /// Whether the candidate uses no optical edges at all (the `a_ie`
+    /// fallback of formulation (3b)).
+    pub fn is_pure_electrical(&self) -> bool {
+        self.optical_segments.is_empty()
+    }
+
+    /// The worst fixed (crossing-free) stretch loss, dB; 0 when there is
+    /// no optical stretch.
+    pub fn worst_fixed_loss_db(&self) -> f64 {
+        self.paths.iter().map(|p| p.fixed_db).fold(0.0, f64::max)
+    }
+
+    /// Whether every stretch meets the detection budget before crossing
+    /// loss is considered.
+    pub fn meets_loss_unloaded(&self, lib: &OpticalLib) -> bool {
+        self.worst_fixed_loss_db() <= lib.max_loss_db
+    }
+}
+
+/// The candidate set of one hyper net.
+#[derive(Clone, Debug)]
+pub struct NetCandidates {
+    /// Which hyper net (dense index into the flow's hyper-net list).
+    pub net_index: usize,
+    /// Channel count of the net.
+    pub bits: usize,
+    /// The co-design candidates; `candidates[electrical_idx]` is always
+    /// the pure-electrical fallback.
+    pub candidates: Vec<CandidateRoute>,
+    /// Index of the pure-electrical fallback.
+    pub electrical_idx: usize,
+    /// Constant power of the hyper-pin fan-out (gravity center to member
+    /// electrical pins), identical for every candidate, mW.
+    pub fanout_power_mw: f64,
+}
+
+impl NetCandidates {
+    /// The pure-electrical fallback candidate.
+    pub fn electrical(&self) -> &CandidateRoute {
+        &self.candidates[self.electrical_idx]
+    }
+}
+
+/// Analyzes a full medium assignment on a tree: powers, conversions,
+/// optical segments, and per-detector stretch losses.
+///
+/// This is the ground-truth accounting used both by the dynamic program's
+/// final candidates and by the baselines.
+///
+/// # Panics
+///
+/// Panics if `media.len() != tree.edge_count()` or `bits == 0`.
+pub fn analyze_assignment(
+    tree: &RouteTree,
+    media: &[EdgeMedium],
+    bits: usize,
+    lib: &OpticalLib,
+    elec: &ElectricalParams,
+) -> CandidateRoute {
+    assert_eq!(
+        media.len(),
+        tree.edge_count(),
+        "one medium per tree edge required"
+    );
+    assert!(bits > 0, "a net carries at least one bit");
+
+    let medium_of = |node: TreeNodeId| -> EdgeMedium {
+        debug_assert!(node.index() >= 1);
+        media[node.index() - 1]
+    };
+
+    let mut n_mod = 0usize;
+    let mut n_det = 0usize;
+    let mut elec_len_dbu = 0.0f64;
+    let mut optical_segments: Vec<Segment> = Vec::new();
+    let mut modulator_points: Vec<Point> = Vec::new();
+    let mut detector_points: Vec<Point> = Vec::new();
+    let mut paths: Vec<PathLoss> = Vec::new();
+
+    /// The optical context flowing down an edge.
+    #[derive(Clone)]
+    struct Stretch {
+        loss_db: f64,
+        segments: Vec<usize>,
+    }
+
+    // DFS carrying Option<Stretch>: the optical stretch the node is
+    // reached by (None = reached electrically).
+    let mut stack: Vec<(TreeNodeId, Option<Stretch>)> = vec![(tree.root(), None)];
+    while let Some((v, arrival)) = stack.pop() {
+        let opt_children: Vec<TreeNodeId> = tree
+            .children(v)
+            .iter()
+            .copied()
+            .filter(|&c| medium_of(c) == EdgeMedium::Optical)
+            .collect();
+        let elec_children: Vec<TreeNodeId> = tree
+            .children(v)
+            .iter()
+            .copied()
+            .filter(|&c| medium_of(c) == EdgeMedium::Electrical)
+            .collect();
+
+        // Electrical children always cost wirelength; their subtree is
+        // reached electrically.
+        for &c in &elec_children {
+            elec_len_dbu += tree.point(v).manhattan(tree.point(c)) as f64;
+            stack.push((c, None));
+        }
+
+        match arrival {
+            None => {
+                // Signal is electrical at v. Optical children open a new
+                // region: one modulator, splitting over the region's arms.
+                if !opt_children.is_empty() {
+                    n_mod += 1;
+                    modulator_points.push(tree.point(v));
+                    let arms = opt_children.len();
+                    let split_db = splitting_db(arms);
+                    for &c in &opt_children {
+                        let seg = Segment::new(tree.point(v), tree.point(c));
+                        let prop = lib.alpha_db_per_cm * dbu_to_cm(seg.length());
+                        optical_segments.push(seg);
+                        stack.push((
+                            c,
+                            Some(Stretch {
+                                loss_db: split_db + prop,
+                                segments: vec![optical_segments.len() - 1],
+                            }),
+                        ));
+                    }
+                }
+            }
+            Some(stretch) => {
+                // Signal arrives optically at v.
+                let tap_needed = (tree.kind(v) == NodeKind::Terminal && v != tree.root())
+                    || !elec_children.is_empty();
+                let arms = opt_children.len() + usize::from(tap_needed);
+                let split_db = splitting_db(arms);
+                if tap_needed {
+                    n_det += 1;
+                    detector_points.push(tree.point(v));
+                    paths.push(PathLoss {
+                        sink: v,
+                        fixed_db: stretch.loss_db + split_db,
+                        segments: stretch.segments.clone(),
+                    });
+                }
+                for &c in &opt_children {
+                    let seg = Segment::new(tree.point(v), tree.point(c));
+                    let prop = lib.alpha_db_per_cm * dbu_to_cm(seg.length());
+                    optical_segments.push(seg);
+                    let mut segments = stretch.segments.clone();
+                    segments.push(optical_segments.len() - 1);
+                    stack.push((
+                        c,
+                        Some(Stretch {
+                            loss_db: stretch.loss_db + split_db + prop,
+                            segments,
+                        }),
+                    ));
+                }
+                // arms == 0 (optical edge into a needless Steiner leaf):
+                // the light is simply wasted; no power, no path.
+            }
+        }
+    }
+
+    let conversion_power_mw =
+        bits as f64 * operon_optics::optical_power_mw(lib, n_mod, n_det);
+    let electrical_power_mw = bits as f64
+        * operon_optics::electrical_power_mw(elec, dbu_to_cm(elec_len_dbu));
+    let optical_bbox = BoundingBox::from_points(
+        optical_segments.iter().flat_map(|s| [s.a, s.b]),
+    );
+
+    CandidateRoute {
+        tree: tree.clone(),
+        media: media.to_vec(),
+        bits,
+        n_mod,
+        n_det,
+        conversion_power_mw,
+        electrical_power_mw,
+        optical_segments,
+        modulator_points,
+        detector_points,
+        paths,
+        optical_bbox,
+    }
+}
+
+fn splitting_db(arms: usize) -> f64 {
+    if arms >= 2 {
+        10.0 * (arms as f64).log10()
+    } else {
+        0.0
+    }
+}
+
+/// A partial assignment label in the dynamic program.
+#[derive(Clone, Debug)]
+struct Label {
+    /// Medium of each decided edge (indexed by node index - 1); edges
+    /// outside the subtree hold `None`.
+    media: Vec<Option<EdgeMedium>>,
+    /// Per-bit power so far (conversions of completed regions plus
+    /// electrical wire), mW.
+    power: f64,
+    /// Worst completed-stretch loss so far, dB. Kept as a dominance
+    /// dimension so low-loss assignments (with more head-room for
+    /// crossing loss at selection time) survive next to cheaper ones.
+    done: f64,
+    /// Pending losses (dB) of the open optical stretches passing through
+    /// this node, sorted ascending. Empty in electrical contexts.
+    pending: Vec<f64>,
+}
+
+impl Label {
+    fn dominates(&self, other: &Label, tol: f64) -> bool {
+        if self.pending.len() != other.pending.len() {
+            return false;
+        }
+        if self.power > other.power + tol || self.done > other.done + tol {
+            return false;
+        }
+        self.pending
+            .iter()
+            .zip(&other.pending)
+            .all(|(a, b)| a <= &(b + tol))
+    }
+}
+
+/// Prunes dominated labels and caps the set at `max_labels` by power.
+fn prune(labels: &mut Vec<Label>, max_labels: usize) {
+    labels.sort_by(|a, b| a.power.partial_cmp(&b.power).expect("finite powers"));
+    let mut kept: Vec<Label> = Vec::new();
+    'outer: for label in labels.drain(..) {
+        for k in &kept {
+            if k.dominates(&label, 1e-9) {
+                continue 'outer;
+            }
+        }
+        kept.push(label);
+        if kept.len() >= max_labels * 4 {
+            break; // soft guard against pathological fan-out
+        }
+    }
+    kept.truncate(max_labels);
+    *labels = kept;
+}
+
+/// Runs the co-design dynamic program on one topology, returning full
+/// assignments (as analyzed [`CandidateRoute`]s) that meet the unloaded
+/// detection budget.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn codesign_tree(
+    tree: &RouteTree,
+    bits: usize,
+    lib: &OpticalLib,
+    elec: &ElectricalParams,
+    max_labels: usize,
+) -> Vec<CandidateRoute> {
+    assert!(bits > 0, "a net carries at least one bit");
+    let n = tree.node_count();
+    if n == 1 {
+        // Single-pin net: the empty assignment.
+        return vec![analyze_assignment(tree, &[], bits, lib, elec)];
+    }
+    let mw_per_cm = elec.power_mw_per_cm();
+    let pmod = lib.p_mod_pj_per_bit;
+    let pdet = lib.p_det_pj_per_bit;
+
+    // label_sets[node][context]: context 0 = reached electrically,
+    // context 1 = reached optically.
+    let mut label_sets: Vec<[Vec<Label>; 2]> = vec![[Vec::new(), Vec::new()]; n];
+
+    for v in tree.postorder() {
+        let children = tree.children(v).to_vec();
+        let vi = v.index();
+        let is_terminal = tree.kind(v) == NodeKind::Terminal;
+
+        // Start with the empty partial label (no children merged yet).
+        // `pending` here holds pre-split pending losses of optical child
+        // stretches; the arms count is tracked separately per label via a
+        // parallel vector.
+        struct Partial {
+            media: Vec<Option<EdgeMedium>>,
+            power: f64,
+            done: f64,
+            pending: Vec<f64>,
+            opt_children: usize,
+        }
+        let mut partials = vec![Partial {
+            media: vec![None; n - 1],
+            power: 0.0,
+            done: 0.0,
+            pending: Vec::new(),
+            opt_children: 0,
+        }];
+
+        for &c in &children {
+            let edge_idx = c.index() - 1;
+            let p_v = tree.point(v);
+            let p_c = tree.point(c);
+            let prop_db = lib.alpha_db_per_cm * dbu_to_cm(p_v.euclidean(p_c));
+            let elec_mw = mw_per_cm * dbu_to_cm(p_v.manhattan(p_c) as f64);
+
+            let mut next: Vec<Partial> = Vec::new();
+            for partial in &partials {
+                // Option A: electrical edge; child context = electrical.
+                for cl in &label_sets[c.index()][0] {
+                    let mut media = partial.media.clone();
+                    merge_media(&mut media, &cl.media);
+                    media[edge_idx] = Some(EdgeMedium::Electrical);
+                    next.push(Partial {
+                        media,
+                        power: partial.power + cl.power + elec_mw,
+                        done: partial.done.max(cl.done),
+                        pending: partial.pending.clone(),
+                        opt_children: partial.opt_children,
+                    });
+                }
+                // Option B: optical edge; child context = optical. The
+                // child's pending losses extend through this edge.
+                for cl in &label_sets[c.index()][1] {
+                    let worst = cl.pending.last().copied().unwrap_or(0.0) + prop_db;
+                    if worst > lib.max_loss_db {
+                        continue; // cannot recover: loss only grows upward
+                    }
+                    let mut media = partial.media.clone();
+                    merge_media(&mut media, &cl.media);
+                    media[edge_idx] = Some(EdgeMedium::Optical);
+                    let mut pending = partial.pending.clone();
+                    pending.extend(cl.pending.iter().map(|l| l + prop_db));
+                    pending.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    next.push(Partial {
+                        media,
+                        power: partial.power + cl.power,
+                        done: partial.done.max(cl.done),
+                        pending,
+                        opt_children: partial.opt_children + 1,
+                    });
+                }
+            }
+            // Intermediate pruning, stratified by optical-children count
+            // (splitting loss depends on it, so cross-strata dominance is
+            // unsound).
+            let mut pruned: Vec<Partial> = Vec::new();
+            for k in 0..=children.len() {
+                let mut stratum: Vec<Label> = Vec::new();
+                let mut media_store: Vec<Vec<Option<EdgeMedium>>> = Vec::new();
+                for p in next.iter().filter(|p| p.opt_children == k) {
+                    stratum.push(Label {
+                        media: Vec::new(), // media tracked side-band
+                        power: p.power,
+                        done: p.done,
+                        pending: p.pending.clone(),
+                    });
+                    media_store.push(p.media.clone());
+                }
+                // Reuse the generic pruner on (power, pending) and map the
+                // survivors back.
+                let mut tagged: Vec<(Label, Vec<Option<EdgeMedium>>)> =
+                    stratum.into_iter().zip(media_store).collect();
+                tagged.sort_by(|a, b| {
+                    a.0.power.partial_cmp(&b.0.power).expect("finite powers")
+                });
+                let mut kept: Vec<(Label, Vec<Option<EdgeMedium>>)> = Vec::new();
+                'outer: for (label, media) in tagged {
+                    for (kl, _) in &kept {
+                        if kl.dominates(&label, 1e-9) {
+                            continue 'outer;
+                        }
+                    }
+                    kept.push((label, media));
+                    if kept.len() >= max_labels {
+                        break;
+                    }
+                }
+                for (label, media) in kept {
+                    pruned.push(Partial {
+                        media,
+                        power: label.power,
+                        done: label.done,
+                        pending: label.pending,
+                        opt_children: k,
+                    });
+                }
+            }
+            partials = pruned;
+        }
+
+        // Finalize partials into per-context labels at v.
+        let mut elec_ctx: Vec<Label> = Vec::new();
+        let mut opt_ctx: Vec<Label> = Vec::new();
+        for partial in partials {
+            let arms_split = splitting_db(partial.opt_children.max(1));
+
+            // Context: v reached electrically (or v is the root).
+            {
+                let mut power = partial.power;
+                let mut done = partial.done;
+                let mut ok = true;
+                if partial.opt_children > 0 {
+                    power += pmod; // one modulator opens the region below v
+                    for &pl in &partial.pending {
+                        let complete = pl + arms_split;
+                        if complete > lib.max_loss_db {
+                            ok = false;
+                            break;
+                        }
+                        done = done.max(complete);
+                    }
+                }
+                if ok {
+                    elec_ctx.push(Label {
+                        media: partial.media.clone(),
+                        power,
+                        done,
+                        pending: Vec::new(),
+                    });
+                }
+            }
+
+            // Context: v reached optically. Invalid for the root (the
+            // source has no incoming edge) — still computed; the caller
+            // only reads context 0 at the root.
+            {
+                let tap_needed =
+                    (is_terminal && vi != 0) || has_electrical_child(&partial.media, &children);
+                if !(tap_needed || partial.opt_children > 0) {
+                    // Light would arrive and die (Steiner leaf): invalid.
+                } else {
+                    let arms = partial.opt_children + usize::from(tap_needed);
+                    let split = splitting_db(arms);
+                    let mut pending: Vec<f64> =
+                        partial.pending.iter().map(|l| l + split).collect();
+                    let mut power = partial.power;
+                    if tap_needed {
+                        power += pdet;
+                        pending.push(split);
+                    }
+                    pending.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    if pending.last().copied().unwrap_or(0.0) <= lib.max_loss_db {
+                        opt_ctx.push(Label {
+                            media: partial.media,
+                            power,
+                            done: partial.done,
+                            pending,
+                        });
+                    }
+                }
+            }
+        }
+        prune(&mut elec_ctx, max_labels);
+        prune(&mut opt_ctx, max_labels);
+        label_sets[vi] = [elec_ctx, opt_ctx];
+    }
+
+    // Root labels (electrical context) are complete assignments.
+    let mut out = Vec::new();
+    for label in &label_sets[0][0] {
+        let media: Vec<EdgeMedium> = label
+            .media
+            .iter()
+            .map(|m| m.expect("root label decides every edge"))
+            .collect();
+        let candidate = analyze_assignment(tree, &media, bits, lib, elec);
+        if candidate.meets_loss_unloaded(lib) {
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+fn merge_media(into: &mut [Option<EdgeMedium>], from: &[Option<EdgeMedium>]) {
+    for (dst, src) in into.iter_mut().zip(from) {
+        if let Some(m) = src {
+            debug_assert!(dst.is_none(), "edge decided twice");
+            *dst = Some(*m);
+        }
+    }
+}
+
+fn has_electrical_child(media: &[Option<EdgeMedium>], children: &[TreeNodeId]) -> bool {
+    children
+        .iter()
+        .any(|c| media[c.index() - 1] == Some(EdgeMedium::Electrical))
+}
+
+/// Generates the full candidate set for one hyper net: baseline
+/// topologies, co-design DP per topology, cross-topology Pareto pruning,
+/// and a guaranteed pure-electrical fallback.
+pub fn generate_candidates(
+    net: &HyperNet,
+    net_index: usize,
+    config: &OperonConfig,
+) -> NetCandidates {
+    let pins = net.pin_locations();
+    let bits = net.bit_count();
+    let lib = &config.optical;
+    let elec = &config.electrical;
+
+    let topologies = baseline_topologies(&pins, config.max_topologies);
+    let mut candidates: Vec<CandidateRoute> = Vec::new();
+    for tree in &topologies {
+        candidates.extend(codesign_tree(tree, bits, lib, elec, config.max_labels));
+    }
+    // Optional timing bound: drop candidates whose worst sink arrival
+    // exceeds it (the electrical fallback added below always survives).
+    if let Some(bound) = config.max_delay_ps {
+        candidates
+            .retain(|c| crate::timing::worst_delay_ps(c, &config.delay) <= bound + 1e-9);
+    }
+
+    // Sort by power and drop near-duplicates / dominated candidates:
+    // candidate A dominates B when it has no more power AND no more fixed
+    // loss (both metrics the selection stage cares about).
+    candidates.sort_by(|a, b| {
+        a.total_power_mw()
+            .partial_cmp(&b.total_power_mw())
+            .expect("finite powers")
+    });
+    let mut kept: Vec<CandidateRoute> = Vec::new();
+    for cand in candidates {
+        let dominated = kept.iter().any(|k| {
+            k.total_power_mw() <= cand.total_power_mw() + 1e-9
+                && k.worst_fixed_loss_db() <= cand.worst_fixed_loss_db() + 1e-9
+                && k.is_pure_electrical() == cand.is_pure_electrical()
+        });
+        if !dominated {
+            kept.push(cand);
+        }
+    }
+    let mut optical_candidates: Vec<CandidateRoute> = kept
+        .iter()
+        .filter(|c| !c.is_pure_electrical())
+        .take(config.max_candidates)
+        .cloned()
+        .collect();
+
+    // The electrical fallback: the best RSMT (the first topology is the
+    // exact RSMT for small nets, BI1S otherwise) routed fully
+    // electrically.
+    let rsmt = &topologies[0];
+    let fallback = analyze_assignment(
+        rsmt,
+        &vec![EdgeMedium::Electrical; rsmt.edge_count()],
+        bits,
+        lib,
+        elec,
+    );
+    let electrical_idx = optical_candidates.len();
+    optical_candidates.push(fallback);
+
+    // Constant hyper-pin fan-out power (gravity center to member pins).
+    let fanout_dbu: f64 = net
+        .pins()
+        .iter()
+        .flat_map(|hp| {
+            let center = hp.location();
+            hp.members()
+                .iter()
+                .map(move |m| center.manhattan(m.location) as f64)
+        })
+        .sum();
+    let fanout_power_mw =
+        operon_optics::electrical_power_mw(elec, dbu_to_cm(fanout_dbu));
+
+    NetCandidates {
+        net_index,
+        bits,
+        candidates: optical_candidates,
+        electrical_idx,
+        fanout_power_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use operon_geom::Point;
+
+    fn lib() -> OpticalLib {
+        OpticalLib::paper_defaults()
+    }
+
+    fn elec() -> ElectricalParams {
+        ElectricalParams::paper_defaults()
+    }
+
+    /// The Fig. 5 shape: source at the left, a Steiner trunk, two sinks.
+    fn fig5_tree() -> RouteTree {
+        let mut t = RouteTree::new(Point::new(0, 0));
+        let s = t.add_child(t.root(), Point::new(10_000, 0), NodeKind::Steiner);
+        t.add_child(s, Point::new(14_000, 3_000), NodeKind::Terminal);
+        t.add_child(s, Point::new(14_000, -3_000), NodeKind::Terminal);
+        t
+    }
+
+    #[test]
+    fn all_electrical_assignment_has_no_conversions() {
+        let t = fig5_tree();
+        let c = analyze_assignment(
+            &t,
+            &[EdgeMedium::Electrical; 3],
+            8,
+            &lib(),
+            &elec(),
+        );
+        assert_eq!(c.n_mod, 0);
+        assert_eq!(c.n_det, 0);
+        assert_eq!(c.conversion_power_mw, 0.0);
+        assert!(c.is_pure_electrical());
+        assert!(c.paths.is_empty());
+        assert!(c.optical_bbox.is_none());
+        // 8 bits × (1.0 + 0.7 + 0.7) cm × 2 mW/cm.
+        assert!((c.electrical_power_mw - 8.0 * 4.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_optical_assignment_counts_devices_and_split() {
+        let t = fig5_tree();
+        let c = analyze_assignment(&t, &[EdgeMedium::Optical; 3], 4, &lib(), &elec());
+        // One region (modulator at source), detectors at the two sinks.
+        assert_eq!(c.n_mod, 1);
+        assert_eq!(c.n_det, 2);
+        assert_eq!(c.electrical_power_mw, 0.0);
+        assert_eq!(c.paths.len(), 2);
+        assert_eq!(c.optical_segments.len(), 3);
+        // Each sink path: 1 cm trunk + 0.5 cm arm of propagation (alpha
+        // 1.5 dB/cm) plus one 2-way split (3.01 dB).
+        let expect = 1.5 * 1.0 + 1.5 * 0.5 + 10.0 * 2f64.log10();
+        for p in &c.paths {
+            assert!((p.fixed_db - expect).abs() < 1e-6, "got {}", p.fixed_db);
+            assert_eq!(p.segments.len(), 2, "trunk + one arm");
+        }
+        // Power: 4 bits × (0.511 + 2×0.374).
+        assert!((c.conversion_power_mw - 4.0 * (0.511 + 0.748)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_assignment_saves_a_detector() {
+        // Optical trunk, electrical arms: one detector at the Steiner
+        // node serves both sinks (the paper's "third candidate").
+        let t = fig5_tree();
+        let media = vec![
+            EdgeMedium::Optical,     // root -> steiner
+            EdgeMedium::Electrical,  // steiner -> sink 1
+            EdgeMedium::Electrical,  // steiner -> sink 2
+        ];
+        let c = analyze_assignment(&t, &media, 4, &lib(), &elec());
+        assert_eq!(c.n_mod, 1);
+        assert_eq!(c.n_det, 1, "single tap serves both electrical arms");
+        assert_eq!(c.paths.len(), 1);
+        // No splitting anywhere: single optical arm, single tap.
+        assert!((c.paths[0].fixed_db - 1.5).abs() < 1e-9);
+        assert!(c.electrical_power_mw > 0.0);
+    }
+
+    #[test]
+    fn disjoint_regions_need_two_modulators() {
+        // source -(E)- steiner -(O)- sinkA, steiner -(O)- sinkB is ONE
+        // region at the steiner; but source -(O)- steiner -(E)- A -(O)- B
+        // would be two. Build a chain: root - a - b - c.
+        let mut t = RouteTree::new(Point::new(0, 0));
+        let a = t.add_child(t.root(), Point::new(10_000, 0), NodeKind::Terminal);
+        let b = t.add_child(a, Point::new(20_000, 0), NodeKind::Terminal);
+        let _c = t.add_child(b, Point::new(30_000, 0), NodeKind::Terminal);
+        let media = vec![
+            EdgeMedium::Optical,
+            EdgeMedium::Electrical,
+            EdgeMedium::Optical,
+        ];
+        let c = analyze_assignment(&t, &media, 1, &lib(), &elec());
+        assert_eq!(c.n_mod, 2, "two disjoint optical regions");
+        assert_eq!(c.n_det, 2);
+        assert_eq!(c.paths.len(), 2);
+        // Each stretch: 1 cm propagation, no splits.
+        for p in &c.paths {
+            assert!((p.fixed_db - 1.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn optical_through_terminal_taps_and_continues() {
+        // root -(O)- a -(O)- b where a is a sink terminal: a taps (det)
+        // and the light continues: split 2 ways at a.
+        let mut t = RouteTree::new(Point::new(0, 0));
+        let a = t.add_child(t.root(), Point::new(10_000, 0), NodeKind::Terminal);
+        let _b = t.add_child(a, Point::new(20_000, 0), NodeKind::Terminal);
+        let c = analyze_assignment(
+            &t,
+            &[EdgeMedium::Optical; 2],
+            1,
+            &lib(),
+            &elec(),
+        );
+        assert_eq!(c.n_mod, 1);
+        assert_eq!(c.n_det, 2);
+        assert_eq!(c.paths.len(), 2);
+        let split = 10.0 * 2f64.log10();
+        let loss_a = 1.5 + split; // 1 cm + split at a
+        let loss_b = 1.5 + split + 1.5; // continue 1 more cm
+        let mut got: Vec<f64> = c.paths.iter().map(|p| p.fixed_db).collect();
+        got.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        assert!((got[0] - loss_a).abs() < 1e-9);
+        assert!((got[1] - loss_b).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one medium per tree edge")]
+    fn media_length_mismatch_rejected() {
+        let t = fig5_tree();
+        let _ = analyze_assignment(&t, &[EdgeMedium::Optical], 1, &lib(), &elec());
+    }
+
+    #[test]
+    fn dp_contains_the_four_fig5_configurations() {
+        // With a permissive loss budget the DP must find (at least) the
+        // pure-electrical, pure-optical, and trunk-optical mixes of
+        // Fig. 5(c) as non-dominated candidates.
+        let t = fig5_tree();
+        let candidates = codesign_tree(&t, 4, &lib(), &elec(), 64);
+        assert!(!candidates.is_empty());
+        let has = |pred: &dyn Fn(&CandidateRoute) -> bool| candidates.iter().any(pred);
+        assert!(has(&|c| c.is_pure_electrical()), "all-electrical missing");
+        assert!(
+            has(&|c| c.n_mod == 1 && c.n_det == 2),
+            "all-optical missing"
+        );
+        assert!(
+            has(&|c| c.n_mod == 1 && c.n_det == 1),
+            "optical trunk + electrical arms missing"
+        );
+    }
+
+    #[test]
+    fn dp_candidates_meet_unloaded_budget() {
+        let t = fig5_tree();
+        for c in codesign_tree(&t, 4, &lib(), &elec(), 32) {
+            assert!(c.meets_loss_unloaded(&lib()));
+        }
+    }
+
+    #[test]
+    fn dp_agrees_with_exhaustive_enumeration_on_small_tree() {
+        // Exhaustively enumerate all 2^3 assignments and check that every
+        // non-dominated (power, worst-loss) point the enumeration finds is
+        // matched or beaten by some DP candidate.
+        let t = fig5_tree();
+        let (l, e) = (lib(), elec());
+        let dp = codesign_tree(&t, 2, &l, &e, 64);
+        for mask in 0u32..8 {
+            let media: Vec<EdgeMedium> = (0..3)
+                .map(|i| {
+                    if (mask >> i) & 1 == 1 {
+                        EdgeMedium::Optical
+                    } else {
+                        EdgeMedium::Electrical
+                    }
+                })
+                .collect();
+            let cand = analyze_assignment(&t, &media, 2, &l, &e);
+            if !cand.meets_loss_unloaded(&l) {
+                continue;
+            }
+            let matched = dp.iter().any(|d| {
+                d.total_power_mw() <= cand.total_power_mw() + 1e-6
+                    && d.worst_fixed_loss_db() <= cand.worst_fixed_loss_db() + 1e-6
+            });
+            assert!(
+                matched,
+                "assignment {media:?} (power {}, loss {}) unmatched",
+                cand.total_power_mw(),
+                cand.worst_fixed_loss_db()
+            );
+        }
+    }
+
+    #[test]
+    fn tight_loss_budget_suppresses_optical_candidates() {
+        let t = fig5_tree();
+        let mut tight = lib();
+        tight.max_loss_db = 0.1; // nothing optical can fit
+        let candidates = codesign_tree(&t, 4, &tight, &elec(), 32);
+        assert!(candidates.iter().all(|c| c.is_pure_electrical()));
+    }
+
+    #[test]
+    fn single_pin_net_yields_empty_candidate() {
+        let t = RouteTree::new(Point::new(5, 5));
+        let candidates = codesign_tree(&t, 1, &lib(), &elec(), 8);
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].total_power_mw(), 0.0);
+    }
+
+    #[test]
+    fn generate_candidates_always_has_electrical_fallback() {
+        use operon_netlist::synth::{generate, SynthConfig};
+        let design = generate(&SynthConfig::small(), 4);
+        let nets = operon_cluster::build_hyper_nets(
+            &design,
+            &operon_cluster::ClusterConfig::default(),
+        );
+        let config = OperonConfig::default();
+        for (i, net) in nets.iter().enumerate().take(6) {
+            let nc = generate_candidates(net, i, &config);
+            assert!(nc.electrical().is_pure_electrical());
+            assert!(nc.fanout_power_mw >= 0.0);
+            assert_eq!(nc.bits, net.bit_count());
+            assert!(!nc.candidates.is_empty());
+            assert!(nc.candidates.len() <= config.max_candidates + 1);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random rooted tree: node k+1 attaches to a random earlier
+        /// node; leaves are terminals, interior attachment points mixed.
+        fn arb_tree() -> impl Strategy<Value = RouteTree> {
+            (
+                proptest::collection::vec(
+                    ((-20_000i64..20_000, -20_000i64..20_000), 0usize..8, any::<bool>()),
+                    1..6,
+                ),
+                (-20_000i64..20_000, -20_000i64..20_000),
+            )
+                .prop_map(|(nodes, root)| {
+                    let mut tree = RouteTree::new(Point::new(root.0, root.1));
+                    for ((x, y), parent_pick, steiner) in nodes {
+                        let parent =
+                            tree.node_ids().nth(parent_pick % tree.node_count()).expect("in range");
+                        let kind = if steiner && !tree.children(parent).is_empty() {
+                            NodeKind::Steiner
+                        } else {
+                            NodeKind::Terminal
+                        };
+                        tree.add_child(parent, Point::new(x, y), kind);
+                    }
+                    tree
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// The DP's candidate set must Pareto-cover the exhaustive
+            /// enumeration of all 2^edges assignments on small trees.
+            #[test]
+            fn dp_pareto_covers_exhaustive(tree in arb_tree(), bits in 1usize..8) {
+                let (l, e) = (lib(), elec());
+                let dp = codesign_tree(&tree, bits, &l, &e, 64);
+                prop_assert!(!dp.is_empty(), "all-electrical always exists");
+                let edges = tree.edge_count();
+                for mask in 0u32..(1 << edges) {
+                    let media: Vec<EdgeMedium> = (0..edges)
+                        .map(|k| if (mask >> k) & 1 == 1 {
+                            EdgeMedium::Optical
+                        } else {
+                            EdgeMedium::Electrical
+                        })
+                        .collect();
+                    let cand = analyze_assignment(&tree, &media, bits, &l, &e);
+                    if !cand.meets_loss_unloaded(&l) {
+                        continue;
+                    }
+                    // Skip assignments with dead-end optical edges (a
+                    // waveguide serving no detector delivers nothing; the
+                    // DP deliberately never emits such routes).
+                    let used: std::collections::HashSet<usize> = cand
+                        .paths
+                        .iter()
+                        .flat_map(|p| p.segments.iter().copied())
+                        .collect();
+                    if used.len() < cand.optical_segments.len() {
+                        continue;
+                    }
+                    let covered = dp.iter().any(|d| {
+                        d.total_power_mw() <= cand.total_power_mw() + 1e-6
+                            && d.worst_fixed_loss_db()
+                                <= cand.worst_fixed_loss_db() + 1e-6
+                    });
+                    prop_assert!(
+                        covered,
+                        "assignment {media:?} (power {}, loss {}) not covered",
+                        cand.total_power_mw(),
+                        cand.worst_fixed_loss_db()
+                    );
+                }
+            }
+
+            /// Accounting sanity on arbitrary assignments: device counts
+            /// match point lists, power matches Eq. (1)/(6), and each path
+            /// belongs to a detector.
+            #[test]
+            fn analyze_assignment_invariants(
+                tree in arb_tree(),
+                mask in any::<u32>(),
+                bits in 1usize..8,
+            ) {
+                let (l, e) = (lib(), elec());
+                let edges = tree.edge_count();
+                let media: Vec<EdgeMedium> = (0..edges)
+                    .map(|k| if (mask >> (k % 32)) & 1 == 1 {
+                        EdgeMedium::Optical
+                    } else {
+                        EdgeMedium::Electrical
+                    })
+                    .collect();
+                let cand = analyze_assignment(&tree, &media, bits, &l, &e);
+                prop_assert_eq!(cand.modulator_points.len(), cand.n_mod);
+                prop_assert_eq!(cand.detector_points.len(), cand.n_det);
+                prop_assert_eq!(cand.paths.len(), cand.n_det);
+                let expect_conv = bits as f64
+                    * (cand.n_mod as f64 * l.p_mod_pj_per_bit
+                        + cand.n_det as f64 * l.p_det_pj_per_bit);
+                prop_assert!((cand.conversion_power_mw - expect_conv).abs() < 1e-9);
+                prop_assert!(cand.electrical_power_mw >= 0.0);
+                // Segment indices in paths are valid and losses
+                // non-negative.
+                for p in &cand.paths {
+                    prop_assert!(p.fixed_db >= -1e-12);
+                    for &s in &p.segments {
+                        prop_assert!(s < cand.optical_segments.len());
+                    }
+                }
+                // An optical bbox exists iff there are optical segments.
+                prop_assert_eq!(
+                    cand.optical_bbox.is_some(),
+                    !cand.optical_segments.is_empty()
+                );
+            }
+        }
+    }
+}

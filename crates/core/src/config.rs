@@ -1,0 +1,242 @@
+//! Flow configuration.
+
+use crate::OperonError;
+use operon_cluster::ClusterConfig;
+use operon_optics::{DelayParams, ElectricalParams, OpticalLib};
+
+/// Which algorithm selects one candidate per hyper net.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Selector {
+    /// Exact ILP (formulation (3a)–(3d)) with a wall-clock time limit in
+    /// seconds; on expiry the best incumbent is used.
+    Ilp {
+        /// Solver budget, seconds.
+        time_limit_secs: u64,
+    },
+    /// The Lagrangian-relaxation speed-up (Algorithm 1).
+    LagrangianRelaxation,
+}
+
+/// Configuration of the whole OPERON flow.
+///
+/// # Examples
+///
+/// ```
+/// use operon::config::{OperonConfig, Selector};
+///
+/// let mut cfg = OperonConfig::default();
+/// cfg.selector = Selector::Ilp { time_limit_secs: 10 };
+/// cfg.validate().expect("defaults with ILP selector are valid");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct OperonConfig {
+    /// Optical device library (α, β, conversion energies, `l_m`, WDM
+    /// capacity and pitch bounds).
+    pub optical: OpticalLib,
+    /// Electrical dynamic-power parameters.
+    pub electrical: ElectricalParams,
+    /// Interconnect delay parameters (used by [`crate::timing`] and the
+    /// optional delay bound below).
+    pub delay: DelayParams,
+    /// Optional timing constraint: co-design candidates whose worst sink
+    /// arrival exceeds this bound (ps) are dropped before selection. The
+    /// electrical fallback is always retained so every net stays
+    /// routable; a fallback violating the bound is surfaced through
+    /// [`crate::flow::FlowResult::delay_violations`].
+    pub max_delay_ps: Option<f64>,
+    /// Hyper-net construction parameters.
+    pub cluster: ClusterConfig,
+    /// Candidate-selection algorithm.
+    pub selector: Selector,
+    /// Derive [`OpticalLib::crossing_sharing`] from the instance
+    /// (`capacity / average bits per hyper net`) instead of using the
+    /// library's static value. Logical candidate routes share WDM
+    /// waveguides, so a transversal waveguide sees one physical crossing
+    /// per *waveguide*, not per net; this scales the crossing-loss charge
+    /// accordingly.
+    pub auto_crossing_sharing: bool,
+    /// Maximum baseline topologies per hyper net.
+    pub max_topologies: usize,
+    /// Maximum co-design candidates kept per hyper net (the electrical
+    /// fallback is always additionally kept).
+    pub max_candidates: usize,
+    /// Label cap per node in the co-design dynamic program.
+    pub max_labels: usize,
+    /// LR iteration cap (the paper uses 10).
+    pub lr_max_iters: usize,
+    /// LR convergence ratio: stop when both power and violation improve
+    /// by less than this fraction between iterations.
+    pub lr_converge_ratio: f64,
+    /// Power-map resolution (cells per axis) for hotspot reports.
+    pub powermap_cells: usize,
+}
+
+impl Default for OperonConfig {
+    fn default() -> Self {
+        Self {
+            optical: OpticalLib::paper_defaults(),
+            electrical: ElectricalParams::paper_defaults(),
+            delay: DelayParams::paper_defaults(),
+            max_delay_ps: None,
+            cluster: ClusterConfig::default(),
+            selector: Selector::LagrangianRelaxation,
+            auto_crossing_sharing: true,
+            max_topologies: 4,
+            max_candidates: 8,
+            max_labels: 32,
+            lr_max_iters: 10,
+            lr_converge_ratio: 0.01,
+            powermap_cells: 64,
+        }
+    }
+}
+
+impl OperonConfig {
+    /// A copy of this configuration with `optical.crossing_sharing`
+    /// resolved for an instance with the given hyper-net bit counts.
+    ///
+    /// With `auto_crossing_sharing` the factor becomes
+    /// `capacity / average bits per net`, clamped to
+    /// `[1, capacity]`; otherwise the configuration is returned verbatim.
+    pub fn resolved_for(&self, bit_counts: impl IntoIterator<Item = usize>) -> OperonConfig {
+        let mut out = self.clone();
+        if !self.auto_crossing_sharing {
+            return out;
+        }
+        let (mut total, mut n) = (0usize, 0usize);
+        for b in bit_counts {
+            total += b;
+            n += 1;
+        }
+        if n == 0 || total == 0 {
+            return out;
+        }
+        let avg_bits = total as f64 / n as f64;
+        out.optical.crossing_sharing = (self.optical.wdm_capacity as f64 / avg_bits)
+            .clamp(1.0, self.optical.wdm_capacity as f64);
+        out
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperonError::InvalidConfig`] naming the first violated
+    /// invariant, including those of the nested optical and electrical
+    /// parameter sets.
+    pub fn validate(&self) -> Result<(), OperonError> {
+        self.optical
+            .validate()
+            .map_err(OperonError::InvalidConfig)?;
+        self.electrical
+            .validate()
+            .map_err(OperonError::InvalidConfig)?;
+        self.delay.validate().map_err(OperonError::InvalidConfig)?;
+        if let Some(bound) = self.max_delay_ps {
+            if bound.is_nan() || bound <= 0.0 {
+                return Err(OperonError::InvalidConfig(format!(
+                    "max_delay_ps must be positive, got {bound}"
+                )));
+            }
+        }
+        if self.cluster.capacity == 0 {
+            return Err(OperonError::InvalidConfig(
+                "cluster capacity must be positive".to_owned(),
+            ));
+        }
+        if self.cluster.capacity != self.optical.wdm_capacity {
+            return Err(OperonError::InvalidConfig(format!(
+                "cluster capacity ({}) must match WDM capacity ({})",
+                self.cluster.capacity, self.optical.wdm_capacity
+            )));
+        }
+        if self.max_topologies == 0 || self.max_candidates == 0 || self.max_labels == 0 {
+            return Err(OperonError::InvalidConfig(
+                "topology/candidate/label caps must be positive".to_owned(),
+            ));
+        }
+        if self.lr_max_iters == 0 {
+            return Err(OperonError::InvalidConfig(
+                "lr_max_iters must be positive".to_owned(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.lr_converge_ratio) {
+            return Err(OperonError::InvalidConfig(format!(
+                "lr_converge_ratio must be in [0, 1), got {}",
+                self.lr_converge_ratio
+            )));
+        }
+        if self.powermap_cells == 0 {
+            return Err(OperonError::InvalidConfig(
+                "powermap_cells must be positive".to_owned(),
+            ));
+        }
+        if let Selector::Ilp { time_limit_secs } = self.selector {
+            if time_limit_secs == 0 {
+                return Err(OperonError::InvalidConfig(
+                    "ILP time limit must be positive".to_owned(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(OperonConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn mismatched_capacities_rejected() {
+        let mut cfg = OperonConfig::default();
+        cfg.cluster.capacity = 16; // optical.wdm_capacity stays 32
+        assert!(matches!(
+            cfg.validate(),
+            Err(OperonError::InvalidConfig(msg)) if msg.contains("match")
+        ));
+    }
+
+    #[test]
+    fn nested_validation_propagates() {
+        let mut cfg = OperonConfig::default();
+        cfg.optical.alpha_db_per_cm = -1.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = OperonConfig::default();
+        cfg.electrical.vdd = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_caps_rejected() {
+        for field in 0..4 {
+            let mut cfg = OperonConfig::default();
+            match field {
+                0 => cfg.max_topologies = 0,
+                1 => cfg.max_candidates = 0,
+                2 => cfg.max_labels = 0,
+                _ => cfg.lr_max_iters = 0,
+            }
+            assert!(cfg.validate().is_err(), "field {field} not validated");
+        }
+    }
+
+    #[test]
+    fn bad_converge_ratio_rejected() {
+        let mut cfg = OperonConfig::default();
+        cfg.lr_converge_ratio = 1.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_ilp_time_limit_rejected() {
+        let mut cfg = OperonConfig::default();
+        cfg.selector = Selector::Ilp { time_limit_secs: 0 };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! Waveguide-crossing accounting between candidate pairs.
+//!
+//! Crossing loss (`β · n_x` of Eq. (2)) couples hyper nets: how much loss
+//! a path suffers depends on which candidates *other* nets select. The
+//! [`CrossingIndex`] precomputes, for every pair of optical candidates
+//! that geometrically cross, the number of proper segment crossings
+//! attributed to each detector path of both candidates. The ILP turns
+//! each such pair into a linearized product variable; the LR algorithm
+//! reads the same index when pricing candidates against the previous
+//! iterate (Eq. (5)).
+//!
+//! The paper's variable-reduction speed-up — "remove those crossing
+//! variables belonging to the pair of hyper nets with non-overlapped
+//! bounding boxes" — is the bounding-box prefilter here.
+
+use crate::codesign::NetCandidates;
+use operon_geom::BoundingBox;
+use std::collections::HashMap;
+
+/// Crossing counts between one ordered pair of candidates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PairCross {
+    /// `(path index in candidate A, crossings on that path)`.
+    pub per_path_a: Vec<(usize, usize)>,
+    /// `(path index in candidate B, crossings on that path)`.
+    pub per_path_b: Vec<(usize, usize)>,
+    /// Total segment crossings between the two candidates.
+    pub total: usize,
+}
+
+/// Key: `(net_a, cand_a, net_b, cand_b)` with `net_a < net_b`.
+type PairKey = (usize, usize, usize, usize);
+
+/// All pairwise crossing counts over a candidate set.
+#[derive(Clone, Debug, Default)]
+pub struct CrossingIndex {
+    pairs: HashMap<PairKey, PairCross>,
+    /// Adjacency: `(net, cand)` → the `(other_net, other_cand)` it
+    /// crosses. Lets selection algorithms iterate actual coupling instead
+    /// of scanning every net.
+    neighbors: HashMap<(usize, usize), Vec<(usize, usize)>>,
+}
+
+impl CrossingIndex {
+    /// Builds the index over every candidate pair from different hyper
+    /// nets whose optical bounding boxes overlap.
+    pub fn build(nets: &[NetCandidates]) -> Self {
+        // Net-level prefilter: union bbox of all optical candidates.
+        let net_bbox: Vec<Option<BoundingBox>> = nets
+            .iter()
+            .map(|nc| {
+                nc.candidates
+                    .iter()
+                    .filter_map(|c| c.optical_bbox)
+                    .reduce(|a, b| a.union(&b))
+            })
+            .collect();
+
+        let mut pairs = HashMap::new();
+        for a in 0..nets.len() {
+            let Some(bb_a) = net_bbox[a] else { continue };
+            for b in a + 1..nets.len() {
+                let Some(bb_b) = net_bbox[b] else { continue };
+                if !bb_a.overlaps(&bb_b) {
+                    continue;
+                }
+                for (ai, ca) in nets[a].candidates.iter().enumerate() {
+                    let Some(cbb_a) = ca.optical_bbox else { continue };
+                    for (bi, cb) in nets[b].candidates.iter().enumerate() {
+                        let Some(cbb_b) = cb.optical_bbox else { continue };
+                        if !cbb_a.overlaps(&cbb_b) {
+                            continue;
+                        }
+                        let cross = count_pair(ca, cb);
+                        if cross.total > 0 {
+                            pairs.insert((a, ai, b, bi), cross);
+                        }
+                    }
+                }
+            }
+        }
+        let mut neighbors: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+        for &(na, ca, nb, cb) in pairs.keys() {
+            neighbors.entry((na, ca)).or_default().push((nb, cb));
+            neighbors.entry((nb, cb)).or_default().push((na, ca));
+        }
+        Self { pairs, neighbors }
+    }
+
+    /// The crossing record of a candidate pair, if they cross. The nets
+    /// may be given in either order.
+    pub fn pair(
+        &self,
+        net_a: usize,
+        cand_a: usize,
+        net_b: usize,
+        cand_b: usize,
+    ) -> Option<&PairCross> {
+        if net_a < net_b {
+            self.pairs.get(&(net_a, cand_a, net_b, cand_b))
+        } else {
+            self.pairs.get(&(net_b, cand_b, net_a, cand_a))
+        }
+    }
+
+    /// Crossings landing on path `path` of `(net, cand)` caused by
+    /// `(other_net, other_cand)` (0 when the pair does not cross).
+    pub fn crossings_on_path(
+        &self,
+        net: usize,
+        cand: usize,
+        path: usize,
+        other_net: usize,
+        other_cand: usize,
+    ) -> usize {
+        let Some(pc) = self.pair(net, cand, other_net, other_cand) else {
+            return 0;
+        };
+        let per_path = if net < other_net {
+            &pc.per_path_a
+        } else {
+            &pc.per_path_b
+        };
+        per_path
+            .iter()
+            .find(|&&(p, _)| p == path)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    /// Iterates over all crossing pairs as
+    /// `((net_a, cand_a, net_b, cand_b), record)`.
+    pub fn iter(&self) -> impl Iterator<Item = (PairKey, &PairCross)> {
+        self.pairs.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// The `(other_net, other_cand)` candidates that cross `(net, cand)`.
+    pub fn neighbors(&self, net: usize, cand: usize) -> &[(usize, usize)] {
+        self.neighbors
+            .get(&(net, cand))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of crossing candidate pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no candidate pair crosses.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Counts proper crossings between two candidates and attributes them to
+/// detector paths on both sides.
+fn count_pair(
+    a: &crate::codesign::CandidateRoute,
+    b: &crate::codesign::CandidateRoute,
+) -> PairCross {
+    // Crossings per segment of each candidate.
+    let mut seg_a = vec![0usize; a.optical_segments.len()];
+    let mut seg_b = vec![0usize; b.optical_segments.len()];
+    let mut total = 0usize;
+    for (i, sa) in a.optical_segments.iter().enumerate() {
+        for (j, sb) in b.optical_segments.iter().enumerate() {
+            if sa.crosses(sb) {
+                seg_a[i] += 1;
+                seg_b[j] += 1;
+                total += 1;
+            }
+        }
+    }
+    if total == 0 {
+        return PairCross::default();
+    }
+    let attribute = |paths: &[crate::codesign::PathLoss], seg: &[usize]| {
+        paths
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, p)| {
+                let n: usize = p.segments.iter().map(|&s| seg[s]).sum();
+                (n > 0).then_some((pi, n))
+            })
+            .collect::<Vec<_>>()
+    };
+    PairCross {
+        per_path_a: attribute(&a.paths, &seg_a),
+        per_path_b: attribute(&b.paths, &seg_b),
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codesign::{analyze_assignment, EdgeMedium, NetCandidates};
+    use operon_geom::Point;
+    use operon_optics::{ElectricalParams, OpticalLib};
+    use operon_steiner::{NodeKind, RouteTree};
+
+    /// A single optical edge from `a` to `b` as a one-candidate net.
+    fn optical_net(net_index: usize, a: Point, b: Point) -> NetCandidates {
+        let mut tree = RouteTree::new(a);
+        tree.add_child(tree.root(), b, NodeKind::Terminal);
+        let cand = analyze_assignment(
+            &tree,
+            &[EdgeMedium::Optical],
+            1,
+            &OpticalLib::paper_defaults(),
+            &ElectricalParams::paper_defaults(),
+        );
+        NetCandidates {
+            net_index,
+            bits: 1,
+            candidates: vec![cand],
+            electrical_idx: 0, // not actually electrical; fine for tests
+            fanout_power_mw: 0.0,
+        }
+    }
+
+    #[test]
+    fn crossing_pair_detected_and_attributed() {
+        let nets = vec![
+            optical_net(0, Point::new(0, 0), Point::new(100, 100)),
+            optical_net(1, Point::new(0, 100), Point::new(100, 0)),
+        ];
+        let idx = CrossingIndex::build(&nets);
+        assert_eq!(idx.len(), 1);
+        let pc = idx.pair(0, 0, 1, 0).expect("pair crosses");
+        assert_eq!(pc.total, 1);
+        assert_eq!(pc.per_path_a, vec![(0, 1)]);
+        assert_eq!(pc.per_path_b, vec![(0, 1)]);
+        // Query in both net orders.
+        assert_eq!(idx.crossings_on_path(0, 0, 0, 1, 0), 1);
+        assert_eq!(idx.crossings_on_path(1, 0, 0, 0, 0), 1);
+    }
+
+    #[test]
+    fn parallel_segments_do_not_cross() {
+        let nets = vec![
+            optical_net(0, Point::new(0, 0), Point::new(100, 0)),
+            optical_net(1, Point::new(0, 10), Point::new(100, 10)),
+        ];
+        let idx = CrossingIndex::build(&nets);
+        assert!(idx.is_empty());
+        assert_eq!(idx.crossings_on_path(0, 0, 0, 1, 0), 0);
+    }
+
+    #[test]
+    fn disjoint_bboxes_prefiltered() {
+        let nets = vec![
+            optical_net(0, Point::new(0, 0), Point::new(10, 10)),
+            optical_net(1, Point::new(1000, 1000), Point::new(1010, 1010)),
+        ];
+        let idx = CrossingIndex::build(&nets);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn shared_endpoint_is_not_a_proper_crossing() {
+        let nets = vec![
+            optical_net(0, Point::new(0, 0), Point::new(100, 100)),
+            optical_net(1, Point::new(100, 100), Point::new(200, 0)),
+        ];
+        let idx = CrossingIndex::build(&nets);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn multi_segment_crossings_accumulate() {
+        // Net 1's single long segment crosses both arms of net 0's vee.
+        let mut tree = RouteTree::new(Point::new(0, 0));
+        let s = tree.add_child(tree.root(), Point::new(50, 100), NodeKind::Steiner);
+        tree.add_child(s, Point::new(0, 200), NodeKind::Terminal);
+        tree.add_child(s, Point::new(100, 200), NodeKind::Terminal);
+        let vee = analyze_assignment(
+            &tree,
+            &[EdgeMedium::Optical; 3],
+            1,
+            &OpticalLib::paper_defaults(),
+            &ElectricalParams::paper_defaults(),
+        );
+        let nets = vec![
+            NetCandidates {
+                net_index: 0,
+                bits: 1,
+                candidates: vec![vee],
+                electrical_idx: 0,
+                fanout_power_mw: 0.0,
+            },
+            optical_net(1, Point::new(-50, 150), Point::new(150, 150)),
+        ];
+        let idx = CrossingIndex::build(&nets);
+        let pc = idx.pair(0, 0, 1, 0).expect("crossing");
+        assert_eq!(pc.total, 2);
+        // Both of net 0's sink paths suffer one crossing (on their own
+        // arm); net 1's single path suffers both.
+        assert_eq!(pc.per_path_a.len(), 2);
+        assert!(pc.per_path_a.iter().all(|&(_, n)| n == 1));
+        assert_eq!(pc.per_path_b, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn same_net_candidates_never_compared() {
+        // Two candidates within one net cross each other geometrically,
+        // but only one will be selected — no index entry.
+        let a = optical_net(0, Point::new(0, 0), Point::new(100, 100));
+        let b = optical_net(0, Point::new(0, 100), Point::new(100, 0));
+        let merged = NetCandidates {
+            net_index: 0,
+            bits: 1,
+            candidates: vec![
+                a.candidates[0].clone(),
+                b.candidates[0].clone(),
+            ],
+            electrical_idx: 0,
+            fanout_power_mw: 0.0,
+        };
+        let idx = CrossingIndex::build(&[merged]);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn neighbors_mirror_pairs() {
+        let nets = vec![
+            optical_net(0, Point::new(0, 0), Point::new(100, 100)),
+            optical_net(1, Point::new(0, 100), Point::new(100, 0)),
+            optical_net(2, Point::new(50, 0), Point::new(50, 100)),
+        ];
+        let idx = CrossingIndex::build(&nets);
+        // Every pair entry appears in both endpoints' neighbor lists, and
+        // every neighbor entry resolves to a pair.
+        for ((na, ca, nb, cb), _) in idx.iter() {
+            assert!(idx.neighbors(na, ca).contains(&(nb, cb)));
+            assert!(idx.neighbors(nb, cb).contains(&(na, ca)));
+        }
+        for net in 0..nets.len() {
+            for &(m, n) in idx.neighbors(net, 0) {
+                assert!(idx.pair(net, 0, m, n).is_some());
+            }
+        }
+        // The vertical net crosses both diagonals.
+        assert_eq!(idx.neighbors(2, 0).len(), 2);
+    }
+
+    #[test]
+    fn neighbors_of_unknown_candidate_is_empty() {
+        let nets = vec![optical_net(0, Point::new(0, 0), Point::new(100, 100))];
+        let idx = CrossingIndex::build(&nets);
+        assert!(idx.neighbors(0, 0).is_empty());
+        assert!(idx.neighbors(5, 9).is_empty());
+    }
+}

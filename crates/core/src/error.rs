@@ -1,0 +1,47 @@
+//! The crate-level error type.
+
+use core::fmt;
+use std::error::Error;
+
+/// Errors surfaced by the OPERON flow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OperonError {
+    /// A configuration failed validation.
+    InvalidConfig(String),
+    /// The design has no signal groups to route.
+    EmptyDesign,
+    /// The candidate-selection stage failed to produce a selection.
+    SelectionFailed(String),
+}
+
+impl fmt::Display for OperonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperonError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            OperonError::EmptyDesign => write!(f, "design contains no signal groups"),
+            OperonError::SelectionFailed(msg) => write!(f, "candidate selection failed: {msg}"),
+        }
+    }
+}
+
+impl Error for OperonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OperonError::InvalidConfig("bad alpha".to_owned());
+        assert!(e.to_string().contains("bad alpha"));
+        assert!(!OperonError::EmptyDesign.to_string().is_empty());
+        assert!(OperonError::SelectionFailed("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(OperonError::EmptyDesign);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,734 @@
+//! The end-to-end OPERON flow (paper Fig. 2).
+
+use crate::baselines::BaselineSelection;
+use crate::codesign::{generate_candidates, NetCandidates};
+use crate::config::{OperonConfig, Selector};
+use crate::formulation::{select_ilp, selection_feasible, SelectionResult};
+use crate::lr::select_lr;
+use crate::report::{power_maps, PowerMaps};
+use crate::wdm::{self, WdmPlan};
+use crate::{CrossingIndex, OperonError};
+use operon_cluster::{build_hyper_nets, HyperNet};
+use operon_netlist::Design;
+use std::time::Duration;
+
+/// Per-stage wall-clock breakdown of a flow run.
+#[derive(Clone, Debug, Default)]
+pub struct StageTimes {
+    /// Hyper-net construction (signal processing).
+    pub clustering: Duration,
+    /// Topology generation + co-design dynamic programming.
+    pub codesign: Duration,
+    /// Crossing-index construction.
+    pub crossing: Duration,
+    /// Candidate selection (ILP or LR).
+    pub selection: Duration,
+    /// WDM placement + assignment.
+    pub wdm: Duration,
+}
+
+/// The medium mix of one selected route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RouteMedium {
+    /// Every edge optical.
+    Optical,
+    /// Every edge electrical (the fallback).
+    Electrical,
+    /// Optical trunk with electrical branches (or vice versa).
+    Mixed,
+}
+
+impl core::fmt::Display for RouteMedium {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RouteMedium::Optical => write!(f, "optical"),
+            RouteMedium::Electrical => write!(f, "electrical"),
+            RouteMedium::Mixed => write!(f, "mixed"),
+        }
+    }
+}
+
+/// A per-hyper-net digest of the synthesized route.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetSummary {
+    /// Dense hyper-net index.
+    pub net_index: usize,
+    /// The owning signal group.
+    pub group: operon_netlist::GroupId,
+    /// Channel count.
+    pub bits: usize,
+    /// Medium mix of the selected candidate.
+    pub medium: RouteMedium,
+    /// Modulators per bit.
+    pub n_mod: usize,
+    /// Detectors per bit.
+    pub n_det: usize,
+    /// Total power including the hyper-pin fan-out, mW.
+    pub power_mw: f64,
+    /// Worst crossing-free stretch loss, dB.
+    pub worst_fixed_loss_db: f64,
+    /// Worst sink arrival, ps.
+    pub worst_delay_ps: f64,
+}
+
+/// Everything a flow run produces.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// The hyper nets routed.
+    pub hyper_nets: Vec<HyperNet>,
+    /// Per-net candidate sets.
+    pub candidates: Vec<NetCandidates>,
+    /// The chosen candidate per net.
+    pub selection: SelectionResult,
+    /// The WDM stage outcome (Fig. 8 data).
+    pub wdm: WdmPlan,
+    /// Per-stage runtimes.
+    pub times: StageTimes,
+}
+
+impl FlowResult {
+    /// Total power of the synthesized design, mW.
+    pub fn total_power_mw(&self) -> f64 {
+        self.selection.power_mw
+    }
+
+    /// Number of hyper nets routed (at least partly) optically.
+    pub fn optical_net_count(&self) -> usize {
+        self.candidates
+            .iter()
+            .zip(&self.selection.choice)
+            .filter(|(nc, &j)| !nc.candidates[j].is_pure_electrical())
+            .count()
+    }
+
+    /// Number of hyper nets routed fully electrically.
+    pub fn electrical_net_count(&self) -> usize {
+        self.hyper_nets.len() - self.optical_net_count()
+    }
+
+    /// Total hyper-pin count (the "#HPin" column of Table 1).
+    pub fn hyper_pin_count(&self) -> usize {
+        self.hyper_nets.iter().map(|n| n.pins().len()).sum()
+    }
+
+    /// Per-hyper-net summaries of the selection, in net order.
+    pub fn net_summaries(&self, config: &OperonConfig) -> Vec<NetSummary> {
+        self.hyper_nets
+            .iter()
+            .zip(&self.candidates)
+            .zip(&self.selection.choice)
+            .map(|((net, nc), &j)| {
+                let cand = &nc.candidates[j];
+                let medium = if cand.is_pure_electrical() {
+                    RouteMedium::Electrical
+                } else if cand.electrical_power_mw > 0.0 {
+                    RouteMedium::Mixed
+                } else {
+                    RouteMedium::Optical
+                };
+                NetSummary {
+                    net_index: nc.net_index,
+                    group: net.group(),
+                    bits: net.bit_count(),
+                    medium,
+                    n_mod: cand.n_mod,
+                    n_det: cand.n_det,
+                    power_mw: cand.total_power_mw() + nc.fanout_power_mw,
+                    worst_fixed_loss_db: cand.worst_fixed_loss_db(),
+                    worst_delay_ps: crate::timing::worst_delay_ps(cand, &config.delay),
+                }
+            })
+            .collect()
+    }
+
+    /// The worst sink arrival time across all selected routes, ps.
+    pub fn worst_delay_ps(&self, config: &OperonConfig) -> f64 {
+        self.candidates
+            .iter()
+            .zip(&self.selection.choice)
+            .map(|(nc, &j)| crate::timing::worst_delay_ps(&nc.candidates[j], &config.delay))
+            .fold(0.0, f64::max)
+    }
+
+    /// Hyper nets whose selected route violates the configured delay
+    /// bound (only the electrical fallback can violate it — every other
+    /// candidate was filtered during generation). Empty when no bound is
+    /// set.
+    pub fn delay_violations(&self, config: &OperonConfig) -> Vec<usize> {
+        let Some(bound) = config.max_delay_ps else {
+            return Vec::new();
+        };
+        self.candidates
+            .iter()
+            .zip(&self.selection.choice)
+            .filter(|(nc, &j)| {
+                crate::timing::worst_delay_ps(&nc.candidates[j], &config.delay) > bound + 1e-9
+            })
+            .map(|(nc, _)| nc.net_index)
+            .collect()
+    }
+
+    /// Builds the optical/electrical power maps of the result over the
+    /// design's die (Fig. 9).
+    pub fn power_maps(&self, design: &Design, config: &OperonConfig) -> PowerMaps {
+        power_maps(
+            design.die(),
+            config.powermap_cells,
+            &self.candidates,
+            &self.selection.choice,
+            &config.optical,
+            &config.electrical,
+        )
+    }
+}
+
+/// The OPERON route-synthesis engine.
+///
+/// # Examples
+///
+/// ```
+/// use operon::config::OperonConfig;
+/// use operon::flow::OperonFlow;
+/// use operon_netlist::synth::{generate, SynthConfig};
+///
+/// let design = generate(&SynthConfig::small(), 9);
+/// let result = OperonFlow::new(OperonConfig::default()).run(&design)?;
+/// assert_eq!(result.selection.choice.len(), result.hyper_nets.len());
+/// # Ok::<(), operon::OperonError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct OperonFlow {
+    config: OperonConfig,
+}
+
+impl OperonFlow {
+    /// Creates a flow with the given configuration.
+    pub fn new(config: OperonConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OperonConfig {
+        &self.config
+    }
+
+    /// Runs the full flow on `design`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OperonError::InvalidConfig`] if the configuration fails
+    ///   validation.
+    /// * [`OperonError::EmptyDesign`] if the design has no signal groups.
+    /// * [`OperonError::SelectionFailed`] if the ILP selector reports
+    ///   infeasibility (cannot happen with intact electrical fallbacks).
+    pub fn run(&self, design: &Design) -> Result<FlowResult, OperonError> {
+        self.config.validate()?;
+        if design.groups().is_empty() {
+            return Err(OperonError::EmptyDesign);
+        }
+        let mut times = StageTimes::default();
+
+        // Stage 1: signal processing.
+        let t = std::time::Instant::now();
+        let hyper_nets = build_hyper_nets(design, &self.config.cluster);
+        times.clustering = t.elapsed();
+
+        // Resolve the instance-dependent crossing-sharing factor.
+        let config = self
+            .config
+            .resolved_for(hyper_nets.iter().map(|n| n.bit_count()));
+
+        // Stage 2: co-design candidates.
+        let t = std::time::Instant::now();
+        let candidates: Vec<NetCandidates> = hyper_nets
+            .iter()
+            .enumerate()
+            .map(|(i, net)| generate_candidates(net, i, &config))
+            .collect();
+        times.codesign = t.elapsed();
+
+        // Stage 3: crossing coupling + selection.
+        let t = std::time::Instant::now();
+        let crossings = CrossingIndex::build(&candidates);
+        times.crossing = t.elapsed();
+
+        let selection = match config.selector {
+            Selector::Ilp { time_limit_secs } => {
+                // Warm-start the exact solver with the fast LR heuristic so
+                // limit-terminated solves still return a strong incumbent.
+                let warm = select_lr(&candidates, &crossings, &config);
+                select_ilp(
+                    &candidates,
+                    &crossings,
+                    &config.optical,
+                    Duration::from_secs(time_limit_secs),
+                    Some(&warm.choice),
+                )?
+            }
+            Selector::LagrangianRelaxation => select_lr(&candidates, &crossings, &config),
+        };
+        times.selection = selection.elapsed;
+        debug_assert!(selection_feasible(
+            &candidates,
+            &crossings,
+            &selection.choice,
+            &config.optical
+        ));
+
+        // Stage 4: WDM placement + assignment.
+        let t = std::time::Instant::now();
+        let wdm = wdm::plan(&candidates, &selection.choice, &config.optical);
+        times.wdm = t.elapsed();
+
+        Ok(FlowResult {
+            hyper_nets,
+            candidates,
+            selection,
+            wdm,
+            times,
+        })
+    }
+
+    /// Incrementally re-runs the flow after an engineering change order:
+    /// groups identical to `previous_design` reuse the clustering and
+    /// co-design candidates of `previous`; only changed, added, or
+    /// removed groups are reprocessed. Crossing analysis, selection, and
+    /// the WDM stage always re-run globally (a local change can shift the
+    /// crossing coupling anywhere).
+    ///
+    /// The result is identical to a fresh [`run`](OperonFlow::run) on
+    /// `design` — incrementality is purely a speed-up, in the spirit of
+    /// the authors' TILA incremental-assignment line of work.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](OperonFlow::run).
+    pub fn run_eco(
+        &self,
+        design: &Design,
+        previous_design: &Design,
+        previous: &FlowResult,
+    ) -> Result<FlowResult, OperonError> {
+        self.config.validate()?;
+        if design.groups().is_empty() {
+            return Err(OperonError::EmptyDesign);
+        }
+        let mut times = StageTimes::default();
+
+        // Index the previous result's hyper nets and candidates by group.
+        let mut prev_by_group: std::collections::HashMap<
+            operon_netlist::GroupId,
+            Vec<(HyperNet, NetCandidates)>,
+        > = std::collections::HashMap::new();
+        for (net, cands) in previous.hyper_nets.iter().zip(&previous.candidates) {
+            prev_by_group
+                .entry(net.group())
+                .or_default()
+                .push((net.clone(), cands.clone()));
+        }
+
+        // Stage 1 + 2, incrementally per group.
+        let t = std::time::Instant::now();
+        let mut hyper_nets: Vec<HyperNet> = Vec::new();
+        let mut candidates: Vec<NetCandidates> = Vec::new();
+        let config = {
+            // The sharing factor depends on the final bit distribution;
+            // compute it from the new design's groups (bits per cluster
+            // only change for re-clustered groups, so pre-resolving from
+            // cluster sizes requires the clusters — do clustering first
+            // with the unresolved config, which does not use the optical
+            // library at all, then resolve).
+            &self.config
+        };
+        struct GroupNets {
+            group: operon_netlist::GroupId,
+            parts: Vec<(HyperNet, Option<NetCandidates>)>,
+        }
+        let mut per_group: Vec<GroupNets> = Vec::new();
+        for group in design.groups() {
+            let unchanged = previous_design
+                .group(group.id())
+                .is_some_and(|old| old == group);
+            if unchanged {
+                let parts = prev_by_group
+                    .remove(&group.id())
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|(net, cands)| (net, Some(cands)))
+                    .collect();
+                per_group.push(GroupNets {
+                    group: group.id(),
+                    parts,
+                });
+            } else {
+                let parts = operon_cluster::group_clusters(group, &config.cluster)
+                    .into_iter()
+                    .map(|(bits, pins)| {
+                        // Placeholder id; reassigned densely below.
+                        (
+                            HyperNet::new(
+                                operon_cluster::HyperNetId::new(0),
+                                group.id(),
+                                bits,
+                                pins,
+                            ),
+                            None,
+                        )
+                    })
+                    .collect();
+                per_group.push(GroupNets {
+                    group: group.id(),
+                    parts,
+                });
+            }
+        }
+        times.clustering = t.elapsed();
+
+        // Re-id densely and (re)generate candidates where needed.
+        let t = std::time::Instant::now();
+        let mut flat: Vec<(HyperNet, Option<NetCandidates>)> = Vec::new();
+        for g in per_group {
+            let _ = g.group;
+            flat.extend(g.parts);
+        }
+        let resolved = self
+            .config
+            .resolved_for(flat.iter().map(|(n, _)| n.bit_count()));
+        for (i, (net, reuse)) in flat.into_iter().enumerate() {
+            let net = HyperNet::new(
+                operon_cluster::HyperNetId::new(i as u32),
+                net.group(),
+                net.bits().to_vec(),
+                net.pins().to_vec(),
+            );
+            let cands = match reuse {
+                Some(mut nc) => {
+                    nc.net_index = i;
+                    nc
+                }
+                None => generate_candidates(&net, i, &resolved),
+            };
+            hyper_nets.push(net);
+            candidates.push(cands);
+        }
+        times.codesign = t.elapsed();
+
+        // Stages 3 + 4 run globally, exactly as in `run`.
+        let t = std::time::Instant::now();
+        let crossings = CrossingIndex::build(&candidates);
+        times.crossing = t.elapsed();
+        let selection = match resolved.selector {
+            Selector::Ilp { time_limit_secs } => {
+                let warm = select_lr(&candidates, &crossings, &resolved);
+                select_ilp(
+                    &candidates,
+                    &crossings,
+                    &resolved.optical,
+                    Duration::from_secs(time_limit_secs),
+                    Some(&warm.choice),
+                )?
+            }
+            Selector::LagrangianRelaxation => select_lr(&candidates, &crossings, &resolved),
+        };
+        times.selection = selection.elapsed;
+        let t = std::time::Instant::now();
+        let wdm = wdm::plan(&candidates, &selection.choice, &resolved.optical);
+        times.wdm = t.elapsed();
+
+        Ok(FlowResult {
+            hyper_nets,
+            candidates,
+            selection,
+            wdm,
+            times,
+        })
+    }
+
+    /// Runs the GLOW-like optical baseline on the same clustering, for
+    /// side-by-side comparison (Table 1's "Optical \[4\]" column and the
+    /// Fig. 9 maps).
+    pub fn run_glow(&self, design: &Design) -> Result<BaselineSelection, OperonError> {
+        self.config.validate()?;
+        if design.groups().is_empty() {
+            return Err(OperonError::EmptyDesign);
+        }
+        let hyper_nets = build_hyper_nets(design, &self.config.cluster);
+        Ok(crate::baselines::glow_baseline(&hyper_nets, &self.config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use operon_netlist::synth::{generate, SynthConfig};
+
+    fn small_design() -> Design {
+        generate(&SynthConfig::small(), 21)
+    }
+
+    #[test]
+    fn flow_runs_end_to_end_with_lr() {
+        let design = small_design();
+        let result = OperonFlow::new(OperonConfig::default())
+            .run(&design)
+            .expect("flow succeeds");
+        assert_eq!(result.selection.choice.len(), result.hyper_nets.len());
+        assert!(result.total_power_mw() > 0.0);
+        assert_eq!(
+            result.optical_net_count() + result.electrical_net_count(),
+            result.hyper_nets.len()
+        );
+    }
+
+    #[test]
+    fn flow_runs_end_to_end_with_ilp() {
+        let design = small_design();
+        let mut config = OperonConfig::default();
+        config.selector = Selector::Ilp {
+            time_limit_secs: 30,
+        };
+        let result = OperonFlow::new(config)
+            .run(&design)
+            .expect("flow succeeds");
+        assert!(result.total_power_mw() > 0.0);
+    }
+
+    #[test]
+    fn ilp_never_worse_than_lr() {
+        let design = small_design();
+        let lr = OperonFlow::new(OperonConfig::default())
+            .run(&design)
+            .expect("LR flow");
+        let mut config = OperonConfig::default();
+        config.selector = Selector::Ilp {
+            time_limit_secs: 60,
+        };
+        let ilp = OperonFlow::new(config).run(&design).expect("ILP flow");
+        if ilp.selection.proven_optimal {
+            assert!(
+                ilp.total_power_mw() <= lr.total_power_mw() + 1e-6,
+                "ILP {} vs LR {}",
+                ilp.total_power_mw(),
+                lr.total_power_mw()
+            );
+        }
+    }
+
+    #[test]
+    fn operon_beats_glow_and_electrical() {
+        // The Table 1 ordering: Electrical > Optical (GLOW) > OPERON.
+        let design = generate(&SynthConfig::medium(), 5);
+        let flow = OperonFlow::new(OperonConfig::default());
+        let operon = flow.run(&design).expect("flow");
+        let glow = flow.run_glow(&design).expect("glow");
+        let electrical = crate::baselines::electrical_power_mw(
+            &design,
+            &OperonConfig::default().electrical,
+        );
+        assert!(
+            operon.total_power_mw() <= glow.selection.power_mw + 1e-6,
+            "OPERON {} should not exceed GLOW {}",
+            operon.total_power_mw(),
+            glow.selection.power_mw
+        );
+        assert!(
+            glow.selection.power_mw < electrical,
+            "GLOW {} should beat electrical {}",
+            glow.selection.power_mw,
+            electrical
+        );
+    }
+
+    #[test]
+    fn empty_design_is_an_error() {
+        let die = operon_geom::BoundingBox::new(
+            operon_geom::Point::new(0, 0),
+            operon_geom::Point::new(100, 100),
+        );
+        let design = Design::new("empty", die);
+        let err = OperonFlow::new(OperonConfig::default())
+            .run(&design)
+            .expect_err("no groups");
+        assert_eq!(err, OperonError::EmptyDesign);
+    }
+
+    #[test]
+    fn invalid_config_is_an_error() {
+        let mut config = OperonConfig::default();
+        config.cluster.capacity = 7; // mismatch with wdm_capacity
+        let err = OperonFlow::new(config)
+            .run(&small_design())
+            .expect_err("invalid config");
+        assert!(matches!(err, OperonError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let design = small_design();
+        let flow = OperonFlow::new(OperonConfig::default());
+        let a = flow.run(&design).expect("first run");
+        let b = flow.run(&design).expect("second run");
+        assert_eq!(a.selection.choice, b.selection.choice);
+        assert_eq!(a.total_power_mw(), b.total_power_mw());
+        assert_eq!(a.wdm.final_count(), b.wdm.final_count());
+    }
+
+    #[test]
+    fn wdm_final_never_exceeds_initial() {
+        let design = small_design();
+        let result = OperonFlow::new(OperonConfig::default())
+            .run(&design)
+            .expect("flow");
+        assert!(result.wdm.final_count() <= result.wdm.initial_count);
+        if result.optical_net_count() > 0 {
+            assert!(!result.wdm.connections.is_empty());
+        }
+    }
+
+    #[test]
+    fn power_maps_cover_total_power_scale() {
+        let design = small_design();
+        let config = OperonConfig::default();
+        let result = OperonFlow::new(config.clone()).run(&design).expect("flow");
+        let maps = result.power_maps(&design, &config);
+        let deposited = maps.optical.total() + maps.electrical.total();
+        // Maps hold conversion + wire + fan-out power = selection power.
+        assert!(
+            (deposited - result.total_power_mw()).abs() < result.total_power_mw() * 0.05 + 1e-6,
+            "maps {} vs selection {}",
+            deposited,
+            result.total_power_mw()
+        );
+    }
+
+    #[test]
+    fn delay_bound_steers_selection() {
+        // On a 2 cm die with long buses, a tight delay bound rules the
+        // slow electrical candidates out wherever an optical route meets
+        // timing — optical share must not drop, and every non-fallback
+        // route must meet the bound.
+        let design = operon_netlist::synth::generate(
+            &operon_netlist::synth::SynthConfig::medium(),
+            3,
+        );
+        let unconstrained = OperonFlow::new(OperonConfig::default())
+            .run(&design)
+            .expect("flow");
+
+        let bound = 700.0; // ps: ~1 cm of repeatered wire, generous for optics
+        let config = OperonConfig {
+            max_delay_ps: Some(bound),
+            ..OperonConfig::default()
+        };
+        let constrained = OperonFlow::new(config.clone()).run(&design).expect("flow");
+
+        assert!(constrained.optical_net_count() >= unconstrained.optical_net_count());
+        // All violations (if any) sit on electrical fallbacks.
+        for i in constrained.delay_violations(&config) {
+            let nc = &constrained.candidates[i];
+            let j = constrained.selection.choice[i];
+            assert_eq!(j, nc.electrical_idx, "only fallbacks may violate");
+        }
+        // Nets not in the violation list meet the bound.
+        let violating: std::collections::HashSet<usize> =
+            constrained.delay_violations(&config).into_iter().collect();
+        for (nc, &j) in constrained
+            .candidates
+            .iter()
+            .zip(&constrained.selection.choice)
+        {
+            if !violating.contains(&nc.net_index) {
+                let d = crate::timing::worst_delay_ps(&nc.candidates[j], &config.delay);
+                assert!(d <= bound + 1e-9, "net {} delay {d}", nc.net_index);
+            }
+        }
+    }
+
+    #[test]
+    fn net_summaries_are_complete_and_consistent() {
+        let design = small_design();
+        let config = OperonConfig::default();
+        let result = OperonFlow::new(config.clone()).run(&design).expect("flow");
+        let summaries = result.net_summaries(&config);
+        assert_eq!(summaries.len(), result.hyper_nets.len());
+        let total: f64 = summaries.iter().map(|s| s.power_mw).sum();
+        assert!((total - result.total_power_mw()).abs() < 1e-9);
+        let optical = summaries
+            .iter()
+            .filter(|s| s.medium != RouteMedium::Electrical)
+            .count();
+        assert_eq!(optical, result.optical_net_count());
+        for s in &summaries {
+            assert!(s.bits > 0);
+            assert!(s.power_mw >= 0.0);
+            if s.medium == RouteMedium::Electrical {
+                assert_eq!(s.n_mod + s.n_det, 0);
+                assert_eq!(s.worst_fixed_loss_db, 0.0);
+            } else {
+                assert!(s.n_mod >= 1 && s.n_det >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn eco_rerun_matches_fresh_run() {
+        use operon_netlist::{Bit, BitId, GroupId, SignalGroup};
+
+        let old_design = generate_medium();
+        let flow = OperonFlow::new(OperonConfig::default());
+        let previous = flow.run(&old_design).expect("initial run");
+
+        // ECO: replace the last group with a different bus.
+        let mut new_design = Design::new(old_design.name(), old_design.die());
+        let n = old_design.group_count();
+        for g in old_design.groups().iter().take(n - 1) {
+            new_design.push_group(g.clone());
+        }
+        let changed = SignalGroup::new(
+            GroupId::new((n - 1) as u32),
+            "eco_bus",
+            (0..4)
+                .map(|i| {
+                    Bit::new(
+                        BitId::new(i),
+                        operon_geom::Point::new(500 + i as i64 * 10, 500),
+                        vec![operon_geom::Point::new(18_000, 18_000 + i as i64 * 10)],
+                    )
+                })
+                .collect(),
+        );
+        new_design.push_group(changed);
+
+        let eco = flow
+            .run_eco(&new_design, &old_design, &previous)
+            .expect("eco run");
+        let fresh = flow.run(&new_design).expect("fresh run");
+        assert_eq!(eco.selection.choice, fresh.selection.choice);
+        assert_eq!(eco.total_power_mw(), fresh.total_power_mw());
+        assert_eq!(eco.wdm.final_count(), fresh.wdm.final_count());
+        assert_eq!(eco.hyper_nets, fresh.hyper_nets);
+    }
+
+    fn generate_medium() -> Design {
+        operon_netlist::synth::generate(&operon_netlist::synth::SynthConfig::medium(), 17)
+    }
+
+    #[test]
+    fn eco_with_no_changes_is_identity() {
+        let design = small_design();
+        let flow = OperonFlow::new(OperonConfig::default());
+        let previous = flow.run(&design).expect("run");
+        let eco = flow.run_eco(&design, &design, &previous).expect("eco");
+        assert_eq!(eco.selection.choice, previous.selection.choice);
+        assert_eq!(eco.total_power_mw(), previous.total_power_mw());
+    }
+
+    #[test]
+    fn worst_delay_reported() {
+        let design = small_design();
+        let config = OperonConfig::default();
+        let result = OperonFlow::new(config.clone()).run(&design).expect("flow");
+        assert!(result.worst_delay_ps(&config) > 0.0);
+        assert!(result.delay_violations(&config).is_empty(), "no bound set");
+    }
+}

@@ -1,0 +1,256 @@
+//! Per-route delay analysis and timing-constrained selection support.
+//!
+//! The paper motivates optical interconnect with the interconnect-delay
+//! bottleneck; this module closes the loop by computing the source-to-sink
+//! delay of every co-design candidate, so flows can bound it
+//! ([`crate::OperonConfig::max_delay_ps`]) and reports can rank routes by
+//! the latency the medium choice bought.
+//!
+//! Delay semantics mirror the power/loss accounting of
+//! [`codesign`](crate::codesign): electrical edges are repeatered wires
+//! ([`DelayParams::electrical_ps`]), each optical region pays one EO
+//! latency at its top, each tap one OE latency, and waveguide spans pay
+//! time-of-flight at the group velocity.
+
+use crate::codesign::{CandidateRoute, EdgeMedium};
+use operon_geom::dbu_to_cm;
+use operon_optics::DelayParams;
+use operon_steiner::{NodeKind, TreeNodeId};
+
+/// The arrival time of one sink hyper pin.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SinkDelay {
+    /// The terminal node.
+    pub sink: TreeNodeId,
+    /// Source-to-sink delay, ps.
+    pub delay_ps: f64,
+}
+
+/// Computes the arrival time of every non-root terminal of a candidate.
+///
+/// # Examples
+///
+/// ```
+/// use operon::codesign::{analyze_assignment, EdgeMedium};
+/// use operon::timing::sink_delays;
+/// use operon_geom::Point;
+/// use operon_optics::{DelayParams, ElectricalParams, OpticalLib};
+/// use operon_steiner::{NodeKind, RouteTree};
+///
+/// let mut tree = RouteTree::new(Point::new(0, 0));
+/// tree.add_child(tree.root(), Point::new(20_000, 0), NodeKind::Terminal);
+/// let lib = OpticalLib::paper_defaults();
+/// let elec = ElectricalParams::paper_defaults();
+/// let d = DelayParams::paper_defaults();
+///
+/// let optical = analyze_assignment(&tree, &[EdgeMedium::Optical], 1, &lib, &elec);
+/// let electrical = analyze_assignment(&tree, &[EdgeMedium::Electrical], 1, &lib, &elec);
+/// let t_opt = sink_delays(&optical, &d)[0].delay_ps;
+/// let t_ele = sink_delays(&electrical, &d)[0].delay_ps;
+/// assert!(t_opt > 0.0 && t_ele > 0.0);
+/// ```
+pub fn sink_delays(cand: &CandidateRoute, params: &DelayParams) -> Vec<SinkDelay> {
+    let tree = &cand.tree;
+    let medium_of = |node: TreeNodeId| cand.media[node.index() - 1];
+
+    let mut out = Vec::new();
+    // DFS carrying (node, arrival time, signal-is-optical).
+    let mut stack: Vec<(TreeNodeId, f64, bool)> = vec![(tree.root(), 0.0, false)];
+    while let Some((v, t_arrive, optical_arrival)) = stack.pop() {
+        // The time the *electrical* signal is available at v: optical
+        // arrivals pay the detector latency at the tap.
+        let opt_children: Vec<TreeNodeId> = tree
+            .children(v)
+            .iter()
+            .copied()
+            .filter(|&c| medium_of(c) == EdgeMedium::Optical)
+            .collect();
+        let elec_children: Vec<TreeNodeId> = tree
+            .children(v)
+            .iter()
+            .copied()
+            .filter(|&c| medium_of(c) == EdgeMedium::Electrical)
+            .collect();
+
+        let tap_needed = optical_arrival
+            && ((tree.kind(v) == NodeKind::Terminal && v != tree.root())
+                || !elec_children.is_empty());
+        let t_electrical_here = if optical_arrival {
+            t_arrive + params.t_det_ps
+        } else {
+            t_arrive
+        };
+
+        if tree.kind(v) == NodeKind::Terminal && v != tree.root() {
+            let delay = if optical_arrival {
+                debug_assert!(tap_needed);
+                t_electrical_here
+            } else {
+                t_arrive
+            };
+            out.push(SinkDelay {
+                sink: v,
+                delay_ps: delay,
+            });
+        }
+
+        for &c in &elec_children {
+            let len_cm = dbu_to_cm(tree.point(v).manhattan(tree.point(c)) as f64);
+            stack.push((c, t_electrical_here + params.electrical_ps(len_cm), false));
+        }
+        for &c in &opt_children {
+            let len_cm = dbu_to_cm(tree.point(v).euclidean(tree.point(c)));
+            // A new region (electrical signal at v) pays the modulator
+            // latency; continuing light does not.
+            let t_launch = if optical_arrival {
+                t_arrive
+            } else {
+                t_electrical_here + params.t_mod_ps
+            };
+            stack.push((c, t_launch + params.flight_ps(len_cm), true));
+        }
+    }
+    out
+}
+
+/// The worst sink arrival time of a candidate, ps (0 for a lone root).
+pub fn worst_delay_ps(cand: &CandidateRoute, params: &DelayParams) -> f64 {
+    sink_delays(cand, params)
+        .into_iter()
+        .map(|s| s.delay_ps)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codesign::analyze_assignment;
+    use operon_geom::Point;
+    use operon_optics::{ElectricalParams, OpticalLib};
+    use operon_steiner::RouteTree;
+
+    fn params() -> DelayParams {
+        DelayParams::paper_defaults()
+    }
+
+    fn models() -> (OpticalLib, ElectricalParams) {
+        (
+            OpticalLib::paper_defaults(),
+            ElectricalParams::paper_defaults(),
+        )
+    }
+
+    fn two_pin(media: EdgeMedium, len_dbu: i64) -> CandidateRoute {
+        let mut tree = RouteTree::new(Point::new(0, 0));
+        tree.add_child(tree.root(), Point::new(len_dbu, 0), NodeKind::Terminal);
+        let (lib, elec) = models();
+        analyze_assignment(&tree, &[media], 1, &lib, &elec)
+    }
+
+    #[test]
+    fn electrical_two_pin_matches_wire_model() {
+        let cand = two_pin(EdgeMedium::Electrical, 20_000);
+        let d = sink_delays(&cand, &params());
+        assert_eq!(d.len(), 1);
+        assert!((d[0].delay_ps - params().electrical_ps(2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optical_two_pin_pays_conversions_and_flight() {
+        let cand = two_pin(EdgeMedium::Optical, 20_000);
+        let d = worst_delay_ps(&cand, &params());
+        let expect = params().optical_path_ps(2.0, 1, 1);
+        assert!((d - expect).abs() < 1e-9, "{d} vs {expect}");
+    }
+
+    #[test]
+    fn optical_beats_electrical_beyond_crossover() {
+        let p = params();
+        let len_dbu = (operon_geom::cm_to_dbu(p.delay_crossover_cm()) * 2.0) as i64;
+        let t_opt = worst_delay_ps(&two_pin(EdgeMedium::Optical, len_dbu), &p);
+        let t_ele = worst_delay_ps(&two_pin(EdgeMedium::Electrical, len_dbu), &p);
+        assert!(t_opt < t_ele, "optical {t_opt} vs electrical {t_ele}");
+    }
+
+    #[test]
+    fn mixed_route_charges_one_modulator_and_taps() {
+        // root -(O)- steiner -(E)- sink: one EO at root, one OE at the
+        // steiner tap, wire to the sink.
+        let mut tree = RouteTree::new(Point::new(0, 0));
+        let s = tree.add_child(tree.root(), Point::new(10_000, 0), NodeKind::Steiner);
+        tree.add_child(s, Point::new(12_000, 0), NodeKind::Terminal);
+        let (lib, elec) = models();
+        let cand = analyze_assignment(
+            &tree,
+            &[EdgeMedium::Optical, EdgeMedium::Electrical],
+            1,
+            &lib,
+            &elec,
+        );
+        let p = params();
+        let expect =
+            p.t_mod_ps + p.flight_ps(1.0) + p.t_det_ps + p.electrical_ps(0.2);
+        let got = worst_delay_ps(&cand, &p);
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn continuing_light_pays_no_second_modulator() {
+        // root -(O)- a(Terminal) -(O)- b(Terminal): b's path has one EO,
+        // flight over both spans, one OE.
+        let mut tree = RouteTree::new(Point::new(0, 0));
+        let a = tree.add_child(tree.root(), Point::new(10_000, 0), NodeKind::Terminal);
+        tree.add_child(a, Point::new(20_000, 0), NodeKind::Terminal);
+        let (lib, elec) = models();
+        let cand = analyze_assignment(
+            &tree,
+            &[EdgeMedium::Optical, EdgeMedium::Optical],
+            1,
+            &lib,
+            &elec,
+        );
+        let p = params();
+        let delays = sink_delays(&cand, &p);
+        assert_eq!(delays.len(), 2);
+        let b_delay = delays
+            .iter()
+            .map(|s| s.delay_ps)
+            .fold(0.0f64, f64::max);
+        let expect = p.t_mod_ps + p.flight_ps(2.0) + p.t_det_ps;
+        assert!((b_delay - expect).abs() < 1e-9, "{b_delay} vs {expect}");
+    }
+
+    #[test]
+    fn lone_root_has_no_sinks() {
+        let tree = RouteTree::new(Point::new(0, 0));
+        let (lib, elec) = models();
+        let cand = analyze_assignment(&tree, &[], 1, &lib, &elec);
+        assert!(sink_delays(&cand, &params()).is_empty());
+        assert_eq!(worst_delay_ps(&cand, &params()), 0.0);
+    }
+
+    #[test]
+    fn every_terminal_gets_a_delay() {
+        let mut tree = RouteTree::new(Point::new(0, 0));
+        let s = tree.add_child(tree.root(), Point::new(5_000, 0), NodeKind::Steiner);
+        tree.add_child(s, Point::new(9_000, 3_000), NodeKind::Terminal);
+        tree.add_child(s, Point::new(9_000, -3_000), NodeKind::Terminal);
+        tree.add_child(tree.root(), Point::new(0, 4_000), NodeKind::Terminal);
+        let (lib, elec) = models();
+        for mask in 0u32..16 {
+            let media: Vec<EdgeMedium> = (0..4)
+                .map(|k| {
+                    if (mask >> k) & 1 == 1 {
+                        EdgeMedium::Optical
+                    } else {
+                        EdgeMedium::Electrical
+                    }
+                })
+                .collect();
+            let cand = analyze_assignment(&tree, &media, 1, &lib, &elec);
+            let delays = sink_delays(&cand, &params());
+            assert_eq!(delays.len(), 3, "mask {mask}");
+            assert!(delays.iter().all(|d| d.delay_ps >= 0.0));
+        }
+    }
+}

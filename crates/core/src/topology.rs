@@ -1,0 +1,215 @@
+//! Baseline topology generation (paper §3.2).
+//!
+//! Per hyper net, OPERON derives a family of tree topologies over the
+//! hyper-pin locations, rooted at the source hyper pin. The co-design
+//! dynamic program then explores optical/electrical assignments on each:
+//!
+//! * the BI1S RSMT (electrical-friendly, rectilinear Steiner points),
+//! * RSMT variants with restricted Steiner-point budgets,
+//! * the Euclidean MST and Fermat-improved Euclidean Steiner tree
+//!   (optical-friendly: "optical scheme allows routing in any direction"),
+//! * the source-rooted star (one splitter fan-out at the source).
+
+use operon_geom::Point;
+use operon_steiner::{euclidean, rsmt_bi1s, rsmt_bi1s_with_limit, NodeKind, RouteTree};
+use std::collections::HashSet;
+
+pub use operon_steiner::rsmt_bi1s_with_limit as rsmt_with_limit;
+
+/// Generates up to `max_topologies` distinct baseline trees over `pins`,
+/// each rooted at `pins[0]`.
+///
+/// Duplicate topologies (same point multiset and wirelength signature) are
+/// deduplicated; at least one topology is always returned.
+///
+/// # Panics
+///
+/// Panics if `pins` is empty or `max_topologies` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use operon::topology::baseline_topologies;
+/// use operon_geom::Point;
+///
+/// let pins = [Point::new(0, 0), Point::new(900, 500), Point::new(900, -500)];
+/// let trees = baseline_topologies(&pins, 4);
+/// assert!(!trees.is_empty() && trees.len() <= 4);
+/// for t in &trees {
+///     assert_eq!(t.point(t.root()), pins[0]);
+/// }
+/// ```
+pub fn baseline_topologies(pins: &[Point], max_topologies: usize) -> Vec<RouteTree> {
+    assert!(!pins.is_empty(), "topology generation needs pins");
+    assert!(max_topologies > 0, "must allow at least one topology");
+
+    let mut out: Vec<RouteTree> = Vec::new();
+    let mut signatures: HashSet<String> = HashSet::new();
+    let mut push = |tree: RouteTree, out: &mut Vec<RouteTree>| {
+        if out.len() >= max_topologies {
+            return;
+        }
+        let sig = signature(&tree);
+        if signatures.insert(sig) {
+            out.push(tree);
+        }
+    };
+
+    // Single-pin nets degenerate to the lone root.
+    if pins.len() == 1 {
+        return vec![RouteTree::new(pins[0])];
+    }
+
+    // Small nets get the provably optimal RSMT; the BI1S heuristic covers
+    // the rest (and is pushed as a variant anyway).
+    if pins.len() <= 5 {
+        if let Some(exact) = operon_steiner::rsmt_exact(pins) {
+            push(exact, &mut out);
+        }
+    }
+    push(rsmt_bi1s(pins), &mut out);
+    push(euclidean::steiner_tree(pins, 1.0), &mut out);
+    push(euclidean::mst_tree(pins), &mut out);
+    push(star_topology(pins), &mut out);
+    // Steiner-budget variants fill any remaining slots.
+    let mut budget = 1usize;
+    while out.len() < max_topologies && budget < pins.len() {
+        push(rsmt_bi1s_with_limit(pins, budget), &mut out);
+        budget += 1;
+    }
+    out
+}
+
+/// The star topology: every non-root pin connects directly to the source.
+///
+/// Optically this is a single splitter region at the source; electrically
+/// it is the worst-case wirelength and serves as a diversity candidate.
+///
+/// # Panics
+///
+/// Panics if `pins` is empty.
+pub fn star_topology(pins: &[Point]) -> RouteTree {
+    assert!(!pins.is_empty(), "star topology needs pins");
+    let mut tree = RouteTree::new(pins[0]);
+    let mut seen = HashSet::new();
+    seen.insert(pins[0]);
+    for &p in &pins[1..] {
+        if seen.insert(p) {
+            tree.add_child(tree.root(), p, NodeKind::Terminal);
+        }
+    }
+    tree
+}
+
+/// A cheap structural fingerprint for deduplication: sorted node points
+/// plus sorted edge endpoints.
+fn signature(tree: &RouteTree) -> String {
+    let mut edges: Vec<String> = tree
+        .edges()
+        .map(|(p, c)| {
+            let (a, b) = (tree.point(p), tree.point(c));
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            format!("{a}-{b}")
+        })
+        .collect();
+    edges.sort();
+    edges.join(";")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pins() -> Vec<Point> {
+        vec![
+            Point::new(0, 0),
+            Point::new(1000, 600),
+            Point::new(1000, -600),
+            Point::new(2000, 0),
+        ]
+    }
+
+    #[test]
+    fn returns_at_least_one_topology() {
+        let trees = baseline_topologies(&pins(), 1);
+        assert_eq!(trees.len(), 1);
+    }
+
+    #[test]
+    fn respects_max_topologies() {
+        for k in 1..=6 {
+            let trees = baseline_topologies(&pins(), k);
+            assert!(trees.len() <= k);
+            assert!(!trees.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_topologies_rooted_at_source_and_cover_pins() {
+        let pins = pins();
+        for tree in baseline_topologies(&pins, 6) {
+            assert!(tree.validate().is_ok());
+            assert_eq!(tree.point(tree.root()), pins[0]);
+            let pts: HashSet<Point> = tree.node_ids().map(|id| tree.point(id)).collect();
+            for p in &pins {
+                assert!(pts.contains(p), "pin {p} missing from topology");
+            }
+        }
+    }
+
+    #[test]
+    fn topologies_are_distinct() {
+        let trees = baseline_topologies(&pins(), 6);
+        let sigs: HashSet<String> = trees.iter().map(signature).collect();
+        assert_eq!(sigs.len(), trees.len());
+    }
+
+    #[test]
+    fn single_pin_net_is_lone_root() {
+        let trees = baseline_topologies(&[Point::new(5, 5)], 4);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].node_count(), 1);
+    }
+
+    #[test]
+    fn two_pin_net_has_direct_topology() {
+        let trees = baseline_topologies(&[Point::new(0, 0), Point::new(10, 10)], 4);
+        assert!(!trees.is_empty());
+        // All two-pin topologies degenerate to the same single edge.
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].edge_count(), 1);
+    }
+
+    #[test]
+    fn star_connects_everything_to_root() {
+        let t = star_topology(&pins());
+        assert_eq!(t.edge_count(), 3);
+        for (p, _) in t.edges() {
+            assert_eq!(p, t.root());
+        }
+    }
+
+    #[test]
+    fn star_skips_duplicate_pins() {
+        let t = star_topology(&[Point::new(0, 0), Point::new(5, 5), Point::new(5, 5)]);
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs pins")]
+    fn empty_pins_rejected() {
+        let _ = baseline_topologies(&[], 4);
+    }
+
+    #[test]
+    fn small_nets_lead_with_the_exact_rsmt() {
+        // For <= 5 pins the first topology is provably wirelength-optimal.
+        let pins = pins(); // 4 pins
+        let trees = baseline_topologies(&pins, 6);
+        let exact = operon_steiner::rsmt_exact_length(&pins).expect("small net");
+        assert_eq!(trees[0].wirelength_manhattan(), exact);
+        for t in &trees[1..] {
+            assert!(t.wirelength_manhattan() >= exact);
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! WDM placement and network-flow assignment (paper §4).
+//!
+//! Each optical tree edge of a selected candidate is a point-to-point
+//! *connection* demanding `bits` channels. Connections are mapped onto
+//! physical WDM waveguides in three steps:
+//!
+//! 1. **Placement** (§4.1): per orientation, a greedy sweep over
+//!    track-sorted connections opens a new WDM whenever the current one is
+//!    out of capacity or farther than `dis_u`; a legalization pass then
+//!    enforces the `dis_l` crosstalk pitch between neighbors.
+//! 2. **Assignment** (§4.2): a min-cost max-flow over
+//!    `s → connections → nearby WDMs → t` re-distributes channels at
+//!    minimum displacement; integrality comes for free from the network's
+//!    unimodularity.
+//! 3. **Reduction**: idle WDMs are removed outright, and under-filled
+//!    WDMs are tentatively deleted (fewest channels first) with a re-solve
+//!    to check the remaining capacity still carries all demand — this is
+//!    what turns the sweep's sub-optimality into the paper's ~9% saving.
+
+pub mod channels;
+
+use crate::codesign::NetCandidates;
+use operon_mcmf::McmfGraph;
+use operon_optics::OpticalLib;
+
+/// Orientation of a connection or WDM track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrackOrientation {
+    /// Runs predominantly along x; the track coordinate is y.
+    Horizontal,
+    /// Runs predominantly along y; the track coordinate is x.
+    Vertical,
+}
+
+/// One optical point-to-point connection to be carried by a WDM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Connection {
+    /// The hyper net the connection belongs to.
+    pub net_index: usize,
+    /// Channel demand.
+    pub bits: usize,
+    /// Dominant direction.
+    pub orientation: TrackOrientation,
+    /// Track coordinate (y for horizontal, x for vertical), dbu.
+    pub track: i64,
+}
+
+/// A placed WDM waveguide.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Wdm {
+    /// Orientation of the track.
+    pub orientation: TrackOrientation,
+    /// Track coordinate, dbu.
+    pub track: i64,
+    /// `(connection index, channels)` assignments.
+    pub assigned: Vec<(usize, usize)>,
+}
+
+impl Wdm {
+    /// Channels in use.
+    pub fn used(&self) -> usize {
+        self.assigned.iter().map(|&(_, b)| b).sum()
+    }
+}
+
+/// The full WDM stage outcome — the data behind the paper's Fig. 8.
+#[derive(Clone, Debug)]
+pub struct WdmPlan {
+    /// The optical connections extracted from the selection.
+    pub connections: Vec<Connection>,
+    /// WDM count right after the greedy placement.
+    pub initial_count: usize,
+    /// WDMs after flow-based re-assignment and reduction.
+    pub wdms: Vec<Wdm>,
+}
+
+impl WdmPlan {
+    /// WDM count after assignment.
+    pub fn final_count(&self) -> usize {
+        self.wdms.len()
+    }
+}
+
+/// Extracts the optical connections of a selection.
+pub fn extract_connections(nets: &[NetCandidates], choice: &[usize]) -> Vec<Connection> {
+    let mut out = Vec::new();
+    for (nc, &j) in nets.iter().zip(choice) {
+        let cand = &nc.candidates[j];
+        for seg in &cand.optical_segments {
+            let dx = (seg.a.x - seg.b.x).abs();
+            let dy = (seg.a.y - seg.b.y).abs();
+            let (orientation, track) = if dx >= dy {
+                (TrackOrientation::Horizontal, (seg.a.y + seg.b.y) / 2)
+            } else {
+                (TrackOrientation::Vertical, (seg.a.x + seg.b.x) / 2)
+            };
+            out.push(Connection {
+                net_index: nc.net_index,
+                bits: nc.bits,
+                orientation,
+                track,
+            });
+        }
+    }
+    out
+}
+
+/// Greedy sweep placement (§4.1) over one orientation; `connections` must
+/// all share the orientation. Returns WDMs with their sweep assignments.
+///
+/// # Panics
+///
+/// Panics if a connection demands more than the WDM capacity.
+fn place_orientation(
+    connections: &[(usize, &Connection)],
+    lib: &OpticalLib,
+) -> Vec<Wdm> {
+    let mut order: Vec<&(usize, &Connection)> = connections.iter().collect();
+    order.sort_by_key(|(_, c)| c.track);
+
+    let mut wdms: Vec<Wdm> = Vec::new();
+    for &&(idx, conn) in &order {
+        assert!(
+            conn.bits <= lib.wdm_capacity,
+            "connection demands {} channels, capacity is {}",
+            conn.bits,
+            lib.wdm_capacity
+        );
+        let fits = wdms.last().is_some_and(|w| {
+            w.used() + conn.bits <= lib.wdm_capacity
+                && (conn.track - w.track).abs() <= lib.wdm_max_displacement
+        });
+        if fits {
+            wdms.last_mut().expect("checked above").assigned.push((idx, conn.bits));
+        } else {
+            wdms.push(Wdm {
+                orientation: conn.orientation,
+                track: conn.track,
+                assigned: vec![(idx, conn.bits)],
+            });
+        }
+    }
+    legalize(&mut wdms, lib.wdm_min_pitch);
+    wdms
+}
+
+/// Pushes WDMs apart so neighboring tracks are at least `min_pitch` dbu
+/// apart (one-by-one, in track order — the paper's legalization).
+fn legalize(wdms: &mut [Wdm], min_pitch: i64) {
+    wdms.sort_by_key(|w| w.track);
+    for i in 1..wdms.len() {
+        if wdms[i].track - wdms[i - 1].track < min_pitch {
+            wdms[i].track = wdms[i - 1].track + min_pitch;
+        }
+    }
+}
+
+/// Min-cost max-flow re-assignment (§4.2) of one orientation, followed by
+/// under-fill reduction. Connections keep a guaranteed edge to their
+/// sweep-assigned WDM so the network always carries the full demand.
+fn assign_orientation(
+    connections: &[(usize, &Connection)],
+    placed: Vec<Wdm>,
+    lib: &OpticalLib,
+) -> Vec<Wdm> {
+    if connections.is_empty() {
+        return Vec::new();
+    }
+    // Sweep WDM of each connection (for the feasibility edge).
+    let mut sweep_wdm = vec![usize::MAX; connections.len()];
+    for (wi, w) in placed.iter().enumerate() {
+        for &(conn_pos, _) in &w.assigned {
+            // `assigned` stores positions into `connections`.
+            sweep_wdm[conn_pos] = wi;
+        }
+    }
+
+    let mut active: Vec<bool> = vec![true; placed.len()];
+    let mut best = solve_assignment(connections, &placed, &active, &sweep_wdm, lib)
+        .expect("sweep assignment is always feasible");
+
+    // Reduction: try deleting WDMs, emptiest first.
+    loop {
+        let mut candidates: Vec<(usize, usize)> = best
+            .iter()
+            .enumerate()
+            .filter(|&(wi, _)| active[wi])
+            .map(|(wi, w)| (w.used(), wi))
+            .collect();
+        candidates.sort_unstable();
+        let mut removed_any = false;
+        for &(used, wi) in &candidates {
+            if used == 0 {
+                active[wi] = false;
+                removed_any = true;
+                continue;
+            }
+            // Tentative removal requires the demand to fit elsewhere.
+            active[wi] = false;
+            match solve_assignment(connections, &placed, &active, &sweep_wdm, lib) {
+                Some(assignment) => {
+                    best = assignment;
+                    removed_any = true;
+                    break; // re-rank by the new fill levels
+                }
+                None => active[wi] = true,
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    best.into_iter()
+        .enumerate()
+        .filter(|&(wi, _)| active[wi])
+        .map(|(_, w)| w)
+        .filter(|w| w.used() > 0)
+        .collect()
+}
+
+/// Builds and solves the assignment network over the active WDMs.
+/// Returns `None` when the active set cannot carry the full demand.
+fn solve_assignment(
+    connections: &[(usize, &Connection)],
+    placed: &[Wdm],
+    active: &[bool],
+    sweep_wdm: &[usize],
+    lib: &OpticalLib,
+) -> Option<Vec<Wdm>> {
+    let n_conn = connections.len();
+    let n_wdm = placed.len();
+    let mut g = McmfGraph::new(2 + n_conn + n_wdm);
+    let s = g.node(0);
+    let t = g.node(1);
+    let conn_node = |i: usize| 2 + i;
+    let wdm_node = |w: usize| 2 + n_conn + w;
+
+    let total_demand: i64 = connections.iter().map(|(_, c)| c.bits as i64).sum();
+    for (i, (_, c)) in connections.iter().enumerate() {
+        g.add_edge(s, g.node(conn_node(i)), c.bits as i64, 0);
+    }
+    // Displacement costs normalized so WDM usage (handled by the
+    // reduction loop) dominates; scaled to integers.
+    let mut assign_edges = Vec::new();
+    for (i, (_, c)) in connections.iter().enumerate() {
+        for (wi, w) in placed.iter().enumerate() {
+            if !active[wi] {
+                continue;
+            }
+            let dist = (c.track - w.track).abs();
+            let reachable = dist <= lib.wdm_max_displacement || sweep_wdm[i] == wi;
+            if reachable {
+                let cost = if lib.wdm_max_displacement > 0 {
+                    (dist * 100) / lib.wdm_max_displacement
+                } else {
+                    0
+                };
+                let e = g.add_edge(
+                    g.node(conn_node(i)),
+                    g.node(wdm_node(wi)),
+                    c.bits as i64,
+                    cost,
+                );
+                assign_edges.push((i, wi, e));
+            }
+        }
+    }
+    for (wi, w) in placed.iter().enumerate() {
+        if active[wi] {
+            let _ = w;
+            g.add_edge(g.node(wdm_node(wi)), t, lib.wdm_capacity as i64, 1);
+        }
+    }
+
+    let result = g.min_cost_max_flow(s, t);
+    if result.flow < total_demand {
+        return None;
+    }
+    let mut out: Vec<Wdm> = placed
+        .iter()
+        .map(|w| Wdm {
+            orientation: w.orientation,
+            track: w.track,
+            assigned: Vec::new(),
+        })
+        .collect();
+    for (i, wi, e) in assign_edges {
+        let f = g.flow(e);
+        if f > 0 {
+            out[wi].assigned.push((i, f as usize));
+        }
+    }
+    Some(out)
+}
+
+/// Runs placement and assignment over a full selection.
+pub fn plan(nets: &[NetCandidates], choice: &[usize], lib: &OpticalLib) -> WdmPlan {
+    let connections = extract_connections(nets, choice);
+    let mut wdms = Vec::new();
+    let mut initial_count = 0usize;
+    for orientation in [TrackOrientation::Horizontal, TrackOrientation::Vertical] {
+        let oriented: Vec<(usize, &Connection)> = connections
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.orientation == orientation)
+            .collect();
+        if oriented.is_empty() {
+            continue;
+        }
+        // Positions within `oriented` index its WDM assignments; remap the
+        // sweep output to use those local positions consistently.
+        let local: Vec<(usize, &Connection)> = oriented
+            .iter()
+            .enumerate()
+            .map(|(pos, &(_, c))| (pos, c))
+            .collect();
+        let placed = place_orientation(&local, lib);
+        initial_count += placed.len();
+        let assigned = assign_orientation(&local, placed, lib);
+        // Remap local connection positions back to global indices.
+        for mut w in assigned {
+            for slot in &mut w.assigned {
+                slot.0 = oriented[slot.0].0;
+            }
+            wdms.push(w);
+        }
+    }
+    WdmPlan {
+        connections,
+        initial_count,
+        wdms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> OpticalLib {
+        OpticalLib::paper_defaults()
+    }
+
+    fn conn(track: i64, bits: usize) -> Connection {
+        Connection {
+            net_index: 0,
+            bits,
+            orientation: TrackOrientation::Horizontal,
+            track,
+        }
+    }
+
+    fn local(conns: &[Connection]) -> Vec<(usize, &Connection)> {
+        conns.iter().enumerate().collect()
+    }
+
+    #[test]
+    fn fig6_three_connections_share_two_wdms() {
+        // Paper Fig. 6: three 20-bit connections, capacity 32 -> the sweep
+        // needs 3 WDMs (20+20 > 32) but re-assignment packs them into 2
+        // by splitting one connection's channels... with integral
+        // channels: 20+12 / 8+20 fits in 2 WDMs.
+        let l = lib();
+        let conns = vec![conn(0, 20), conn(100, 20), conn(200, 20)];
+        let lc = local(&conns);
+        let placed = place_orientation(&lc, &l);
+        assert_eq!(placed.len(), 3, "sweep cannot pack 20+20 into one WDM");
+        let final_wdms = assign_orientation(&lc, placed, &l);
+        assert_eq!(final_wdms.len(), 2, "flow assignment saves one WDM");
+        let total: usize = final_wdms.iter().map(Wdm::used).sum();
+        assert_eq!(total, 60, "every channel assigned");
+        for w in &final_wdms {
+            assert!(w.used() <= l.wdm_capacity);
+        }
+    }
+
+    #[test]
+    fn sweep_respects_capacity_and_distance() {
+        let l = lib();
+        // Two far-apart connections cannot share despite spare capacity.
+        let conns = vec![conn(0, 4), conn(100_000, 4)];
+        let lc = local(&conns);
+        let placed = place_orientation(&lc, &l);
+        assert_eq!(placed.len(), 2);
+    }
+
+    #[test]
+    fn sweep_packs_nearby_small_connections() {
+        let l = lib();
+        let conns: Vec<Connection> = (0..4).map(|i| conn(i * 10, 8)).collect();
+        let lc = local(&conns);
+        let placed = place_orientation(&lc, &l);
+        assert_eq!(placed.len(), 1, "4 x 8 = 32 fits one WDM");
+        assert_eq!(placed[0].used(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn oversized_connection_rejected() {
+        let l = lib();
+        let conns = vec![conn(0, 64)];
+        let lc = local(&conns);
+        let _ = place_orientation(&lc, &l);
+    }
+
+    #[test]
+    fn legalization_enforces_min_pitch() {
+        let l = lib();
+        // Many full WDMs forced at nearly the same track.
+        let conns: Vec<Connection> = (0..5).map(|i| conn(i, 32)).collect();
+        let lc = local(&conns);
+        let placed = place_orientation(&lc, &l);
+        assert_eq!(placed.len(), 5);
+        for pair in placed.windows(2) {
+            assert!(pair[1].track - pair[0].track >= l.wdm_min_pitch);
+        }
+    }
+
+    #[test]
+    fn assignment_never_exceeds_capacity() {
+        let l = lib();
+        let conns: Vec<Connection> = (0..10).map(|i| conn(i * 50, 7)).collect();
+        let lc = local(&conns);
+        let placed = place_orientation(&lc, &l);
+        let final_wdms = assign_orientation(&lc, placed, &l);
+        let total: usize = final_wdms.iter().map(Wdm::used).sum();
+        assert_eq!(total, 70);
+        for w in &final_wdms {
+            assert!(w.used() <= l.wdm_capacity, "overfull WDM: {}", w.used());
+        }
+    }
+
+    #[test]
+    fn assignment_count_never_exceeds_placement_count() {
+        let l = lib();
+        let conns: Vec<Connection> = (0..12)
+            .map(|i| conn((i * i * 37) % 3_000, (5 + (i % 9)) as usize))
+            .collect();
+        let lc = local(&conns);
+        let placed = place_orientation(&lc, &l);
+        let initial = placed.len();
+        let final_wdms = assign_orientation(&lc, placed, &l);
+        assert!(final_wdms.len() <= initial);
+        // Lower bound: ceil(total bits / capacity).
+        let total: usize = conns.iter().map(|c| c.bits).sum();
+        assert!(final_wdms.len() >= total.div_ceil(l.wdm_capacity));
+    }
+
+    #[test]
+    fn empty_connection_list_yields_empty_plan() {
+        let plan = super::plan(&[], &[], &lib());
+        assert_eq!(plan.connections.len(), 0);
+        assert_eq!(plan.initial_count, 0);
+        assert_eq!(plan.final_count(), 0);
+    }
+
+    #[test]
+    fn orientation_classification() {
+        use crate::codesign::{analyze_assignment, EdgeMedium};
+        use operon_geom::Point;
+        use operon_optics::ElectricalParams;
+        use operon_steiner::{NodeKind, RouteTree};
+
+        let mut tree = RouteTree::new(Point::new(0, 0));
+        tree.add_child(tree.root(), Point::new(10_000, 100), NodeKind::Terminal);
+        let cand = analyze_assignment(
+            &tree,
+            &[EdgeMedium::Optical],
+            3,
+            &lib(),
+            &ElectricalParams::paper_defaults(),
+        );
+        let nets = vec![NetCandidates {
+            net_index: 7,
+            bits: 3,
+            candidates: vec![cand],
+            electrical_idx: 0,
+            fanout_power_mw: 0.0,
+        }];
+        let conns = extract_connections(&nets, &[0]);
+        assert_eq!(conns.len(), 1);
+        assert_eq!(conns[0].orientation, TrackOrientation::Horizontal);
+        assert_eq!(conns[0].track, 50);
+        assert_eq!(conns[0].bits, 3);
+        assert_eq!(conns[0].net_index, 7);
+    }
+
+    /// Builds a one-candidate optical net with a single segment.
+    fn seg_net(net_index: usize, a: operon_geom::Point, b: operon_geom::Point, bits: usize) -> NetCandidates {
+        use crate::codesign::{analyze_assignment, EdgeMedium};
+        use operon_optics::ElectricalParams;
+        use operon_steiner::{NodeKind, RouteTree};
+        let mut tree = RouteTree::new(a);
+        tree.add_child(tree.root(), b, NodeKind::Terminal);
+        let cand = analyze_assignment(
+            &tree,
+            &[EdgeMedium::Optical],
+            bits,
+            &lib(),
+            &ElectricalParams::paper_defaults(),
+        );
+        NetCandidates {
+            net_index,
+            bits,
+            candidates: vec![cand],
+            electrical_idx: 0,
+            fanout_power_mw: 0.0,
+        }
+    }
+
+    #[test]
+    fn mixed_orientations_plan_independently() {
+        use operon_geom::Point;
+        // Two horizontal connections near each other and one vertical.
+        let nets = vec![
+            seg_net(0, Point::new(0, 0), Point::new(10_000, 50), 8),
+            seg_net(1, Point::new(0, 200), Point::new(10_000, 260), 8),
+            seg_net(2, Point::new(5_000, 0), Point::new(5_100, 10_000), 8),
+        ];
+        let plan = super::plan(&nets, &[0, 0, 0], &lib());
+        assert_eq!(plan.connections.len(), 3);
+        let horizontal = plan
+            .wdms
+            .iter()
+            .filter(|w| w.orientation == TrackOrientation::Horizontal)
+            .count();
+        let vertical = plan.wdms.len() - horizontal;
+        assert_eq!(horizontal, 1, "two nearby horizontal connections share");
+        assert_eq!(vertical, 1);
+        // Global connection indices survived the per-orientation remap.
+        let mut carried = vec![0usize; 3];
+        for w in &plan.wdms {
+            for &(c, b) in &w.assigned {
+                carried[c] += b;
+            }
+        }
+        assert_eq!(carried, vec![8, 8, 8]);
+    }
+
+    #[test]
+    fn vertical_sweep_respects_capacity() {
+        use operon_geom::Point;
+        let nets: Vec<NetCandidates> = (0..5)
+            .map(|k| {
+                seg_net(
+                    k,
+                    Point::new(k as i64 * 30, 0),
+                    Point::new(k as i64 * 30 + 10, 9_000),
+                    12,
+                )
+            })
+            .collect();
+        let choice = vec![0usize; nets.len()];
+        let plan = super::plan(&nets, &choice, &lib());
+        assert!(plan
+            .wdms
+            .iter()
+            .all(|w| w.orientation == TrackOrientation::Vertical));
+        for w in &plan.wdms {
+            assert!(w.used() <= lib().wdm_capacity);
+        }
+        let total: usize = plan.wdms.iter().map(Wdm::used).sum();
+        assert_eq!(total, 60);
+        // 60 channels at capacity 32 need at least 2 waveguides.
+        assert!(plan.final_count() >= 2);
+    }
+}

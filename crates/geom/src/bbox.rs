@@ -1,0 +1,271 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point;
+use core::fmt;
+
+/// An axis-aligned rectangle, closed on all sides.
+///
+/// OPERON's ILP speed-up (paper §3.3) drops crossing variables between
+/// hyper-net pairs whose candidate bounding boxes do not overlap; this type
+/// provides the [`overlaps`](BoundingBox::overlaps) test that drives it.
+///
+/// # Examples
+///
+/// ```
+/// use operon_geom::{BoundingBox, Point};
+///
+/// let b = BoundingBox::from_points([Point::new(0, 0), Point::new(4, 2)])
+///     .expect("non-empty");
+/// assert_eq!(b.half_perimeter(), 6);
+/// assert!(b.contains(Point::new(2, 1)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BoundingBox {
+    lo: Point,
+    hi: Point,
+}
+
+impl BoundingBox {
+    /// Creates a box from two corner points in any order.
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            lo: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates the tightest box enclosing all `points`.
+    ///
+    /// Returns `None` when the iterator is empty.
+    pub fn from_points<I>(points: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = Point>,
+    {
+        let mut iter = points.into_iter();
+        let first = iter.next()?;
+        let mut b = BoundingBox::new(first, first);
+        for p in iter {
+            b.expand(p);
+        }
+        Some(b)
+    }
+
+    /// The lower-left corner.
+    #[inline]
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// The upper-right corner.
+    #[inline]
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Width along x in database units.
+    #[inline]
+    pub fn width(&self) -> i64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height along y in database units.
+    #[inline]
+    pub fn height(&self) -> i64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Half-perimeter wirelength (HPWL) of the box.
+    ///
+    /// A classic lower bound on the wirelength of any tree connecting the
+    /// enclosed pins.
+    #[inline]
+    pub fn half_perimeter(&self) -> i64 {
+        self.width() + self.height()
+    }
+
+    /// Area of the box (may be zero for degenerate boxes).
+    #[inline]
+    pub fn area(&self) -> i128 {
+        self.width() as i128 * self.height() as i128
+    }
+
+    /// The center of the box, rounded toward the lower-left corner.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.lo.x + self.width() / 2,
+            self.lo.y + self.height() / 2,
+        )
+    }
+
+    /// Grows the box (if needed) so it contains `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.lo.x = self.lo.x.min(p.x);
+        self.lo.y = self.lo.y.min(p.y);
+        self.hi.x = self.hi.x.max(p.x);
+        self.hi.y = self.hi.y.max(p.y);
+    }
+
+    /// Returns the box inflated by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative.
+    pub fn inflated(&self, margin: i64) -> Self {
+        assert!(margin >= 0, "margin must be non-negative, got {margin}");
+        Self {
+            lo: Point::new(self.lo.x - margin, self.lo.y - margin),
+            hi: Point::new(self.hi.x + margin, self.hi.y + margin),
+        }
+    }
+
+    /// Tests whether `p` lies inside the (closed) box.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.lo.x <= p.x && p.x <= self.hi.x && self.lo.y <= p.y && p.y <= self.hi.y
+    }
+
+    /// Tests whether two closed boxes share at least one point.
+    #[inline]
+    pub fn overlaps(&self, other: &Self) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// The smallest box containing both operands.
+    pub fn union(&self, other: &Self) -> Self {
+        Self {
+            lo: Point::new(self.lo.x.min(other.lo.x), self.lo.y.min(other.lo.y)),
+            hi: Point::new(self.hi.x.max(other.hi.x), self.hi.y.max(other.hi.y)),
+        }
+    }
+
+    /// The intersection of both operands, or `None` when they are disjoint.
+    pub fn intersection(&self, other: &Self) -> Option<Self> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Self {
+            lo: Point::new(self.lo.x.max(other.lo.x), self.lo.y.max(other.lo.y)),
+            hi: Point::new(self.hi.x.min(other.hi.x), self.hi.y.min(other.hi.y)),
+        })
+    }
+}
+
+impl fmt::Display for BoundingBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let b = BoundingBox::new(Point::new(5, 1), Point::new(2, 7));
+        assert_eq!(b.lo(), Point::new(2, 1));
+        assert_eq!(b.hi(), Point::new(5, 7));
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(BoundingBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn degenerate_box_has_zero_area() {
+        let b = BoundingBox::new(Point::new(3, 3), Point::new(3, 3));
+        assert_eq!(b.area(), 0);
+        assert_eq!(b.half_perimeter(), 0);
+        assert!(b.contains(Point::new(3, 3)));
+    }
+
+    #[test]
+    fn overlap_on_shared_edge_counts() {
+        let a = BoundingBox::new(Point::new(0, 0), Point::new(2, 2));
+        let b = BoundingBox::new(Point::new(2, 0), Point::new(4, 2));
+        assert!(a.overlaps(&b));
+        let c = BoundingBox::new(Point::new(3, 0), Point::new(4, 2));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_none() {
+        let a = BoundingBox::new(Point::new(0, 0), Point::new(1, 1));
+        let b = BoundingBox::new(Point::new(5, 5), Point::new(6, 6));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn intersection_of_nested_is_inner() {
+        let outer = BoundingBox::new(Point::new(0, 0), Point::new(10, 10));
+        let inner = BoundingBox::new(Point::new(2, 3), Point::new(4, 5));
+        assert_eq!(outer.intersection(&inner), Some(inner));
+    }
+
+    #[test]
+    fn inflated_grows_all_sides() {
+        let b = BoundingBox::new(Point::new(0, 0), Point::new(2, 2)).inflated(3);
+        assert_eq!(b.lo(), Point::new(-3, -3));
+        assert_eq!(b.hi(), Point::new(5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn inflated_rejects_negative_margin() {
+        let _ = BoundingBox::new(Point::origin(), Point::origin()).inflated(-1);
+    }
+
+    fn arb_box() -> impl Strategy<Value = BoundingBox> {
+        (
+            -1000i64..1000,
+            -1000i64..1000,
+            -1000i64..1000,
+            -1000i64..1000,
+        )
+            .prop_map(|(ax, ay, bx, by)| BoundingBox::new(Point::new(ax, ay), Point::new(bx, by)))
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_is_symmetric(a in arb_box(), b in arb_box()) {
+            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        }
+
+        #[test]
+        fn union_contains_both(a in arb_box(), b in arb_box()) {
+            let u = a.union(&b);
+            prop_assert!(u.contains(a.lo()) && u.contains(a.hi()));
+            prop_assert!(u.contains(b.lo()) && u.contains(b.hi()));
+        }
+
+        #[test]
+        fn intersection_agrees_with_point_membership(
+            a in arb_box(), b in arb_box(),
+            px in -1000i64..1000, py in -1000i64..1000,
+        ) {
+            let p = Point::new(px, py);
+            let in_both = a.contains(p) && b.contains(p);
+            match a.intersection(&b) {
+                Some(i) => prop_assert_eq!(in_both, i.contains(p)),
+                None => prop_assert!(!in_both),
+            }
+        }
+
+        #[test]
+        fn from_points_contains_all(pts in proptest::collection::vec(
+            (-1000i64..1000, -1000i64..1000), 1..20)) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let b = BoundingBox::from_points(pts.iter().copied()).expect("non-empty");
+            for p in pts {
+                prop_assert!(b.contains(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Integer lattice points and floating-point companions.
+
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// A point on the integer database-unit lattice.
+///
+/// Pin locations, Steiner points, and WDM tracks all live on this lattice.
+/// Arithmetic uses `i64`, wide enough for centimeter-scale dies at µm
+/// resolution with plenty of headroom for intermediate products.
+///
+/// # Examples
+///
+/// ```
+/// use operon_geom::Point;
+///
+/// let a = Point::new(0, 0);
+/// let b = Point::new(3, 4);
+/// assert_eq!(a.manhattan(b), 7);
+/// assert_eq!(a.euclidean(b), 5.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point {
+    /// Horizontal coordinate in database units.
+    pub x: i64,
+    /// Vertical coordinate in database units.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Self { x: 0, y: 0 }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// Electrical wires route rectilinearly, so their wirelength is
+    /// measured in this metric.
+    #[inline]
+    pub fn manhattan(self, other: Self) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (L2) distance to `other`.
+    ///
+    /// Optical waveguides may route in any direction (paper §2.3), so
+    /// optical wirelength is measured in this metric.
+    #[inline]
+    pub fn euclidean(self, other: Self) -> f64 {
+        let dx = (self.x - other.x) as f64;
+        let dy = (self.y - other.y) as f64;
+        dx.hypot(dy)
+    }
+
+    /// Squared Euclidean distance, avoiding the square root.
+    ///
+    /// Useful for nearest-neighbor comparisons where only the ordering
+    /// matters.
+    #[inline]
+    pub fn euclidean_sq(self, other: Self) -> i128 {
+        let dx = (self.x - other.x) as i128;
+        let dy = (self.y - other.y) as i128;
+        dx * dx + dy * dy
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    #[inline]
+    pub fn chebyshev(self, other: Self) -> i64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Converts to a floating-point point.
+    #[inline]
+    pub fn to_fpoint(self) -> FPoint {
+        FPoint {
+            x: self.x as f64,
+            y: self.y as f64,
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    #[inline]
+    fn from((x, y): (i64, i64)) -> Self {
+        Self { x, y }
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+/// A floating-point point, used for centroids and gravity centers.
+///
+/// Clustering (K-Means centroids, hyper-pin gravity centers) needs
+/// sub-lattice precision during iteration; results are rounded back to
+/// [`Point`] with [`FPoint::round`].
+///
+/// # Examples
+///
+/// ```
+/// use operon_geom::{FPoint, Point};
+///
+/// let c = FPoint::new(1.6, 2.4);
+/// assert_eq!(c.round(), Point::new(2, 2));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FPoint {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl FPoint {
+    /// Creates a floating-point point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn euclidean(self, other: Self) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Rounds to the nearest lattice point (ties away from zero).
+    #[inline]
+    pub fn round(self) -> Point {
+        Point::new(self.x.round() as i64, self.y.round() as i64)
+    }
+
+    /// Component-wise mean of an iterator of points.
+    ///
+    /// Returns `None` when the iterator is empty.
+    pub fn centroid<I>(points: I) -> Option<FPoint>
+    where
+        I: IntoIterator<Item = FPoint>,
+    {
+        let (mut sx, mut sy, mut n) = (0.0, 0.0, 0usize);
+        for p in points {
+            sx += p.x;
+            sy += p.y;
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(FPoint::new(sx / n as f64, sy / n as f64))
+        }
+    }
+}
+
+impl fmt::Display for FPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<Point> for FPoint {
+    #[inline]
+    fn from(p: Point) -> Self {
+        p.to_fpoint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn manhattan_matches_components() {
+        let a = Point::new(1, 2);
+        let b = Point::new(4, -2);
+        assert_eq!(a.manhattan(b), 3 + 4);
+        assert_eq!(b.manhattan(a), 7);
+    }
+
+    #[test]
+    fn euclidean_is_pythagorean() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, 4);
+        assert!((a.euclidean(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_is_max_component() {
+        let a = Point::new(0, 0);
+        let b = Point::new(-7, 4);
+        assert_eq!(a.chebyshev(b), 7);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = Point::new(5, -3);
+        let b = Point::new(2, 9);
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        assert_eq!(FPoint::centroid(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let pts = [
+            FPoint::new(0.0, 0.0),
+            FPoint::new(2.0, 0.0),
+            FPoint::new(2.0, 2.0),
+            FPoint::new(0.0, 2.0),
+        ];
+        let c = FPoint::centroid(pts).expect("non-empty");
+        assert_eq!(c, FPoint::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Point::new(1, 2).to_string(), "(1, 2)");
+        assert!(!FPoint::new(0.5, 0.25).to_string().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_are_symmetric(ax in -1000i64..1000, ay in -1000i64..1000,
+                                 bx in -1000i64..1000, by in -1000i64..1000) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+            prop_assert_eq!(a.euclidean_sq(b), b.euclidean_sq(a));
+            prop_assert!((a.euclidean(b) - b.euclidean(a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn metric_ordering_holds(ax in -1000i64..1000, ay in -1000i64..1000,
+                                 bx in -1000i64..1000, by in -1000i64..1000) {
+            // L∞ ≤ L2 ≤ L1 for any pair of points.
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let l1 = a.manhattan(b) as f64;
+            let l2 = a.euclidean(b);
+            let linf = a.chebyshev(b) as f64;
+            prop_assert!(linf <= l2 + 1e-9);
+            prop_assert!(l2 <= l1 + 1e-9);
+        }
+
+        #[test]
+        fn triangle_inequality(ax in -500i64..500, ay in -500i64..500,
+                               bx in -500i64..500, by in -500i64..500,
+                               cx in -500i64..500, cy in -500i64..500) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.euclidean(c) <= a.euclidean(b) + b.euclidean(c) + 1e-9);
+            prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+        }
+
+        #[test]
+        fn euclidean_sq_consistent_with_euclidean(ax in -1000i64..1000, ay in -1000i64..1000,
+                                                  bx in -1000i64..1000, by in -1000i64..1000) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let d = a.euclidean(b);
+            prop_assert!((d * d - a.euclidean_sq(b) as f64).abs() < 1e-6);
+        }
+    }
+}

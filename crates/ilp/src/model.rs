@@ -1,0 +1,367 @@
+//! ILP model building: variables, expressions, constraints.
+
+use core::fmt;
+
+/// Handle to a binary decision variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The dense index of the variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `Σ coeff · var + constant`.
+///
+/// Build one incrementally with [`LinExpr::push`], or collect it from an
+/// iterator of `(coeff, var)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use operon_ilp::{LinExpr, Model};
+///
+/// let mut m = Model::new();
+/// let x = m.add_binary("x");
+/// let y = m.add_binary("y");
+/// let e: LinExpr = [(1.0, x), (2.0, y)].into_iter().collect();
+/// assert_eq!(e.terms().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinExpr {
+    terms: Vec<(f64, VarId)>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// An empty expression (value 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `coeff · var` to the expression.
+    pub fn push(&mut self, coeff: f64, var: VarId) -> &mut Self {
+        self.terms.push((coeff, var));
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn push_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// The `(coeff, var)` terms.
+    pub fn terms(&self) -> &[(f64, VarId)] {
+        &self.terms
+    }
+
+    /// The constant offset.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Evaluates the expression under an assignment (indexed by variable).
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|&(c, v)| c * values[v.0])
+                .sum::<f64>()
+    }
+
+    /// Collapses duplicate variables, summing their coefficients, and
+    /// drops zero terms.
+    pub fn simplified(&self) -> LinExpr {
+        let mut sorted = self.terms.clone();
+        sorted.sort_by_key(|&(_, v)| v);
+        let mut terms: Vec<(f64, VarId)> = Vec::with_capacity(sorted.len());
+        for (c, v) in sorted {
+            match terms.last_mut() {
+                Some((lc, lv)) if *lv == v => *lc += c,
+                _ => terms.push((c, v)),
+            }
+        }
+        terms.retain(|&(c, _)| c != 0.0);
+        LinExpr {
+            terms,
+            constant: self.constant,
+        }
+    }
+}
+
+impl FromIterator<(f64, VarId)> for LinExpr {
+    fn from_iter<I: IntoIterator<Item = (f64, VarId)>>(iter: I) -> Self {
+        LinExpr {
+            terms: iter.into_iter().collect(),
+            constant: 0.0,
+        }
+    }
+}
+
+/// Constraint comparison sense.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Constraint {
+    pub expr: LinExpr,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Whether `values` satisfies this constraint within `tol`.
+    pub(crate) fn satisfied(&self, values: &[f64], tol: f64) -> bool {
+        let lhs = self.expr.eval(values);
+        match self.cmp {
+            Cmp::Le => lhs <= self.rhs + tol,
+            Cmp::Ge => lhs >= self.rhs - tol,
+            Cmp::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// A 0/1 ILP: minimize a linear objective over binary variables.
+///
+/// # Examples
+///
+/// ```
+/// use operon_ilp::{Model, SolveOptions};
+///
+/// // Choose exactly one of two options; the cheap one wins.
+/// let mut m = Model::new();
+/// let a = m.add_binary("a");
+/// let b = m.add_binary("b");
+/// m.add_eq([(1.0, a), (1.0, b)], 1.0);
+/// m.set_objective([(2.0, a), (5.0, b)]);
+/// let sol = m.solve(&SolveOptions::default());
+/// assert!(sol.is_one(a) && !sol.is_one(b));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    pub(crate) names: Vec<String>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+}
+
+impl Model {
+    /// Creates an empty minimization model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a binary variable and returns its handle.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        self.names.push(name.into());
+        VarId(self.names.len() - 1)
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The name given to a variable.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.names[var.0]
+    }
+
+    /// Sets the (minimization) objective.
+    pub fn set_objective<E: Into<LinExpr>>(&mut self, expr: E) {
+        self.objective = expr.into().simplified();
+    }
+
+    /// Adds a general constraint `expr cmp rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression references a variable not in this model or
+    /// carries a non-finite coefficient.
+    pub fn add_constraint<E: Into<LinExpr>>(&mut self, expr: E, cmp: Cmp, rhs: f64) {
+        let expr = expr.into().simplified();
+        for &(c, v) in expr.terms() {
+            assert!(v.0 < self.names.len(), "variable {v} not in model");
+            assert!(c.is_finite(), "non-finite coefficient {c} on {v}");
+        }
+        assert!(rhs.is_finite(), "non-finite rhs {rhs}");
+        self.constraints.push(Constraint { expr, cmp, rhs });
+    }
+
+    /// Convenience: `expr <= rhs`.
+    pub fn add_le<E: Into<LinExpr>>(&mut self, expr: E, rhs: f64) {
+        self.add_constraint(expr, Cmp::Le, rhs);
+    }
+
+    /// Convenience: `expr >= rhs`.
+    pub fn add_ge<E: Into<LinExpr>>(&mut self, expr: E, rhs: f64) {
+        self.add_constraint(expr, Cmp::Ge, rhs);
+    }
+
+    /// Convenience: `expr == rhs`.
+    pub fn add_eq<E: Into<LinExpr>>(&mut self, expr: E, rhs: f64) {
+        self.add_constraint(expr, Cmp::Eq, rhs);
+    }
+
+    /// Adds a binary variable `y = a · b` via the standard linearization
+    /// (`y <= a`, `y <= b`, `y >= a + b - 1`), used to make the quadratic
+    /// crossing terms of formulation (3c) linear.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use operon_ilp::{Model, SolveOptions};
+    ///
+    /// let mut m = Model::new();
+    /// let a = m.add_binary("a");
+    /// let b = m.add_binary("b");
+    /// let ab = m.add_product(a, b);
+    /// m.add_eq([(1.0, a)], 1.0);
+    /// m.add_eq([(1.0, b)], 1.0);
+    /// // Minimizing +ab would drive it to 0 if it could; the
+    /// // linearization forces ab = 1 because a = b = 1.
+    /// m.set_objective([(1.0, ab)]);
+    /// let sol = m.solve(&SolveOptions::default());
+    /// assert!(sol.is_one(ab));
+    /// ```
+    pub fn add_product(&mut self, a: VarId, b: VarId) -> VarId {
+        let y = self.add_binary(format!("{}*{}", self.names[a.0], self.names[b.0]));
+        self.add_le([(1.0, y), (-1.0, a)], 0.0);
+        self.add_le([(1.0, y), (-1.0, b)], 0.0);
+        self.add_ge([(1.0, y), (-1.0, a), (-1.0, b)], -1.0);
+        y
+    }
+}
+
+impl<const N: usize> From<[(f64, VarId); N]> for LinExpr {
+    fn from(terms: [(f64, VarId); N]) -> Self {
+        terms.into_iter().collect()
+    }
+}
+
+impl From<Vec<(f64, VarId)>> for LinExpr {
+    fn from(terms: Vec<(f64, VarId)>) -> Self {
+        terms.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_eval_includes_constant() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let mut e = LinExpr::new();
+        e.push(2.0, x).push_constant(3.0);
+        assert_eq!(e.eval(&[1.0]), 5.0);
+        assert_eq!(e.eval(&[0.0]), 3.0);
+    }
+
+    #[test]
+    fn simplified_merges_duplicates_and_drops_zeros() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let e: LinExpr = [(1.0, x), (2.0, x), (0.5, y), (-0.5, y)].into();
+        let s = e.simplified();
+        assert_eq!(s.terms(), &[(3.0, x)]);
+    }
+
+    #[test]
+    fn constraint_satisfaction_tolerances() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let c = Constraint {
+            expr: [(1.0, x)].into(),
+            cmp: Cmp::Le,
+            rhs: 0.5,
+        };
+        assert!(c.satisfied(&[0.5], 1e-9));
+        assert!(c.satisfied(&[0.5 + 1e-10], 1e-9));
+        assert!(!c.satisfied(&[0.6], 1e-9));
+        let eq = Constraint {
+            expr: [(1.0, x)].into(),
+            cmp: Cmp::Eq,
+            rhs: 1.0,
+        };
+        assert!(eq.satisfied(&[1.0], 1e-9));
+        assert!(!eq.satisfied(&[0.9], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in model")]
+    fn foreign_variable_rejected() {
+        let mut a = Model::new();
+        let _ = a.add_binary("x");
+        let mut b = Model::new();
+        let _ = b.add_binary("y");
+        // VarId(1) does not exist in `b`.
+        b.add_le([(1.0, VarId(1))], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_coefficient_rejected() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_le([(f64::NAN, x)], 1.0);
+    }
+
+    #[test]
+    fn product_adds_three_constraints() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let before = m.constraint_count();
+        let y = m.add_product(a, b);
+        assert_eq!(m.constraint_count(), before + 3);
+        assert_eq!(m.var_name(y), "a*b");
+    }
+
+    #[test]
+    fn product_linearization_truth_table() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let _y = m.add_product(a, b);
+        for (av, bv) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let yv = av * bv;
+            let values = [av, bv, yv];
+            assert!(
+                m.constraints.iter().all(|c| c.satisfied(&values, 1e-9)),
+                "({av},{bv}) -> {yv} must satisfy the linearization"
+            );
+            // The wrong product value must violate something.
+            let wrong = [av, bv, 1.0 - yv];
+            assert!(
+                m.constraints.iter().any(|c| !c.satisfied(&wrong, 1e-9)),
+                "({av},{bv}) -> {} must be excluded",
+                1.0 - yv
+            );
+        }
+    }
+}

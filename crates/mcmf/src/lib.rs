@@ -1,0 +1,611 @@
+//! Min-cost max-flow, the network solver behind OPERON's WDM assignment.
+//!
+//! The original implementation used the LEMON graph library; this crate is
+//! a self-contained replacement implementing the *successive shortest
+//! paths* algorithm with node potentials (Bellman-Ford initialization for
+//! graphs with negative edge costs, Dijkstra with reduced costs for the
+//! augmentation loop). All capacities and costs are integers, so on
+//! assignment-shaped networks the returned flow is integral — the
+//! "uni-modular property" the paper relies on to read the WDM assignment
+//! directly off the flow without rounding.
+//!
+//! # Examples
+//!
+//! ```
+//! use operon_mcmf::McmfGraph;
+//!
+//! // Two units of flow, cheap path has capacity 1, so one unit takes the
+//! // expensive path.
+//! let mut g = McmfGraph::new(2);
+//! let (s, t) = (g.node(0), g.node(1));
+//! g.add_edge(s, t, 1, 3);
+//! g.add_edge(s, t, 1, 5);
+//! let result = g.min_cost_max_flow(s, t);
+//! assert_eq!(result.flow, 2);
+//! assert_eq!(result.cost, 8);
+//! ```
+
+use core::fmt;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A node handle in a [`McmfGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The dense index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An edge handle returned by [`McmfGraph::add_edge`].
+///
+/// Use it with [`McmfGraph::flow`] to read how much flow the solver routed
+/// through this particular edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeId(usize);
+
+/// Result of a min-cost max-flow computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowResult {
+    /// Total flow pushed from source to sink.
+    pub flow: i64,
+    /// Total cost of that flow (Σ flow(e) · cost(e)).
+    pub cost: i64,
+}
+
+#[derive(Clone, Debug)]
+struct Arc {
+    to: usize,
+    cap: i64,
+    cost: i64,
+    /// Index of the reverse arc in `arcs`.
+    rev: usize,
+}
+
+/// A directed flow network with integer capacities and costs.
+///
+/// Arcs are stored with their residual twins, so after solving, residual
+/// capacities encode the flow ([`flow`](McmfGraph::flow)).
+#[derive(Clone, Debug, Default)]
+pub struct McmfGraph {
+    /// Per-node outgoing arc indices.
+    adj: Vec<Vec<usize>>,
+    arcs: Vec<Arc>,
+    /// Forward-arc index and original capacity of each user edge (indexed
+    /// by `EdgeId`), to recover flow values.
+    edges: Vec<(usize, i64)>,
+    has_negative_cost: bool,
+}
+
+impl McmfGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            arcs: Vec::new(),
+            edges: Vec::new(),
+            has_negative_cost: false,
+        }
+    }
+
+    /// Returns a handle for node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn node(&self, index: usize) -> NodeId {
+        assert!(index < self.adj.len(), "node index {index} out of bounds");
+        NodeId(index)
+    }
+
+    /// Adds a node, returning its handle.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId(self.adj.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of user edges (residual twins not counted).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed edge with capacity `cap` and per-unit cost `cost`.
+    ///
+    /// Negative costs are allowed (the solver runs a Bellman-Ford pass to
+    /// initialize potentials); negative *cycles* are not supported and
+    /// cause a panic during solving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is negative.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: i64, cost: i64) -> EdgeId {
+        assert!(cap >= 0, "edge capacity must be non-negative, got {cap}");
+        let fwd = self.arcs.len();
+        let bwd = fwd + 1;
+        self.arcs.push(Arc {
+            to: to.0,
+            cap,
+            cost,
+            rev: bwd,
+        });
+        self.arcs.push(Arc {
+            to: from.0,
+            cap: 0,
+            cost: -cost,
+            rev: fwd,
+        });
+        self.adj[from.0].push(fwd);
+        self.adj[to.0].push(bwd);
+        if cost < 0 {
+            self.has_negative_cost = true;
+        }
+        self.edges.push((fwd, cap));
+        EdgeId(self.edges.len() - 1)
+    }
+
+    /// Flow currently routed through a user edge (0 before solving).
+    pub fn flow(&self, edge: EdgeId) -> i64 {
+        let (arc, original_cap) = self.edges[edge.0];
+        original_cap - self.arcs[arc].cap
+    }
+
+    /// Computes a maximum flow of minimum cost from `s` to `t`.
+    ///
+    /// Runs successive shortest augmenting paths; each augmentation uses
+    /// Dijkstra on reduced costs, which stay non-negative thanks to the
+    /// Johnson potentials maintained across iterations.
+    ///
+    /// Solving mutates residual capacities; call
+    /// [`flow`](McmfGraph::flow) afterwards to read per-edge flows.
+    /// Solving an already-solved graph is a no-op (the residual network
+    /// admits no further augmenting path) and returns zero additional
+    /// flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or if the graph contains a negative-cost cycle
+    /// reachable from `s`.
+    pub fn min_cost_max_flow(&mut self, s: NodeId, t: NodeId) -> FlowResult {
+        self.min_cost_flow_bounded(s, t, i64::MAX)
+    }
+
+    /// Like [`min_cost_max_flow`](McmfGraph::min_cost_max_flow) but stops
+    /// once `max_flow` units have been pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t`, `max_flow` is negative, or a negative cycle is
+    /// detected.
+    pub fn min_cost_flow_bounded(&mut self, s: NodeId, t: NodeId, max_flow: i64) -> FlowResult {
+        assert!(s != t, "source and sink must differ");
+        assert!(max_flow >= 0, "max_flow must be non-negative");
+        let n = self.adj.len();
+        let mut potential = vec![0i64; n];
+        if self.has_negative_cost {
+            potential = self.bellman_ford_potentials(s.0);
+        }
+
+        let mut total_flow = 0i64;
+        let mut total_cost = 0i64;
+        while total_flow < max_flow {
+            let Some((dist, parent)) = self.dijkstra(s.0, t.0, &potential) else {
+                break; // sink unreachable in residual graph
+            };
+            // Update potentials for reachable nodes.
+            for v in 0..n {
+                if dist[v] < i64::MAX {
+                    potential[v] += dist[v];
+                }
+            }
+            // Bottleneck along the path.
+            let mut push = max_flow - total_flow;
+            let mut v = t.0;
+            while v != s.0 {
+                let arc = parent[v];
+                push = push.min(self.arcs[arc].cap);
+                v = self.arcs[self.arcs[arc].rev].to;
+            }
+            // Apply.
+            let mut v = t.0;
+            while v != s.0 {
+                let arc = parent[v];
+                self.arcs[arc].cap -= push;
+                let rev = self.arcs[arc].rev;
+                self.arcs[rev].cap += push;
+                total_cost += push * self.arcs[arc].cost;
+                v = self.arcs[rev].to;
+            }
+            total_flow += push;
+        }
+        FlowResult {
+            flow: total_flow,
+            cost: total_cost,
+        }
+    }
+
+    /// Bellman-Ford from `s` to initialize potentials when negative edge
+    /// costs exist. Unreachable nodes keep potential 0 (they can never be
+    /// on an augmenting path from `s` anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative cycle reachable from `s`.
+    fn bellman_ford_potentials(&self, s: usize) -> Vec<i64> {
+        let n = self.adj.len();
+        let mut dist = vec![i64::MAX; n];
+        dist[s] = 0;
+        for round in 0..n {
+            let mut changed = false;
+            for (u, arcs) in self.adj.iter().enumerate() {
+                if dist[u] == i64::MAX {
+                    continue;
+                }
+                for &ai in arcs {
+                    let arc = &self.arcs[ai];
+                    if arc.cap > 0 && dist[u] + arc.cost < dist[arc.to] {
+                        dist[arc.to] = dist[u] + arc.cost;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            assert!(
+                round + 1 < n,
+                "negative-cost cycle detected; min-cost flow is unbounded"
+            );
+        }
+        dist.iter()
+            .map(|&d| if d == i64::MAX { 0 } else { d })
+            .collect()
+    }
+
+    /// Dijkstra on reduced costs. Returns `(dist, parent_arc)` or `None`
+    /// when `t` is unreachable.
+    fn dijkstra(&self, s: usize, t: usize, potential: &[i64]) -> Option<(Vec<i64>, Vec<usize>)> {
+        let n = self.adj.len();
+        let mut dist = vec![i64::MAX; n];
+        let mut parent = vec![usize::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[s] = 0;
+        heap.push(Reverse((0i64, s)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &ai in &self.adj[u] {
+                let arc = &self.arcs[ai];
+                if arc.cap <= 0 {
+                    continue;
+                }
+                let reduced = arc.cost + potential[u] - potential[arc.to];
+                debug_assert!(
+                    reduced >= 0,
+                    "reduced cost must be non-negative (got {reduced})"
+                );
+                let nd = d + reduced;
+                if nd < dist[arc.to] {
+                    dist[arc.to] = nd;
+                    parent[arc.to] = ai;
+                    heap.push(Reverse((nd, arc.to)));
+                }
+            }
+        }
+        if dist[t] == i64::MAX {
+            None
+        } else {
+            Some((dist, parent))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_graph_has_zero_flow() {
+        let mut g = McmfGraph::new(2);
+        let r = g.min_cost_max_flow(g.node(0), g.node(1));
+        assert_eq!(r, FlowResult { flow: 0, cost: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_source_and_sink_rejected() {
+        let mut g = McmfGraph::new(1);
+        let _ = g.min_cost_max_flow(g.node(0), g.node(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_rejected() {
+        let mut g = McmfGraph::new(2);
+        let (a, b) = (g.node(0), g.node(1));
+        let _ = g.add_edge(a, b, -1, 0);
+    }
+
+    #[test]
+    fn single_edge_saturates() {
+        let mut g = McmfGraph::new(2);
+        let (s, t) = (g.node(0), g.node(1));
+        let e = g.add_edge(s, t, 7, 2);
+        let r = g.min_cost_max_flow(s, t);
+        assert_eq!(r, FlowResult { flow: 7, cost: 14 });
+        assert_eq!(g.flow(e), 7);
+    }
+
+    #[test]
+    fn prefers_cheap_path_first() {
+        // s -> a -> t (cost 1+1), s -> b -> t (cost 5+5), caps 1 each.
+        let mut g = McmfGraph::new(4);
+        let (s, a, b, t) = (g.node(0), g.node(1), g.node(2), g.node(3));
+        let sa = g.add_edge(s, a, 1, 1);
+        g.add_edge(a, t, 1, 1);
+        let sb = g.add_edge(s, b, 1, 5);
+        g.add_edge(b, t, 1, 5);
+        let r = g.min_cost_flow_bounded(s, t, 1);
+        assert_eq!(r, FlowResult { flow: 1, cost: 2 });
+        assert_eq!(g.flow(sa), 1);
+        assert_eq!(g.flow(sb), 0);
+    }
+
+    #[test]
+    fn classic_diamond_with_rerouting() {
+        // The textbook case where max-flow uses the cross edge.
+        let mut g = McmfGraph::new(4);
+        let (s, a, b, t) = (g.node(0), g.node(1), g.node(2), g.node(3));
+        g.add_edge(s, a, 1, 0);
+        g.add_edge(s, b, 1, 0);
+        g.add_edge(a, b, 1, 0);
+        g.add_edge(a, t, 1, 0);
+        g.add_edge(b, t, 1, 0);
+        let r = g.min_cost_max_flow(s, t);
+        assert_eq!(r.flow, 2);
+    }
+
+    #[test]
+    fn negative_edge_costs_supported() {
+        let mut g = McmfGraph::new(3);
+        let (s, a, t) = (g.node(0), g.node(1), g.node(2));
+        g.add_edge(s, a, 2, -3);
+        g.add_edge(a, t, 2, 1);
+        let r = g.min_cost_max_flow(s, t);
+        assert_eq!(r, FlowResult { flow: 2, cost: -4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "negative-cost cycle")]
+    fn negative_cycle_detected() {
+        let mut g = McmfGraph::new(3);
+        let (s, a, t) = (g.node(0), g.node(1), g.node(2));
+        g.add_edge(s, a, 1, -5);
+        g.add_edge(a, s, 1, -5);
+        g.add_edge(a, t, 1, 1);
+        let _ = g.min_cost_max_flow(s, t);
+    }
+
+    #[test]
+    fn bounded_flow_stops_early() {
+        let mut g = McmfGraph::new(2);
+        let (s, t) = (g.node(0), g.node(1));
+        g.add_edge(s, t, 10, 1);
+        let r = g.min_cost_flow_bounded(s, t, 4);
+        assert_eq!(r, FlowResult { flow: 4, cost: 4 });
+    }
+
+    #[test]
+    fn resolving_is_a_no_op() {
+        let mut g = McmfGraph::new(2);
+        let (s, t) = (g.node(0), g.node(1));
+        g.add_edge(s, t, 5, 1);
+        let first = g.min_cost_max_flow(s, t);
+        assert_eq!(first.flow, 5);
+        let second = g.min_cost_max_flow(s, t);
+        assert_eq!(second, FlowResult { flow: 0, cost: 0 });
+    }
+
+    #[test]
+    fn assignment_instance_is_integral_and_optimal() {
+        // 3 connections x 2 WDMs, 20 bits each, capacity 32 — the shape of
+        // the paper's Fig. 6/7 example. The solver must assign all 60 bits
+        // and match the brute-force optimum.
+        let mut g = McmfGraph::new(7);
+        let s = g.node(0);
+        let c: Vec<NodeId> = (1..4).map(|i| g.node(i)).collect();
+        let w: Vec<NodeId> = (4..6).map(|i| g.node(i)).collect();
+        let t = g.node(6);
+        for &ci in &c {
+            g.add_edge(s, ci, 20, 0);
+        }
+        let mut assign_edges = Vec::new();
+        for (i, &ci) in c.iter().enumerate() {
+            for (j, &wj) in w.iter().enumerate() {
+                let cost = (i as i64 - j as i64).abs();
+                assign_edges.push(((i, j), g.add_edge(ci, wj, 20, cost)));
+            }
+        }
+        for &wj in &w {
+            g.add_edge(wj, t, 32, 10);
+        }
+        let r = g.min_cost_max_flow(s, t);
+        assert_eq!(r.flow, 60, "all 60 bits must be assigned");
+        // Brute-force the optimal displacement over integral splits
+        // (a_i = bits of connection i on WDM 0, the rest on WDM 1).
+        let mut best = i64::MAX;
+        for a0 in 0..=20i64 {
+            for a1 in 0..=20i64 {
+                for a2 in 0..=20i64 {
+                    if a0 + a1 + a2 <= 32 && (60 - a0 - a1 - a2) <= 32 {
+                        let disp =
+                            (20 - a0) + a1 + a2 * 2 + (20 - a2);
+                        best = best.min(disp);
+                    }
+                }
+            }
+        }
+        assert_eq!(r.cost, 600 + best);
+        // Per-connection totals are exactly 20 (integral assignment).
+        for i in 0..3 {
+            let total: i64 = assign_edges
+                .iter()
+                .filter(|((ci, _), _)| *ci == i)
+                .map(|(_, e)| g.flow(*e))
+                .sum();
+            assert_eq!(total, 20);
+        }
+    }
+
+    /// Oracle: plain Bellman-Ford successive shortest paths (no
+    /// potentials). Slower but independent of the Dijkstra machinery.
+    fn ssp_bellman_oracle(
+        n: usize,
+        edges: &[(usize, usize, i64, i64)],
+        s: usize,
+        t: usize,
+    ) -> FlowResult {
+        #[derive(Clone)]
+        struct A {
+            to: usize,
+            cap: i64,
+            cost: i64,
+            rev: usize,
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut arcs: Vec<A> = Vec::new();
+        for &(u, v, cap, cost) in edges {
+            let f = arcs.len();
+            arcs.push(A {
+                to: v,
+                cap,
+                cost,
+                rev: f + 1,
+            });
+            arcs.push(A {
+                to: u,
+                cap: 0,
+                cost: -cost,
+                rev: f,
+            });
+            adj[u].push(f);
+            adj[v].push(f + 1);
+        }
+        let (mut flow, mut cost) = (0i64, 0i64);
+        loop {
+            let mut dist = vec![i64::MAX; n];
+            let mut parent = vec![usize::MAX; n];
+            dist[s] = 0;
+            for _ in 0..n {
+                let mut changed = false;
+                for u in 0..n {
+                    if dist[u] == i64::MAX {
+                        continue;
+                    }
+                    for &ai in &adj[u] {
+                        let a = &arcs[ai];
+                        if a.cap > 0 && dist[u] + a.cost < dist[a.to] {
+                            dist[a.to] = dist[u] + a.cost;
+                            parent[a.to] = ai;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            if dist[t] == i64::MAX {
+                break;
+            }
+            let mut push = i64::MAX;
+            let mut v = t;
+            while v != s {
+                let ai = parent[v];
+                push = push.min(arcs[ai].cap);
+                v = arcs[arcs[ai].rev].to;
+            }
+            let mut v = t;
+            while v != s {
+                let ai = parent[v];
+                arcs[ai].cap -= push;
+                let rev = arcs[ai].rev;
+                arcs[rev].cap += push;
+                cost += push * arcs[ai].cost;
+                v = arcs[rev].to;
+            }
+            flow += push;
+        }
+        FlowResult { flow, cost }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn matches_bellman_ford_oracle(
+            n in 2usize..7,
+            raw_edges in proptest::collection::vec(
+                (0usize..7, 0usize..7, 0i64..10, 0i64..20), 0..18),
+        ) {
+            let edges: Vec<_> = raw_edges
+                .into_iter()
+                .map(|(u, v, cap, cost)| (u % n, v % n, cap, cost))
+                .filter(|&(u, v, _, _)| u != v)
+                .collect();
+            let mut g = McmfGraph::new(n);
+            for &(u, v, cap, cost) in &edges {
+                g.add_edge(g.node(u), g.node(v), cap, cost);
+            }
+            let got = g.min_cost_max_flow(g.node(0), g.node(1));
+            let want = ssp_bellman_oracle(n, &edges, 0, 1);
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn flow_conservation_holds(
+            n in 3usize..7,
+            raw_edges in proptest::collection::vec(
+                (0usize..7, 0usize..7, 1i64..8, 0i64..10), 1..15),
+        ) {
+            let edges: Vec<_> = raw_edges
+                .into_iter()
+                .map(|(u, v, cap, cost)| (u % n, v % n, cap, cost))
+                .filter(|&(u, v, _, _)| u != v)
+                .collect();
+            let mut g = McmfGraph::new(n);
+            let handles: Vec<_> = edges
+                .iter()
+                .map(|&(u, v, cap, cost)| g.add_edge(g.node(u), g.node(v), cap, cost))
+                .collect();
+            let r = g.min_cost_max_flow(g.node(0), g.node(n - 1));
+            let mut net = vec![0i64; n];
+            for (&(u, v, cap, _), &h) in edges.iter().zip(&handles) {
+                let f = g.flow(h);
+                prop_assert!(f >= 0 && f <= cap);
+                net[u] += f;
+                net[v] -= f;
+            }
+            prop_assert_eq!(net[0], r.flow);
+            prop_assert_eq!(net[n - 1], -r.flow);
+            for v in 1..n - 1 {
+                prop_assert_eq!(net[v], 0);
+            }
+        }
+    }
+}

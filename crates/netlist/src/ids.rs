@@ -1,0 +1,143 @@
+//! Typed identifiers for netlist entities.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a [`SignalGroup`](crate::SignalGroup) within a
+/// [`Design`](crate::Design).
+///
+/// Group ids are dense indices assigned in insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use operon_netlist::GroupId;
+///
+/// let g = GroupId::new(3);
+/// assert_eq!(g.index(), 3);
+/// assert_eq!(g.to_string(), "g3");
+/// ```
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct GroupId(u32);
+
+impl GroupId {
+    /// Creates a group id from a dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The dense index backing this id.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Identifier of a [`Bit`](crate::Bit) *within its group*.
+///
+/// # Examples
+///
+/// ```
+/// use operon_netlist::BitId;
+///
+/// assert_eq!(BitId::new(7).index(), 7);
+/// ```
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BitId(u32);
+
+impl BitId {
+    /// Creates a bit id from a dense per-group index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The dense index backing this id.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A fully-qualified reference to a bit: group plus bit index.
+///
+/// # Examples
+///
+/// ```
+/// use operon_netlist::{BitId, BitRef, GroupId};
+///
+/// let r = BitRef::new(GroupId::new(2), BitId::new(5));
+/// assert_eq!(r.to_string(), "g2.b5");
+/// ```
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BitRef {
+    /// The owning group.
+    pub group: GroupId,
+    /// The bit within the group.
+    pub bit: BitId,
+}
+
+impl BitRef {
+    /// Creates a bit reference.
+    #[inline]
+    pub const fn new(group: GroupId, bit: BitId) -> Self {
+        Self { group, bit }
+    }
+}
+
+impl fmt::Display for BitRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.group, self.bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        assert_eq!(GroupId::new(0).index(), 0);
+        assert_eq!(GroupId::new(41).index(), 41);
+        assert_eq!(BitId::new(9).index(), 9);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(GroupId::new(1) < GroupId::new(2));
+        assert!(BitId::new(0) < BitId::new(10));
+        assert!(
+            BitRef::new(GroupId::new(1), BitId::new(9))
+                < BitRef::new(GroupId::new(2), BitId::new(0))
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(GroupId::new(12).to_string(), "g12");
+        assert_eq!(BitId::new(3).to_string(), "b3");
+        assert_eq!(
+            BitRef::new(GroupId::new(12), BitId::new(3)).to_string(),
+            "g12.b3"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Signal-group netlist model and benchmark generation for OPERON.
+//!
+//! The paper routes *signal groups*: bundles of performance-critical signal
+//! bits (buses between logic cells and memory interfaces) whose bits travel
+//! together. Each [`Bit`] is a net with one source pin and one or more sink
+//! pins; a [`SignalGroup`] bundles bits; a [`Design`] holds every group
+//! plus the die outline.
+//!
+//! The original OPERON evaluation used five proprietary industrial
+//! benchmarks up-scaled to centimeter dimensions. Those are not available,
+//! so [`synth`] provides a deterministic generator whose presets
+//! ([`synth::paper_suite`]) match the published statistics of I1–I5 (see
+//! `DESIGN.md`, substitution 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use operon_netlist::synth::{generate, SynthConfig};
+//!
+//! let design = generate(&SynthConfig::small(), 42);
+//! assert!(design.bit_count() > 0);
+//! assert!(design.die().width() > 0);
+//! ```
+
+mod design;
+mod ids;
+pub mod io;
+mod signal;
+pub mod stats;
+pub mod synth;
+
+pub use design::Design;
+pub use ids::{BitId, BitRef, GroupId};
+pub use signal::{Bit, SignalGroup};

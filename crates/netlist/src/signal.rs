@@ -1,0 +1,236 @@
+//! Bits and signal groups.
+
+use crate::{BitId, GroupId};
+use operon_geom::{BoundingBox, Point};
+use serde::{Deserialize, Serialize};
+
+/// One signal bit: a net with a single source pin and one or more sinks.
+///
+/// Pins are bare locations; the cell/port bookkeeping of a full physical
+/// design database is irrelevant to route synthesis and intentionally
+/// omitted.
+///
+/// # Examples
+///
+/// ```
+/// use operon_geom::Point;
+/// use operon_netlist::{Bit, BitId};
+///
+/// let bit = Bit::new(BitId::new(0), Point::new(0, 0), vec![Point::new(100, 50)]);
+/// assert_eq!(bit.pin_count(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bit {
+    id: BitId,
+    source: Point,
+    sinks: Vec<Point>,
+}
+
+impl Bit {
+    /// Creates a bit with the given source and sink pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sinks` is empty — a net without sinks has no routing
+    /// problem to solve.
+    pub fn new(id: BitId, source: Point, sinks: Vec<Point>) -> Self {
+        assert!(!sinks.is_empty(), "bit {id} must have at least one sink");
+        Self { id, source, sinks }
+    }
+
+    /// The per-group id of this bit.
+    #[inline]
+    pub fn id(&self) -> BitId {
+        self.id
+    }
+
+    /// The driving pin.
+    #[inline]
+    pub fn source(&self) -> Point {
+        self.source
+    }
+
+    /// The receiving pins.
+    #[inline]
+    pub fn sinks(&self) -> &[Point] {
+        &self.sinks
+    }
+
+    /// Total pin count (source + sinks).
+    #[inline]
+    pub fn pin_count(&self) -> usize {
+        1 + self.sinks.len()
+    }
+
+    /// Iterates over all pins, source first.
+    pub fn pins(&self) -> impl Iterator<Item = Point> + '_ {
+        std::iter::once(self.source).chain(self.sinks.iter().copied())
+    }
+
+    /// The tightest box enclosing every pin of the bit.
+    pub fn bounding_box(&self) -> BoundingBox {
+        BoundingBox::from_points(self.pins()).expect("bit always has pins")
+    }
+}
+
+/// A bundle of signal bits routed together (a bus).
+///
+/// In industrial designs, performance-critical bits are bound together for
+/// communication between logic cells and memory interfaces (paper §2.3);
+/// OPERON treats each bundle as the unit that is clustered into hyper nets.
+///
+/// # Examples
+///
+/// ```
+/// use operon_geom::Point;
+/// use operon_netlist::{Bit, BitId, GroupId, SignalGroup};
+///
+/// let bits = vec![
+///     Bit::new(BitId::new(0), Point::new(0, 0), vec![Point::new(9, 9)]),
+///     Bit::new(BitId::new(1), Point::new(0, 1), vec![Point::new(9, 8)]),
+/// ];
+/// let group = SignalGroup::new(GroupId::new(0), "bus_a", bits);
+/// assert_eq!(group.bit_count(), 2);
+/// assert_eq!(group.pin_count(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalGroup {
+    id: GroupId,
+    name: String,
+    bits: Vec<Bit>,
+}
+
+impl SignalGroup {
+    /// Creates a signal group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty, or if bit ids are not the dense sequence
+    /// `0..bits.len()` (the invariant every downstream index relies on).
+    pub fn new(id: GroupId, name: impl Into<String>, bits: Vec<Bit>) -> Self {
+        assert!(!bits.is_empty(), "signal group {id} must have bits");
+        for (i, bit) in bits.iter().enumerate() {
+            assert_eq!(
+                bit.id().index(),
+                i,
+                "bit ids in group {id} must be dense and ordered"
+            );
+        }
+        Self {
+            id,
+            name: name.into(),
+            bits,
+        }
+    }
+
+    /// The id of this group.
+    #[inline]
+    pub fn id(&self) -> GroupId {
+        self.id
+    }
+
+    /// Human-readable bus name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bits of the group, ordered by [`BitId`].
+    #[inline]
+    pub fn bits(&self) -> &[Bit] {
+        &self.bits
+    }
+
+    /// Looks up one bit by id.
+    pub fn bit(&self, id: BitId) -> Option<&Bit> {
+        self.bits.get(id.index())
+    }
+
+    /// Number of bits in the bundle.
+    #[inline]
+    pub fn bit_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Total pin count over all bits.
+    pub fn pin_count(&self) -> usize {
+        self.bits.iter().map(Bit::pin_count).sum()
+    }
+
+    /// The tightest box enclosing every pin of every bit.
+    pub fn bounding_box(&self) -> BoundingBox {
+        BoundingBox::from_points(self.bits.iter().flat_map(Bit::pins))
+            .expect("group always has pins")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bit(i: u32, sx: i64, sy: i64) -> Bit {
+        Bit::new(BitId::new(i), Point::new(sx, sy), vec![Point::new(sx + 10, sy)])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sink")]
+    fn bit_requires_sinks() {
+        let _ = Bit::new(BitId::new(0), Point::origin(), vec![]);
+    }
+
+    #[test]
+    fn bit_pins_iterates_source_first() {
+        let b = Bit::new(
+            BitId::new(0),
+            Point::new(1, 1),
+            vec![Point::new(2, 2), Point::new(3, 3)],
+        );
+        let pins: Vec<_> = b.pins().collect();
+        assert_eq!(pins, vec![Point::new(1, 1), Point::new(2, 2), Point::new(3, 3)]);
+        assert_eq!(b.pin_count(), 3);
+    }
+
+    #[test]
+    fn bit_bounding_box_covers_pins() {
+        let b = Bit::new(
+            BitId::new(0),
+            Point::new(5, -2),
+            vec![Point::new(-1, 7)],
+        );
+        let bb = b.bounding_box();
+        assert_eq!(bb.lo(), Point::new(-1, -2));
+        assert_eq!(bb.hi(), Point::new(5, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "must have bits")]
+    fn group_requires_bits() {
+        let _ = SignalGroup::new(GroupId::new(0), "empty", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and ordered")]
+    fn group_rejects_sparse_bit_ids() {
+        let bits = vec![bit(0, 0, 0), bit(2, 1, 0)];
+        let _ = SignalGroup::new(GroupId::new(0), "bad", bits);
+    }
+
+    #[test]
+    fn group_accessors() {
+        let g = SignalGroup::new(GroupId::new(1), "bus", vec![bit(0, 0, 0), bit(1, 0, 5)]);
+        assert_eq!(g.id(), GroupId::new(1));
+        assert_eq!(g.name(), "bus");
+        assert_eq!(g.bit_count(), 2);
+        assert_eq!(g.pin_count(), 4);
+        assert!(g.bit(BitId::new(1)).is_some());
+        assert!(g.bit(BitId::new(2)).is_none());
+    }
+
+    #[test]
+    fn group_bounding_box_spans_all_bits() {
+        let g = SignalGroup::new(GroupId::new(0), "bus", vec![bit(0, 0, 0), bit(1, 100, 50)]);
+        let bb = g.bounding_box();
+        assert_eq!(bb.lo(), Point::new(0, 0));
+        assert_eq!(bb.hi(), Point::new(110, 50));
+    }
+}

@@ -1,0 +1,187 @@
+//! Descriptive statistics of a design.
+//!
+//! The OPERON benchmarks are characterized by a handful of numbers — bit
+//! count, bus-width distribution, fanout, and span distribution (how far
+//! signals travel, which decides the optical/electrical split). This
+//! module computes them, both for harness reporting and for validating
+//! that generated substitutes land in the published regime.
+
+use crate::Design;
+use operon_geom::dbu_to_cm;
+
+/// Summary statistics of a design.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DesignStats {
+    /// Total signal bits (Table 1's "#Net").
+    pub bits: usize,
+    /// Signal groups (buses).
+    pub groups: usize,
+    /// Total pins.
+    pub pins: usize,
+    /// Bus width: (min, mean, max).
+    pub bus_width: (usize, f64, usize),
+    /// Sinks per bit: (min, mean, max).
+    pub fanout: (usize, f64, usize),
+    /// Per-bit half-perimeter span in cm: (min, mean, max).
+    pub span_cm: (f64, f64, f64),
+    /// Fraction of bits whose span exceeds 1 cm (the regime where optics
+    /// wins on power at the default calibration).
+    pub long_haul_fraction: f64,
+}
+
+impl DesignStats {
+    /// Computes the statistics of `design`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has no groups.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use operon_netlist::stats::DesignStats;
+    /// use operon_netlist::synth::{generate, SynthConfig};
+    ///
+    /// let d = generate(&SynthConfig::medium(), 1);
+    /// let s = DesignStats::of(&d);
+    /// assert_eq!(s.bits, 400);
+    /// assert!(s.long_haul_fraction > 0.5, "medium is long-haul dominated");
+    /// ```
+    pub fn of(design: &Design) -> DesignStats {
+        assert!(design.group_count() > 0, "design has no groups");
+        let mut widths = Vec::new();
+        let mut fanouts = Vec::new();
+        let mut spans = Vec::new();
+        for group in design.groups() {
+            widths.push(group.bit_count());
+            for bit in group.bits() {
+                fanouts.push(bit.sinks().len());
+                spans.push(dbu_to_cm(bit.bounding_box().half_perimeter() as f64));
+            }
+        }
+        let long_haul = spans.iter().filter(|&&s| s > 1.0).count();
+        DesignStats {
+            bits: design.bit_count(),
+            groups: design.group_count(),
+            pins: design.pin_count(),
+            bus_width: min_mean_max_usize(&widths),
+            fanout: min_mean_max_usize(&fanouts),
+            span_cm: min_mean_max_f64(&spans),
+            long_haul_fraction: long_haul as f64 / spans.len().max(1) as f64,
+        }
+    }
+}
+
+impl core::fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "{} bits in {} groups ({} pins)",
+            self.bits, self.groups, self.pins
+        )?;
+        writeln!(
+            f,
+            "bus width  min {} / mean {:.1} / max {}",
+            self.bus_width.0, self.bus_width.1, self.bus_width.2
+        )?;
+        writeln!(
+            f,
+            "fanout     min {} / mean {:.1} / max {}",
+            self.fanout.0, self.fanout.1, self.fanout.2
+        )?;
+        writeln!(
+            f,
+            "span (cm)  min {:.2} / mean {:.2} / max {:.2}",
+            self.span_cm.0, self.span_cm.1, self.span_cm.2
+        )?;
+        write!(
+            f,
+            "long-haul (>1 cm) fraction: {:.0}%",
+            100.0 * self.long_haul_fraction
+        )
+    }
+}
+
+fn min_mean_max_usize(v: &[usize]) -> (usize, f64, usize) {
+    let min = v.iter().copied().min().unwrap_or(0);
+    let max = v.iter().copied().max().unwrap_or(0);
+    let mean = v.iter().sum::<usize>() as f64 / v.len().max(1) as f64;
+    (min, mean, max)
+}
+
+fn min_mean_max_f64(v: &[f64]) -> (f64, f64, f64) {
+    let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = v.iter().sum::<f64>() / v.len().max(1) as f64;
+    (
+        if min.is_finite() { min } else { 0.0 },
+        mean,
+        if max.is_finite() { max } else { 0.0 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, paper_suite, SynthConfig};
+    use crate::{Bit, BitId, GroupId, SignalGroup};
+    use operon_geom::{BoundingBox, Point};
+
+    #[test]
+    fn hand_built_design_stats() {
+        let die = BoundingBox::new(Point::new(0, 0), Point::new(30_000, 30_000));
+        let mut d = Design::new("t", die);
+        d.push_group(SignalGroup::new(
+            GroupId::new(0),
+            "a",
+            vec![
+                Bit::new(BitId::new(0), Point::new(0, 0), vec![Point::new(20_000, 0)]),
+                Bit::new(
+                    BitId::new(1),
+                    Point::new(0, 0),
+                    vec![Point::new(1_000, 0), Point::new(0, 1_000)],
+                ),
+            ],
+        ));
+        let s = DesignStats::of(&d);
+        assert_eq!(s.bits, 2);
+        assert_eq!(s.groups, 1);
+        assert_eq!(s.pins, 5);
+        assert_eq!(s.bus_width, (2, 2.0, 2));
+        assert_eq!(s.fanout.0, 1);
+        assert_eq!(s.fanout.2, 2);
+        // Spans: 2 cm and 0.2 cm -> one long-haul of two.
+        assert!((s.long_haul_fraction - 0.5).abs() < 1e-12);
+        assert!((s.span_cm.2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_suite_stats_match_presets() {
+        for cfg in paper_suite() {
+            let d = generate(&cfg, 2018);
+            let s = DesignStats::of(&d);
+            assert_eq!(s.bits, cfg.target_bits, "{}", cfg.name);
+            assert!(s.bus_width.2 <= cfg.bits_per_group.1, "{}", cfg.name);
+            assert!(s.fanout.0 >= cfg.sinks_per_bit.0, "{}", cfg.name);
+            assert!(s.fanout.2 <= cfg.sinks_per_bit.1, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let d = generate(&SynthConfig::small(), 1);
+        let text = DesignStats::of(&d).to_string();
+        assert!(text.contains("bus width"));
+        assert!(text.contains("fanout"));
+        assert!(text.contains("span"));
+        assert!(text.contains("long-haul"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no groups")]
+    fn empty_design_panics() {
+        let die = BoundingBox::new(Point::new(0, 0), Point::new(10, 10));
+        let d = Design::new("empty", die);
+        let _ = DesignStats::of(&d);
+    }
+}

@@ -1,0 +1,262 @@
+//! Interconnect delay models.
+//!
+//! The paper's opening motivation: "interconnect delay becomes a
+//! bottleneck towards timing closure in comparison to cell delay". This
+//! module provides the delay side of the optical-electrical trade-off:
+//!
+//! * **Electrical** wires are repeatered global interconnect: delay grows
+//!   *linearly* with length at a technology-dependent rate (optimally
+//!   repeated RC lines; the unrepeated quadratic Elmore regime is also
+//!   exposed for short spans).
+//! * **Optical** paths pay fixed EO and OE conversion latencies plus
+//!   time-of-flight at the waveguide group velocity — far steeper fixed
+//!   cost, far shallower slope.
+//!
+//! The crossover where optics wins on *delay* sits at a few millimeters,
+//! mirroring the power crossover of the paper's Eq. (1)/(6) trade-off.
+//!
+//! # Examples
+//!
+//! ```
+//! use operon_optics::delay::DelayParams;
+//!
+//! let d = DelayParams::paper_defaults();
+//! // At 2 cm, the optical path (conversions + flight) beats the
+//! // repeatered wire.
+//! assert!(d.optical_path_ps(2.0, 1, 1) < d.electrical_ps(2.0));
+//! // At 0.05 cm the wire wins.
+//! assert!(d.electrical_ps(0.05) < d.optical_path_ps(0.05, 1, 1));
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in vacuum, cm/ps.
+const C_CM_PER_PS: f64 = 0.029_979_245_8;
+
+/// Delay-model parameters.
+///
+/// Defaults follow the same 45 nm-era monolithic-photonics literature as
+/// the power model: ~60 ps/mm repeatered global-wire delay, group index
+/// ~4.2 for silicon waveguides (≈140 ps/cm of flight), and conversion
+/// latencies of tens of picoseconds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DelayParams {
+    /// Repeatered electrical wire delay, ps per cm.
+    pub electrical_ps_per_cm: f64,
+    /// Unrepeated wire RC constant, ps per cm² (Elmore: `k · L²`).
+    pub unrepeated_ps_per_cm2: f64,
+    /// Span below which the unrepeated quadratic model applies, cm.
+    pub repeater_threshold_cm: f64,
+    /// Waveguide group index (flight time = `n_g / c` per cm).
+    pub group_index: f64,
+    /// EO conversion (driver + modulator) latency, ps.
+    pub t_mod_ps: f64,
+    /// OE conversion (detector + amplifier) latency, ps.
+    pub t_det_ps: f64,
+}
+
+impl DelayParams {
+    /// The default technology point used throughout this reproduction.
+    pub fn paper_defaults() -> Self {
+        Self {
+            electrical_ps_per_cm: 600.0,
+            unrepeated_ps_per_cm2: 3_000.0,
+            repeater_threshold_cm: 0.1,
+            group_index: 4.2,
+            t_mod_ps: 25.0,
+            t_det_ps: 30.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant (any
+    /// non-positive physical parameter).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.electrical_ps_per_cm <= 0.0 || self.unrepeated_ps_per_cm2 <= 0.0 {
+            return Err("wire delay coefficients must be positive".to_owned());
+        }
+        if self.repeater_threshold_cm < 0.0 {
+            return Err("repeater threshold must be non-negative".to_owned());
+        }
+        if self.group_index < 1.0 {
+            return Err(format!(
+                "group index must be at least 1, got {}",
+                self.group_index
+            ));
+        }
+        if self.t_mod_ps < 0.0 || self.t_det_ps < 0.0 {
+            return Err("conversion latencies must be non-negative".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Delay of an electrical wire of `length_cm`, ps.
+    ///
+    /// Quadratic (unrepeated) below the repeater threshold, linear
+    /// (optimally repeated) above it, continuous at the threshold by
+    /// construction of the linear segment's offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_cm` is negative.
+    pub fn electrical_ps(&self, length_cm: f64) -> f64 {
+        assert!(length_cm >= 0.0, "length must be non-negative");
+        let t = self.repeater_threshold_cm;
+        if length_cm <= t {
+            self.unrepeated_ps_per_cm2 * length_cm * length_cm
+        } else {
+            self.unrepeated_ps_per_cm2 * t * t + self.electrical_ps_per_cm * (length_cm - t)
+        }
+    }
+
+    /// Time-of-flight through `length_cm` of waveguide, ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_cm` is negative.
+    pub fn flight_ps(&self, length_cm: f64) -> f64 {
+        assert!(length_cm >= 0.0, "length must be non-negative");
+        length_cm * self.group_index / C_CM_PER_PS
+    }
+
+    /// End-to-end delay of an optical path: `n_mod` EO conversions,
+    /// `n_det` OE conversions, and `length_cm` of flight, ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_cm` is negative.
+    pub fn optical_path_ps(&self, length_cm: f64, n_mod: usize, n_det: usize) -> f64 {
+        self.flight_ps(length_cm)
+            + self.t_mod_ps * n_mod as f64
+            + self.t_det_ps * n_det as f64
+    }
+
+    /// The wire length beyond which a single-hop optical link (one EO +
+    /// one OE conversion) is faster than the repeatered wire, cm.
+    ///
+    /// Solves `electrical(L) = optical(L, 1, 1)` on the linear segment;
+    /// returns the repeater threshold when the crossover falls below it.
+    pub fn delay_crossover_cm(&self) -> f64 {
+        let flight_per_cm = self.group_index / C_CM_PER_PS;
+        let slope = self.electrical_ps_per_cm - flight_per_cm;
+        if slope <= 0.0 {
+            return f64::INFINITY; // wire is always faster per cm
+        }
+        let t = self.repeater_threshold_cm;
+        let fixed = self.t_mod_ps + self.t_det_ps;
+        let offset = self.unrepeated_ps_per_cm2 * t * t - self.electrical_ps_per_cm * t;
+        ((fixed - offset) / slope).max(t)
+    }
+}
+
+impl Default for DelayParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(DelayParams::paper_defaults().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut d = DelayParams::paper_defaults();
+        d.electrical_ps_per_cm = 0.0;
+        assert!(d.validate().is_err());
+
+        let mut d = DelayParams::paper_defaults();
+        d.group_index = 0.5;
+        assert!(d.validate().is_err());
+
+        let mut d = DelayParams::paper_defaults();
+        d.t_det_ps = -1.0;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn electrical_delay_is_continuous_at_threshold() {
+        let d = DelayParams::paper_defaults();
+        let t = d.repeater_threshold_cm;
+        let below = d.electrical_ps(t - 1e-9);
+        let above = d.electrical_ps(t + 1e-9);
+        assert!((below - above).abs() < 1e-3, "{below} vs {above}");
+    }
+
+    #[test]
+    fn short_wires_are_quadratic() {
+        let d = DelayParams::paper_defaults();
+        let a = d.electrical_ps(0.02);
+        let b = d.electrical_ps(0.04);
+        assert!((b / a - 4.0).abs() < 1e-9, "doubling length quadruples delay");
+    }
+
+    #[test]
+    fn long_wires_are_linear() {
+        let d = DelayParams::paper_defaults();
+        let a = d.electrical_ps(2.0);
+        let b = d.electrical_ps(3.0);
+        assert!((b - a - d.electrical_ps_per_cm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flight_time_matches_group_velocity() {
+        let d = DelayParams::paper_defaults();
+        // 1 cm at n_g = 4.2: 4.2 / 0.03 cm/ps ≈ 140 ps.
+        assert!((d.flight_ps(1.0) - 140.1).abs() < 0.2);
+    }
+
+    #[test]
+    fn crossover_is_a_few_millimeters() {
+        let d = DelayParams::paper_defaults();
+        let x = d.delay_crossover_cm();
+        assert!((0.05..2.0).contains(&x), "crossover {x} cm");
+        // Just beyond the crossover, optics wins; just before, wire wins.
+        assert!(d.optical_path_ps(x * 1.5, 1, 1) < d.electrical_ps(x * 1.5));
+        if x * 0.5 > d.repeater_threshold_cm {
+            assert!(d.electrical_ps(x * 0.5) < d.optical_path_ps(x * 0.5, 1, 1));
+        }
+    }
+
+    #[test]
+    fn wire_faster_than_light_never_crosses() {
+        let mut d = DelayParams::paper_defaults();
+        d.electrical_ps_per_cm = 50.0; // below flight-time slope (~140 ps/cm)
+        assert_eq!(d.delay_crossover_cm(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_length_rejected() {
+        let _ = DelayParams::paper_defaults().electrical_ps(-1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn electrical_delay_is_monotone(a in 0.0f64..5.0, b in 0.0f64..5.0) {
+            let d = DelayParams::paper_defaults();
+            if a <= b {
+                prop_assert!(d.electrical_ps(a) <= d.electrical_ps(b) + 1e-12);
+            }
+        }
+
+        #[test]
+        fn optical_delay_additive_in_conversions(
+            len in 0.0f64..5.0, m in 0usize..4, k in 0usize..4,
+        ) {
+            let d = DelayParams::paper_defaults();
+            let base = d.optical_path_ps(len, m, k);
+            let plus = d.optical_path_ps(len, m + 1, k);
+            prop_assert!((plus - base - d.t_mod_ps).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Optical device, loss, and power models for OPERON.
+//!
+//! Three models from the paper's §2.2 and §5:
+//!
+//! * **Optical power**, Eq. (1): `p_o = p_mod · n_mod + p_det · n_det` —
+//!   EO/OE conversion overheads dominate optical power; propagation itself
+//!   is essentially free.
+//! * **Optical loss**, Eq. (2): `loss = α·WL + β·n_x + 10·Σ log₁₀(n_s)` —
+//!   propagation, crossing, and splitting loss in dB. The light reaching
+//!   every sink must stay above the detector threshold, expressed as a
+//!   maximum source-to-sink loss `l_m` (constraint (3c)).
+//! * **Electrical dynamic power**, Eq. (6): `p_e = γ · f · V² · Cap` with
+//!   wire capacitance proportional to wirelength.
+//!
+//! With the paper's parameters (`p_mod = 0.511 pJ/bit`,
+//! `p_det = 0.374 pJ/bit`, 1 GHz system clock) both models conveniently
+//! report power in **milliwatts**; see [`ElectricalParams`].
+//!
+//! # Examples
+//!
+//! ```
+//! use operon_optics::{LossBreakdown, OpticalLib};
+//!
+//! let lib = OpticalLib::paper_defaults();
+//! // A 2 cm waveguide with one crossing and one 2-way split:
+//! let loss = LossBreakdown::new(&lib, 2.0, 1, &[2]);
+//! assert!((loss.total_db() - (3.0 + 0.52 + 10.0 * 2f64.log10())).abs() < 1e-9);
+//! assert!(loss.total_db() < lib.max_loss_db);
+//! ```
+
+pub mod delay;
+pub mod linkbudget;
+mod lib_params;
+mod loss;
+mod power;
+pub mod splitter;
+pub mod thermal;
+
+pub use delay::DelayParams;
+pub use lib_params::{ElectricalParams, OpticalLib};
+pub use loss::{splitting_loss_db, LossBreakdown};
+pub use power::{conversion_energy_pj, electrical_power_mw, optical_power_mw};

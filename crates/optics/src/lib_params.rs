@@ -1,0 +1,299 @@
+//! Device libraries: the tunable physical parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The optical device library ("Optical Lib" box of the OPERON flow
+/// diagram, Fig. 2).
+///
+/// Defaults follow the paper's §5: α and β from the PROTON settings
+/// \[Boos'13\], modulator/detector energies from the 45 nm monolithic
+/// photonics link \[Sun'15\], WDM capacity 32 from GLOW \[Ding'12\].
+///
+/// # Examples
+///
+/// ```
+/// use operon_optics::OpticalLib;
+///
+/// let lib = OpticalLib::paper_defaults();
+/// assert_eq!(lib.alpha_db_per_cm, 1.5);
+/// assert_eq!(lib.wdm_capacity, 32);
+/// lib.validate().expect("paper defaults are consistent");
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpticalLib {
+    /// Propagation loss coefficient α, dB per centimeter.
+    pub alpha_db_per_cm: f64,
+    /// Crossing loss coefficient β, dB per waveguide crossing.
+    pub beta_db_per_crossing: f64,
+    /// Modulator energy `p_mod`, pJ per bit (EO conversion).
+    pub p_mod_pj_per_bit: f64,
+    /// Detector energy `p_det`, pJ per bit (OE conversion).
+    pub p_det_pj_per_bit: f64,
+    /// Maximum tolerable source-to-sink loss `l_m`, dB (detection budget).
+    pub max_loss_db: f64,
+    /// Expected WDM channel-sharing factor applied to crossing loss.
+    ///
+    /// Logical candidate routes are ultimately carried on shared WDM
+    /// waveguides: `k` parallel nets bundled on one waveguide present a
+    /// single physical crossing to a transversal waveguide, not `k`.
+    /// Crossing loss between two candidates is therefore charged as
+    /// `β · n_x / crossing_sharing`. `1.0` (the conservative default)
+    /// charges every logical crossing at full price; flows typically set
+    /// it to `capacity / average-bits-per-net` for the instance.
+    pub crossing_sharing: f64,
+    /// Channels per WDM waveguide.
+    pub wdm_capacity: usize,
+    /// Minimum pitch `dis_l` between adjacent WDMs (crosstalk bound), dbu.
+    pub wdm_min_pitch: i64,
+    /// Maximum displacement `dis_u` when assigning a connection to a WDM,
+    /// dbu.
+    pub wdm_max_displacement: i64,
+}
+
+impl OpticalLib {
+    /// The parameter set used in the paper's experiments.
+    pub fn paper_defaults() -> Self {
+        Self {
+            alpha_db_per_cm: 1.5,
+            beta_db_per_crossing: 0.52,
+            p_mod_pj_per_bit: 0.511,
+            p_det_pj_per_bit: 0.374,
+            max_loss_db: 25.0,
+            crossing_sharing: 1.0,
+            wdm_capacity: 32,
+            wdm_min_pitch: 20,
+            wdm_max_displacement: 600,
+        }
+    }
+
+    /// Crossing loss charged for `n` logical crossings, dB:
+    /// `β · n / crossing_sharing`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use operon_optics::OpticalLib;
+    ///
+    /// let lib = OpticalLib::paper_defaults();
+    /// assert!((lib.crossing_loss_db(3) - 1.56).abs() < 1e-12);
+    /// ```
+    pub fn crossing_loss_db(&self, n: usize) -> f64 {
+        self.beta_db_per_crossing * n as f64 / self.crossing_sharing
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: negative
+    /// loss coefficients or powers, zero capacity, inverted pitch bounds,
+    /// or a sharing factor below one.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.alpha_db_per_cm < 0.0 {
+            return Err(format!("alpha must be non-negative, got {}", self.alpha_db_per_cm));
+        }
+        if self.beta_db_per_crossing < 0.0 {
+            return Err(format!(
+                "beta must be non-negative, got {}",
+                self.beta_db_per_crossing
+            ));
+        }
+        if self.p_mod_pj_per_bit < 0.0 || self.p_det_pj_per_bit < 0.0 {
+            return Err("conversion energies must be non-negative".to_owned());
+        }
+        if self.max_loss_db <= 0.0 {
+            return Err(format!(
+                "max_loss_db must be positive, got {}",
+                self.max_loss_db
+            ));
+        }
+        if self.wdm_capacity == 0 {
+            return Err("wdm_capacity must be positive".to_owned());
+        }
+        if self.crossing_sharing < 1.0 {
+            return Err(format!(
+                "crossing_sharing must be at least 1, got {}",
+                self.crossing_sharing
+            ));
+        }
+        if self.wdm_min_pitch < 0 || self.wdm_max_displacement < 0 {
+            return Err("WDM pitch bounds must be non-negative".to_owned());
+        }
+        if self.wdm_min_pitch > self.wdm_max_displacement {
+            return Err(format!(
+                "wdm_min_pitch ({}) exceeds wdm_max_displacement ({})",
+                self.wdm_min_pitch, self.wdm_max_displacement
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for OpticalLib {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Electrical dynamic-power parameters for Eq. (6):
+/// `p_e = γ · f · V² · Cap(WL)`.
+///
+/// With the defaults (γ = 0.5, f = 1 GHz, V = 1 V, 4 pF/cm for a
+/// repeatered global wire) electrical power comes out in milliwatts per
+/// centimeter of wire, the same unit the optical model produces at a
+/// 1 Gbit/s line rate — so the two are directly comparable, as in the
+/// paper's Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use operon_optics::ElectricalParams;
+///
+/// let e = ElectricalParams::paper_defaults();
+/// // 1 cm of wire at the defaults: 0.5 · 1 GHz · 1 V² · 4 pF = 2 mW.
+/// assert!((e.power_mw_per_cm() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ElectricalParams {
+    /// Switching activity factor γ.
+    pub switching_factor: f64,
+    /// System frequency `f`, GHz.
+    pub freq_ghz: f64,
+    /// Supply voltage `V`, volts.
+    pub vdd: f64,
+    /// Wire capacitance, pF per centimeter.
+    pub cap_pf_per_cm: f64,
+}
+
+impl ElectricalParams {
+    /// Parameters calibrated so the electrical and optical models share
+    /// the milliwatt unit (see the type-level docs).
+    pub fn paper_defaults() -> Self {
+        Self {
+            switching_factor: 0.5,
+            freq_ghz: 1.0,
+            vdd: 1.0,
+            cap_pf_per_cm: 4.0,
+        }
+    }
+
+    /// Dynamic power per centimeter of wire, in milliwatts.
+    ///
+    /// `γ · f[GHz]·10⁹ · V² · c[pF/cm]·10⁻¹² · 10³`.
+    pub fn power_mw_per_cm(&self) -> f64 {
+        self.switching_factor * self.freq_ghz * self.vdd * self.vdd * self.cap_pf_per_cm
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant (any
+    /// non-positive physical parameter, or a switching factor outside
+    /// `(0, 1]`).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.switching_factor) || self.switching_factor == 0.0 {
+            return Err(format!(
+                "switching_factor must be in (0, 1], got {}",
+                self.switching_factor
+            ));
+        }
+        if self.freq_ghz <= 0.0 || self.vdd <= 0.0 || self.cap_pf_per_cm <= 0.0 {
+            return Err("frequency, voltage, and capacitance must be positive".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ElectricalParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_the_published_numbers() {
+        let lib = OpticalLib::paper_defaults();
+        assert_eq!(lib.alpha_db_per_cm, 1.5);
+        assert_eq!(lib.beta_db_per_crossing, 0.52);
+        assert_eq!(lib.p_mod_pj_per_bit, 0.511);
+        assert_eq!(lib.p_det_pj_per_bit, 0.374);
+        assert_eq!(lib.wdm_capacity, 32);
+        assert!(lib.validate().is_ok());
+    }
+
+    #[test]
+    fn optical_lib_validation_catches_errors() {
+        let mut lib = OpticalLib::paper_defaults();
+        lib.alpha_db_per_cm = -1.0;
+        assert!(lib.validate().is_err());
+
+        let mut lib = OpticalLib::paper_defaults();
+        lib.wdm_capacity = 0;
+        assert!(lib.validate().is_err());
+
+        let mut lib = OpticalLib::paper_defaults();
+        lib.max_loss_db = 0.0;
+        assert!(lib.validate().is_err());
+
+        let mut lib = OpticalLib::paper_defaults();
+        lib.wdm_min_pitch = 1000;
+        lib.wdm_max_displacement = 10;
+        assert!(lib.validate().is_err());
+
+        let mut lib = OpticalLib::paper_defaults();
+        lib.crossing_sharing = 0.5;
+        assert!(lib.validate().is_err());
+    }
+
+    #[test]
+    fn crossing_sharing_discounts_crossing_loss() {
+        let mut lib = OpticalLib::paper_defaults();
+        assert!((lib.crossing_loss_db(10) - 5.2).abs() < 1e-12);
+        lib.crossing_sharing = 4.0;
+        assert!((lib.crossing_loss_db(10) - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn electrical_defaults_give_two_mw_per_cm() {
+        let e = ElectricalParams::paper_defaults();
+        assert!((e.power_mw_per_cm() - 2.0).abs() < 1e-12);
+        assert!(e.validate().is_ok());
+    }
+
+    #[test]
+    fn electrical_power_scales_quadratically_with_vdd() {
+        let mut e = ElectricalParams::paper_defaults();
+        let base = e.power_mw_per_cm();
+        e.vdd = 2.0;
+        assert!((e.power_mw_per_cm() - 4.0 * base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn electrical_validation_catches_errors() {
+        let mut e = ElectricalParams::paper_defaults();
+        e.switching_factor = 0.0;
+        assert!(e.validate().is_err());
+
+        let mut e = ElectricalParams::paper_defaults();
+        e.switching_factor = 1.5;
+        assert!(e.validate().is_err());
+
+        let mut e = ElectricalParams::paper_defaults();
+        e.freq_ghz = -1.0;
+        assert!(e.validate().is_err());
+    }
+
+    #[test]
+    fn defaults_match_paper_defaults() {
+        assert_eq!(OpticalLib::default(), OpticalLib::paper_defaults());
+        assert_eq!(
+            ElectricalParams::default(),
+            ElectricalParams::paper_defaults()
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Optical link budgets: the physics behind the `l_m` constraint.
+//!
+//! The paper's detection constraint (3c) bounds the source-to-sink loss
+//! by an abstract maximum `l_m`. Physically, `l_m` is the difference
+//! between the launch power a laser/modulator puts into the waveguide and
+//! the weakest signal the receiver can detect at the target error rate:
+//!
+//! ```text
+//! l_m = P_launch(dBm) - S_receiver(dBm) - M_system(dB)
+//! ```
+//!
+//! with a system margin `M` held back for aging, temperature drift, and
+//! model error. This module computes budgets from device numbers and,
+//! inversely, the laser power a finished route actually requires — the
+//! "wall-plug" view used to sanity-check a device library before a run.
+//!
+//! # Examples
+//!
+//! ```
+//! use operon_optics::linkbudget::LinkBudget;
+//!
+//! let b = LinkBudget::paper_defaults();
+//! // The derived budget backs the default OpticalLib::max_loss_db.
+//! assert!((b.max_loss_db() - 25.0).abs() < 1e-9);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Launch/receive parameters of an optical link.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkBudget {
+    /// Optical power launched into the waveguide per channel, dBm.
+    pub launch_dbm: f64,
+    /// Receiver sensitivity at the target BER, dBm.
+    pub sensitivity_dbm: f64,
+    /// System margin held in reserve, dB.
+    pub margin_db: f64,
+    /// Laser wall-plug efficiency, fraction in `(0, 1]` — converts the
+    /// optical launch power into electrical laser power.
+    pub wall_plug_efficiency: f64,
+}
+
+impl LinkBudget {
+    /// The device point backing this reproduction's default 25 dB budget:
+    /// 7 dBm launch, −21 dBm sensitivity, 3 dB margin, 10% wall-plug.
+    pub fn paper_defaults() -> Self {
+        Self {
+            launch_dbm: 7.0,
+            sensitivity_dbm: -21.0,
+            margin_db: 3.0,
+            wall_plug_efficiency: 0.1,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: a
+    /// non-positive budget or an efficiency outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.margin_db < 0.0 {
+            return Err(format!("margin must be non-negative, got {}", self.margin_db));
+        }
+        if self.max_loss_db() <= 0.0 {
+            return Err(format!(
+                "budget is non-positive ({:.1} dB): launch {} dBm cannot reach \
+                 sensitivity {} dBm with margin {} dB",
+                self.max_loss_db(),
+                self.launch_dbm,
+                self.sensitivity_dbm,
+                self.margin_db
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.wall_plug_efficiency) || self.wall_plug_efficiency == 0.0 {
+            return Err(format!(
+                "wall-plug efficiency must be in (0, 1], got {}",
+                self.wall_plug_efficiency
+            ));
+        }
+        Ok(())
+    }
+
+    /// The loss budget this link closes: `launch − sensitivity − margin`,
+    /// dB. Feed this into [`crate::OpticalLib::max_loss_db`].
+    pub fn max_loss_db(&self) -> f64 {
+        self.launch_dbm - self.sensitivity_dbm - self.margin_db
+    }
+
+    /// The launch power (dBm) required to close a link with `loss_db` of
+    /// path loss at the configured sensitivity and margin.
+    pub fn required_launch_dbm(&self, loss_db: f64) -> f64 {
+        self.sensitivity_dbm + self.margin_db + loss_db
+    }
+
+    /// The *electrical* laser power (mW) behind one channel launched at
+    /// the power needed for `loss_db` of path loss.
+    ///
+    /// `P_elec = 10^(dBm/10) / efficiency` (dBm → mW, then wall-plug).
+    pub fn laser_power_mw(&self, loss_db: f64) -> f64 {
+        let optical_mw = 10f64.powf(self.required_launch_dbm(loss_db) / 10.0);
+        optical_mw / self.wall_plug_efficiency
+    }
+
+    /// Remaining margin (dB) of a link with `loss_db` of path loss at the
+    /// configured launch power; negative means the link does not close.
+    pub fn headroom_db(&self, loss_db: f64) -> f64 {
+        self.max_loss_db() - loss_db
+    }
+}
+
+impl Default for LinkBudget {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn defaults_back_the_25db_budget() {
+        let b = LinkBudget::paper_defaults();
+        assert!((b.max_loss_db() - 25.0).abs() < 1e-12);
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_impossible_links() {
+        let mut b = LinkBudget::paper_defaults();
+        b.launch_dbm = -30.0; // weaker than the sensitivity
+        assert!(b.validate().is_err());
+
+        let mut b = LinkBudget::paper_defaults();
+        b.wall_plug_efficiency = 0.0;
+        assert!(b.validate().is_err());
+
+        let mut b = LinkBudget::paper_defaults();
+        b.margin_db = -1.0;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn required_launch_tracks_loss_one_to_one() {
+        let b = LinkBudget::paper_defaults();
+        let p10 = b.required_launch_dbm(10.0);
+        let p11 = b.required_launch_dbm(11.0);
+        assert!((p11 - p10 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laser_power_is_exponential_in_loss() {
+        let b = LinkBudget::paper_defaults();
+        // +10 dB of loss costs 10x the laser power.
+        let ratio = b.laser_power_mw(20.0) / b.laser_power_mw(10.0);
+        assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn headroom_signs_detection() {
+        let b = LinkBudget::paper_defaults();
+        assert!(b.headroom_db(20.0) > 0.0);
+        assert!(b.headroom_db(30.0) < 0.0);
+        assert!((b.headroom_db(25.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_plug_scales_electrical_power() {
+        let mut b = LinkBudget::paper_defaults();
+        let at_10pct = b.laser_power_mw(10.0);
+        b.wall_plug_efficiency = 0.2;
+        let at_20pct = b.laser_power_mw(10.0);
+        assert!((at_10pct / at_20pct - 2.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn headroom_is_monotone_in_loss(a in 0.0f64..40.0, b in 0.0f64..40.0) {
+            let budget = LinkBudget::paper_defaults();
+            if a <= b {
+                prop_assert!(budget.headroom_db(a) >= budget.headroom_db(b));
+            }
+        }
+
+        #[test]
+        fn laser_power_positive(loss in 0.0f64..40.0) {
+            let b = LinkBudget::paper_defaults();
+            prop_assert!(b.laser_power_mw(loss) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Optical loss accounting — Eq. (2) of the paper.
+
+use crate::OpticalLib;
+use core::fmt;
+
+/// Splitting loss in dB for a chain of splits with the given arm counts:
+/// `10 · Σ log₁₀(n_s)`.
+///
+/// A splitter with `n_s` arms divides the input power `n_s` ways, an
+/// inherent `10·log₁₀(n_s)` dB penalty on every arm. Splits with one arm
+/// (pass-through) contribute nothing.
+///
+/// The paper highlights this term as "one of the major sources of loss for
+/// on-chip optical routing" that prior work neglected.
+///
+/// # Examples
+///
+/// ```
+/// use operon_optics::splitting_loss_db;
+///
+/// // Two cascaded 50-50 Y-branches: 3.01 dB each.
+/// let loss = splitting_loss_db(&[2, 2]);
+/// assert!((loss - 20.0 * 2f64.log10()).abs() < 1e-12);
+/// assert_eq!(splitting_loss_db(&[]), 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any arm count is zero.
+pub fn splitting_loss_db(arm_counts: &[usize]) -> f64 {
+    arm_counts
+        .iter()
+        .map(|&ns| {
+            assert!(ns > 0, "a splitter must have at least one arm");
+            10.0 * (ns as f64).log10()
+        })
+        .sum()
+}
+
+/// A source-to-sink loss budget, broken down by mechanism.
+///
+/// Constraint (3c) of the formulation bounds the *total* of these terms by
+/// the detection budget `l_m`; keeping the breakdown makes diagnostics and
+/// the Lagrangian subgradient computation straightforward.
+///
+/// # Examples
+///
+/// ```
+/// use operon_optics::{LossBreakdown, OpticalLib};
+///
+/// let lib = OpticalLib::paper_defaults();
+/// let loss = LossBreakdown::new(&lib, 1.0, 2, &[2, 2]);
+/// assert!(loss.total_db() > loss.propagation_db());
+/// assert!(loss.fits(&lib));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossBreakdown {
+    propagation_db: f64,
+    crossing_db: f64,
+    splitting_db: f64,
+}
+
+impl LossBreakdown {
+    /// Computes the loss of a path with `length_cm` of waveguide,
+    /// `crossings` waveguide crossings, and the given splitter arm counts
+    /// along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_cm` is negative or any arm count is zero.
+    pub fn new(lib: &OpticalLib, length_cm: f64, crossings: usize, arm_counts: &[usize]) -> Self {
+        assert!(
+            length_cm >= 0.0,
+            "waveguide length must be non-negative, got {length_cm}"
+        );
+        Self {
+            propagation_db: lib.alpha_db_per_cm * length_cm,
+            crossing_db: lib.beta_db_per_crossing * crossings as f64,
+            splitting_db: splitting_loss_db(arm_counts),
+        }
+    }
+
+    /// A zero-loss budget (the loss of an empty path).
+    pub const fn zero() -> Self {
+        Self {
+            propagation_db: 0.0,
+            crossing_db: 0.0,
+            splitting_db: 0.0,
+        }
+    }
+
+    /// Builds a breakdown directly from per-mechanism dB values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is negative.
+    pub fn from_parts(propagation_db: f64, crossing_db: f64, splitting_db: f64) -> Self {
+        assert!(
+            propagation_db >= 0.0 && crossing_db >= 0.0 && splitting_db >= 0.0,
+            "loss components must be non-negative"
+        );
+        Self {
+            propagation_db,
+            crossing_db,
+            splitting_db,
+        }
+    }
+
+    /// Propagation loss `α·WL`, dB.
+    #[inline]
+    pub fn propagation_db(&self) -> f64 {
+        self.propagation_db
+    }
+
+    /// Crossing loss `β·n_x`, dB.
+    #[inline]
+    pub fn crossing_db(&self) -> f64 {
+        self.crossing_db
+    }
+
+    /// Splitting loss `10·Σ log₁₀(n_s)`, dB.
+    #[inline]
+    pub fn splitting_db(&self) -> f64 {
+        self.splitting_db
+    }
+
+    /// Total loss, dB.
+    #[inline]
+    pub fn total_db(&self) -> f64 {
+        self.propagation_db + self.crossing_db + self.splitting_db
+    }
+
+    /// Whether the path can still be detected: total loss within the
+    /// library's `l_m` budget.
+    #[inline]
+    pub fn fits(&self, lib: &OpticalLib) -> bool {
+        self.total_db() <= lib.max_loss_db
+    }
+
+    /// Component-wise sum of two breakdowns (concatenating path pieces).
+    pub fn plus(&self, other: &Self) -> Self {
+        Self {
+            propagation_db: self.propagation_db + other.propagation_db,
+            crossing_db: self.crossing_db + other.crossing_db,
+            splitting_db: self.splitting_db + other.splitting_db,
+        }
+    }
+
+    /// The fraction of input optical power that survives this loss:
+    /// `10^(-total/10)`.
+    pub fn surviving_power_fraction(&self) -> f64 {
+        10f64.powf(-self.total_db() / 10.0)
+    }
+}
+
+impl fmt::Display for LossBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} dB (prop {:.3} + cross {:.3} + split {:.3})",
+            self.total_db(),
+            self.propagation_db,
+            self.crossing_db,
+            self.splitting_db
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splitting_loss_of_empty_chain_is_zero() {
+        assert_eq!(splitting_loss_db(&[]), 0.0);
+        assert_eq!(splitting_loss_db(&[1, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn splitting_loss_of_two_way_split_is_3db() {
+        assert!((splitting_loss_db(&[2]) - 3.0103).abs() < 1e-3);
+    }
+
+    #[test]
+    fn splitting_loss_of_four_way_equals_two_cascaded_two_way() {
+        assert!((splitting_loss_db(&[4]) - splitting_loss_db(&[2, 2])).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arm")]
+    fn zero_arm_splitter_rejected() {
+        let _ = splitting_loss_db(&[0]);
+    }
+
+    #[test]
+    fn breakdown_matches_eq2() {
+        let lib = OpticalLib::paper_defaults();
+        let l = LossBreakdown::new(&lib, 2.0, 3, &[2]);
+        assert!((l.propagation_db() - 3.0).abs() < 1e-12);
+        assert!((l.crossing_db() - 1.56).abs() < 1e-12);
+        assert!((l.splitting_db() - 10.0 * 2f64.log10()).abs() < 1e-12);
+        assert!((l.total_db() - (3.0 + 1.56 + 10.0 * 2f64.log10())).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_length_rejected() {
+        let lib = OpticalLib::paper_defaults();
+        let _ = LossBreakdown::new(&lib, -1.0, 0, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_part_rejected() {
+        let _ = LossBreakdown::from_parts(1.0, -0.5, 0.0);
+    }
+
+    #[test]
+    fn zero_budget_fits() {
+        let lib = OpticalLib::paper_defaults();
+        assert!(LossBreakdown::zero().fits(&lib));
+        assert_eq!(LossBreakdown::zero().total_db(), 0.0);
+        assert_eq!(LossBreakdown::zero().surviving_power_fraction(), 1.0);
+    }
+
+    #[test]
+    fn fits_is_boundary_inclusive() {
+        let lib = OpticalLib::paper_defaults();
+        let exact = LossBreakdown::from_parts(lib.max_loss_db, 0.0, 0.0);
+        assert!(exact.fits(&lib));
+        let over = LossBreakdown::from_parts(lib.max_loss_db + 1e-9, 0.0, 0.0);
+        assert!(!over.fits(&lib));
+    }
+
+    #[test]
+    fn three_db_halves_power() {
+        let l = LossBreakdown::from_parts(10.0 * 2f64.log10(), 0.0, 0.0);
+        assert!((l.surviving_power_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_all_components() {
+        let l = LossBreakdown::from_parts(1.0, 2.0, 3.0);
+        let s = l.to_string();
+        assert!(s.contains("prop") && s.contains("cross") && s.contains("split"));
+    }
+
+    proptest! {
+        #[test]
+        fn plus_is_commutative_and_additive(
+            a in (0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0),
+            b in (0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0),
+        ) {
+            let x = LossBreakdown::from_parts(a.0, a.1, a.2);
+            let y = LossBreakdown::from_parts(b.0, b.1, b.2);
+            let s = x.plus(&y);
+            prop_assert_eq!(s, y.plus(&x));
+            prop_assert!((s.total_db() - (x.total_db() + y.total_db())).abs() < 1e-9);
+        }
+
+        #[test]
+        fn splitting_loss_is_monotone_in_arms(ns in 1usize..64) {
+            prop_assert!(splitting_loss_db(&[ns + 1]) > splitting_loss_db(&[ns]) - 1e-12);
+        }
+
+        #[test]
+        fn surviving_fraction_in_unit_interval(
+            p in 0.0f64..30.0, c in 0.0f64..30.0, s in 0.0f64..30.0,
+        ) {
+            let f = LossBreakdown::from_parts(p, c, s).surviving_power_fraction();
+            prop_assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+}

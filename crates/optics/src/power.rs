@@ -1,0 +1,138 @@
+//! Power accounting — Eqs. (1) and (6) of the paper.
+
+use crate::{ElectricalParams, OpticalLib};
+
+/// Optical power of a route, Eq. (1): `p_o = p_mod·n_mod + p_det·n_det`.
+///
+/// At a 1 Gbit/s line rate, pJ/bit energies translate one-to-one to mW, so
+/// the result is in milliwatts (matching
+/// [`ElectricalParams::power_mw_per_cm`]).
+///
+/// # Examples
+///
+/// ```
+/// use operon_optics::{optical_power_mw, OpticalLib};
+///
+/// let lib = OpticalLib::paper_defaults();
+/// // One modulator and two detectors (a 1-to-2 optical net):
+/// let p = optical_power_mw(&lib, 1, 2);
+/// assert!((p - (0.511 + 2.0 * 0.374)).abs() < 1e-12);
+/// ```
+pub fn optical_power_mw(lib: &OpticalLib, n_mod: usize, n_det: usize) -> f64 {
+    lib.p_mod_pj_per_bit * n_mod as f64 + lib.p_det_pj_per_bit * n_det as f64
+}
+
+/// Total EO+OE conversion energy for a single modulator/detector pair, in
+/// pJ per bit.
+///
+/// Useful as the break-even constant: an electrical wire longer than
+/// `conversion_energy_pj / pe_per_cm` centimeters costs more power than an
+/// optical hop.
+///
+/// # Examples
+///
+/// ```
+/// use operon_optics::{conversion_energy_pj, OpticalLib};
+///
+/// let lib = OpticalLib::paper_defaults();
+/// assert!((conversion_energy_pj(&lib) - 0.885).abs() < 1e-12);
+/// ```
+pub fn conversion_energy_pj(lib: &OpticalLib) -> f64 {
+    lib.p_mod_pj_per_bit + lib.p_det_pj_per_bit
+}
+
+/// Electrical dynamic power of `wirelength_cm` of wire, Eq. (6), in
+/// milliwatts.
+///
+/// # Examples
+///
+/// ```
+/// use operon_optics::{electrical_power_mw, ElectricalParams};
+///
+/// let e = ElectricalParams::paper_defaults();
+/// assert!((electrical_power_mw(&e, 2.5) - 5.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `wirelength_cm` is negative.
+pub fn electrical_power_mw(params: &ElectricalParams, wirelength_cm: f64) -> f64 {
+    assert!(
+        wirelength_cm >= 0.0,
+        "wirelength must be non-negative, got {wirelength_cm}"
+    );
+    params.power_mw_per_cm() * wirelength_cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn optical_power_zero_devices_is_zero() {
+        let lib = OpticalLib::paper_defaults();
+        assert_eq!(optical_power_mw(&lib, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn optical_power_is_linear_in_devices() {
+        let lib = OpticalLib::paper_defaults();
+        let one = optical_power_mw(&lib, 1, 1);
+        let ten = optical_power_mw(&lib, 10, 10);
+        assert!((ten - 10.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversion_energy_is_mod_plus_det() {
+        let lib = OpticalLib::paper_defaults();
+        assert!(
+            (conversion_energy_pj(&lib) - (lib.p_mod_pj_per_bit + lib.p_det_pj_per_bit)).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn electrical_power_zero_length_is_zero() {
+        let e = ElectricalParams::paper_defaults();
+        assert_eq!(electrical_power_mw(&e, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn electrical_power_rejects_negative_length() {
+        let e = ElectricalParams::paper_defaults();
+        let _ = electrical_power_mw(&e, -0.1);
+    }
+
+    #[test]
+    fn break_even_distance_is_under_one_cm_at_defaults() {
+        // The motivating property: beyond ~0.9 cm, optical wins on power.
+        let lib = OpticalLib::paper_defaults();
+        let e = ElectricalParams::paper_defaults();
+        let break_even = conversion_energy_pj(&lib) / e.power_mw_per_cm();
+        assert!(break_even < 1.0, "break-even {break_even} cm");
+        assert!(
+            electrical_power_mw(&e, 1.0) > optical_power_mw(&lib, 1, 1),
+            "1 cm of wire should cost more than one conversion pair"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn electrical_power_is_monotone(a in 0.0f64..100.0, b in 0.0f64..100.0) {
+            let e = ElectricalParams::paper_defaults();
+            if a <= b {
+                prop_assert!(electrical_power_mw(&e, a) <= electrical_power_mw(&e, b));
+            }
+        }
+
+        #[test]
+        fn optical_power_monotone_in_detectors(n in 0usize..100) {
+            let lib = OpticalLib::paper_defaults();
+            prop_assert!(
+                optical_power_mw(&lib, 1, n + 1) > optical_power_mw(&lib, 1, n)
+            );
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Y-branch splitter cascade simulation (paper Fig. 3(b)).
+//!
+//! The paper motivates the splitting-loss term with a simulation of two
+//! cascaded 50-50 Y-branch splitters: each branch halves the input power
+//! on its output arms. This module reproduces that experiment analytically:
+//! a binary cascade of [`YBranch`] stages propagates a normalized input
+//! power of 1.0 to the leaves.
+//!
+//! # Examples
+//!
+//! ```
+//! use operon_optics::splitter::{cascade_outputs, YBranch};
+//!
+//! // Two cascaded ideal 50-50 splitters -> four arms at 1/4 power each.
+//! let outs = cascade_outputs(&YBranch::ideal(), 2);
+//! assert_eq!(outs.len(), 4);
+//! assert!(outs.iter().all(|&p| (p - 0.25).abs() < 1e-12));
+//! ```
+
+/// A 1×2 Y-branch splitter.
+///
+/// `split_ratio` is the fraction of (post-excess-loss) power sent to the
+/// first arm; the second arm receives the remainder. `excess_loss_db`
+/// models the non-ideal insertion loss of a real device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct YBranch {
+    /// Fraction of power routed to the first arm, in `(0, 1)`.
+    pub split_ratio: f64,
+    /// Excess (insertion) loss of the device in dB, `>= 0`.
+    pub excess_loss_db: f64,
+}
+
+impl YBranch {
+    /// An ideal, lossless 50-50 splitter.
+    pub fn ideal() -> Self {
+        Self {
+            split_ratio: 0.5,
+            excess_loss_db: 0.0,
+        }
+    }
+
+    /// A 50-50 splitter with the given excess loss in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `excess_loss_db` is negative.
+    pub fn with_excess_loss(excess_loss_db: f64) -> Self {
+        assert!(
+            excess_loss_db >= 0.0,
+            "excess loss must be non-negative, got {excess_loss_db}"
+        );
+        Self {
+            split_ratio: 0.5,
+            excess_loss_db,
+        }
+    }
+
+    /// Splits `input` power into the two output arm powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split ratio is outside `(0, 1)` or input is negative.
+    pub fn split(&self, input: f64) -> (f64, f64) {
+        assert!(
+            self.split_ratio > 0.0 && self.split_ratio < 1.0,
+            "split ratio must be in (0, 1), got {}",
+            self.split_ratio
+        );
+        assert!(input >= 0.0, "input power must be non-negative");
+        let through = input * 10f64.powf(-self.excess_loss_db / 10.0);
+        (through * self.split_ratio, through * (1.0 - self.split_ratio))
+    }
+
+    /// The per-arm loss of a single stage in dB (for a 50-50 device this
+    /// is `3.01 + excess` dB).
+    pub fn arm_loss_db(&self) -> f64 {
+        -10.0 * self.split_ratio.max(1.0 - self.split_ratio).log10() + self.excess_loss_db
+    }
+}
+
+impl Default for YBranch {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// Propagates a normalized input power of 1.0 through `stages` cascaded
+/// levels of identical Y-branches and returns the power on each of the
+/// `2^stages` output arms.
+///
+/// `stages == 0` returns the input unchanged (single arm).
+///
+/// # Panics
+///
+/// Panics if `stages > 20` (guard against runaway exponential output).
+pub fn cascade_outputs(branch: &YBranch, stages: usize) -> Vec<f64> {
+    assert!(stages <= 20, "cascade depth {stages} is unreasonably deep");
+    let mut powers = vec![1.0];
+    for _ in 0..stages {
+        let mut next = Vec::with_capacity(powers.len() * 2);
+        for p in powers {
+            let (a, b) = branch.split(p);
+            next.push(a);
+            next.push(b);
+        }
+        powers = next;
+    }
+    powers
+}
+
+/// The normalized power distribution table of Fig. 3(b): input, the two
+/// mid-stage arms, and the four final arms of two cascaded 50-50 splitters.
+///
+/// Each row is `(label, normalized_power)`.
+pub fn fig3b_table(branch: &YBranch) -> Vec<(&'static str, f64)> {
+    let mid = cascade_outputs(branch, 1);
+    let out = cascade_outputs(branch, 2);
+    vec![
+        ("input", 1.0),
+        ("stage1.arm0", mid[0]),
+        ("stage1.arm1", mid[1]),
+        ("stage2.arm0", out[0]),
+        ("stage2.arm1", out[1]),
+        ("stage2.arm2", out[2]),
+        ("stage2.arm3", out[3]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ideal_split_halves_power() {
+        let (a, b) = YBranch::ideal().split(1.0);
+        assert!((a - 0.5).abs() < 1e-12 && (b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_split_respects_ratio() {
+        let br = YBranch {
+            split_ratio: 0.7,
+            excess_loss_db: 0.0,
+        };
+        let (a, b) = br.split(2.0);
+        assert!((a - 1.4).abs() < 1e-12 && (b - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excess_loss_attenuates_both_arms() {
+        let br = YBranch::with_excess_loss(3.0103); // ≈ halve
+        let (a, b) = br.split(1.0);
+        assert!((a + b - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_excess_loss_rejected() {
+        let _ = YBranch::with_excess_loss(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "split ratio")]
+    fn degenerate_ratio_rejected() {
+        let br = YBranch {
+            split_ratio: 1.0,
+            excess_loss_db: 0.0,
+        };
+        let _ = br.split(1.0);
+    }
+
+    #[test]
+    fn arm_loss_of_ideal_is_3db() {
+        assert!((YBranch::ideal().arm_loss_db() - 3.0103).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cascade_depth_zero_is_identity() {
+        assert_eq!(cascade_outputs(&YBranch::ideal(), 0), vec![1.0]);
+    }
+
+    #[test]
+    fn fig3b_ideal_matches_paper_figure() {
+        // "each reduces the input light power into one half on the output
+        // sides": mid arms at 1/2, final arms at 1/4.
+        let rows = fig3b_table(&YBranch::ideal());
+        assert_eq!(rows[0].1, 1.0);
+        assert!((rows[1].1 - 0.5).abs() < 1e-12);
+        assert!((rows[2].1 - 0.5).abs() < 1e-12);
+        for row in &rows[3..] {
+            assert!((row.1 - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cascade_loss_matches_splitting_loss_model() {
+        // The analytic splitting-loss model of Eq. (2) must agree with the
+        // simulated cascade for ideal devices.
+        let outs = cascade_outputs(&YBranch::ideal(), 3);
+        let model_db = crate::splitting_loss_db(&[2, 2, 2]);
+        let sim_db = -10.0 * outs[0].log10();
+        assert!((model_db - sim_db).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonably deep")]
+    fn runaway_cascade_rejected() {
+        let _ = cascade_outputs(&YBranch::ideal(), 21);
+    }
+
+    proptest! {
+        #[test]
+        fn lossless_cascade_conserves_power(stages in 0usize..10) {
+            let outs = cascade_outputs(&YBranch::ideal(), stages);
+            let total: f64 = outs.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert_eq!(outs.len(), 1 << stages);
+        }
+
+        #[test]
+        fn lossy_cascade_loses_power(stages in 1usize..10, loss in 0.01f64..2.0) {
+            let outs = cascade_outputs(&YBranch::with_excess_loss(loss), stages);
+            let total: f64 = outs.iter().sum();
+            prop_assert!(total < 1.0);
+        }
+
+        #[test]
+        fn split_conserves_power_modulo_excess(input in 0.0f64..10.0, ratio in 0.01f64..0.99) {
+            let br = YBranch { split_ratio: ratio, excess_loss_db: 0.0 };
+            let (a, b) = br.split(input);
+            prop_assert!((a + b - input).abs() < 1e-9);
+        }
+    }
+}

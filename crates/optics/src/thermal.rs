@@ -1,0 +1,231 @@
+//! Thermal variation model for ring-based EO/OE devices.
+//!
+//! Silicon microrings are exquisitely temperature-sensitive; real links
+//! spend extra power keeping each ring locked to its wavelength (the
+//! "bit-statistics-based resonant microring thermal tuning" of the
+//! Sun'15 link the paper draws its device numbers from, and the
+//! variation-aware optical NoC work it cites). This module provides:
+//!
+//! * a die [`ThermalProfile`] — ambient plus a linear gradient plus an
+//!   optional Gaussian hotspot,
+//! * per-device **tuning power** proportional to the local deviation from
+//!   the calibration temperature,
+//! * a small per-degree **loss derating** for off-resonance operation.
+//!
+//! The core flow consumes this through `operon::report::thermal_report`,
+//! which prices a finished selection under a profile.
+//!
+//! # Examples
+//!
+//! ```
+//! use operon_optics::thermal::ThermalProfile;
+//!
+//! let profile = ThermalProfile::uniform(55.0);
+//! assert_eq!(profile.temperature_c(0.0, 0.0), 55.0);
+//! // A uniform die at calibration temperature needs no tuning power.
+//! let calibrated = ThermalProfile { calibration_c: 55.0, ..profile };
+//! assert_eq!(calibrated.tuning_power_mw(0.0, 0.0), 0.0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// A Gaussian hotspot on the die.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Hotspot {
+    /// Center, cm (die coordinates).
+    pub center_cm: (f64, f64),
+    /// Peak temperature rise over ambient, °C.
+    pub peak_c: f64,
+    /// Gaussian radius, cm.
+    pub sigma_cm: f64,
+}
+
+/// A die temperature field plus the ring tuning/derating coefficients.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThermalProfile {
+    /// Ambient (die-corner) temperature, °C.
+    pub ambient_c: f64,
+    /// Linear gradient across the die, °C per cm in x and y.
+    pub gradient_c_per_cm: (f64, f64),
+    /// Optional hotspot (a compute cluster, a power FET, ...).
+    pub hotspot: Option<Hotspot>,
+    /// The temperature rings were calibrated to, °C.
+    pub calibration_c: f64,
+    /// Tuning power per device per °C of deviation, mW/°C.
+    pub tuning_mw_per_c: f64,
+    /// Extra optical loss per °C of deviation, dB/°C (residual
+    /// off-resonance penalty after tuning).
+    pub loss_db_per_c: f64,
+}
+
+impl ThermalProfile {
+    /// A uniform die at `t` °C, calibrated at the same temperature, with
+    /// the default coefficients.
+    pub fn uniform(t: f64) -> Self {
+        Self {
+            ambient_c: t,
+            gradient_c_per_cm: (0.0, 0.0),
+            hotspot: None,
+            calibration_c: t,
+            tuning_mw_per_c: 0.02,
+            loss_db_per_c: 0.005,
+        }
+    }
+
+    /// A representative stressed profile: 50 °C ambient, a 10 °C/cm
+    /// lateral gradient, and a 25 °C hotspot — the kind of variation the
+    /// thermal-aware optical NoC literature studies.
+    pub fn stressed(die_cm: f64) -> Self {
+        Self {
+            ambient_c: 50.0,
+            gradient_c_per_cm: (10.0, 4.0),
+            hotspot: Some(Hotspot {
+                center_cm: (die_cm * 0.5, die_cm * 0.5),
+                peak_c: 25.0,
+                sigma_cm: die_cm * 0.2,
+            }),
+            calibration_c: 60.0,
+            tuning_mw_per_c: 0.02,
+            loss_db_per_c: 0.005,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant (negative
+    /// coefficients or a degenerate hotspot).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tuning_mw_per_c < 0.0 || self.loss_db_per_c < 0.0 {
+            return Err("tuning and derating coefficients must be non-negative".to_owned());
+        }
+        if let Some(h) = &self.hotspot {
+            if h.sigma_cm <= 0.0 {
+                return Err(format!("hotspot sigma must be positive, got {}", h.sigma_cm));
+            }
+        }
+        Ok(())
+    }
+
+    /// Temperature at die location `(x_cm, y_cm)`, °C.
+    pub fn temperature_c(&self, x_cm: f64, y_cm: f64) -> f64 {
+        let mut t = self.ambient_c
+            + self.gradient_c_per_cm.0 * x_cm
+            + self.gradient_c_per_cm.1 * y_cm;
+        if let Some(h) = &self.hotspot {
+            let dx = x_cm - h.center_cm.0;
+            let dy = y_cm - h.center_cm.1;
+            let d2 = dx * dx + dy * dy;
+            t += h.peak_c * (-d2 / (2.0 * h.sigma_cm * h.sigma_cm)).exp();
+        }
+        t
+    }
+
+    /// Absolute deviation from the calibration temperature at a location,
+    /// °C.
+    pub fn deviation_c(&self, x_cm: f64, y_cm: f64) -> f64 {
+        (self.temperature_c(x_cm, y_cm) - self.calibration_c).abs()
+    }
+
+    /// Tuning power of one ring device at a location, mW.
+    pub fn tuning_power_mw(&self, x_cm: f64, y_cm: f64) -> f64 {
+        self.tuning_mw_per_c * self.deviation_c(x_cm, y_cm)
+    }
+
+    /// Residual off-resonance loss of one device at a location, dB.
+    pub fn extra_loss_db(&self, x_cm: f64, y_cm: f64) -> f64 {
+        self.loss_db_per_c * self.deviation_c(x_cm, y_cm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_profile_has_no_deviation() {
+        let p = ThermalProfile::uniform(55.0);
+        assert_eq!(p.deviation_c(0.3, 1.7), 0.0);
+        assert_eq!(p.tuning_power_mw(1.0, 1.0), 0.0);
+        assert_eq!(p.extra_loss_db(1.0, 1.0), 0.0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn gradient_grows_linearly() {
+        let mut p = ThermalProfile::uniform(50.0);
+        p.gradient_c_per_cm = (10.0, 0.0);
+        assert!((p.temperature_c(2.0, 0.0) - 70.0).abs() < 1e-12);
+        assert!((p.temperature_c(2.0, 5.0) - 70.0).abs() < 1e-12, "y has no effect");
+    }
+
+    #[test]
+    fn hotspot_peaks_at_center_and_decays() {
+        let mut p = ThermalProfile::uniform(50.0);
+        p.hotspot = Some(Hotspot {
+            center_cm: (1.0, 1.0),
+            peak_c: 20.0,
+            sigma_cm: 0.3,
+        });
+        let at_center = p.temperature_c(1.0, 1.0);
+        assert!((at_center - 70.0).abs() < 1e-9);
+        let off = p.temperature_c(1.0, 1.6); // 2 sigma away
+        assert!(off < at_center && off > 50.0);
+        let far = p.temperature_c(10.0, 10.0);
+        assert!((far - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stressed_profile_validates_and_varies() {
+        let p = ThermalProfile::stressed(2.0);
+        assert!(p.validate().is_ok());
+        let cool = p.temperature_c(0.0, 0.0);
+        let hot = p.temperature_c(1.0, 1.0);
+        assert!(hot > cool);
+        assert!(p.tuning_power_mw(1.0, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_coefficients() {
+        let mut p = ThermalProfile::uniform(50.0);
+        p.tuning_mw_per_c = -0.1;
+        assert!(p.validate().is_err());
+
+        let mut p = ThermalProfile::uniform(50.0);
+        p.hotspot = Some(Hotspot {
+            center_cm: (0.0, 0.0),
+            peak_c: 5.0,
+            sigma_cm: 0.0,
+        });
+        assert!(p.validate().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn tuning_power_is_nonnegative(
+            x in -5.0f64..5.0, y in -5.0f64..5.0,
+            gx in -20.0f64..20.0, gy in -20.0f64..20.0,
+        ) {
+            let mut p = ThermalProfile::uniform(50.0);
+            p.gradient_c_per_cm = (gx, gy);
+            prop_assert!(p.tuning_power_mw(x, y) >= 0.0);
+            prop_assert!(p.extra_loss_db(x, y) >= 0.0);
+        }
+
+        #[test]
+        fn hotspot_is_monotone_in_distance(d1 in 0.0f64..3.0, d2 in 0.0f64..3.0) {
+            let mut p = ThermalProfile::uniform(50.0);
+            p.hotspot = Some(Hotspot {
+                center_cm: (0.0, 0.0),
+                peak_c: 15.0,
+                sigma_cm: 0.5,
+            });
+            let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(
+                p.temperature_c(near, 0.0) >= p.temperature_c(far, 0.0) - 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Any-angle (Euclidean) Steiner topologies for optical baselines.
+//!
+//! Optical waveguides route in any direction (paper §2.3), so optical
+//! baselines use Euclidean geometry: the Euclidean MST, and an improved
+//! variant that inserts Steiner points near the Fermat-Torricelli point of
+//! high-degree junctions. The heuristic is deliberately simple — OPERON's
+//! quality comes from the co-design and formulation stages, the baseline
+//! only needs to be a reasonable tree.
+
+use crate::mst::{self, Metric};
+use crate::RouteTree;
+use operon_geom::{FPoint, Point};
+use std::collections::HashSet;
+
+/// Builds the Euclidean-MST topology over `terminals`, rooted at
+/// `terminals[0]`.
+///
+/// # Panics
+///
+/// Panics if `terminals` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use operon_geom::Point;
+/// use operon_steiner::euclidean::mst_tree;
+///
+/// let pins = [Point::new(0, 0), Point::new(30, 40), Point::new(60, 0)];
+/// let tree = mst_tree(&pins);
+/// assert_eq!(tree.node_count(), 3);
+/// assert!((tree.wirelength_euclidean() - 100.0).abs() < 1e-9);
+/// ```
+pub fn mst_tree(terminals: &[Point]) -> RouteTree {
+    assert!(!terminals.is_empty(), "tree needs at least one terminal");
+    let unique = dedupe(terminals);
+    let edges = mst::euclidean(&unique);
+    mst::to_route_tree(&unique, &edges, 0, |_| false)
+}
+
+/// Builds a Euclidean Steiner tree by iteratively inserting approximate
+/// Fermat-Torricelli points, rooted at `terminals[0]`.
+///
+/// Each round looks at every triple formed by a tree point and two of its
+/// MST neighbors, computes the triple's Fermat point by iterative Weiszfeld
+/// refinement, and keeps the insertion with the largest MST-length gain.
+/// Stops when no insertion gains more than `min_gain` dbu.
+///
+/// # Panics
+///
+/// Panics if `terminals` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use operon_geom::Point;
+/// use operon_steiner::euclidean::steiner_tree;
+///
+/// // Equilateral-ish triangle: the Fermat point saves length over the MST.
+/// let pins = [Point::new(0, 0), Point::new(100, 0), Point::new(50, 87)];
+/// let tree = steiner_tree(&pins, 1.0);
+/// assert!(tree.wirelength_euclidean() < 200.0 - 1.0);
+/// ```
+pub fn steiner_tree(terminals: &[Point], min_gain: f64) -> RouteTree {
+    assert!(!terminals.is_empty(), "tree needs at least one terminal");
+    let unique = dedupe(terminals);
+    let n_terminals = unique.len();
+    let mut points = unique;
+
+    loop {
+        let edges = mst::euclidean(&points);
+        let base = mst::length(&points, &edges, Metric::Euclidean);
+        // Neighbor lists in the current MST.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); points.len()];
+        for &(a, b) in &edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut best: Option<(f64, Point)> = None;
+        for (v, neighbors) in adj.iter().enumerate() {
+            for i in 0..neighbors.len() {
+                for j in i + 1..neighbors.len() {
+                    let triple = [points[v], points[neighbors[i]], points[neighbors[j]]];
+                    let fermat = fermat_point(&triple);
+                    if triple.contains(&fermat) {
+                        continue;
+                    }
+                    let mut trial = points.clone();
+                    trial.push(fermat);
+                    let len = mst::length(
+                        &trial,
+                        &mst::euclidean(&trial),
+                        Metric::Euclidean,
+                    );
+                    let gain = base - len;
+                    if gain > min_gain && best.is_none_or(|(g, _)| gain > g) {
+                        best = Some((gain, fermat));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, p)) => points.push(p),
+            None => break,
+        }
+    }
+
+    let edges = mst::euclidean(&points);
+    mst::to_route_tree(&points, &edges, 0, |i| i >= n_terminals)
+}
+
+/// Approximates the Fermat-Torricelli point of a triangle by Weiszfeld
+/// iteration, rounded to the lattice.
+///
+/// The Fermat point minimizes the sum of Euclidean distances to the three
+/// corners; when one corner's angle exceeds 120° the corner itself is the
+/// minimizer, which the iteration converges to as well.
+///
+/// # Examples
+///
+/// ```
+/// use operon_geom::Point;
+/// use operon_steiner::euclidean::fermat_point;
+///
+/// // For an equilateral triangle the Fermat point is the centroid.
+/// let f = fermat_point(&[Point::new(0, 0), Point::new(60, 0), Point::new(30, 52)]);
+/// assert!(f.euclidean(Point::new(30, 17)) < 2.0);
+/// ```
+pub fn fermat_point(corners: &[Point; 3]) -> Point {
+    let mut cur = FPoint::centroid(corners.iter().map(|&p| p.to_fpoint()))
+        .expect("three corners");
+    for _ in 0..60 {
+        let mut wx = 0.0;
+        let mut wy = 0.0;
+        let mut wsum = 0.0;
+        for &c in corners {
+            let d = cur.euclidean(c.to_fpoint());
+            if d < 1e-9 {
+                // Converged onto a corner: that corner is the minimizer.
+                return c;
+            }
+            let w = 1.0 / d;
+            wx += w * c.x as f64;
+            wy += w * c.y as f64;
+            wsum += w;
+        }
+        let next = FPoint::new(wx / wsum, wy / wsum);
+        if cur.euclidean(next) < 1e-6 {
+            cur = next;
+            break;
+        }
+        cur = next;
+    }
+    cur.round()
+}
+
+fn dedupe(points: &[Point]) -> Vec<Point> {
+    let mut seen = HashSet::new();
+    points
+        .iter()
+        .copied()
+        .filter(|&p| seen.insert(p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mst_tree_of_single_point() {
+        let t = mst_tree(&[Point::new(1, 2)]);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn mst_tree_handles_duplicates() {
+        let t = mst_tree(&[Point::new(0, 0), Point::new(0, 0), Point::new(3, 4)]);
+        assert_eq!(t.node_count(), 2);
+        assert!((t.wirelength_euclidean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fermat_point_of_obtuse_triangle_is_the_wide_corner() {
+        // Angle at (0,0) far exceeds 120°.
+        let f = fermat_point(&[Point::new(0, 0), Point::new(100, 1), Point::new(-100, 1)]);
+        assert!(f.euclidean(Point::new(0, 0)) < 2.0, "got {f}");
+    }
+
+    #[test]
+    fn fermat_point_reduces_star_length() {
+        let corners = [Point::new(0, 0), Point::new(100, 0), Point::new(50, 87)];
+        let f = fermat_point(&corners);
+        let star: f64 = corners.iter().map(|&c| f.euclidean(c)).sum();
+        // Optimal Steiner length for this near-equilateral triangle is
+        // ≈ 173.2; any two sides of the MST total 200.
+        assert!(star < 176.0, "star length {star}");
+    }
+
+    #[test]
+    fn steiner_tree_beats_mst_on_triangle() {
+        let pins = [Point::new(0, 0), Point::new(100, 0), Point::new(50, 87)];
+        let mst_len = mst_tree(&pins).wirelength_euclidean();
+        let st_len = steiner_tree(&pins, 1.0).wirelength_euclidean();
+        assert!(st_len < mst_len - 1.0, "steiner {st_len} vs mst {mst_len}");
+    }
+
+    #[test]
+    fn steiner_tree_on_collinear_points_adds_nothing() {
+        let pins = [Point::new(0, 0), Point::new(50, 0), Point::new(100, 0)];
+        let t = steiner_tree(&pins, 1.0);
+        assert_eq!(t.node_count(), 3);
+        assert!((t.wirelength_euclidean() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one terminal")]
+    fn empty_input_rejected() {
+        let _ = mst_tree(&[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn steiner_never_longer_than_mst(
+            pts in proptest::collection::vec((-80i64..80, -80i64..80), 2..7)
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let mst_len = mst_tree(&pts).wirelength_euclidean();
+            let tree = steiner_tree(&pts, 1.0);
+            prop_assert!(tree.validate().is_ok());
+            prop_assert!(tree.wirelength_euclidean() <= mst_len + 1e-6);
+        }
+
+        #[test]
+        fn all_terminals_retained(
+            pts in proptest::collection::vec((-80i64..80, -80i64..80), 1..7)
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let tree = steiner_tree(&pts, 1.0);
+            let tree_pts: std::collections::HashSet<Point> =
+                tree.node_ids().map(|id| tree.point(id)).collect();
+            for p in &pts {
+                prop_assert!(tree_pts.contains(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Spanning- and Steiner-tree construction for OPERON baselines.
+//!
+//! The co-design stage of OPERON (paper §3.2) starts from *baseline
+//! topologies*: trees over a hyper net's pins. Electrical baselines are
+//! Rectilinear Steiner Minimum Trees approximated by the Batched Iterated
+//! 1-Steiner heuristic ([`rsmt_bi1s`]); optical baselines may route in any
+//! direction, so Euclidean MSTs and Steiner variants ([`euclidean`]) are
+//! provided as well. All topologies share the rooted [`RouteTree`]
+//! representation consumed by the dynamic-programming co-design.
+//!
+//! # Examples
+//!
+//! ```
+//! use operon_geom::Point;
+//! use operon_steiner::{mst, rsmt_bi1s};
+//!
+//! let pins = [
+//!     Point::new(0, 0),
+//!     Point::new(10, 10),
+//!     Point::new(0, 10),
+//!     Point::new(10, 0),
+//! ];
+//! let tree = rsmt_bi1s(&pins);
+//! // The Steiner tree is never longer than the Manhattan MST.
+//! let mst_len: i64 = mst::manhattan(&pins)
+//!     .iter()
+//!     .map(|&(a, b)| pins[a].manhattan(pins[b]))
+//!     .sum();
+//! assert!(tree.wirelength_manhattan() <= mst_len);
+//! ```
+
+pub mod euclidean;
+pub mod exact;
+pub mod mst;
+mod rsmt;
+mod tree;
+
+pub use exact::{rsmt_exact, rsmt_exact_length};
+pub use rsmt::{hanan_points, rsmt_bi1s, rsmt_bi1s_with_limit};
+pub use tree::{NodeKind, RouteTree, TreeNodeId};

@@ -1,0 +1,363 @@
+//! Minimum spanning trees over point sets (Prim, O(n²)).
+//!
+//! MSTs serve two roles: the inner metric of the Batched Iterated
+//! 1-Steiner heuristic (which measures the *gain* of a candidate Steiner
+//! point as the MST-length reduction it induces), and the starting
+//! topology of the any-angle optical baselines.
+
+use crate::{NodeKind, RouteTree};
+use operon_geom::Point;
+
+/// The distance metric an MST is built in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// L1 — rectilinear (electrical) routing.
+    Manhattan,
+    /// L2 — any-angle (optical) routing.
+    Euclidean,
+    /// λ-4 (45°-enabled) routing: horizontals, verticals, and diagonals.
+    ///
+    /// The shortest octilinear path length is
+    /// `max(|dx|,|dy|) + (√2 − 1)·min(|dx|,|dy|)` — between L2 and L1.
+    /// Some waveguide processes restrict bends to 45° increments; this
+    /// metric models their wirelength.
+    Octilinear,
+}
+
+impl Metric {
+    /// Distance between two points under this metric.
+    ///
+    /// Manhattan distances are exact integers widened to `f64`; for the
+    /// point magnitudes used here (≤ ~10⁶ dbu) this is lossless.
+    #[inline]
+    pub fn distance(self, a: Point, b: Point) -> f64 {
+        match self {
+            Metric::Manhattan => a.manhattan(b) as f64,
+            Metric::Euclidean => a.euclidean(b),
+            Metric::Octilinear => {
+                let dx = (a.x - b.x).abs() as f64;
+                let dy = (a.y - b.y).abs() as f64;
+                dx.max(dy) + (std::f64::consts::SQRT_2 - 1.0) * dx.min(dy)
+            }
+        }
+    }
+}
+
+/// Computes the MST edge list over `points` under `metric` using Prim's
+/// algorithm.
+///
+/// Returns `(i, j)` index pairs into `points`; for `n` points there are
+/// `n - 1` edges (0 for an empty or single-point input). Duplicate points
+/// are connected by zero-length edges.
+pub fn edges(points: &[Point], metric: Metric) -> Vec<(usize, usize)> {
+    let n = points.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    let mut result = Vec::with_capacity(n - 1);
+    in_tree[0] = true;
+    for j in 1..n {
+        best_dist[j] = metric.distance(points[0], points[j]);
+    }
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_dist = f64::INFINITY;
+        for j in 0..n {
+            if !in_tree[j] && best_dist[j] < pick_dist {
+                pick = j;
+                pick_dist = best_dist[j];
+            }
+        }
+        debug_assert!(pick != usize::MAX, "graph is complete, a pick always exists");
+        in_tree[pick] = true;
+        result.push((best_from[pick], pick));
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = metric.distance(points[pick], points[j]);
+                if d < best_dist[j] {
+                    best_dist[j] = d;
+                    best_from[j] = pick;
+                }
+            }
+        }
+    }
+    result
+}
+
+/// MST over `points` in the Manhattan metric.
+pub fn manhattan(points: &[Point]) -> Vec<(usize, usize)> {
+    edges(points, Metric::Manhattan)
+}
+
+/// MST over `points` in the Euclidean metric.
+pub fn euclidean(points: &[Point]) -> Vec<(usize, usize)> {
+    edges(points, Metric::Euclidean)
+}
+
+/// MST over `points` in the octilinear (45°) metric.
+pub fn octilinear(points: &[Point]) -> Vec<(usize, usize)> {
+    edges(points, Metric::Octilinear)
+}
+
+/// Total length of an edge list under `metric`.
+pub fn length(points: &[Point], edge_list: &[(usize, usize)], metric: Metric) -> f64 {
+    edge_list
+        .iter()
+        .map(|&(a, b)| metric.distance(points[a], points[b]))
+        .sum()
+}
+
+/// Converts an MST over `points` into a [`RouteTree`] rooted at
+/// `points[root]`.
+///
+/// Terminal/Steiner kinds are assigned from `steiner_mask`: index `i` is a
+/// Steiner node iff `steiner_mask(i)` is true.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, `root` is out of bounds, or `edge_list`
+/// does not connect all points.
+pub fn to_route_tree(
+    points: &[Point],
+    edge_list: &[(usize, usize)],
+    root: usize,
+    steiner_mask: impl Fn(usize) -> bool,
+) -> RouteTree {
+    assert!(!points.is_empty(), "cannot build a tree over no points");
+    assert!(root < points.len(), "root index {root} out of bounds");
+    let n = points.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edge_list {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut tree = RouteTree::new(points[root]);
+    let mut ids = vec![None; n];
+    ids[root] = Some(tree.root());
+    let mut stack = vec![root];
+    let mut visited = vec![false; n];
+    visited[root] = true;
+    while let Some(u) = stack.pop() {
+        let uid = ids[u].expect("visited nodes have ids");
+        for &v in &adj[u] {
+            if !visited[v] {
+                visited[v] = true;
+                let kind = if steiner_mask(v) {
+                    NodeKind::Steiner
+                } else {
+                    NodeKind::Terminal
+                };
+                ids[v] = Some(tree.add_child(uid, points[v], kind));
+                stack.push(v);
+            }
+        }
+    }
+    assert!(
+        visited.iter().all(|&v| v),
+        "edge list does not span all points"
+    );
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_single_point_have_no_edges() {
+        assert!(manhattan(&[]).is_empty());
+        assert!(euclidean(&[Point::origin()]).is_empty());
+    }
+
+    #[test]
+    fn two_points_have_one_edge() {
+        let pts = [Point::new(0, 0), Point::new(3, 4)];
+        let e = euclidean(&pts);
+        assert_eq!(e.len(), 1);
+        assert!((length(&pts, &e, Metric::Euclidean) - 5.0).abs() < 1e-12);
+        assert_eq!(length(&pts, &manhattan(&pts), Metric::Manhattan), 7.0);
+        // Octilinear: max(3,4) + (√2−1)·min(3,4) = 4 + 3(√2−1) ≈ 5.243.
+        let oct = length(&pts, &octilinear(&pts), Metric::Octilinear);
+        assert!((oct - (4.0 + 3.0 * (std::f64::consts::SQRT_2 - 1.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn octilinear_diagonal_equals_euclidean() {
+        let pts = [Point::new(0, 0), Point::new(5, 5)];
+        let oct = length(&pts, &octilinear(&pts), Metric::Octilinear);
+        let euc = length(&pts, &euclidean(&pts), Metric::Euclidean);
+        assert!((oct - euc).abs() < 1e-12, "pure 45° runs are Euclidean");
+    }
+
+    #[test]
+    fn octilinear_axis_runs_equal_manhattan() {
+        let pts = [Point::new(0, 0), Point::new(9, 0)];
+        let oct = length(&pts, &octilinear(&pts), Metric::Octilinear);
+        assert!((oct - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_points_chain() {
+        let pts = [Point::new(0, 0), Point::new(10, 0), Point::new(5, 0)];
+        let e = manhattan(&pts);
+        assert_eq!(length(&pts, &e, Metric::Manhattan), 10.0);
+    }
+
+    #[test]
+    fn duplicate_points_connect_at_zero_cost() {
+        let pts = [Point::new(1, 1), Point::new(1, 1), Point::new(4, 5)];
+        let e = euclidean(&pts);
+        assert_eq!(e.len(), 2);
+        assert!((length(&pts, &e, Metric::Euclidean) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_mst_length() {
+        let pts = [
+            Point::new(0, 0),
+            Point::new(10, 0),
+            Point::new(0, 10),
+            Point::new(10, 10),
+        ];
+        assert_eq!(length(&pts, &manhattan(&pts), Metric::Manhattan), 30.0);
+        assert!((length(&pts, &euclidean(&pts), Metric::Euclidean) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn route_tree_preserves_length_and_root() {
+        let pts = [
+            Point::new(0, 0),
+            Point::new(10, 0),
+            Point::new(0, 10),
+            Point::new(7, 7),
+        ];
+        let e = manhattan(&pts);
+        let tree = to_route_tree(&pts, &e, 0, |_| false);
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.point(tree.root()), pts[0]);
+        assert_eq!(
+            tree.wirelength_manhattan() as f64,
+            length(&pts, &e, Metric::Manhattan)
+        );
+        assert_eq!(tree.terminals().len(), 4);
+    }
+
+    #[test]
+    fn route_tree_steiner_mask_applies() {
+        let pts = [Point::new(0, 0), Point::new(5, 0), Point::new(9, 0)];
+        let e = manhattan(&pts);
+        let tree = to_route_tree(&pts, &e, 0, |i| i == 1);
+        let steiner: Vec<_> = tree
+            .node_ids()
+            .filter(|&id| tree.kind(id) == NodeKind::Steiner)
+            .collect();
+        assert_eq!(steiner.len(), 1);
+        assert_eq!(tree.point(steiner[0]), Point::new(5, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not span")]
+    fn route_tree_rejects_disconnected_edges() {
+        let pts = [Point::new(0, 0), Point::new(5, 0), Point::new(9, 0)];
+        let _ = to_route_tree(&pts, &[(0, 1)], 0, |_| false);
+    }
+
+    /// Brute-force MST length by Kruskal over all pairs (oracle).
+    fn kruskal_length(points: &[Point], metric: Metric) -> f64 {
+        let n = points.len();
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                pairs.push((metric.distance(points[i], points[j]), i, j));
+            }
+        }
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        let mut total = 0.0;
+        let mut used = 0;
+        for (d, i, j) in pairs {
+            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+            if ri != rj {
+                parent[ri] = rj;
+                total += d;
+                used += 1;
+                if used == n - 1 {
+                    break;
+                }
+            }
+        }
+        total
+    }
+
+    proptest! {
+        #[test]
+        fn prim_matches_kruskal(
+            pts in proptest::collection::vec((-100i64..100, -100i64..100), 2..15)
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            for metric in [Metric::Manhattan, Metric::Euclidean] {
+                let prim = length(&pts, &edges(&pts, metric), metric);
+                let kruskal = kruskal_length(&pts, metric);
+                prop_assert!((prim - kruskal).abs() < 1e-6,
+                    "prim {prim} vs kruskal {kruskal}");
+            }
+        }
+
+        #[test]
+        fn mst_has_n_minus_one_edges(
+            pts in proptest::collection::vec((-100i64..100, -100i64..100), 1..15)
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            prop_assert_eq!(manhattan(&pts).len(), pts.len() - 1);
+        }
+
+        #[test]
+        fn euclidean_mst_never_longer_than_manhattan_mst(
+            pts in proptest::collection::vec((-100i64..100, -100i64..100), 2..12)
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let e_len = length(&pts, &euclidean(&pts), Metric::Euclidean);
+            let m_len = length(&pts, &manhattan(&pts), Metric::Manhattan);
+            prop_assert!(e_len <= m_len + 1e-9);
+        }
+
+        #[test]
+        fn metric_sandwich_l2_oct_l1(
+            ax in -200i64..200, ay in -200i64..200,
+            bx in -200i64..200, by in -200i64..200,
+        ) {
+            // L2 <= octilinear <= L1 point-to-point, and the same ordering
+            // carries over to the MST lengths.
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let l2 = Metric::Euclidean.distance(a, b);
+            let oct = Metric::Octilinear.distance(a, b);
+            let l1 = Metric::Manhattan.distance(a, b);
+            prop_assert!(l2 <= oct + 1e-9, "{l2} vs {oct}");
+            prop_assert!(oct <= l1 + 1e-9, "{oct} vs {l1}");
+        }
+
+        #[test]
+        fn octilinear_mst_between_euclidean_and_manhattan(
+            pts in proptest::collection::vec((-100i64..100, -100i64..100), 2..10)
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let e_len = length(&pts, &euclidean(&pts), Metric::Euclidean);
+            let o_len = length(&pts, &octilinear(&pts), Metric::Octilinear);
+            let m_len = length(&pts, &manhattan(&pts), Metric::Manhattan);
+            prop_assert!(e_len <= o_len + 1e-9);
+            prop_assert!(o_len <= m_len + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Rectilinear Steiner Minimum Tree via Batched Iterated 1-Steiner.
+//!
+//! OPERON extends the BI1S heuristic \[Kahng-Robins\] to generate baseline
+//! topologies (paper §3.2): candidate Steiner points come from the Hanan
+//! grid of the terminals, and each round inserts the candidates with the
+//! largest MST-length *gain*. The result is returned as a rooted
+//! [`RouteTree`], with degree-2 pass-through Steiner points cleaned away.
+
+use crate::mst::{self, Metric};
+use crate::RouteTree;
+use operon_geom::Point;
+use std::collections::HashSet;
+
+/// The Hanan grid of `terminals`: all intersections of horizontal and
+/// vertical lines through the terminals, minus the terminals themselves.
+///
+/// A classic result (Hanan, 1966) guarantees an optimal RSMT exists whose
+/// Steiner points all lie on this grid.
+///
+/// # Examples
+///
+/// ```
+/// use operon_geom::Point;
+/// use operon_steiner::hanan_points;
+///
+/// let pins = [Point::new(0, 0), Point::new(4, 7)];
+/// let h = hanan_points(&pins);
+/// // The two "corner" candidates of the pin pair.
+/// assert_eq!(h.len(), 2);
+/// assert!(h.contains(&Point::new(0, 7)) && h.contains(&Point::new(4, 0)));
+/// ```
+pub fn hanan_points(terminals: &[Point]) -> Vec<Point> {
+    let terminal_set: HashSet<Point> = terminals.iter().copied().collect();
+    let mut xs: Vec<i64> = terminals.iter().map(|p| p.x).collect();
+    let mut ys: Vec<i64> = terminals.iter().map(|p| p.y).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    ys.sort_unstable();
+    ys.dedup();
+    let mut out = Vec::new();
+    for &x in &xs {
+        for &y in &ys {
+            let p = Point::new(x, y);
+            if !terminal_set.contains(&p) {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+/// MST length of `pts ∪ extra` in the Manhattan metric.
+fn mst_len_with(pts: &[Point], extra: &[Point]) -> f64 {
+    let mut all = pts.to_vec();
+    all.extend_from_slice(extra);
+    mst::length(&all, &mst::edges(&all, Metric::Manhattan), Metric::Manhattan)
+}
+
+/// Builds an approximate RSMT over `terminals` with the Batched Iterated
+/// 1-Steiner heuristic and roots it at `terminals[0]` (the net source).
+///
+/// Each batch round evaluates every Hanan candidate's gain (MST-length
+/// reduction when added), inserts accepted candidates greedily — re-checking
+/// the gain against the updated point set, as in the batched variant — and
+/// stops when no candidate helps. Degree-≤2 Steiner points contribute
+/// nothing rectilinear and are dropped from the final tree.
+///
+/// # Panics
+///
+/// Panics if `terminals` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use operon_geom::Point;
+/// use operon_steiner::rsmt_bi1s;
+///
+/// // The classic 4-pin cross: the RSMT uses Steiner points and beats the
+/// // MST (length 30) with length 20.
+/// let pins = [
+///     Point::new(5, 0),
+///     Point::new(5, 10),
+///     Point::new(0, 5),
+///     Point::new(10, 5),
+/// ];
+/// let tree = rsmt_bi1s(&pins);
+/// assert_eq!(tree.wirelength_manhattan(), 20);
+/// ```
+pub fn rsmt_bi1s(terminals: &[Point]) -> RouteTree {
+    rsmt_bi1s_with_limit(terminals, usize::MAX)
+}
+
+/// Like [`rsmt_bi1s`] but inserts at most `max_steiner` Steiner points.
+///
+/// OPERON uses this to derive *families* of baseline topologies: ranking
+/// the candidate Steiner points by their induced cost and visiting
+/// different subsets yields alternative trees for the co-design stage.
+///
+/// # Panics
+///
+/// Panics if `terminals` is empty.
+pub fn rsmt_bi1s_with_limit(terminals: &[Point], max_steiner: usize) -> RouteTree {
+    assert!(!terminals.is_empty(), "RSMT needs at least one terminal");
+    let mut unique = Vec::new();
+    let mut seen = HashSet::new();
+    for &p in terminals {
+        if seen.insert(p) {
+            unique.push(p);
+        }
+    }
+    // Keep the source (terminals[0]) at index 0 even after deduplication.
+    debug_assert_eq!(unique[0], terminals[0]);
+
+    let n_terminals = unique.len();
+    let mut points = unique;
+    let mut steiner_added = 0usize;
+
+    while steiner_added < max_steiner {
+        let candidates = hanan_points(&points);
+        if candidates.is_empty() {
+            break;
+        }
+        let base = mst_len_with(&points, &[]);
+        // Rank candidates by gain.
+        let mut gains: Vec<(f64, Point)> = candidates
+            .iter()
+            .filter_map(|&c| {
+                let gain = base - mst_len_with(&points, &[c]);
+                if gain > 1e-9 {
+                    Some((gain, c))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if gains.is_empty() {
+            break;
+        }
+        gains.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("gains are finite")
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        // Batched insertion: accept candidates in gain order, re-verifying
+        // each against the already-extended point set.
+        let mut inserted_this_round = 0;
+        for (_, c) in gains {
+            if steiner_added >= max_steiner {
+                break;
+            }
+            let before = mst_len_with(&points, &[]);
+            let after = mst_len_with(&points, &[c]);
+            if before - after > 1e-9 {
+                points.push(c);
+                steiner_added += 1;
+                inserted_this_round += 1;
+            }
+        }
+        if inserted_this_round == 0 {
+            break;
+        }
+    }
+
+    // Build the MST over terminals + accepted Steiner points, then prune
+    // Steiner points that ended up useless (degree <= 2 in the MST gives
+    // no rectilinear advantage only for degree <= 1; degree-2 pass-through
+    // points are harmless but noisy, so drop those whose removal does not
+    // lengthen the tree).
+    loop {
+        let edges = mst::edges(&points, Metric::Manhattan);
+        let mut degree = vec![0usize; points.len()];
+        for &(a, b) in &edges {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        let len_now = mst::length(&points, &edges, Metric::Manhattan);
+        let mut removed = false;
+        for i in (n_terminals..points.len()).rev() {
+            if degree[i] <= 2 {
+                let mut trial = points.clone();
+                trial.remove(i);
+                if mst_len_with(&trial, &[]) <= len_now + 1e-9 {
+                    points.remove(i);
+                    removed = true;
+                    break;
+                }
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+
+    let edges = mst::edges(&points, Metric::Manhattan);
+    mst::to_route_tree(&points, &edges, 0, |i| i >= n_terminals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_terminal_is_a_lone_root() {
+        let t = rsmt_bi1s(&[Point::new(3, 3)]);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.wirelength_manhattan(), 0);
+    }
+
+    #[test]
+    fn two_terminals_need_no_steiner_points() {
+        let t = rsmt_bi1s(&[Point::new(0, 0), Point::new(5, 7)]);
+        assert_eq!(t.wirelength_manhattan(), 12);
+        assert!(t
+            .node_ids()
+            .all(|id| t.kind(id) == NodeKind::Terminal));
+    }
+
+    #[test]
+    fn hanan_points_of_collinear_pins_is_empty() {
+        let pins = [Point::new(0, 0), Point::new(5, 0), Point::new(9, 0)];
+        assert!(hanan_points(&pins).is_empty());
+    }
+
+    #[test]
+    fn hanan_grid_size_is_product_minus_terminals() {
+        let pins = [Point::new(0, 0), Point::new(4, 7), Point::new(9, 2)];
+        // 3 distinct xs × 3 distinct ys - 3 terminals = 6 candidates.
+        assert_eq!(hanan_points(&pins).len(), 6);
+    }
+
+    #[test]
+    fn l_shaped_triple_gains_a_steiner_point() {
+        // Source left, two sinks right-up and right-down: the RSMT merges
+        // the common trunk through a Steiner point.
+        let pins = [Point::new(0, 0), Point::new(10, 5), Point::new(10, -5)];
+        let t = rsmt_bi1s(&pins);
+        // MST: 15 + 10 = 25; RSMT: trunk 10 + 5 + 5 = 20.
+        assert_eq!(t.wirelength_manhattan(), 20);
+        assert!(t
+            .node_ids()
+            .any(|id| t.kind(id) == NodeKind::Steiner));
+    }
+
+    #[test]
+    fn cross_instance_reaches_optimum() {
+        let pins = [
+            Point::new(5, 0),
+            Point::new(5, 10),
+            Point::new(0, 5),
+            Point::new(10, 5),
+        ];
+        assert_eq!(rsmt_bi1s(&pins).wirelength_manhattan(), 20);
+    }
+
+    #[test]
+    fn duplicate_terminals_tolerated() {
+        let pins = [Point::new(0, 0), Point::new(0, 0), Point::new(5, 5)];
+        let t = rsmt_bi1s(&pins);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.wirelength_manhattan(), 10);
+    }
+
+    #[test]
+    fn steiner_limit_zero_gives_plain_mst() {
+        let pins = [Point::new(0, 0), Point::new(10, 5), Point::new(10, -5)];
+        let t = rsmt_bi1s_with_limit(&pins, 0);
+        assert_eq!(t.wirelength_manhattan(), 25); // the MST length
+    }
+
+    #[test]
+    fn root_is_first_terminal() {
+        let pins = [Point::new(7, 3), Point::new(0, 0), Point::new(3, 9)];
+        let t = rsmt_bi1s(&pins);
+        assert_eq!(t.point(t.root()), Point::new(7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one terminal")]
+    fn empty_terminals_rejected() {
+        let _ = rsmt_bi1s(&[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn rsmt_between_hpwl_and_mst(
+            pts in proptest::collection::vec((-60i64..60, -60i64..60), 2..8)
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let tree = rsmt_bi1s(&pts);
+            prop_assert!(tree.validate().is_ok());
+            let rsmt_len = tree.wirelength_manhattan() as f64;
+            let mst_len = mst::length(
+                &pts, &mst::manhattan(&pts), Metric::Manhattan);
+            // Never worse than the MST it starts from...
+            prop_assert!(rsmt_len <= mst_len + 1e-9);
+            // ...and never below the half-perimeter lower bound.
+            let bb = operon_geom::BoundingBox::from_points(pts.iter().copied())
+                .expect("non-empty");
+            prop_assert!(rsmt_len >= bb.half_perimeter() as f64 - 1e-9);
+        }
+
+        #[test]
+        fn all_terminals_present_in_tree(
+            pts in proptest::collection::vec((-60i64..60, -60i64..60), 1..8)
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let tree = rsmt_bi1s(&pts);
+            let tree_pts: std::collections::HashSet<Point> =
+                tree.node_ids().map(|id| tree.point(id)).collect();
+            for p in &pts {
+                prop_assert!(tree_pts.contains(p), "terminal {p} missing");
+            }
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Rooted route trees.
+
+use core::fmt;
+use operon_geom::{Point, Segment};
+
+/// Index of a node in a [`RouteTree`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TreeNodeId(usize);
+
+impl TreeNodeId {
+    /// The dense index of the node. Index 0 is always the root.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TreeNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Whether a tree node is a real pin or an introduced branch point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A pin of the net (hyper pin): the root source or a sink.
+    Terminal,
+    /// A Steiner/branch point introduced by topology construction.
+    Steiner,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct TreeNode {
+    point: Point,
+    parent: Option<TreeNodeId>,
+    children: Vec<TreeNodeId>,
+    kind: NodeKind,
+}
+
+/// A tree of route nodes rooted at the net's source.
+///
+/// The tree is built top-down with [`add_child`](RouteTree::add_child), so
+/// it is acyclic and connected by construction. Edges are implicit
+/// (child → parent); each edge will later carry an optical/electrical
+/// assignment in the co-design stage.
+///
+/// # Examples
+///
+/// ```
+/// use operon_geom::Point;
+/// use operon_steiner::{NodeKind, RouteTree};
+///
+/// let mut tree = RouteTree::new(Point::new(0, 0));
+/// let mid = tree.add_child(tree.root(), Point::new(5, 0), NodeKind::Steiner);
+/// tree.add_child(mid, Point::new(9, 3), NodeKind::Terminal);
+/// tree.add_child(mid, Point::new(9, -3), NodeKind::Terminal);
+/// assert_eq!(tree.node_count(), 4);
+/// assert_eq!(tree.wirelength_manhattan(), 5 + 7 + 7);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl RouteTree {
+    /// Creates a tree containing only the root terminal at `source`.
+    pub fn new(source: Point) -> Self {
+        Self {
+            nodes: vec![TreeNode {
+                point: source,
+                parent: None,
+                children: Vec::new(),
+                kind: NodeKind::Terminal,
+            }],
+        }
+    }
+
+    /// The root node (always index 0).
+    #[inline]
+    pub fn root(&self) -> TreeNodeId {
+        TreeNodeId(0)
+    }
+
+    /// Adds a node under `parent`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a node of this tree.
+    pub fn add_child(&mut self, parent: TreeNodeId, point: Point, kind: NodeKind) -> TreeNodeId {
+        assert!(
+            parent.0 < self.nodes.len(),
+            "parent {parent} out of bounds"
+        );
+        let id = TreeNodeId(self.nodes.len());
+        self.nodes.push(TreeNode {
+            point,
+            parent: Some(parent),
+            children: Vec::new(),
+            kind,
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Number of nodes (including the root).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (`node_count - 1`).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Location of a node.
+    #[inline]
+    pub fn point(&self, id: TreeNodeId) -> Point {
+        self.nodes[id.0].point
+    }
+
+    /// Kind of a node.
+    #[inline]
+    pub fn kind(&self, id: TreeNodeId) -> NodeKind {
+        self.nodes[id.0].kind
+    }
+
+    /// Parent of a node (`None` for the root).
+    #[inline]
+    pub fn parent(&self, id: TreeNodeId) -> Option<TreeNodeId> {
+        self.nodes[id.0].parent
+    }
+
+    /// Children of a node.
+    #[inline]
+    pub fn children(&self, id: TreeNodeId) -> &[TreeNodeId] {
+        &self.nodes[id.0].children
+    }
+
+    /// Iterates over all node ids in creation (pre-insertion) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = TreeNodeId> {
+        (0..self.nodes.len()).map(TreeNodeId)
+    }
+
+    /// Iterates over edges as `(parent_id, child_id)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (TreeNodeId, TreeNodeId)> + '_ {
+        self.node_ids().filter_map(move |id| {
+            self.parent(id).map(|p| (p, id))
+        })
+    }
+
+    /// All terminal node ids (the root plus all sink pins).
+    pub fn terminals(&self) -> Vec<TreeNodeId> {
+        self.node_ids()
+            .filter(|&id| self.kind(id) == NodeKind::Terminal)
+            .collect()
+    }
+
+    /// All leaf node ids (no children).
+    pub fn leaves(&self) -> Vec<TreeNodeId> {
+        self.node_ids()
+            .filter(|&id| self.children(id).is_empty())
+            .collect()
+    }
+
+    /// Nodes in post-order (children before parents, root last).
+    pub fn postorder(&self) -> Vec<TreeNodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(self.root(), false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                order.push(id);
+            } else {
+                stack.push((id, true));
+                for &c in self.children(id) {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// The node ids from `id` up to and including the root.
+    pub fn path_to_root(&self, id: TreeNodeId) -> Vec<TreeNodeId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Total Manhattan wirelength over all edges (electrical routing).
+    pub fn wirelength_manhattan(&self) -> i64 {
+        self.edges()
+            .map(|(p, c)| self.point(p).manhattan(self.point(c)))
+            .sum()
+    }
+
+    /// Total Euclidean wirelength over all edges (optical routing).
+    pub fn wirelength_euclidean(&self) -> f64 {
+        self.edges()
+            .map(|(p, c)| self.point(p).euclidean(self.point(c)))
+            .sum()
+    }
+
+    /// Physical segments of an any-angle (optical) realization: one direct
+    /// segment per edge, degenerate edges skipped.
+    pub fn segments_euclidean(&self) -> Vec<Segment> {
+        self.edges()
+            .map(|(p, c)| Segment::new(self.point(p), self.point(c)))
+            .filter(|s| !s.is_degenerate())
+            .collect()
+    }
+
+    /// Physical segments of a rectilinear (electrical) realization: each
+    /// edge becomes an L-route (horizontal first, then vertical).
+    pub fn segments_rectilinear(&self) -> Vec<Segment> {
+        let mut out = Vec::new();
+        for (p, c) in self.edges() {
+            let (a, b) = (self.point(p), self.point(c));
+            let corner = Point::new(b.x, a.y);
+            if corner != a {
+                out.push(Segment::new(a, corner));
+            }
+            if corner != b {
+                out.push(Segment::new(corner, b));
+            }
+        }
+        out
+    }
+
+    /// Number of direction changes in the rectilinear realization (one per
+    /// non-axis-aligned edge).
+    pub fn bend_count(&self) -> usize {
+        self.edges()
+            .filter(|&(p, c)| {
+                let (a, b) = (self.point(p), self.point(c));
+                a.x != b.x && a.y != b.y
+            })
+            .count()
+    }
+
+    /// Checks the structural invariants: node 0 is the parentless root,
+    /// every other node's parent precedes it, and child lists mirror
+    /// parent pointers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant. A tree built
+    /// exclusively through [`add_child`](RouteTree::add_child) never
+    /// fails.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes[0].parent.is_some() {
+            return Err("root must have no parent".to_owned());
+        }
+        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            let Some(p) = node.parent else {
+                return Err(format!("non-root node t{i} has no parent"));
+            };
+            if p.0 >= i {
+                return Err(format!("node t{i} has parent {p} that does not precede it"));
+            }
+            if !self.nodes[p.0].children.contains(&TreeNodeId(i)) {
+                return Err(format!("parent {p} does not list t{i} as child"));
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &c in &node.children {
+                if self.nodes[c.0].parent != Some(TreeNodeId(i)) {
+                    return Err(format!("child {c} of t{i} disagrees about its parent"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> RouteTree {
+        // root(0,0) -> s(5,0) -> a(9,3), b(9,-3); root -> c(0,10)
+        let mut t = RouteTree::new(Point::new(0, 0));
+        let s = t.add_child(t.root(), Point::new(5, 0), NodeKind::Steiner);
+        t.add_child(s, Point::new(9, 3), NodeKind::Terminal);
+        t.add_child(s, Point::new(9, -3), NodeKind::Terminal);
+        t.add_child(t.root(), Point::new(0, 10), NodeKind::Terminal);
+        t
+    }
+
+    #[test]
+    fn construction_invariants_hold() {
+        let t = sample_tree();
+        assert!(t.validate().is_ok());
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.edge_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_child_rejects_foreign_parent() {
+        let mut t = RouteTree::new(Point::origin());
+        let _ = t.add_child(TreeNodeId(5), Point::new(1, 1), NodeKind::Terminal);
+    }
+
+    #[test]
+    fn wirelengths_match_hand_computation() {
+        let t = sample_tree();
+        // Edges: (0,0)-(5,0)=5, (5,0)-(9,3)=7, (5,0)-(9,-3)=7, (0,0)-(0,10)=10.
+        assert_eq!(t.wirelength_manhattan(), 5 + 7 + 7 + 10);
+        let expected = 5.0 + 5.0 + 5.0 + 10.0; // Euclidean: 3-4-5 triangles
+        assert!((t.wirelength_euclidean() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn terminals_and_leaves() {
+        let t = sample_tree();
+        assert_eq!(t.terminals().len(), 4); // root + 3 sinks
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 3);
+        assert!(leaves.iter().all(|&l| t.children(l).is_empty()));
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let t = sample_tree();
+        let order = t.postorder();
+        assert_eq!(order.len(), t.node_count());
+        assert_eq!(*order.last().expect("non-empty"), t.root());
+        let pos = |id: TreeNodeId| order.iter().position(|&x| x == id).expect("present");
+        for (p, c) in t.edges() {
+            assert!(pos(c) < pos(p), "child {c} must precede parent {p}");
+        }
+    }
+
+    #[test]
+    fn path_to_root_ends_at_root() {
+        let t = sample_tree();
+        for id in t.node_ids() {
+            let path = t.path_to_root(id);
+            assert_eq!(path[0], id);
+            assert_eq!(*path.last().expect("non-empty"), t.root());
+        }
+    }
+
+    #[test]
+    fn rectilinear_segments_are_axis_aligned() {
+        let t = sample_tree();
+        for s in t.segments_rectilinear() {
+            assert!(s.is_axis_aligned(), "{s} not axis-aligned");
+        }
+        // Total rectilinear length equals Manhattan wirelength.
+        let total: i64 = t
+            .segments_rectilinear()
+            .iter()
+            .map(Segment::manhattan_length)
+            .sum();
+        assert_eq!(total, t.wirelength_manhattan());
+    }
+
+    #[test]
+    fn euclidean_segments_match_edges() {
+        let t = sample_tree();
+        assert_eq!(t.segments_euclidean().len(), t.edge_count());
+        let total: f64 = t.segments_euclidean().iter().map(Segment::length).sum();
+        assert!((total - t.wirelength_euclidean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_edges_skipped_in_segments() {
+        let mut t = RouteTree::new(Point::origin());
+        t.add_child(t.root(), Point::origin(), NodeKind::Steiner);
+        assert!(t.segments_euclidean().is_empty());
+        assert!(t.segments_rectilinear().is_empty());
+    }
+
+    #[test]
+    fn bend_count_counts_diagonal_edges() {
+        let t = sample_tree();
+        // Two diagonal edges: (5,0)-(9,3) and (5,0)-(9,-3).
+        assert_eq!(t.bend_count(), 2);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = RouteTree::new(Point::new(3, 4));
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.wirelength_manhattan(), 0);
+        assert_eq!(t.leaves(), vec![t.root()]);
+        assert!(t.validate().is_ok());
+    }
+}

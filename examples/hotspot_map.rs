@@ -1,0 +1,65 @@
+//! Power hotspot maps (paper Fig. 9): optical vs electrical layer, GLOW
+//! vs OPERON, rendered as ASCII heat maps.
+//!
+//! The paper's observation to look for: the *optical* maps of GLOW and
+//! OPERON look similar (both are dominated by the same EO/OE conversion
+//! sites), while OPERON's *electrical* map is visibly cooler — co-design
+//! moved wire power onto the optical layer.
+//!
+//! ```text
+//! cargo run --release --example hotspot_map
+//! ```
+
+use operon::config::OperonConfig;
+use operon::flow::OperonFlow;
+use operon::report::power_maps;
+use operon_netlist::synth::{generate, SynthConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = generate(&SynthConfig::medium(), 2);
+    let config = OperonConfig::default();
+    let flow = OperonFlow::new(config.clone());
+
+    let operon_result = flow.run(&design)?;
+    let glow = flow.run_glow(&design)?;
+
+    let cells = 32;
+    let operon_maps = power_maps(
+        design.die(),
+        cells,
+        &operon_result.candidates,
+        &operon_result.selection.choice,
+        &config.optical,
+        &config.electrical,
+    );
+    let glow_maps = power_maps(
+        design.die(),
+        cells,
+        &glow.nets,
+        &glow.selection.choice,
+        &config.optical,
+        &config.electrical,
+    );
+
+    println!("== GLOW: optical layer ({:.1} mW) ==", glow_maps.optical.total());
+    print!("{}", glow_maps.optical.normalized());
+    println!("== OPERON: optical layer ({:.1} mW) ==", operon_maps.optical.total());
+    print!("{}", operon_maps.optical.normalized());
+    println!(
+        "== GLOW: electrical layer ({:.1} mW) ==",
+        glow_maps.electrical.total()
+    );
+    print!("{}", glow_maps.electrical.normalized());
+    println!(
+        "== OPERON: electrical layer ({:.1} mW) ==",
+        operon_maps.electrical.total()
+    );
+    print!("{}", operon_maps.electrical.normalized());
+
+    println!(
+        "\nelectrical-layer power: GLOW {:.1} mW vs OPERON {:.1} mW",
+        glow_maps.electrical.total(),
+        operon_maps.electrical.total()
+    );
+    Ok(())
+}

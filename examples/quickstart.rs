@@ -1,0 +1,58 @@
+//! Quickstart: run the full OPERON flow on a synthetic benchmark.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use operon::config::OperonConfig;
+use operon::flow::OperonFlow;
+use operon_netlist::synth::{generate, SynthConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A deterministic synthetic benchmark: ~400 signal bits bundled
+    //    into buses on a 2 cm die.
+    let design = generate(&SynthConfig::medium(), 42);
+    println!(
+        "design '{}': {} signal groups, {} bits, die {}",
+        design.name(),
+        design.group_count(),
+        design.bit_count(),
+        design.die()
+    );
+
+    // 2. Run OPERON with the paper's parameters (LR selector).
+    let config = OperonConfig::default();
+    let flow = OperonFlow::new(config.clone());
+    let result = flow.run(&design)?;
+
+    println!(
+        "hyper nets: {} ({} hyper pins)",
+        result.hyper_nets.len(),
+        result.hyper_pin_count()
+    );
+    println!(
+        "selection: {} optical, {} electrical hyper nets",
+        result.optical_net_count(),
+        result.electrical_net_count()
+    );
+    println!("total power: {:.1} mW", result.total_power_mw());
+    println!(
+        "WDM waveguides: {} connections -> {} placed -> {} after flow assignment",
+        result.wdm.connections.len(),
+        result.wdm.initial_count,
+        result.wdm.final_count()
+    );
+
+    // 3. Compare against the paper's baselines.
+    let electrical =
+        operon::baselines::electrical_power_mw(&design, &config.electrical);
+    let glow = flow.run_glow(&design)?;
+    println!("\npower comparison (mW):");
+    println!("  Electrical [Streak-like] {electrical:10.1}");
+    println!(
+        "  Optical    [GLOW-like]   {:10.1}",
+        glow.selection.power_mw
+    );
+    println!("  OPERON     (LR)          {:10.1}", result.total_power_mw());
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Renders a synthesized design to SVG: electrical wires in orange,
+//! waveguides in blue, modulators green, detectors red, WDM tracks as
+//! dashed light-blue lines.
+//!
+//! ```text
+//! cargo run --release --example render_layout [output.svg]
+//! ```
+
+use operon::config::OperonConfig;
+use operon::flow::OperonFlow;
+use operon::render::{render_svg, RenderOptions};
+use operon_netlist::synth::{generate, SynthConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "operon_layout.svg".to_owned());
+
+    let design = generate(&SynthConfig::medium(), 8);
+    let result = OperonFlow::new(OperonConfig::default()).run(&design)?;
+
+    let svg = render_svg(
+        design.die(),
+        &result.candidates,
+        &result.selection.choice,
+        Some(&result.wdm),
+        &RenderOptions::default(),
+    );
+    std::fs::write(&out_path, &svg)?;
+
+    println!(
+        "wrote {out_path}: {} optical nets (blue), {} electrical nets (orange), {} WDM tracks",
+        result.optical_net_count(),
+        result.electrical_net_count(),
+        result.wdm.final_count()
+    );
+    println!("{} bytes of SVG", svg.len());
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Thermal variation study: ring tuning power and off-resonance derating
+//! of a finished design under a stressed die profile — the
+//! variation-resilience concern of the optical NoC work the paper cites.
+//!
+//! Because OPERON's co-design shares detectors (electrical tails replace
+//! per-sink rings), it fields fewer ring devices than the optical-only
+//! baseline and pays proportionally less tuning power.
+//!
+//! ```text
+//! cargo run --release --example thermal_stress
+//! ```
+
+use operon::config::OperonConfig;
+use operon::flow::OperonFlow;
+use operon::report::thermal_report;
+use operon_geom::{BoundingBox, Point};
+use operon_netlist::{Bit, BitId, Design, GroupId, SignalGroup};
+use operon_optics::thermal::ThermalProfile;
+
+/// Buses whose two sink clusters sit ~0.15 cm apart at the far end of a
+/// 2 cm die: close enough that one detector plus an electrical tail beats
+/// two detectors, far enough that the clusters stay separate hyper pins.
+fn build_design() -> Design {
+    let die = BoundingBox::new(Point::new(0, 0), Point::new(20_000, 20_000));
+    let mut design = Design::new("thermal_stress", die);
+    for g in 0..12u32 {
+        let y = 1_500 + g as i64 * 1_500;
+        let bits = (0..8)
+            .map(|i| {
+                let off = i as i64 * 10;
+                Bit::new(
+                    BitId::new(i),
+                    Point::new(500 + off, y),
+                    vec![
+                        Point::new(18_000 + off, y),
+                        Point::new(18_000 + off, y + 1_200),
+                    ],
+                )
+            })
+            .collect();
+        design.push_group(SignalGroup::new(GroupId::new(g), format!("bus{g}"), bits));
+    }
+    design
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let die_cm = 2.0;
+    let design = build_design();
+    let flow = OperonFlow::new(OperonConfig::default());
+    let operon_result = flow.run(&design)?;
+    let glow = flow.run_glow(&design)?;
+
+    for (label, profile) in [
+        ("uniform 55 degC (calibrated)", ThermalProfile::uniform(55.0)),
+        ("stressed (gradient + hotspot)", ThermalProfile::stressed(die_cm)),
+    ] {
+        let operon_thermal = thermal_report(
+            &operon_result.candidates,
+            &operon_result.selection.choice,
+            &profile,
+        );
+        let glow_thermal =
+            thermal_report(&glow.nets, &glow.selection.choice, &profile);
+        println!("profile: {label}");
+        println!(
+            "  GLOW   : {:>4} device sites, tuning {:.2} mW, worst derating {:.3} dB",
+            glow_thermal.device_sites,
+            glow_thermal.tuning_power_mw,
+            glow_thermal.worst_extra_loss_db
+        );
+        println!(
+            "  OPERON : {:>4} device sites, tuning {:.2} mW, worst derating {:.3} dB",
+            operon_thermal.device_sites,
+            operon_thermal.tuning_power_mw,
+            operon_thermal.worst_extra_loss_db
+        );
+    }
+    Ok(())
+}

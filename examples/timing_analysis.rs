@@ -1,0 +1,76 @@
+//! Delay analysis: the interconnect-delay motivation of the paper's
+//! introduction, quantified on a synthesized design.
+//!
+//! Shows the electrical/optical delay crossover, then runs the flow with
+//! and without a timing bound and reports how the bound steers the medium
+//! selection.
+//!
+//! ```text
+//! cargo run --release --example timing_analysis
+//! ```
+
+use operon::config::OperonConfig;
+use operon::flow::OperonFlow;
+use operon::timing::worst_delay_ps;
+use operon_netlist::synth::{generate, SynthConfig};
+use operon_optics::DelayParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d = DelayParams::paper_defaults();
+    println!("delay models (ps):");
+    println!("{:>8} {:>12} {:>12}", "span(cm)", "electrical", "optical");
+    for len in [0.05, 0.1, 0.2, 0.5, 1.0, 2.0] {
+        println!(
+            "{len:>8} {:>12.1} {:>12.1}",
+            d.electrical_ps(len),
+            d.optical_path_ps(len, 1, 1)
+        );
+    }
+    println!(
+        "crossover: optics wins on delay beyond {:.2} cm\n",
+        d.delay_crossover_cm()
+    );
+
+    let design = generate(&SynthConfig::medium(), 11);
+    let base = OperonConfig::default();
+    let unconstrained = OperonFlow::new(base.clone()).run(&design)?;
+    println!(
+        "unconstrained: {} optical / {} electrical, {:.1} mW, worst arrival {:.0} ps",
+        unconstrained.optical_net_count(),
+        unconstrained.electrical_net_count(),
+        unconstrained.total_power_mw(),
+        unconstrained.worst_delay_ps(&base)
+    );
+
+    let config = OperonConfig {
+        max_delay_ps: Some(600.0),
+        ..base
+    };
+    let constrained = OperonFlow::new(config.clone()).run(&design)?;
+    println!(
+        "bound 600 ps:  {} optical / {} electrical, {:.1} mW, worst arrival {:.0} ps",
+        constrained.optical_net_count(),
+        constrained.electrical_net_count(),
+        constrained.total_power_mw(),
+        constrained.worst_delay_ps(&config)
+    );
+    let violations = constrained.delay_violations(&config);
+    if violations.is_empty() {
+        println!("every selected route meets the bound");
+    } else {
+        println!(
+            "{} nets only have (violating) electrical fallbacks left:",
+            violations.len()
+        );
+        for i in violations {
+            let nc = &constrained.candidates[i];
+            let j = constrained.selection.choice[i];
+            println!(
+                "  net {}: {:.0} ps on the fallback",
+                i,
+                worst_delay_ps(&nc.candidates[j], &config.delay)
+            );
+        }
+    }
+    Ok(())
+}

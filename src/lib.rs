@@ -1,0 +1,24 @@
+//! Workspace facade for the OPERON reproduction.
+//!
+//! This crate exists so the repository root can host runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`). It re-exports
+//! the member crates under short names; library users should depend on the
+//! member crates directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use operon_repro::geom::Point;
+//!
+//! let p = Point::new(10, 20);
+//! assert_eq!(p.x, 10);
+//! ```
+
+pub use operon;
+pub use operon_cluster as cluster;
+pub use operon_geom as geom;
+pub use operon_ilp as ilp;
+pub use operon_mcmf as mcmf;
+pub use operon_netlist as netlist;
+pub use operon_optics as optics;
+pub use operon_steiner as steiner;

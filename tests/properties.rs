@@ -1,0 +1,86 @@
+//! Cross-crate property-based tests on randomly generated designs.
+
+use operon::config::OperonConfig;
+use operon::flow::OperonFlow;
+use operon_cluster::{build_hyper_nets, ClusterConfig};
+use operon_netlist::synth::{generate, HubLayout, SynthConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        1u64..1000,           // proxy for the seed via name uniqueness
+        8usize..80,           // target bits
+        1usize..6,            // min bus width
+        1usize..4,            // fanout max
+        prop_oneof![Just(HubLayout::Random), Just(HubLayout::EdgeInterfaces)],
+        0.0f64..1.0,          // distant sink probability
+    )
+        .prop_map(|(tag, bits, min_w, fan, layout, distant)| SynthConfig {
+            name: format!("prop{tag}"),
+            die_cm: 1.0,
+            target_bits: bits,
+            bits_per_group: (min_w, min_w + 6),
+            sinks_per_bit: (1, fan),
+            hub_count: 6,
+            hub_radius: 200,
+            bit_pitch: 10,
+            distant_sink_prob: distant,
+            hub_layout: layout,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn clustering_partitions_bits(cfg in arb_config(), seed in 0u64..1000) {
+        let design = generate(&cfg, seed);
+        let nets = build_hyper_nets(&design, &ClusterConfig::default());
+        let total: usize = nets.iter().map(|n| n.bit_count()).sum();
+        prop_assert_eq!(total, design.bit_count());
+        for net in &nets {
+            prop_assert!(net.bit_count() <= 32);
+            prop_assert!(net.root_pin().source_count() > 0);
+        }
+    }
+
+    #[test]
+    fn flow_power_is_bounded_by_all_electrical(cfg in arb_config(), seed in 0u64..1000) {
+        // OPERON's selection can never cost more than routing every hyper
+        // net on its electrical fallback (the selection minimizes over a
+        // set containing exactly that assignment).
+        let design = generate(&cfg, seed);
+        let result = OperonFlow::new(OperonConfig::default())
+            .run(&design)
+            .expect("flow");
+        let all_electrical: f64 = result
+            .candidates
+            .iter()
+            .map(|nc| nc.electrical().total_power_mw() + nc.fanout_power_mw)
+            .sum();
+        prop_assert!(result.total_power_mw() <= all_electrical + 1e-6);
+    }
+
+    #[test]
+    fn wdm_counts_bounded(cfg in arb_config(), seed in 0u64..1000) {
+        let design = generate(&cfg, seed);
+        let config = OperonConfig::default();
+        let result = OperonFlow::new(config.clone()).run(&design).expect("flow");
+        let plan = &result.wdm;
+        prop_assert!(plan.final_count() <= plan.initial_count);
+        prop_assert!(plan.final_count() <= plan.connections.len());
+        // Lower bound per orientation: total channels / capacity.
+        let total_bits: usize = plan.connections.iter().map(|c| c.bits).sum();
+        prop_assert!(
+            plan.final_count() >= total_bits.div_ceil(config.optical.wdm_capacity).min(1)
+        );
+    }
+
+    #[test]
+    fn io_round_trip_any_design(cfg in arb_config(), seed in 0u64..1000) {
+        let design = generate(&cfg, seed);
+        let text = operon_netlist::io::write_design(&design);
+        let back = operon_netlist::io::read_design(&text).expect("parse");
+        prop_assert_eq!(design, back);
+    }
+}
