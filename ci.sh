@@ -1,0 +1,25 @@
+#!/bin/sh
+# Repository CI gate: formatting, lints, and the full test suite.
+#
+#   ./ci.sh          # run everything
+#
+# Mirrors what a hosted pipeline would run; keep it green before every
+# commit. Builds are fully offline (all third-party dependencies are
+# vendored as shims under shims/ — see shims/README.md).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI green."

@@ -23,9 +23,7 @@ fn bench_steiner(c: &mut Criterion) {
     let mut group = c.benchmark_group("steiner");
     for n in [4usize, 6, 8] {
         let pts = random_points(n, 11);
-        group.bench_function(format!("rsmt_bi1s_{n}pins"), |b| {
-            b.iter(|| rsmt_bi1s(&pts))
-        });
+        group.bench_function(format!("rsmt_bi1s_{n}pins"), |b| b.iter(|| rsmt_bi1s(&pts)));
         group.bench_function(format!("euclid_steiner_{n}pins"), |b| {
             b.iter(|| euclidean::steiner_tree(&pts, 1.0))
         });
@@ -47,7 +45,12 @@ fn bench_mcmf(c: &mut Criterion) {
             g.add_edge(s, g.node(2 + i), demand, 0);
             for w in 0..n_wdm {
                 if rng.gen_bool(0.2) {
-                    g.add_edge(g.node(2 + i), g.node(2 + n_conn + w), demand, rng.gen_range(0..100));
+                    g.add_edge(
+                        g.node(2 + i),
+                        g.node(2 + n_conn + w),
+                        demand,
+                        rng.gen_range(0..100),
+                    );
                 }
             }
         }

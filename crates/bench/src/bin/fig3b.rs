@@ -33,8 +33,7 @@ fn main() {
     for stages in 1..=4 {
         let arms = vec![2usize; stages];
         let model = splitting_loss_db(&arms);
-        let sim = -10.0
-            * cascade_outputs(&YBranch::ideal(), stages)[0].log10();
+        let sim = -10.0 * cascade_outputs(&YBranch::ideal(), stages)[0].log10();
         println!("{stages:<8} {model:>12.3} {sim:>12.3}");
     }
 }

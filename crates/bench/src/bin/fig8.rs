@@ -37,9 +37,7 @@ fn main() {
         chart.push((cfg.name.clone(), ipct, fpct));
     }
     let avg = 100.0 * reductions.iter().sum::<f64>() / reductions.len().max(1) as f64;
-    println!(
-        "\naverage WDM reduction by the flow assignment: {avg:.1}% (paper: 8.9%)"
-    );
+    println!("\naverage WDM reduction by the flow assignment: {avg:.1}% (paper: 8.9%)");
 
     println!("\nnormalized WDM counts (connections = 100%):");
     for (name, ipct, fpct) in chart {

@@ -43,13 +43,25 @@ fn main() {
         &config.electrical,
     );
 
-    println!("(a) GLOW optical layer — {:.1} mW total", glow_maps.optical.total());
+    println!(
+        "(a) GLOW optical layer — {:.1} mW total",
+        glow_maps.optical.total()
+    );
     print!("{}", glow_maps.optical.normalized());
-    println!("\n(b) GLOW electrical layer — {:.1} mW total", glow_maps.electrical.total());
+    println!(
+        "\n(b) GLOW electrical layer — {:.1} mW total",
+        glow_maps.electrical.total()
+    );
     print!("{}", glow_maps.electrical.normalized());
-    println!("\n(c) OPERON optical layer — {:.1} mW total", operon_maps.optical.total());
+    println!(
+        "\n(c) OPERON optical layer — {:.1} mW total",
+        operon_maps.optical.total()
+    );
     print!("{}", operon_maps.optical.normalized());
-    println!("\n(d) OPERON electrical layer — {:.1} mW total", operon_maps.electrical.total());
+    println!(
+        "\n(d) OPERON electrical layer — {:.1} mW total",
+        operon_maps.electrical.total()
+    );
     print!("{}", operon_maps.electrical.normalized());
 
     // Quantify the two observations.
@@ -81,7 +93,10 @@ fn main() {
             i,
             &resolved.optical,
         );
-        if loads.into_iter().any(|l| l > resolved.optical.max_loss_db + 1e-9) {
+        if loads
+            .into_iter()
+            .any(|l| l > resolved.optical.max_loss_db + 1e-9)
+        {
             undetectable += 1;
         }
     }
@@ -97,10 +112,7 @@ fn map_correlation(a: &operon_geom::Grid, b: &operon_geom::Grid) -> f64 {
     let bv: Vec<f64> = b.iter().map(|(_, v)| v).collect();
     assert_eq!(av.len(), bv.len());
     let n = av.len() as f64;
-    let (ma, mb) = (
-        av.iter().sum::<f64>() / n,
-        bv.iter().sum::<f64>() / n,
-    );
+    let (ma, mb) = (av.iter().sum::<f64>() / n, bv.iter().sum::<f64>() / n);
     let mut cov = 0.0;
     let mut va = 0.0;
     let mut vb = 0.0;

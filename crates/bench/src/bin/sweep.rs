@@ -33,7 +33,10 @@ fn main() {
     println!("benchmark: I1 substitute ({} bits)\n", design.bit_count());
 
     println!("-- detection budget l_m (dB) --");
-    println!("{:>6} {:>11} {:>12} {:>7}", "l_m", "power(mW)", "optical", "WDMs");
+    println!(
+        "{:>6} {:>11} {:>12} {:>7}",
+        "l_m", "power(mW)", "optical", "WDMs"
+    );
     for lm in [5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0] {
         let mut config = base.clone();
         config.optical.max_loss_db = lm;
@@ -42,7 +45,10 @@ fn main() {
     }
 
     println!("\n-- WDM capacity (channels) --");
-    println!("{:>6} {:>11} {:>12} {:>7}", "cap", "power(mW)", "optical", "WDMs");
+    println!(
+        "{:>6} {:>11} {:>12} {:>7}",
+        "cap", "power(mW)", "optical", "WDMs"
+    );
     for cap in [8usize, 16, 32, 64] {
         let mut config = base.clone();
         config.optical.wdm_capacity = cap;
@@ -52,7 +58,10 @@ fn main() {
     }
 
     println!("\n-- crossing loss beta (dB per crossing) --");
-    println!("{:>6} {:>11} {:>12} {:>7}", "beta", "power(mW)", "optical", "WDMs");
+    println!(
+        "{:>6} {:>11} {:>12} {:>7}",
+        "beta", "power(mW)", "optical", "WDMs"
+    );
     for beta in [0.1, 0.3, 0.52, 1.0, 2.0] {
         let mut config = base.clone();
         config.optical.beta_db_per_crossing = beta;

@@ -27,24 +27,29 @@ fn main() {
     // Benchmarks run in parallel; each row is independent.
     let configs = benchmarks();
     let mut rows: Vec<Option<BenchRow>> = vec![None; configs.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for cfg in &configs {
-            handles.push(scope.spawn(move |_| run_table1_row(cfg, ilp_limit)));
+            handles.push(scope.spawn(move || run_table1_row(cfg, ilp_limit)));
         }
         for (slot, handle) in rows.iter_mut().zip(handles) {
             *slot = Some(handle.join().expect("benchmark thread"));
         }
-    })
-    .expect("benchmark scope");
+    });
     let rows: Vec<BenchRow> = rows.into_iter().map(|r| r.expect("filled")).collect();
 
     println!(
         "{:<6} {:>6} {:>6} {:>6} | {:>12} {:>12} | {:>12} {:>9} | {:>12} {:>9}",
-        "Bench", "#Net", "#HNet", "#HPin",
-        "Electrical", "Optical",
-        "OPERON(ILP)", "CPU(s)",
-        "OPERON(LR)", "CPU(s)",
+        "Bench",
+        "#Net",
+        "#HNet",
+        "#HPin",
+        "Electrical",
+        "Optical",
+        "OPERON(ILP)",
+        "CPU(s)",
+        "OPERON(LR)",
+        "CPU(s)",
     );
     println!("{}", "-".to_string().repeat(110));
     let mut sums = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
@@ -56,7 +61,10 @@ fn main() {
         };
         println!(
             "{:<6} {:>6} {:>6} {:>6} | {:>12} {:>12} | {:>12} {:>9} | {:>12} {:>9.1}",
-            row.name, row.nets, row.hnets, row.hpins,
+            row.name,
+            row.nets,
+            row.hnets,
+            row.hpins,
             fmt_power(row.electrical_mw),
             fmt_power(row.optical_mw),
             fmt_power(row.ilp_mw),

@@ -249,7 +249,9 @@ mod tests {
 
     #[test]
     fn every_point_assigned_exactly_once() {
-        let pts: Vec<Point> = (0..57).map(|i| Point::new(i * 13 % 101, i * 7 % 89)).collect();
+        let pts: Vec<Point> = (0..57)
+            .map(|i| Point::new(i * 13 % 101, i * 7 % 89))
+            .collect();
         let clusters = cluster_capacitated(&pts, &params(10));
         let mut seen = vec![false; pts.len()];
         for c in &clusters {
@@ -276,8 +278,10 @@ mod tests {
         assert_eq!(clusters.len(), 2);
         for c in &clusters {
             let blob_of = |i: usize| pts[i].x >= 5_000;
-            assert!(c.iter().all(|&i| blob_of(i) == blob_of(c[0])),
-                "blob split across clusters: {c:?}");
+            assert!(
+                c.iter().all(|&i| blob_of(i) == blob_of(c[0])),
+                "blob split across clusters: {c:?}"
+            );
         }
     }
 
@@ -292,7 +296,9 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let pts: Vec<Point> = (0..40).map(|i| Point::new(i * 17 % 53, i * 5 % 47)).collect();
+        let pts: Vec<Point> = (0..40)
+            .map(|i| Point::new(i * 17 % 53, i * 5 % 47))
+            .collect();
         let a = cluster_capacitated(&pts, &params(6));
         let b = cluster_capacitated(&pts, &params(6));
         assert_eq!(a, b);

@@ -31,6 +31,6 @@ pub mod kmeans;
 
 pub use agglomerate::agglomerate;
 pub use hypernet::{
-    build_hyper_nets, group_clusters, ClusterConfig, ElectricalPin, HyperNet, HyperNetId,
-    HyperPin, PinRole,
+    build_hyper_nets, group_clusters, ClusterConfig, ElectricalPin, HyperNet, HyperNetId, HyperPin,
+    PinRole,
 };

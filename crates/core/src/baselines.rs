@@ -102,8 +102,7 @@ pub fn glow_baseline(nets: &[HyperNet], config: &OperonConfig) -> BaselineSelect
                     .map(move |m| center.manhattan(m.location) as f64)
             })
             .sum();
-        let fanout_power_mw =
-            operon_optics::electrical_power_mw(elec, dbu_to_cm(fanout_dbu));
+        let fanout_power_mw = operon_optics::electrical_power_mw(elec, dbu_to_cm(fanout_dbu));
 
         out_nets.push(NetCandidates {
             net_index: i,
@@ -191,12 +190,7 @@ mod tests {
         let nets = build_hyper_nets(&design, &config.cluster);
         let glow = glow_baseline(&nets, &config);
         assert_eq!(glow.selection.choice.len(), nets.len());
-        let optical = glow
-            .selection
-            .choice
-            .iter()
-            .filter(|&&c| c == 0)
-            .count();
+        let optical = glow.selection.choice.iter().filter(|&&c| c == 0).count();
         assert!(
             optical * 2 >= nets.len(),
             "GLOW should route at least half the nets optically ({optical}/{})",

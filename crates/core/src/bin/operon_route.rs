@@ -1,46 +1,79 @@
 //! Command-line front end for the OPERON flow.
 //!
 //! ```text
-//! operon_route <design.sig> [--ilp SECS] [--capacity N] [--max-loss DB]
-//!              [--max-delay PS] [--scale N/D] [--maps] [--nets] [--svg FILE]
+//! operon_route <design.sig>... [--threads N] [--run-report FILE]
+//!              [--ilp SECS] [--capacity N] [--max-loss DB] [--max-delay PS]
+//!              [--scale N/D] [--maps] [--nets] [--svg FILE]
 //! ```
 //!
-//! Reads a design in the `operon-netlist` text format (see
+//! Reads designs in the `operon-netlist` text format (see
 //! `operon_netlist::io`), runs the flow, and prints the selection summary.
-//! `--maps` additionally renders the optical/electrical power maps as
-//! ASCII heat maps; `--svg` writes the routed layout as an SVG drawing.
+//! Several design paths form a batch: they are routed concurrently on one
+//! shared executor and reported in input order. `--threads` sets the
+//! worker count (0 = one per hardware thread; results are bit-identical
+//! for every count), `--run-report` writes the executor's per-stage JSON
+//! instrumentation. `--maps` additionally renders the optical/electrical
+//! power maps as ASCII heat maps; `--svg` writes the routed layout as an
+//! SVG drawing (single design only).
 
 use operon::config::{OperonConfig, Selector};
 use operon::flow::OperonFlow;
+use operon_exec::Executor;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: operon_route <design.sig> [--ilp SECS] [--capacity N] [--max-loss DB] \
-         [--max-delay PS] [--scale N/D] [--maps] [--nets] [--svg FILE]"
+        "usage: operon_route <design.sig>... [--threads N] [--run-report FILE] [--ilp SECS] \
+         [--capacity N] [--max-loss DB] [--max-delay PS] [--scale N/D] [--maps] [--nets] \
+         [--svg FILE]"
     );
     ExitCode::from(2)
 }
 
+struct Options {
+    config: OperonConfig,
+    show_maps: bool,
+    show_nets: bool,
+    scale: Option<(i64, i64)>,
+    svg_path: Option<String>,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        return usage();
-    };
 
-    let mut config = OperonConfig::default();
-    let mut show_maps = false;
-    let mut show_nets = false;
-    let mut scale: Option<(i64, i64)> = None;
-    let mut svg_path: Option<String> = None;
-    let mut i = 1;
+    let mut paths: Vec<String> = Vec::new();
+    let mut opts = Options {
+        config: OperonConfig::default(),
+        show_maps: false,
+        show_nets: false,
+        scale: None,
+        svg_path: None,
+    };
+    let mut threads = 0usize; // 0 = one worker per hardware thread
+    let mut report_path: Option<String> = None;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--threads" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                threads = n;
+                i += 2;
+            }
+            "--run-report" => {
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                report_path = Some(path.clone());
+                i += 2;
+            }
             "--ilp" => {
                 let Some(secs) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
                     return usage();
                 };
-                config.selector = Selector::Ilp {
+                opts.config.selector = Selector::Ilp {
                     time_limit_secs: secs,
                 };
                 i += 2;
@@ -49,30 +82,30 @@ fn main() -> ExitCode {
                 let Some(cap) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
                     return usage();
                 };
-                config.optical.wdm_capacity = cap;
-                config.cluster.capacity = cap;
+                opts.config.optical.wdm_capacity = cap;
+                opts.config.cluster.capacity = cap;
                 i += 2;
             }
             "--max-loss" => {
                 let Some(db) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
                     return usage();
                 };
-                config.optical.max_loss_db = db;
+                opts.config.optical.max_loss_db = db;
                 i += 2;
             }
             "--max-delay" => {
                 let Some(ps) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
                     return usage();
                 };
-                config.max_delay_ps = Some(ps);
+                opts.config.max_delay_ps = Some(ps);
                 i += 2;
             }
             "--maps" => {
-                show_maps = true;
+                opts.show_maps = true;
                 i += 1;
             }
             "--nets" => {
-                show_nets = true;
+                opts.show_nets = true;
                 i += 1;
             }
             "--scale" => {
@@ -82,11 +115,9 @@ fn main() -> ExitCode {
                 };
                 let parts: Vec<&str> = spec.splitn(2, '/').collect();
                 let num = parts[0].parse::<i64>().ok();
-                let den = parts
-                    .get(1)
-                    .map_or(Some(1), |d| d.parse::<i64>().ok());
+                let den = parts.get(1).map_or(Some(1), |d| d.parse::<i64>().ok());
                 match (num, den) {
-                    (Some(n), Some(d)) if n > 0 && d > 0 => scale = Some((n, d)),
+                    (Some(n), Some(d)) if n > 0 && d > 0 => opts.scale = Some((n, d)),
                     _ => return usage(),
                 }
                 i += 2;
@@ -95,52 +126,95 @@ fn main() -> ExitCode {
                 let Some(path) = args.get(i + 1) else {
                     return usage();
                 };
-                svg_path = Some(path.clone());
+                opts.svg_path = Some(path.clone());
                 i += 2;
             }
-            other => {
+            other if other.starts_with("--") => {
                 eprintln!("unknown argument '{other}'");
                 return usage();
             }
+            design => {
+                paths.push(design.to_owned());
+                i += 1;
+            }
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+    if opts.svg_path.is_some() && paths.len() > 1 {
+        eprintln!("--svg requires a single design");
+        return usage();
+    }
+
+    // One executor for the whole invocation: a batch routes its designs
+    // concurrently, each flow parallelizes internally on the same worker
+    // budget, and every stage lands in one shared run report.
+    let exec = Executor::new(threads);
+    let outputs: Vec<Result<String, String>> = if paths.len() == 1 {
+        vec![route_one(&paths[0], &opts, &exec)]
+    } else {
+        exec.par_map_coarse(&paths, |path| route_one(path, &opts, &exec))
+    };
+
+    let mut failed = false;
+    for (pos, output) in outputs.iter().enumerate() {
+        if pos > 0 {
+            println!();
+        }
+        match output {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
         }
     }
 
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
+    if let Some(path) = report_path {
+        let json = exec.report().to_json();
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
-    };
-    let mut design = match operon_netlist::io::read_design(&text) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Some((n, d)) = scale {
+        println!("run report written to {path}");
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Routes one design and renders its report (the batch driver calls this
+/// concurrently, so everything is returned as a string and printed in
+/// input order by the caller).
+fn route_one(path: &str, opts: &Options, exec: &Executor) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut design = operon_netlist::io::read_design(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some((n, d)) = opts.scale {
         design = design.rescaled(n, d);
     }
 
-    let flow = OperonFlow::new(config.clone());
-    let result = match flow.run(&design) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("flow failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let config = opts.config.clone();
+    let flow = OperonFlow::new(config.clone()).with_executor(exec.clone());
+    let result = flow
+        .run(&design)
+        .map_err(|e| format!("{path}: flow failed: {e}"))?;
 
-    println!(
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(
+        w,
         "{}: {} bits in {} groups -> {} hyper nets ({} hyper pins)",
         design.name(),
         design.bit_count(),
         design.group_count(),
         result.hyper_nets.len(),
         result.hyper_pin_count()
-    );
-    println!(
+    )
+    .expect("write to string");
+    writeln!(
+        w,
         "selection: {} optical / {} electrical hyper nets{}",
         result.optical_net_count(),
         result.electrical_net_count(),
@@ -149,30 +223,38 @@ fn main() -> ExitCode {
         } else {
             ""
         }
-    );
-    println!("total power: {:.2} mW", result.total_power_mw());
-    println!(
+    )
+    .expect("write to string");
+    writeln!(w, "total power: {:.2} mW", result.total_power_mw()).expect("write to string");
+    writeln!(
+        w,
         "WDMs: {} connections -> {} placed -> {} final",
         result.wdm.connections.len(),
         result.wdm.initial_count,
         result.wdm.final_count()
-    );
-    println!(
+    )
+    .expect("write to string");
+    writeln!(
+        w,
         "stage times: cluster {:.0?} | codesign {:.0?} | crossings {:.0?} | select {:.0?} | wdm {:.0?}",
         result.times.clustering,
         result.times.codesign,
         result.times.crossing,
         result.times.selection,
         result.times.wdm
-    );
+    )
+    .expect("write to string");
 
-    if show_nets {
-        println!(
+    if opts.show_nets {
+        writeln!(
+            w,
             "\n{:<6} {:<8} {:>5} {:>11} {:>5} {:>5} {:>11} {:>9} {:>10}",
             "net", "group", "bits", "medium", "nmod", "ndet", "power(mW)", "loss(dB)", "delay(ps)"
-        );
+        )
+        .expect("write to string");
         for s in result.net_summaries(&config) {
-            println!(
+            writeln!(
+                w,
                 "{:<6} {:<8} {:>5} {:>11} {:>5} {:>5} {:>11.2} {:>9.2} {:>10.0}",
                 s.net_index,
                 s.group.to_string(),
@@ -183,29 +265,33 @@ fn main() -> ExitCode {
                 s.power_mw,
                 s.worst_fixed_loss_db,
                 s.worst_delay_ps
-            );
+            )
+            .expect("write to string");
         }
-        println!();
+        writeln!(w).expect("write to string");
     }
 
     if config.max_delay_ps.is_some() {
         let violations = result.delay_violations(&config);
-        println!(
+        writeln!(
+            w,
             "worst arrival: {:.0} ps; {} nets violate the delay bound",
             result.worst_delay_ps(&config),
             violations.len()
-        );
+        )
+        .expect("write to string");
     }
 
-    if show_maps {
+    if opts.show_maps {
         let maps = result.power_maps(&design, &config);
-        println!("\noptical layer ({:.1} mW):", maps.optical.total());
-        print!("{}", maps.optical.normalized());
-        println!("\nelectrical layer ({:.1} mW):", maps.electrical.total());
-        print!("{}", maps.electrical.normalized());
+        writeln!(w, "\noptical layer ({:.1} mW):", maps.optical.total()).expect("write to string");
+        write!(w, "{}", maps.optical.normalized()).expect("write to string");
+        writeln!(w, "\nelectrical layer ({:.1} mW):", maps.electrical.total())
+            .expect("write to string");
+        write!(w, "{}", maps.electrical.normalized()).expect("write to string");
     }
 
-    if let Some(path) = svg_path {
+    if let Some(svg_out) = &opts.svg_path {
         let svg = operon::render::render_svg(
             design.die(),
             &result.candidates,
@@ -213,11 +299,8 @@ fn main() -> ExitCode {
             Some(&result.wdm),
             &operon::render::RenderOptions::default(),
         );
-        if let Err(e) = std::fs::write(&path, svg) {
-            eprintln!("cannot write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("layout written to {path}");
+        std::fs::write(svg_out, svg).map_err(|e| format!("cannot write {svg_out}: {e}"))?;
+        writeln!(w, "layout written to {svg_out}").expect("write to string");
     }
-    ExitCode::SUCCESS
+    Ok(out)
 }

@@ -256,13 +256,10 @@ pub fn analyze_assignment(
         }
     }
 
-    let conversion_power_mw =
-        bits as f64 * operon_optics::optical_power_mw(lib, n_mod, n_det);
-    let electrical_power_mw = bits as f64
-        * operon_optics::electrical_power_mw(elec, dbu_to_cm(elec_len_dbu));
-    let optical_bbox = BoundingBox::from_points(
-        optical_segments.iter().flat_map(|s| [s.a, s.b]),
-    );
+    let conversion_power_mw = bits as f64 * operon_optics::optical_power_mw(lib, n_mod, n_det);
+    let electrical_power_mw =
+        bits as f64 * operon_optics::electrical_power_mw(elec, dbu_to_cm(elec_len_dbu));
+    let optical_bbox = BoundingBox::from_points(optical_segments.iter().flat_map(|s| [s.a, s.b]));
 
     CandidateRoute {
         tree: tree.clone(),
@@ -456,9 +453,7 @@ pub fn codesign_tree(
                 // survivors back.
                 let mut tagged: Vec<(Label, Vec<Option<EdgeMedium>>)> =
                     stratum.into_iter().zip(media_store).collect();
-                tagged.sort_by(|a, b| {
-                    a.0.power.partial_cmp(&b.0.power).expect("finite powers")
-                });
+                tagged.sort_by(|a, b| a.0.power.partial_cmp(&b.0.power).expect("finite powers"));
                 let mut kept: Vec<(Label, Vec<Option<EdgeMedium>>)> = Vec::new();
                 'outer: for (label, media) in tagged {
                     for (kl, _) in &kept {
@@ -527,8 +522,7 @@ pub fn codesign_tree(
                 } else {
                     let arms = partial.opt_children + usize::from(tap_needed);
                     let split = splitting_db(arms);
-                    let mut pending: Vec<f64> =
-                        partial.pending.iter().map(|l| l + split).collect();
+                    let mut pending: Vec<f64> = partial.pending.iter().map(|l| l + split).collect();
                     let mut power = partial.power;
                     if tap_needed {
                         power += pdet;
@@ -603,8 +597,7 @@ pub fn generate_candidates(
     // Optional timing bound: drop candidates whose worst sink arrival
     // exceeds it (the electrical fallback added below always survives).
     if let Some(bound) = config.max_delay_ps {
-        candidates
-            .retain(|c| crate::timing::worst_delay_ps(c, &config.delay) <= bound + 1e-9);
+        candidates.retain(|c| crate::timing::worst_delay_ps(c, &config.delay) <= bound + 1e-9);
     }
 
     // Sort by power and drop near-duplicates / dominated candidates:
@@ -658,8 +651,7 @@ pub fn generate_candidates(
                 .map(move |m| center.manhattan(m.location) as f64)
         })
         .sum();
-    let fanout_power_mw =
-        operon_optics::electrical_power_mw(elec, dbu_to_cm(fanout_dbu));
+    let fanout_power_mw = operon_optics::electrical_power_mw(elec, dbu_to_cm(fanout_dbu));
 
     NetCandidates {
         net_index,
@@ -695,13 +687,7 @@ mod tests {
     #[test]
     fn all_electrical_assignment_has_no_conversions() {
         let t = fig5_tree();
-        let c = analyze_assignment(
-            &t,
-            &[EdgeMedium::Electrical; 3],
-            8,
-            &lib(),
-            &elec(),
-        );
+        let c = analyze_assignment(&t, &[EdgeMedium::Electrical; 3], 8, &lib(), &elec());
         assert_eq!(c.n_mod, 0);
         assert_eq!(c.n_det, 0);
         assert_eq!(c.conversion_power_mw, 0.0);
@@ -739,9 +725,9 @@ mod tests {
         // node serves both sinks (the paper's "third candidate").
         let t = fig5_tree();
         let media = vec![
-            EdgeMedium::Optical,     // root -> steiner
-            EdgeMedium::Electrical,  // steiner -> sink 1
-            EdgeMedium::Electrical,  // steiner -> sink 2
+            EdgeMedium::Optical,    // root -> steiner
+            EdgeMedium::Electrical, // steiner -> sink 1
+            EdgeMedium::Electrical, // steiner -> sink 2
         ];
         let c = analyze_assignment(&t, &media, 4, &lib(), &elec());
         assert_eq!(c.n_mod, 1);
@@ -783,13 +769,7 @@ mod tests {
         let mut t = RouteTree::new(Point::new(0, 0));
         let a = t.add_child(t.root(), Point::new(10_000, 0), NodeKind::Terminal);
         let _b = t.add_child(a, Point::new(20_000, 0), NodeKind::Terminal);
-        let c = analyze_assignment(
-            &t,
-            &[EdgeMedium::Optical; 2],
-            1,
-            &lib(),
-            &elec(),
-        );
+        let c = analyze_assignment(&t, &[EdgeMedium::Optical; 2], 1, &lib(), &elec());
         assert_eq!(c.n_mod, 1);
         assert_eq!(c.n_det, 2);
         assert_eq!(c.paths.len(), 2);
@@ -893,10 +873,8 @@ mod tests {
     fn generate_candidates_always_has_electrical_fallback() {
         use operon_netlist::synth::{generate, SynthConfig};
         let design = generate(&SynthConfig::small(), 4);
-        let nets = operon_cluster::build_hyper_nets(
-            &design,
-            &operon_cluster::ClusterConfig::default(),
-        );
+        let nets =
+            operon_cluster::build_hyper_nets(&design, &operon_cluster::ClusterConfig::default());
         let config = OperonConfig::default();
         for (i, net) in nets.iter().enumerate().take(6) {
             let nc = generate_candidates(net, i, &config);
@@ -917,7 +895,11 @@ mod tests {
         fn arb_tree() -> impl Strategy<Value = RouteTree> {
             (
                 proptest::collection::vec(
-                    ((-20_000i64..20_000, -20_000i64..20_000), 0usize..8, any::<bool>()),
+                    (
+                        (-20_000i64..20_000, -20_000i64..20_000),
+                        0usize..8,
+                        any::<bool>(),
+                    ),
                     1..6,
                 ),
                 (-20_000i64..20_000, -20_000i64..20_000),
@@ -925,8 +907,10 @@ mod tests {
                 .prop_map(|(nodes, root)| {
                     let mut tree = RouteTree::new(Point::new(root.0, root.1));
                     for ((x, y), parent_pick, steiner) in nodes {
-                        let parent =
-                            tree.node_ids().nth(parent_pick % tree.node_count()).expect("in range");
+                        let parent = tree
+                            .node_ids()
+                            .nth(parent_pick % tree.node_count())
+                            .expect("in range");
                         let kind = if steiner && !tree.children(parent).is_empty() {
                             NodeKind::Steiner
                         } else {

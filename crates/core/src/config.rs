@@ -228,15 +228,19 @@ mod tests {
 
     #[test]
     fn bad_converge_ratio_rejected() {
-        let mut cfg = OperonConfig::default();
-        cfg.lr_converge_ratio = 1.0;
+        let cfg = OperonConfig {
+            lr_converge_ratio: 1.0,
+            ..OperonConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn zero_ilp_time_limit_rejected() {
-        let mut cfg = OperonConfig::default();
-        cfg.selector = Selector::Ilp { time_limit_secs: 0 };
+        let cfg = OperonConfig {
+            selector: Selector::Ilp { time_limit_secs: 0 },
+            ..OperonConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

@@ -14,8 +14,9 @@
 //! bounding boxes" — is the bounding-box prefilter here.
 
 use crate::codesign::NetCandidates;
+use operon_exec::Executor;
 use operon_geom::BoundingBox;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Crossing counts between one ordered pair of candidates.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -32,19 +33,32 @@ pub struct PairCross {
 type PairKey = (usize, usize, usize, usize);
 
 /// All pairwise crossing counts over a candidate set.
+///
+/// Both maps are `BTreeMap`s deliberately: selection algorithms iterate
+/// them (directly or through the neighbor lists) while accumulating
+/// floating-point losses, so the iteration order must not depend on a
+/// hash seed for runs to be bit-reproducible.
 #[derive(Clone, Debug, Default)]
 pub struct CrossingIndex {
-    pairs: HashMap<PairKey, PairCross>,
+    pairs: BTreeMap<PairKey, PairCross>,
     /// Adjacency: `(net, cand)` → the `(other_net, other_cand)` it
     /// crosses. Lets selection algorithms iterate actual coupling instead
     /// of scanning every net.
-    neighbors: HashMap<(usize, usize), Vec<(usize, usize)>>,
+    neighbors: BTreeMap<(usize, usize), Vec<(usize, usize)>>,
 }
 
 impl CrossingIndex {
     /// Builds the index over every candidate pair from different hyper
     /// nets whose optical bounding boxes overlap.
     pub fn build(nets: &[NetCandidates]) -> Self {
+        Self::build_with(nets, &Executor::sequential())
+    }
+
+    /// [`build`](Self::build) with the pairwise scan spread over `exec`'s
+    /// workers. Net `a`'s row (its pairs against all `b > a`) is an
+    /// independent unit of work; rows are merged in net order afterwards,
+    /// so the index is identical for every thread count.
+    pub fn build_with(nets: &[NetCandidates], exec: &Executor) -> Self {
         // Net-level prefilter: union bbox of all optical candidates.
         let net_bbox: Vec<Option<BoundingBox>> = nets
             .iter()
@@ -56,30 +70,37 @@ impl CrossingIndex {
             })
             .collect();
 
-        let mut pairs = HashMap::new();
-        for a in 0..nets.len() {
-            let Some(bb_a) = net_bbox[a] else { continue };
+        let rows: Vec<Vec<(PairKey, PairCross)>> = exec.par_map_indexed(&net_bbox, |a, bb_a| {
+            let mut row = Vec::new();
+            let Some(bb_a) = bb_a else { return row };
             for b in a + 1..nets.len() {
                 let Some(bb_b) = net_bbox[b] else { continue };
                 if !bb_a.overlaps(&bb_b) {
                     continue;
                 }
                 for (ai, ca) in nets[a].candidates.iter().enumerate() {
-                    let Some(cbb_a) = ca.optical_bbox else { continue };
+                    let Some(cbb_a) = ca.optical_bbox else {
+                        continue;
+                    };
                     for (bi, cb) in nets[b].candidates.iter().enumerate() {
-                        let Some(cbb_b) = cb.optical_bbox else { continue };
+                        let Some(cbb_b) = cb.optical_bbox else {
+                            continue;
+                        };
                         if !cbb_a.overlaps(&cbb_b) {
                             continue;
                         }
                         let cross = count_pair(ca, cb);
                         if cross.total > 0 {
-                            pairs.insert((a, ai, b, bi), cross);
+                            row.push(((a, ai, b, bi), cross));
                         }
                     }
                 }
             }
-        }
-        let mut neighbors: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+            row
+        });
+
+        let pairs: BTreeMap<PairKey, PairCross> = rows.into_iter().flatten().collect();
+        let mut neighbors: BTreeMap<(usize, usize), Vec<(usize, usize)>> = BTreeMap::new();
         for &(na, ca, nb, cb) in pairs.keys() {
             neighbors.entry((na, ca)).or_default().push((nb, cb));
             neighbors.entry((nb, cb)).or_default().push((na, ca));
@@ -135,9 +156,7 @@ impl CrossingIndex {
 
     /// The `(other_net, other_cand)` candidates that cross `(net, cand)`.
     pub fn neighbors(&self, net: usize, cand: usize) -> &[(usize, usize)] {
-        self.neighbors
-            .get(&(net, cand))
-            .map_or(&[], Vec::as_slice)
+        self.neighbors.get(&(net, cand)).map_or(&[], Vec::as_slice)
     }
 
     /// Number of crossing candidate pairs.
@@ -309,10 +328,7 @@ mod tests {
         let merged = NetCandidates {
             net_index: 0,
             bits: 1,
-            candidates: vec![
-                a.candidates[0].clone(),
-                b.candidates[0].clone(),
-            ],
+            candidates: vec![a.candidates[0].clone(), b.candidates[0].clone()],
             electrical_idx: 0,
             fanout_power_mw: 0.0,
         };
@@ -341,6 +357,28 @@ mod tests {
         }
         // The vertical net crosses both diagonals.
         assert_eq!(idx.neighbors(2, 0).len(), 2);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let nets: Vec<NetCandidates> = (0..24)
+            .map(|k| {
+                let y0 = (k as i64) * 700;
+                optical_net(k, Point::new(0, y0), Point::new(20_000, 18_000 - y0))
+            })
+            .collect();
+        let seq = CrossingIndex::build(&nets);
+        for threads in [2, 4, 8] {
+            let par = CrossingIndex::build_with(&nets, &Executor::new(threads));
+            assert_eq!(par.len(), seq.len(), "threads={threads}");
+            for ((ka, va), (kb, vb)) in seq.iter().zip(par.iter()) {
+                assert_eq!(ka, kb);
+                assert_eq!(va, vb);
+            }
+            for ((na, ca), list) in &seq.neighbors {
+                assert_eq!(par.neighbors(*na, *ca), list.as_slice());
+            }
+        }
     }
 
     #[test]

@@ -36,7 +36,9 @@ mod tests {
         let e = OperonError::InvalidConfig("bad alpha".to_owned());
         assert!(e.to_string().contains("bad alpha"));
         assert!(!OperonError::EmptyDesign.to_string().is_empty());
-        assert!(OperonError::SelectionFailed("x".into()).to_string().contains('x'));
+        assert!(OperonError::SelectionFailed("x".into())
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

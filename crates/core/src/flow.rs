@@ -4,11 +4,12 @@ use crate::baselines::BaselineSelection;
 use crate::codesign::{generate_candidates, NetCandidates};
 use crate::config::{OperonConfig, Selector};
 use crate::formulation::{select_ilp, selection_feasible, SelectionResult};
-use crate::lr::select_lr;
+use crate::lr::select_lr_with;
 use crate::report::{power_maps, PowerMaps};
 use crate::wdm::{self, WdmPlan};
 use crate::{CrossingIndex, OperonError};
 use operon_cluster::{build_hyper_nets, HyperNet};
+use operon_exec::Executor;
 use operon_netlist::Design;
 use std::time::Duration;
 
@@ -199,12 +200,46 @@ impl FlowResult {
 #[derive(Clone, Debug)]
 pub struct OperonFlow {
     config: OperonConfig,
+    exec: Executor,
 }
 
 impl OperonFlow {
     /// Creates a flow with the given configuration.
+    ///
+    /// The flow starts single-threaded; opt into parallelism with
+    /// [`with_threads`](Self::with_threads) or
+    /// [`with_executor`](Self::with_executor). Results are identical
+    /// either way — the executor guarantees bit-identical outputs for
+    /// every thread count.
     pub fn new(config: OperonConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            exec: Executor::sequential(),
+        }
+    }
+
+    /// Runs the parallel stages on `threads` workers (`0` = one per
+    /// hardware thread).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.exec = Executor::new(threads);
+        self
+    }
+
+    /// Runs the parallel stages on an existing executor — lets several
+    /// flows (e.g. a batch run) share one worker budget and accumulate
+    /// into one run report.
+    #[must_use]
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The executor driving the parallel stages (its
+    /// [`report`](Executor::report) carries the per-stage
+    /// instrumentation).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// The active configuration.
@@ -230,7 +265,10 @@ impl OperonFlow {
 
         // Stage 1: signal processing.
         let t = std::time::Instant::now();
-        let hyper_nets = build_hyper_nets(design, &self.config.cluster);
+        let hyper_nets = {
+            let _stage = self.exec.stage("clustering");
+            build_hyper_nets(design, &self.config.cluster)
+        };
         times.clustering = t.elapsed();
 
         // Resolve the instance-dependent crossing-sharing factor.
@@ -238,34 +276,43 @@ impl OperonFlow {
             .config
             .resolved_for(hyper_nets.iter().map(|n| n.bit_count()));
 
-        // Stage 2: co-design candidates.
+        // Stage 2: co-design candidates, one independent DP per hyper net.
         let t = std::time::Instant::now();
-        let candidates: Vec<NetCandidates> = hyper_nets
-            .iter()
-            .enumerate()
-            .map(|(i, net)| generate_candidates(net, i, &config))
-            .collect();
+        let candidates: Vec<NetCandidates> = {
+            let _stage = self.exec.stage("codesign");
+            self.exec
+                .par_map_indexed(&hyper_nets, |i, net| generate_candidates(net, i, &config))
+        };
         times.codesign = t.elapsed();
 
         // Stage 3: crossing coupling + selection.
         let t = std::time::Instant::now();
-        let crossings = CrossingIndex::build(&candidates);
+        let crossings = {
+            let _stage = self.exec.stage("crossing");
+            CrossingIndex::build_with(&candidates, &self.exec)
+        };
         times.crossing = t.elapsed();
 
-        let selection = match config.selector {
-            Selector::Ilp { time_limit_secs } => {
-                // Warm-start the exact solver with the fast LR heuristic so
-                // limit-terminated solves still return a strong incumbent.
-                let warm = select_lr(&candidates, &crossings, &config);
-                select_ilp(
-                    &candidates,
-                    &crossings,
-                    &config.optical,
-                    Duration::from_secs(time_limit_secs),
-                    Some(&warm.choice),
-                )?
+        let selection = {
+            let _stage = self.exec.stage("selection");
+            match config.selector {
+                Selector::Ilp { time_limit_secs } => {
+                    // Warm-start the exact solver with the fast LR heuristic
+                    // so limit-terminated solves still return a strong
+                    // incumbent.
+                    let warm = select_lr_with(&candidates, &crossings, &config, &self.exec);
+                    select_ilp(
+                        &candidates,
+                        &crossings,
+                        &config.optical,
+                        Duration::from_secs(time_limit_secs),
+                        Some(&warm.choice),
+                    )?
+                }
+                Selector::LagrangianRelaxation => {
+                    select_lr_with(&candidates, &crossings, &config, &self.exec)
+                }
             }
-            Selector::LagrangianRelaxation => select_lr(&candidates, &crossings, &config),
         };
         times.selection = selection.elapsed;
         debug_assert!(selection_feasible(
@@ -277,7 +324,10 @@ impl OperonFlow {
 
         // Stage 4: WDM placement + assignment.
         let t = std::time::Instant::now();
-        let wdm = wdm::plan(&candidates, &selection.choice, &config.optical);
+        let wdm = {
+            let _stage = self.exec.stage("wdm");
+            wdm::plan_with(&candidates, &selection.choice, &config.optical, &self.exec)
+        };
         times.wdm = t.elapsed();
 
         Ok(FlowResult {
@@ -330,7 +380,6 @@ impl OperonFlow {
         // Stage 1 + 2, incrementally per group.
         let t = std::time::Instant::now();
         let mut hyper_nets: Vec<HyperNet> = Vec::new();
-        let mut candidates: Vec<NetCandidates> = Vec::new();
         let config = {
             // The sharing factor depends on the final bit distribution;
             // compute it from the new design's groups (bits per cluster
@@ -384,7 +433,9 @@ impl OperonFlow {
         }
         times.clustering = t.elapsed();
 
-        // Re-id densely and (re)generate candidates where needed.
+        // Re-id densely and (re)generate candidates where needed; each
+        // regeneration is an independent DP, so changed groups spread over
+        // the executor while reused candidates just renumber.
         let t = std::time::Instant::now();
         let mut flat: Vec<(HyperNet, Option<NetCandidates>)> = Vec::new();
         for g in per_group {
@@ -394,45 +445,72 @@ impl OperonFlow {
         let resolved = self
             .config
             .resolved_for(flat.iter().map(|(n, _)| n.bit_count()));
-        for (i, (net, reuse)) in flat.into_iter().enumerate() {
-            let net = HyperNet::new(
-                operon_cluster::HyperNetId::new(i as u32),
-                net.group(),
-                net.bits().to_vec(),
-                net.pins().to_vec(),
-            );
-            let cands = match reuse {
-                Some(mut nc) => {
-                    nc.net_index = i;
-                    nc
-                }
-                None => generate_candidates(&net, i, &resolved),
-            };
-            hyper_nets.push(net);
-            candidates.push(cands);
-        }
+        let renumbered: Vec<(HyperNet, Option<NetCandidates>)> = flat
+            .into_iter()
+            .enumerate()
+            .map(|(i, (net, reuse))| {
+                (
+                    HyperNet::new(
+                        operon_cluster::HyperNetId::new(i as u32),
+                        net.group(),
+                        net.bits().to_vec(),
+                        net.pins().to_vec(),
+                    ),
+                    reuse,
+                )
+            })
+            .collect();
+        let candidates: Vec<NetCandidates> = {
+            let _stage = self.exec.stage("codesign");
+            self.exec
+                .par_map_indexed(&renumbered, |i, (net, reuse)| match reuse {
+                    Some(nc) => {
+                        let mut nc = nc.clone();
+                        nc.net_index = i;
+                        nc
+                    }
+                    None => generate_candidates(net, i, &resolved),
+                })
+        };
+        hyper_nets.extend(renumbered.into_iter().map(|(net, _)| net));
         times.codesign = t.elapsed();
 
         // Stages 3 + 4 run globally, exactly as in `run`.
         let t = std::time::Instant::now();
-        let crossings = CrossingIndex::build(&candidates);
+        let crossings = {
+            let _stage = self.exec.stage("crossing");
+            CrossingIndex::build_with(&candidates, &self.exec)
+        };
         times.crossing = t.elapsed();
-        let selection = match resolved.selector {
-            Selector::Ilp { time_limit_secs } => {
-                let warm = select_lr(&candidates, &crossings, &resolved);
-                select_ilp(
-                    &candidates,
-                    &crossings,
-                    &resolved.optical,
-                    Duration::from_secs(time_limit_secs),
-                    Some(&warm.choice),
-                )?
+        let selection = {
+            let _stage = self.exec.stage("selection");
+            match resolved.selector {
+                Selector::Ilp { time_limit_secs } => {
+                    let warm = select_lr_with(&candidates, &crossings, &resolved, &self.exec);
+                    select_ilp(
+                        &candidates,
+                        &crossings,
+                        &resolved.optical,
+                        Duration::from_secs(time_limit_secs),
+                        Some(&warm.choice),
+                    )?
+                }
+                Selector::LagrangianRelaxation => {
+                    select_lr_with(&candidates, &crossings, &resolved, &self.exec)
+                }
             }
-            Selector::LagrangianRelaxation => select_lr(&candidates, &crossings, &resolved),
         };
         times.selection = selection.elapsed;
         let t = std::time::Instant::now();
-        let wdm = wdm::plan(&candidates, &selection.choice, &resolved.optical);
+        let wdm = {
+            let _stage = self.exec.stage("wdm");
+            wdm::plan_with(
+                &candidates,
+                &selection.choice,
+                &resolved.optical,
+                &self.exec,
+            )
+        };
         times.wdm = t.elapsed();
 
         Ok(FlowResult {
@@ -483,13 +561,13 @@ mod tests {
     #[test]
     fn flow_runs_end_to_end_with_ilp() {
         let design = small_design();
-        let mut config = OperonConfig::default();
-        config.selector = Selector::Ilp {
-            time_limit_secs: 30,
+        let config = OperonConfig {
+            selector: Selector::Ilp {
+                time_limit_secs: 30,
+            },
+            ..OperonConfig::default()
         };
-        let result = OperonFlow::new(config)
-            .run(&design)
-            .expect("flow succeeds");
+        let result = OperonFlow::new(config).run(&design).expect("flow succeeds");
         assert!(result.total_power_mw() > 0.0);
     }
 
@@ -499,9 +577,11 @@ mod tests {
         let lr = OperonFlow::new(OperonConfig::default())
             .run(&design)
             .expect("LR flow");
-        let mut config = OperonConfig::default();
-        config.selector = Selector::Ilp {
-            time_limit_secs: 60,
+        let config = OperonConfig {
+            selector: Selector::Ilp {
+                time_limit_secs: 60,
+            },
+            ..OperonConfig::default()
         };
         let ilp = OperonFlow::new(config).run(&design).expect("ILP flow");
         if ilp.selection.proven_optimal {
@@ -521,10 +601,8 @@ mod tests {
         let flow = OperonFlow::new(OperonConfig::default());
         let operon = flow.run(&design).expect("flow");
         let glow = flow.run_glow(&design).expect("glow");
-        let electrical = crate::baselines::electrical_power_mw(
-            &design,
-            &OperonConfig::default().electrical,
-        );
+        let electrical =
+            crate::baselines::electrical_power_mw(&design, &OperonConfig::default().electrical);
         assert!(
             operon.total_power_mw() <= glow.selection.power_mw + 1e-6,
             "OPERON {} should not exceed GLOW {}",
@@ -607,10 +685,8 @@ mod tests {
         // slow electrical candidates out wherever an optical route meets
         // timing — optical share must not drop, and every non-fallback
         // route must meet the bound.
-        let design = operon_netlist::synth::generate(
-            &operon_netlist::synth::SynthConfig::medium(),
-            3,
-        );
+        let design =
+            operon_netlist::synth::generate(&operon_netlist::synth::SynthConfig::medium(), 3);
         let unconstrained = OperonFlow::new(OperonConfig::default())
             .run(&design)
             .expect("flow");

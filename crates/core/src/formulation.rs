@@ -75,7 +75,11 @@ pub fn loaded_path_losses_for(
             continue;
         }
         let pc = crossings.pair(i, j, m, n).expect("listed neighbor");
-        let per_path = if i < m { &pc.per_path_a } else { &pc.per_path_b };
+        let per_path = if i < m {
+            &pc.per_path_a
+        } else {
+            &pc.per_path_b
+        };
         for &(pi, cnt) in per_path {
             losses[pi] += lib.crossing_loss_db(cnt);
         }
@@ -352,8 +356,7 @@ mod tests {
         tree.add_child(tree.root(), b, NodeKind::Terminal);
         let e = ElectricalParams::paper_defaults();
         let optical = analyze_assignment(&tree, &[EdgeMedium::Optical], bits, &lib(), &e);
-        let electrical =
-            analyze_assignment(&tree, &[EdgeMedium::Electrical], bits, &lib(), &e);
+        let electrical = analyze_assignment(&tree, &[EdgeMedium::Electrical], bits, &lib(), &e);
         NetCandidates {
             net_index,
             bits,
@@ -368,8 +371,8 @@ mod tests {
         // 2 cm span: electrical costs 2 mW/bit, optical 0.885 mW/bit.
         let nets = vec![two_pin_net(0, Point::new(0, 0), Point::new(20_000, 0), 1)];
         let crossings = CrossingIndex::build(&nets);
-        let r = select_ilp(&nets, &crossings, &lib(), Duration::from_secs(10), None)
-            .expect("solvable");
+        let r =
+            select_ilp(&nets, &crossings, &lib(), Duration::from_secs(10), None).expect("solvable");
         assert!(r.proven_optimal);
         assert_eq!(r.choice, vec![0]);
         assert!((r.power_mw - 0.885).abs() < 1e-6);
@@ -380,8 +383,8 @@ mod tests {
         // 0.2 cm span: electrical 0.4 mW < optical 0.885 mW.
         let nets = vec![two_pin_net(0, Point::new(0, 0), Point::new(2_000, 0), 1)];
         let crossings = CrossingIndex::build(&nets);
-        let r = select_ilp(&nets, &crossings, &lib(), Duration::from_secs(10), None)
-            .expect("solvable");
+        let r =
+            select_ilp(&nets, &crossings, &lib(), Duration::from_secs(10), None).expect("solvable");
         assert_eq!(r.choice, vec![1]);
         assert!((r.power_mw - 0.4).abs() < 1e-6);
     }
@@ -410,8 +413,8 @@ mod tests {
         ];
         let crossings = CrossingIndex::build(&nets);
         assert_eq!(crossings.len(), 1, "the optical candidates cross");
-        let r = select_ilp(&nets, &crossings, &lib(), Duration::from_secs(10), None)
-            .expect("solvable");
+        let r =
+            select_ilp(&nets, &crossings, &lib(), Duration::from_secs(10), None).expect("solvable");
         assert!(r.proven_optimal);
         let optical_count = r.choice.iter().filter(|&&j| j == 0).count();
         assert_eq!(optical_count, 1, "exactly one net can stay optical");
@@ -425,8 +428,8 @@ mod tests {
             two_pin_net(1, Point::new(0, 30_000), Point::new(30_000, 0), 1),
         ];
         let crossings = CrossingIndex::build(&nets);
-        let r = select_ilp(&nets, &crossings, &lib(), Duration::from_secs(10), None)
-            .expect("solvable");
+        let r =
+            select_ilp(&nets, &crossings, &lib(), Duration::from_secs(10), None).expect("solvable");
         assert_eq!(r.choice, vec![0, 0], "budget absorbs one crossing");
         assert!(selection_feasible(&nets, &crossings, &r.choice, &lib()));
     }

@@ -22,6 +22,7 @@ use crate::formulation::{
     SelectionResult,
 };
 use crate::CrossingIndex;
+use operon_exec::Executor;
 use operon_optics::OpticalLib;
 
 /// Runs the LR-based selection.
@@ -32,6 +33,24 @@ pub fn select_lr(
     nets: &[NetCandidates],
     crossings: &CrossingIndex,
     config: &OperonConfig,
+) -> SelectionResult {
+    select_lr_with(nets, crossings, config, &Executor::sequential())
+}
+
+/// [`select_lr`] with the per-net work spread over `exec`'s workers.
+///
+/// Each iteration's pricing subproblems (line 5 of Algorithm 1) read only
+/// the *previous* iterate and the multipliers, so every net prices
+/// independently; the loaded-loss evaluations feeding the sub-gradient
+/// are likewise per-net pure functions of the frozen joint selection.
+/// Multiplier updates and the repair/polish pass stay sequential — they
+/// are order-dependent by construction. Results are identical to the
+/// sequential [`select_lr`] for every thread count.
+pub fn select_lr_with(
+    nets: &[NetCandidates],
+    crossings: &CrossingIndex,
+    config: &OperonConfig,
+    exec: &Executor,
 ) -> SelectionResult {
     let start = std::time::Instant::now();
     let lib = &config.optical;
@@ -50,27 +69,30 @@ pub fn select_lr(
         .collect();
 
     // Start from the unloaded greedy selection.
-    let mut choice: Vec<usize> = nets
-        .iter()
-        .enumerate()
-        .map(|(i, nc)| best_candidate(nc, i, &lambda, None, crossings, lib))
-        .collect();
+    let mut choice: Vec<usize> = exec.par_map_indexed(nets, |i, nc| {
+        best_candidate(nc, i, &lambda, None, crossings, lib)
+    });
 
     let mut prev_power = f64::INFINITY;
     let mut prev_violation = f64::INFINITY;
 
     for iter in 1..=config.lr_max_iters {
         // Select per net against the previous iterate (lines 5).
-        let previous = choice.clone();
-        for (i, nc) in nets.iter().enumerate() {
-            choice[i] = best_candidate(nc, i, &lambda, Some(&previous), crossings, lib);
-        }
+        let previous = choice;
+        choice = exec.par_map_indexed(nets, |i, nc| {
+            best_candidate(nc, i, &lambda, Some(&previous), crossings, lib)
+        });
 
-        // Violations under the current joint selection (line 6).
+        // Violations under the current joint selection (line 6). The
+        // loaded losses are pure per-net functions of the frozen
+        // `choice`, so they batch-evaluate in parallel; the multiplier
+        // updates below consume them in net order.
+        let all_loads: Vec<Vec<f64>> = exec.par_map_indexed(nets, |i, _| {
+            loaded_path_losses(nets, crossings, &choice, i, lib)
+        });
         let mut total_violation = 0.0f64;
         let step = 1.0 / iter as f64;
-        for i in 0..nets.len() {
-            let loaded = loaded_path_losses(nets, crossings, &choice, i, lib);
+        for (i, loaded) in all_loads.into_iter().enumerate() {
             for (pi, load) in loaded.into_iter().enumerate() {
                 let subgradient = load - lib.max_loss_db;
                 if subgradient > 0.0 {
@@ -129,13 +151,12 @@ pub fn select_lr(
         .collect();
     let polished_greedy = repair_and_polish(nets, crossings, greedy, lib);
 
-    let choice = if selection_power_mw(nets, &polished_lr)
-        <= selection_power_mw(nets, &polished_greedy)
-    {
-        polished_lr
-    } else {
-        polished_greedy
-    };
+    let choice =
+        if selection_power_mw(nets, &polished_lr) <= selection_power_mw(nets, &polished_greedy) {
+            polished_lr
+        } else {
+            polished_greedy
+        };
     debug_assert!(selection_feasible(nets, crossings, &choice, lib));
 
     SelectionResult {
@@ -248,6 +269,7 @@ impl LoadCache {
 
     /// Adds `sign ×` the crossing loss that `(i, j)` inflicts on net `m`'s
     /// current selection.
+    #[allow(clippy::too_many_arguments)]
     fn adjust(
         &mut self,
         crossings: &CrossingIndex,
@@ -259,7 +281,11 @@ impl LoadCache {
         lib: &OpticalLib,
     ) {
         if let Some(pc) = crossings.pair(i, j, m, sel_m) {
-            let per_path_m = if i < m { &pc.per_path_b } else { &pc.per_path_a };
+            let per_path_m = if i < m {
+                &pc.per_path_b
+            } else {
+                &pc.per_path_a
+            };
             for &(pm, n) in per_path_m {
                 self.loads[m][pm] += sign * lib.crossing_loss_db(n);
             }
@@ -294,13 +320,21 @@ impl LoadCache {
             let sel_m = choice[m];
             let mut delta = vec![0.0f64; self.loads[m].len()];
             if let Some(pc) = crossings.pair(i, old_j, m, sel_m) {
-                let per_path_m = if i < m { &pc.per_path_b } else { &pc.per_path_a };
+                let per_path_m = if i < m {
+                    &pc.per_path_b
+                } else {
+                    &pc.per_path_a
+                };
                 for &(pm, n) in per_path_m {
                     delta[pm] -= lib.crossing_loss_db(n);
                 }
             }
             if let Some(pc) = crossings.pair(i, j, m, sel_m) {
-                let per_path_m = if i < m { &pc.per_path_b } else { &pc.per_path_a };
+                let per_path_m = if i < m {
+                    &pc.per_path_b
+                } else {
+                    &pc.per_path_a
+                };
                 for &(pm, n) in per_path_m {
                     delta[pm] += lib.crossing_loss_db(n);
                 }
@@ -519,8 +553,8 @@ mod tests {
             .collect();
         let crossings = CrossingIndex::build(&nets);
         let lib = OpticalLib::paper_defaults();
-        let ilp = select_ilp(&nets, &crossings, &lib, Duration::from_secs(20), None)
-            .expect("solvable");
+        let ilp =
+            select_ilp(&nets, &crossings, &lib, Duration::from_secs(20), None).expect("solvable");
         let lr = select_lr(&nets, &crossings, &config());
         assert!(ilp.proven_optimal);
         assert!(
@@ -548,6 +582,27 @@ mod tests {
         let b = select_lr(&nets, &crossings, &config());
         assert_eq!(a.choice, b.choice);
         assert_eq!(a.power_mw, b.power_mw);
+    }
+
+    #[test]
+    fn parallel_lr_matches_sequential() {
+        let nets: Vec<NetCandidates> = (0..20)
+            .map(|k| {
+                let y0 = (k as i64) * 1_500;
+                two_pin_net(k, Point::new(0, y0), Point::new(28_000, 28_000 - y0), 2)
+            })
+            .collect();
+        let crossings = CrossingIndex::build(&nets);
+        let seq = select_lr(&nets, &crossings, &config());
+        for threads in [2, 4, 8] {
+            let par = select_lr_with(&nets, &crossings, &config(), &Executor::new(threads));
+            assert_eq!(par.choice, seq.choice, "threads={threads}");
+            assert_eq!(
+                par.power_mw.to_bits(),
+                seq.power_mw.to_bits(),
+                "threads={threads}"
+            );
+        }
     }
 
     /// A naive reference repair: start from per-net cheapest, drop the
@@ -702,7 +757,11 @@ mod tests {
         let crossings = CrossingIndex::build(&nets);
         let r = select_lr(&nets, &crossings, &config());
         let optical = r.choice.iter().filter(|&&j| j == 0).count();
-        assert_eq!(optical, 1, "exactly one net can stay optical: {:?}", r.choice);
+        assert_eq!(
+            optical, 1,
+            "exactly one net can stay optical: {:?}",
+            r.choice
+        );
         assert!(selection_feasible(&nets, &crossings, &r.choice, &lib));
     }
 }

@@ -93,12 +93,8 @@ pub fn render_svg(
     if let (true, Some(plan)) = (options.show_wdms, wdm) {
         for track in &plan.wdms {
             let (x1, y1, x2, y2) = match track.orientation {
-                TrackOrientation::Horizontal => {
-                    (die.lo().x, track.track, die.hi().x, track.track)
-                }
-                TrackOrientation::Vertical => {
-                    (track.track, die.lo().y, track.track, die.hi().y)
-                }
+                TrackOrientation::Horizontal => (die.lo().x, track.track, die.hi().x, track.track),
+                TrackOrientation::Vertical => (track.track, die.lo().y, track.track, die.hi().y),
             };
             let _ = writeln!(
                 svg,
@@ -241,7 +237,13 @@ mod tests {
         let nets = vec![net(vec![EdgeMedium::Optical; 3])];
         let choice = vec![0usize];
         let plan = crate::wdm::plan(&nets, &choice, &OpticalLib::paper_defaults());
-        let with = render_svg(die(), &nets, &choice, Some(&plan), &RenderOptions::default());
+        let with = render_svg(
+            die(),
+            &nets,
+            &choice,
+            Some(&plan),
+            &RenderOptions::default(),
+        );
         assert_eq!(count(&with, r#"class="wdm""#), plan.final_count());
         let without = render_svg(
             die(),

@@ -175,9 +175,8 @@ pub fn congestion_report(
         }
     }
     // Convert wirelength demand into parallel-track counts per cell.
-    let cell_span = ((die.width() as f64 / cells as f64)
-        + (die.height() as f64 / cells as f64))
-        / 2.0;
+    let cell_span =
+        ((die.width() as f64 / cells as f64) + (die.height() as f64 / cells as f64)) / 2.0;
     let mut utilization = Grid::new(die, cells, cells);
     let mut overflow = 0usize;
     let mut peak = 0.0f64;
@@ -191,10 +190,8 @@ pub fn congestion_report(
         if frac > 0.0 {
             // Deposit at the cell center so indices line up.
             let lo = die.lo();
-            let cx = lo.x
-                + ((cell.col as f64 + 0.5) * die.width() as f64 / cells as f64) as i64;
-            let cy = lo.y
-                + ((cell.row as f64 + 0.5) * die.height() as f64 / cells as f64) as i64;
+            let cx = lo.x + ((cell.col as f64 + 0.5) * die.width() as f64 / cells as f64) as i64;
+            let cy = lo.y + ((cell.row as f64 + 0.5) * die.height() as f64 / cells as f64) as i64;
             utilization.deposit(Point::new(cx, cy), frac);
         }
     }
@@ -459,7 +456,7 @@ mod tests {
     fn congestion_overflow_triggers_on_tight_supply() {
         // 4 bits of wire through each cell against a supply of 1 track.
         let electrical = net(vec![EdgeMedium::Electrical]);
-        let tight = congestion_report(die(), 16, &[electrical.clone()], &[0], 1);
+        let tight = congestion_report(die(), 16, std::slice::from_ref(&electrical), &[0], 1);
         let loose = congestion_report(die(), 16, &[electrical], &[0], 1_000);
         assert!(tight.overflow_cells > 0, "4 parallel bits exceed 1 track");
         assert_eq!(loose.overflow_cells, 0);
@@ -516,7 +513,11 @@ mod tests {
         // Devices at x = 0.1 cm and 1.9 cm deviate 1 °C and 19 °C from
         // calibration; 4 bits each at 0.02 mW/°C.
         let expect = 4.0 * 0.02 * (1.0 + 19.0);
-        assert!((r.tuning_power_mw - expect).abs() < 1e-9, "{}", r.tuning_power_mw);
+        assert!(
+            (r.tuning_power_mw - expect).abs() < 1e-9,
+            "{}",
+            r.tuning_power_mw
+        );
         assert!(r.worst_extra_loss_db > 0.0);
     }
 

@@ -188,8 +188,7 @@ mod tests {
             &elec,
         );
         let p = params();
-        let expect =
-            p.t_mod_ps + p.flight_ps(1.0) + p.t_det_ps + p.electrical_ps(0.2);
+        let expect = p.t_mod_ps + p.flight_ps(1.0) + p.t_det_ps + p.electrical_ps(0.2);
         let got = worst_delay_ps(&cand, &p);
         assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
     }
@@ -212,10 +211,7 @@ mod tests {
         let p = params();
         let delays = sink_delays(&cand, &p);
         assert_eq!(delays.len(), 2);
-        let b_delay = delays
-            .iter()
-            .map(|s| s.delay_ps)
-            .fold(0.0f64, f64::max);
+        let b_delay = delays.iter().map(|s| s.delay_ps).fold(0.0f64, f64::max);
         let expect = p.t_mod_ps + p.flight_ps(2.0) + p.t_det_ps;
         assert!((b_delay - expect).abs() < 1e-9, "{b_delay} vs {expect}");
     }

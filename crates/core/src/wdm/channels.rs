@@ -210,10 +210,7 @@ mod tests {
 
     #[test]
     fn blocks_are_contiguous_and_disjoint() {
-        let plan = plan_with(
-            vec![wdm(vec![(0, 20), (1, 12)])],
-            vec![conn(20), conn(12)],
-        );
+        let plan = plan_with(vec![wdm(vec![(0, 20), (1, 12)])], vec![conn(20), conn(12)]);
         let ch = assign_channels(&plan, 32);
         assert!(ch[0].is_conflict_free());
         assert_eq!(ch[0].used(), 32);

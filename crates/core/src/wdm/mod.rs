@@ -20,6 +20,7 @@
 pub mod channels;
 
 use crate::codesign::NetCandidates;
+use operon_exec::Executor;
 use operon_mcmf::McmfGraph;
 use operon_optics::OpticalLib;
 
@@ -111,10 +112,7 @@ pub fn extract_connections(nets: &[NetCandidates], choice: &[usize]) -> Vec<Conn
 /// # Panics
 ///
 /// Panics if a connection demands more than the WDM capacity.
-fn place_orientation(
-    connections: &[(usize, &Connection)],
-    lib: &OpticalLib,
-) -> Vec<Wdm> {
+fn place_orientation(connections: &[(usize, &Connection)], lib: &OpticalLib) -> Vec<Wdm> {
     let mut order: Vec<&(usize, &Connection)> = connections.iter().collect();
     order.sort_by_key(|(_, c)| c.track);
 
@@ -131,7 +129,10 @@ fn place_orientation(
                 && (conn.track - w.track).abs() <= lib.wdm_max_displacement
         });
         if fits {
-            wdms.last_mut().expect("checked above").assigned.push((idx, conn.bits));
+            wdms.last_mut()
+                .expect("checked above")
+                .assigned
+                .push((idx, conn.bits));
         } else {
             wdms.push(Wdm {
                 orientation: conn.orientation,
@@ -296,35 +297,57 @@ fn solve_assignment(
 
 /// Runs placement and assignment over a full selection.
 pub fn plan(nets: &[NetCandidates], choice: &[usize], lib: &OpticalLib) -> WdmPlan {
+    plan_with(nets, choice, lib, &Executor::sequential())
+}
+
+/// [`plan`] with the two orientations planned on `exec`'s workers.
+///
+/// Horizontal and vertical tracks share nothing — separate connections,
+/// separate WDMs, separate flow networks — so each orientation's
+/// placement + assignment (including its MCMF reduction loop) runs as one
+/// coarse parallel task. Results are concatenated in the fixed
+/// horizontal-then-vertical order, identical to the sequential [`plan`].
+pub fn plan_with(
+    nets: &[NetCandidates],
+    choice: &[usize],
+    lib: &OpticalLib,
+    exec: &Executor,
+) -> WdmPlan {
     let connections = extract_connections(nets, choice);
+    let orientations = [TrackOrientation::Horizontal, TrackOrientation::Vertical];
+    let per_orientation: Vec<(usize, Vec<Wdm>)> =
+        exec.par_map_coarse(&orientations, |&orientation| {
+            let oriented: Vec<(usize, &Connection)> = connections
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.orientation == orientation)
+                .collect();
+            if oriented.is_empty() {
+                return (0, Vec::new());
+            }
+            // Positions within `oriented` index its WDM assignments; remap the
+            // sweep output to use those local positions consistently.
+            let local: Vec<(usize, &Connection)> = oriented
+                .iter()
+                .enumerate()
+                .map(|(pos, &(_, c))| (pos, c))
+                .collect();
+            let placed = place_orientation(&local, lib);
+            let initial = placed.len();
+            let mut assigned = assign_orientation(&local, placed, lib);
+            // Remap local connection positions back to global indices.
+            for w in &mut assigned {
+                for slot in &mut w.assigned {
+                    slot.0 = oriented[slot.0].0;
+                }
+            }
+            (initial, assigned)
+        });
     let mut wdms = Vec::new();
     let mut initial_count = 0usize;
-    for orientation in [TrackOrientation::Horizontal, TrackOrientation::Vertical] {
-        let oriented: Vec<(usize, &Connection)> = connections
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.orientation == orientation)
-            .collect();
-        if oriented.is_empty() {
-            continue;
-        }
-        // Positions within `oriented` index its WDM assignments; remap the
-        // sweep output to use those local positions consistently.
-        let local: Vec<(usize, &Connection)> = oriented
-            .iter()
-            .enumerate()
-            .map(|(pos, &(_, c))| (pos, c))
-            .collect();
-        let placed = place_orientation(&local, lib);
-        initial_count += placed.len();
-        let assigned = assign_orientation(&local, placed, lib);
-        // Remap local connection positions back to global indices.
-        for mut w in assigned {
-            for slot in &mut w.assigned {
-                slot.0 = oriented[slot.0].0;
-            }
-            wdms.push(w);
-        }
+    for (initial, assigned) in per_orientation {
+        initial_count += initial;
+        wdms.extend(assigned);
     }
     WdmPlan {
         connections,
@@ -486,7 +509,12 @@ mod tests {
     }
 
     /// Builds a one-candidate optical net with a single segment.
-    fn seg_net(net_index: usize, a: operon_geom::Point, b: operon_geom::Point, bits: usize) -> NetCandidates {
+    fn seg_net(
+        net_index: usize,
+        a: operon_geom::Point,
+        b: operon_geom::Point,
+        bits: usize,
+    ) -> NetCandidates {
         use crate::codesign::{analyze_assignment, EdgeMedium};
         use operon_optics::ElectricalParams;
         use operon_steiner::{NodeKind, RouteTree};

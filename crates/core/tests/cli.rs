@@ -30,7 +30,11 @@ fn write_design(name: &str) -> PathBuf {
 fn runs_on_a_valid_design() {
     let path = write_design("valid");
     let out = bin().arg(&path).output().expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("demo: 3 bits in 2 groups"));
     assert!(stdout.contains("total power:"));

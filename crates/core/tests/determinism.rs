@@ -1,0 +1,99 @@
+//! Cross-thread-count determinism of the full flow.
+//!
+//! The `operon-exec` contract says parallelism never changes results —
+//! only which worker computes them. These tests pin that down end to end:
+//! the same seeded benchmark routed with 1, 2, and 8 workers must produce
+//! bit-identical total power, the same per-net candidate choices, and the
+//! same WDM plan.
+
+use operon::config::{OperonConfig, Selector};
+use operon::flow::{FlowResult, OperonFlow};
+use operon_netlist::synth::{generate, SynthConfig};
+
+fn run_with_threads(threads: usize, config: &OperonConfig, seed: u64) -> FlowResult {
+    let design = generate(&SynthConfig::small(), seed);
+    OperonFlow::new(config.clone())
+        .with_threads(threads)
+        .run(&design)
+        .expect("flow succeeds")
+}
+
+fn assert_identical(a: &FlowResult, b: &FlowResult, label: &str) {
+    assert_eq!(a.selection.choice, b.selection.choice, "{label}: choices");
+    assert_eq!(
+        a.total_power_mw().to_bits(),
+        b.total_power_mw().to_bits(),
+        "{label}: power bits ({} vs {})",
+        a.total_power_mw(),
+        b.total_power_mw()
+    );
+    assert_eq!(
+        a.wdm.connections, b.wdm.connections,
+        "{label}: wdm connections"
+    );
+    assert_eq!(
+        a.wdm.initial_count, b.wdm.initial_count,
+        "{label}: initial wdm count"
+    );
+    assert_eq!(
+        a.wdm.final_count(),
+        b.wdm.final_count(),
+        "{label}: final wdm count"
+    );
+    assert_eq!(a.wdm.wdms, b.wdm.wdms, "{label}: wdm assignments");
+    assert_eq!(a.hyper_nets, b.hyper_nets, "{label}: hyper nets");
+}
+
+#[test]
+fn lr_flow_is_bit_identical_across_thread_counts() {
+    for seed in [21, 1718] {
+        let config = OperonConfig::default();
+        let one = run_with_threads(1, &config, seed);
+        for threads in [2, 8] {
+            let many = run_with_threads(threads, &config, seed);
+            assert_identical(&one, &many, &format!("seed {seed}, threads {threads}"));
+        }
+    }
+}
+
+#[test]
+fn ilp_flow_is_bit_identical_across_thread_counts() {
+    let config = OperonConfig {
+        selector: Selector::Ilp {
+            time_limit_secs: 30,
+        },
+        ..OperonConfig::default()
+    };
+    let one = run_with_threads(1, &config, 21);
+    let eight = run_with_threads(8, &config, 21);
+    assert_identical(&one, &eight, "ilp threads 8");
+}
+
+#[test]
+fn parallel_flow_reports_its_stages() {
+    let design = generate(&SynthConfig::small(), 21);
+    let flow = OperonFlow::new(OperonConfig::default()).with_threads(2);
+    let _ = flow.run(&design).expect("flow succeeds");
+    let report = flow.executor().report();
+    assert_eq!(report.threads, 2);
+    let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["clustering", "codesign", "crossing", "selection", "wdm"]
+    );
+    assert!(report.total_tasks > 0, "parallel stages executed tasks");
+    let json = report.to_json();
+    assert!(json.contains("\"codesign\""));
+}
+
+#[test]
+fn eco_rerun_is_bit_identical_across_thread_counts() {
+    let design = generate(&SynthConfig::small(), 21);
+    let seq = OperonFlow::new(OperonConfig::default());
+    let par = OperonFlow::new(OperonConfig::default()).with_threads(8);
+    let prev_seq = seq.run(&design).expect("seq run");
+    let prev_par = par.run(&design).expect("par run");
+    let eco_seq = seq.run_eco(&design, &design, &prev_seq).expect("seq eco");
+    let eco_par = par.run_eco(&design, &design, &prev_par).expect("par eco");
+    assert_identical(&eco_seq, &eco_par, "eco threads 8");
+}

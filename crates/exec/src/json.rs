@@ -1,0 +1,226 @@
+//! A minimal JSON value tree and serializer.
+//!
+//! The run report (and the bench harness's `BENCH_exec.json`) need to
+//! *write* JSON; nothing needs to parse it. With registry crates
+//! unreachable this ~hundred-line writer replaces a `serde_json`
+//! dependency. Output is RFC 8259-conformant: strings are escaped,
+//! non-finite floats serialize as `null`, and integers round-trip
+//! exactly.
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept apart from floats so counters round-trip).
+    Int(i64),
+    /// A float; non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: Vec<(K, Value)>) -> Self {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Compact single-line serialization.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty-printed serialization (two-space indent).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` prints the shortest representation that
+                    // round-trips, and always includes a decimal point
+                    // or exponent — valid JSON either way.
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Value::Object(pairs) => {
+                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                    let (k, v) = &pairs[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Value::Null.compact(), "null");
+        assert_eq!(Value::from(true).compact(), "true");
+        assert_eq!(Value::from(42u64).compact(), "42");
+        assert_eq!(Value::from(-7i64).compact(), "-7");
+        assert_eq!(Value::from(1.5).compact(), "1.5");
+        assert_eq!(Value::Float(f64::NAN).compact(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).compact(), "null");
+    }
+
+    #[test]
+    fn floats_always_have_a_point_or_exponent() {
+        for v in [1.0f64, 0.0, -3.0, 1e30, 1e-30] {
+            let s = Value::from(v).compact();
+            assert!(
+                s.contains('.') || s.contains('e') || s.contains('E'),
+                "ambiguous float encoding: {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = Value::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(v.compact(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = Value::object(vec![
+            (
+                "xs",
+                Value::Array(vec![Value::from(1u64), Value::from(2u64)]),
+            ),
+            ("empty", Value::Array(vec![])),
+            ("s", Value::from("hi")),
+        ]);
+        assert_eq!(v.compact(), r#"{"xs":[1,2],"empty":[],"s":"hi"}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Value::object(vec![("a", Value::from(1u64))]);
+        assert_eq!(v.pretty(), "{\n  \"a\": 1\n}");
+    }
+}

@@ -1,0 +1,47 @@
+//! `operon-exec` — deterministic parallel execution for the OPERON flow.
+//!
+//! The OPERON pipeline is a chain of stages that are internally
+//! embarrassingly parallel: per-hyper-net co-design DP, pairwise crossing
+//! analysis, the per-net pricing subproblems of each Lagrangian-relaxation
+//! iteration, and per-orientation WDM planning. This crate provides the
+//! machinery those stages share:
+//!
+//! * [`Executor`] — a work-stealing scheduler built on
+//!   [`std::thread::scope`] (zero external dependencies) whose
+//!   [`Executor::par_map`] / [`Executor::par_map_indexed`] primitives
+//!   guarantee **output order and bit-identical results regardless of
+//!   thread count**: item `i`'s result always lands at index `i`, and a
+//!   pure per-item function sees exactly the same inputs whether one
+//!   thread or sixteen run the loop.
+//! * [`metrics`] — lightweight instrumentation: atomic task/steal
+//!   counters, [`metrics::StageScope`] timers recording per-stage wall
+//!   and busy-CPU time, and a [`metrics::RunReport`] serialized to JSON
+//!   by the hand-rolled [`json`] module (no serde).
+//!
+//! # Determinism contract
+//!
+//! `par_map` promises: for a function `f` with no interior mutability or
+//! I/O, `exec.par_map(items, f)` returns a `Vec` equal — bit for bit for
+//! float payloads — to `items.iter().map(f).collect()`, for every thread
+//! count. The scheduler only decides *which worker* computes an index,
+//! never the inputs an index sees nor where its output goes.
+//!
+//! # Examples
+//!
+//! ```
+//! use operon_exec::Executor;
+//!
+//! let exec = Executor::new(4);
+//! let squares = exec.par_map(&[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! let seq = Executor::sequential().par_map(&[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, seq);
+//! ```
+
+pub mod executor;
+pub mod json;
+pub mod metrics;
+
+pub use executor::Executor;
+pub use metrics::{RunReport, StageRecord, StageScope};

@@ -1,0 +1,249 @@
+//! Structured instrumentation: counters, stage timers, and the run
+//! report.
+//!
+//! The flow opens a [`StageScope`] around each pipeline stage; dropping
+//! the scope records the stage's wall time together with the deltas of
+//! the executor's atomic counters (tasks executed, steals, busy worker
+//! time) over the stage. [`RunReport`] snapshots everything for human
+//! display or JSON serialization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shared atomic counters plus the accumulated stage records.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Parallel map invocations.
+    pub(crate) par_calls: AtomicU64,
+    /// Items executed across all `par_map`s.
+    tasks: AtomicU64,
+    /// Successful steal operations.
+    steals: AtomicU64,
+    /// Nanoseconds workers spent inside `par_map` loops (busy + brief
+    /// idle spin; an upper bound on useful CPU time).
+    busy_nanos: AtomicU64,
+    /// Completed stage records, in open order.
+    stages: Mutex<Vec<StageRecord>>,
+}
+
+impl Metrics {
+    pub(crate) fn new(_threads: usize) -> Self {
+        Self {
+            par_calls: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            stages: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Flushes one worker's local counters (called once per worker per
+    /// `par_map`, so the atomics stay off the per-item hot path).
+    pub(crate) fn record_worker(&self, tasks: u64, steals: u64, busy: Duration) {
+        self.tasks.fetch_add(tasks, Ordering::Relaxed);
+        self.steals.fetch_add(steals, Ordering::Relaxed);
+        self.busy_nanos
+            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total items executed by `par_map` calls so far.
+    pub fn tasks(&self) -> u64 {
+        self.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Total successful steals so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Total `par_map` invocations so far.
+    pub fn par_calls(&self) -> u64 {
+        self.par_calls.load(Ordering::Relaxed)
+    }
+
+    /// Opens a named stage scope; the record is written when the guard
+    /// drops.
+    pub fn stage(&self, name: impl Into<String>) -> StageScope<'_> {
+        StageScope {
+            metrics: self,
+            name: name.into(),
+            start: Instant::now(),
+            tasks0: self.tasks.load(Ordering::Relaxed),
+            steals0: self.steals.load(Ordering::Relaxed),
+            busy0: self.busy_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshots the accumulated stages into a report.
+    pub fn report(&self, threads: usize) -> RunReport {
+        RunReport {
+            threads,
+            stages: self.stages.lock().expect("stage lock").clone(),
+            total_tasks: self.tasks(),
+            total_steals: self.steals(),
+            total_par_calls: self.par_calls(),
+        }
+    }
+}
+
+/// RAII timer for one pipeline stage.
+///
+/// # Examples
+///
+/// ```
+/// use operon_exec::Executor;
+///
+/// let exec = Executor::new(2);
+/// {
+///     let _scope = exec.stage("codesign");
+///     let _ = exec.par_map(&[1, 2, 3], |x| x * 2);
+/// }
+/// let report = exec.report();
+/// assert_eq!(report.stages.len(), 1);
+/// assert_eq!(report.stages[0].name, "codesign");
+/// ```
+#[must_use = "the stage is recorded when this guard drops"]
+pub struct StageScope<'a> {
+    metrics: &'a Metrics,
+    name: String,
+    start: Instant,
+    tasks0: u64,
+    steals0: u64,
+    busy0: u64,
+}
+
+impl Drop for StageScope<'_> {
+    fn drop(&mut self) {
+        let record = StageRecord {
+            name: std::mem::take(&mut self.name),
+            wall: self.start.elapsed(),
+            busy: Duration::from_nanos(
+                self.metrics
+                    .busy_nanos
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(self.busy0),
+            ),
+            tasks: self.metrics.tasks().saturating_sub(self.tasks0),
+            steals: self.metrics.steals().saturating_sub(self.steals0),
+        };
+        self.metrics.stages.lock().expect("stage lock").push(record);
+    }
+}
+
+/// One completed stage's measurements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageRecord {
+    /// Stage name (e.g. `"codesign"`).
+    pub name: String,
+    /// Wall-clock duration of the scope.
+    pub wall: Duration,
+    /// Worker time spent inside `par_map` loops during the scope — the
+    /// parallel fraction's CPU cost. Zero for purely sequential stages.
+    pub busy: Duration,
+    /// Items executed by `par_map` calls inside the scope.
+    pub tasks: u64,
+    /// Steals inside the scope.
+    pub steals: u64,
+}
+
+/// A full run's instrumentation snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Executor worker count.
+    pub threads: usize,
+    /// Per-stage records, in open order (a batch run appends one set per
+    /// routed design).
+    pub stages: Vec<StageRecord>,
+    /// Items executed across the whole run.
+    pub total_tasks: u64,
+    /// Steals across the whole run.
+    pub total_steals: u64,
+    /// `par_map` invocations across the whole run.
+    pub total_par_calls: u64,
+}
+
+impl RunReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        use crate::json::Value;
+        let stages: Vec<Value> = self
+            .stages
+            .iter()
+            .map(|s| {
+                Value::object(vec![
+                    ("name", Value::from(s.name.as_str())),
+                    ("wall_ms", Value::from(s.wall.as_secs_f64() * 1e3)),
+                    ("busy_ms", Value::from(s.busy.as_secs_f64() * 1e3)),
+                    ("tasks", Value::from(s.tasks)),
+                    ("steals", Value::from(s.steals)),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("threads", Value::from(self.threads as u64)),
+            ("total_tasks", Value::from(self.total_tasks)),
+            ("total_steals", Value::from(self.total_steals)),
+            ("total_par_calls", Value::from(self.total_par_calls)),
+            ("stages", Value::Array(stages)),
+        ])
+        .pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Executor;
+
+    #[test]
+    fn stage_scope_records_deltas() {
+        let exec = Executor::new(2);
+        {
+            let _s = exec.stage("alpha");
+            let _ = exec.par_map(&(0..100).collect::<Vec<_>>(), |&x: &i32| x);
+        }
+        {
+            let _s = exec.stage("beta");
+            // No parallel work inside.
+        }
+        let report = exec.report();
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.stages[0].name, "alpha");
+        assert_eq!(report.stages[0].tasks, 100);
+        assert_eq!(report.stages[1].tasks, 0);
+        assert_eq!(report.total_tasks, 100);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let exec = Executor::new(3);
+        {
+            let _s = exec.stage("only");
+            let _ = exec.par_map(&(0..64).collect::<Vec<_>>(), |&x: &i32| x * 2);
+        }
+        let json = exec.report().to_json();
+        assert!(json.contains("\"threads\": 3"));
+        assert!(json.contains("\"name\": \"only\""));
+        assert!(json.contains("\"tasks\": 64"));
+        // Balanced braces/brackets as a cheap structural check.
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn sequential_stage_has_zero_busy() {
+        let exec = Executor::sequential();
+        {
+            let _s = exec.stage("seq");
+            let _ = exec.par_map(&(0..1000).collect::<Vec<_>>(), |&x: &i32| x + 1);
+        }
+        let report = exec.report();
+        // threads=1 runs inline: no worker loop, no busy time, but the
+        // inline path still produces correct results (tested elsewhere);
+        // tasks are only counted by worker loops.
+        assert_eq!(report.stages[0].busy, Duration::ZERO);
+        assert_eq!(report.stages[0].steals, 0);
+    }
+}

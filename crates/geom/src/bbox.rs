@@ -93,10 +93,7 @@ impl BoundingBox {
     /// The center of the box, rounded toward the lower-left corner.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new(
-            self.lo.x + self.width() / 2,
-            self.lo.y + self.height() / 2,
-        )
+        Point::new(self.lo.x + self.width() / 2, self.lo.y + self.height() / 2)
     }
 
     /// Grows the box (if needed) so it contains `p`.

@@ -132,7 +132,10 @@ impl Grid {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn value(&self, col: usize, row: usize) -> f64 {
-        assert!(col < self.cols && row < self.rows, "cell index out of bounds");
+        assert!(
+            col < self.cols && row < self.rows,
+            "cell index out of bounds"
+        );
         self.cells[row * self.cols + col]
     }
 

@@ -149,8 +149,7 @@ impl Segment {
 
     /// Tests whether `p` lies on the closed segment.
     pub fn contains(&self, p: Point) -> bool {
-        Self::orientation(self.a, self.b, p) == Orientation::Collinear
-            && self.contains_collinear(p)
+        Self::orientation(self.a, self.b, p) == Orientation::Collinear && self.contains_collinear(p)
     }
 
     /// Perpendicular distance from `p` to the supporting line, in dbu.

@@ -247,8 +247,8 @@ impl BoundedTableau {
         for i in 0..self.m {
             let cb = self.cost2[self.basis[i]];
             if cb != 0.0 {
-                for j in 0..width {
-                    obj[j] -= cb * self.t[i][j];
+                for (o, t) in obj.iter_mut().zip(&self.t[i][..width]) {
+                    *o -= cb * t;
                 }
             }
         }
@@ -533,11 +533,7 @@ mod tests {
             LpRow::new(vec![0.0, 1.0, 1.0], Cmp::Ge, 1.0),
             LpRow::new(vec![1.0, 0.0, 1.0], Cmp::Ge, 1.0),
         ];
-        let (obj, x) = opt(solve_lp_bounded(
-            &[1.0, 1.0, 1.0],
-            &rows,
-            &[1.0, 1.0, 1.0],
-        ));
+        let (obj, x) = opt(solve_lp_bounded(&[1.0, 1.0, 1.0], &rows, &[1.0, 1.0, 1.0]));
         assert!((obj - 1.5).abs() < 1e-7, "obj {obj}");
         assert!(x.iter().all(|&v| (v - 0.5).abs() < 1e-6));
     }

@@ -42,4 +42,4 @@ pub mod simplex;
 mod solver;
 
 pub use model::{Cmp, LinExpr, Model, VarId};
-pub use solver::{SolveOptions, SolveStatus, Solution};
+pub use solver::{Solution, SolveOptions, SolveStatus};

@@ -111,9 +111,9 @@ impl Tableau {
         // Normalize rows to b >= 0 and classify.
         #[derive(Clone, Copy)]
         enum Kind {
-            Slack,        // <= with slack
-            SurplusArt,   // >= with surplus + artificial
-            Art,          // == with artificial
+            Slack,      // <= with slack
+            SurplusArt, // >= with surplus + artificial
+            Art,        // == with artificial
         }
         let mut norm: Vec<(Vec<f64>, f64, Kind)> = Vec::with_capacity(m);
         for row in rows {
@@ -313,8 +313,7 @@ impl Tableau {
                 let better = match best {
                     None => true,
                     Some((br, bi)) => {
-                        ratio < br - EPS
-                            || (ratio < br + EPS && self.basis[i] < self.basis[bi])
+                        ratio < br - EPS || (ratio < br + EPS && self.basis[i] < self.basis[bi])
                     }
                 };
                 if better {
@@ -354,9 +353,7 @@ impl Tableau {
     fn evict_basic_artificials(&mut self) {
         for i in 0..self.m {
             if self.basis[i] >= self.art_start {
-                if let Some(col) = (0..self.art_start)
-                    .find(|&j| self.t[i][j].abs() > EPS)
-                {
+                if let Some(col) = (0..self.art_start).find(|&j| self.t[i][j].abs() > EPS) {
                     self.pivot(i, col);
                 }
             }
@@ -434,19 +431,13 @@ mod tests {
             LpRow::new(vec![1.0], Cmp::Ge, 2.0),
             LpRow::new(vec![1.0], Cmp::Le, 1.0),
         ];
-        assert!(matches!(
-            solve_lp(&[1.0], &rows),
-            LpOutcome::Infeasible
-        ));
+        assert!(matches!(solve_lp(&[1.0], &rows), LpOutcome::Infeasible));
     }
 
     #[test]
     fn unbounded_detected() {
         // min -x with no upper bound on x.
-        assert!(matches!(
-            solve_lp(&[-1.0], &[]),
-            LpOutcome::Unbounded
-        ));
+        assert!(matches!(solve_lp(&[-1.0], &[]), LpOutcome::Unbounded));
     }
 
     #[test]

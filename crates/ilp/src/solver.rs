@@ -602,7 +602,12 @@ mod tests {
         let mut m = Model::new();
         let vars: Vec<VarId> = (0..4).map(|i| m.add_binary(format!("x{i}"))).collect();
         m.add_eq(vars.iter().map(|&v| (1.0, v)).collect::<Vec<_>>(), 1.0);
-        m.set_objective([(4.0, vars[0]), (3.0, vars[1]), (2.0, vars[2]), (1.0, vars[3])]);
+        m.set_objective([
+            (4.0, vars[0]),
+            (3.0, vars[1]),
+            (2.0, vars[2]),
+            (1.0, vars[3]),
+        ]);
         let opts = SolveOptions {
             initial_solution: Some(vec![1.0, 0.0, 0.0, 0.0]), // cost 4
             ..SolveOptions::default()
@@ -635,9 +640,7 @@ mod tests {
         assert!(n <= 16);
         let mut best: Option<f64> = None;
         for mask in 0u32..(1 << n) {
-            let values: Vec<f64> = (0..n)
-                .map(|i| ((mask >> i) & 1) as f64)
-                .collect();
+            let values: Vec<f64> = (0..n).map(|i| ((mask >> i) & 1) as f64).collect();
             if m.constraints.iter().all(|c| c.satisfied(&values, 1e-9)) {
                 let obj = m.objective.eval(&values);
                 if best.is_none_or(|b| obj < b) {
@@ -709,8 +712,8 @@ mod tests {
             let x: Vec<Vec<VarId>> = (0..3)
                 .map(|i| (0..3).map(|j| m.add_binary(format!("x{i}{j}"))).collect())
                 .collect();
-            for i in 0..3 {
-                m.add_eq((0..3).map(|j| (1.0, x[i][j])).collect::<Vec<_>>(), 1.0);
+            for (i, row) in x.iter().enumerate() {
+                m.add_eq(row.iter().map(|&v| (1.0, v)).collect::<Vec<_>>(), 1.0);
                 m.add_eq((0..3).map(|j| (1.0, x[j][i])).collect::<Vec<_>>(), 1.0);
             }
             let obj: Vec<(f64, VarId)> = (0..9)

@@ -454,8 +454,7 @@ mod tests {
             for a1 in 0..=20i64 {
                 for a2 in 0..=20i64 {
                     if a0 + a1 + a2 <= 32 && (60 - a0 - a1 - a2) <= 32 {
-                        let disp =
-                            (20 - a0) + a1 + a2 * 2 + (20 - a2);
+                        let disp = (20 - a0) + a1 + a2 * 2 + (20 - a2);
                         best = best.min(disp);
                     }
                 }
@@ -603,8 +602,8 @@ mod tests {
             }
             prop_assert_eq!(net[0], r.flow);
             prop_assert_eq!(net[n - 1], -r.flow);
-            for v in 1..n - 1 {
-                prop_assert_eq!(net[v], 0);
+            for &imbalance in &net[1..n - 1] {
+                prop_assert_eq!(imbalance, 0);
             }
         }
     }

@@ -140,7 +140,8 @@ impl Design {
             numerator > 0 && denominator > 0,
             "scale factors must be positive, got {numerator}/{denominator}"
         );
-        let scale = |p: Point| Point::new(p.x * numerator / denominator, p.y * numerator / denominator);
+        let scale =
+            |p: Point| Point::new(p.x * numerator / denominator, p.y * numerator / denominator);
         let die = BoundingBox::new(scale(self.die.lo()), scale(self.die.hi()));
         let mut out = Design::new(self.name.clone(), die);
         for group in &self.groups {

@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(g.index(), 3);
 /// assert_eq!(g.to_string(), "g3");
 /// ```
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct GroupId(u32);
 
 impl GroupId {
@@ -51,9 +49,7 @@ impl fmt::Display for GroupId {
 ///
 /// assert_eq!(BitId::new(7).index(), 7);
 /// ```
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BitId(u32);
 
 impl BitId {
@@ -86,9 +82,7 @@ impl fmt::Display for BitId {
 /// let r = BitRef::new(GroupId::new(2), BitId::new(5));
 /// assert_eq!(r.to_string(), "g2.b5");
 /// ```
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BitRef {
     /// The owning group.
     pub group: GroupId,

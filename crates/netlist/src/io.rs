@@ -123,10 +123,8 @@ pub fn read_design(text: &str) -> Result<Design, ParseDesignError> {
             }
             "die" => {
                 let nums = parse_i64s(&mut tokens, 4, lineno)?;
-                let d = BoundingBox::new(
-                    Point::new(nums[0], nums[1]),
-                    Point::new(nums[2], nums[3]),
-                );
+                let d =
+                    BoundingBox::new(Point::new(nums[0], nums[1]), Point::new(nums[2], nums[3]));
                 let Some(n) = name.clone() else {
                     return Err(ParseDesignError::new(
                         lineno,

@@ -169,7 +169,11 @@ mod tests {
     use super::*;
 
     fn bit(i: u32, sx: i64, sy: i64) -> Bit {
-        Bit::new(BitId::new(i), Point::new(sx, sy), vec![Point::new(sx + 10, sy)])
+        Bit::new(
+            BitId::new(i),
+            Point::new(sx, sy),
+            vec![Point::new(sx + 10, sy)],
+        )
     }
 
     #[test]
@@ -186,17 +190,16 @@ mod tests {
             vec![Point::new(2, 2), Point::new(3, 3)],
         );
         let pins: Vec<_> = b.pins().collect();
-        assert_eq!(pins, vec![Point::new(1, 1), Point::new(2, 2), Point::new(3, 3)]);
+        assert_eq!(
+            pins,
+            vec![Point::new(1, 1), Point::new(2, 2), Point::new(3, 3)]
+        );
         assert_eq!(b.pin_count(), 3);
     }
 
     #[test]
     fn bit_bounding_box_covers_pins() {
-        let b = Bit::new(
-            BitId::new(0),
-            Point::new(5, -2),
-            vec![Point::new(-1, 7)],
-        );
+        let b = Bit::new(BitId::new(0), Point::new(5, -2), vec![Point::new(-1, 7)]);
         let bb = b.bounding_box();
         assert_eq!(bb.lo(), Point::new(-1, -2));
         assert_eq!(bb.hi(), Point::new(5, 7));

@@ -267,13 +267,7 @@ struct Hubs {
 }
 
 /// Places hub centers, keeping the scatter radius inside the die.
-fn place_hubs(
-    rng: &mut StdRng,
-    side: i64,
-    count: usize,
-    radius: i64,
-    layout: HubLayout,
-) -> Hubs {
+fn place_hubs(rng: &mut StdRng, side: i64, count: usize, radius: i64, layout: HubLayout) -> Hubs {
     let margin = radius + 1;
     match layout {
         HubLayout::Random => {
@@ -470,7 +464,13 @@ mod tests {
 
     #[test]
     fn paper_suite_matches_published_bit_counts() {
-        let expected = [("I1", 2660), ("I2", 1782), ("I3", 5072), ("I4", 3224), ("I5", 1994)];
+        let expected = [
+            ("I1", 2660),
+            ("I2", 1782),
+            ("I3", 5072),
+            ("I4", 3224),
+            ("I5", 1994),
+        ];
         let suite = paper_suite();
         assert_eq!(suite.len(), expected.len());
         for (cfg, (name, bits)) in suite.iter().zip(expected) {

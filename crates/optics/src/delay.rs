@@ -129,9 +129,7 @@ impl DelayParams {
     ///
     /// Panics if `length_cm` is negative.
     pub fn optical_path_ps(&self, length_cm: f64, n_mod: usize, n_det: usize) -> f64 {
-        self.flight_ps(length_cm)
-            + self.t_mod_ps * n_mod as f64
-            + self.t_det_ps * n_det as f64
+        self.flight_ps(length_cm) + self.t_mod_ps * n_mod as f64 + self.t_det_ps * n_det as f64
     }
 
     /// The wire length beyond which a single-hop optical link (one EO +
@@ -197,7 +195,10 @@ mod tests {
         let d = DelayParams::paper_defaults();
         let a = d.electrical_ps(0.02);
         let b = d.electrical_ps(0.04);
-        assert!((b / a - 4.0).abs() < 1e-9, "doubling length quadruples delay");
+        assert!(
+            (b / a - 4.0).abs() < 1e-9,
+            "doubling length quadruples delay"
+        );
     }
 
     #[test]

@@ -29,8 +29,8 @@
 //! ```
 
 pub mod delay;
-pub mod linkbudget;
 mod lib_params;
+pub mod linkbudget;
 mod loss;
 mod power;
 pub mod splitter;

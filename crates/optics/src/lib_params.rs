@@ -90,7 +90,10 @@ impl OpticalLib {
     /// or a sharing factor below one.
     pub fn validate(&self) -> Result<(), String> {
         if self.alpha_db_per_cm < 0.0 {
-            return Err(format!("alpha must be non-negative, got {}", self.alpha_db_per_cm));
+            return Err(format!(
+                "alpha must be non-negative, got {}",
+                self.alpha_db_per_cm
+            ));
         }
         if self.beta_db_per_crossing < 0.0 {
             return Err(format!(

@@ -60,7 +60,10 @@ impl LinkBudget {
     /// non-positive budget or an efficiency outside `(0, 1]`.
     pub fn validate(&self) -> Result<(), String> {
         if self.margin_db < 0.0 {
-            return Err(format!("margin must be non-negative, got {}", self.margin_db));
+            return Err(format!(
+                "margin must be non-negative, got {}",
+                self.margin_db
+            ));
         }
         if self.max_loss_db() <= 0.0 {
             return Err(format!(

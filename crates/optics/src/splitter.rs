@@ -68,7 +68,10 @@ impl YBranch {
         );
         assert!(input >= 0.0, "input power must be non-negative");
         let through = input * 10f64.powf(-self.excess_loss_db / 10.0);
-        (through * self.split_ratio, through * (1.0 - self.split_ratio))
+        (
+            through * self.split_ratio,
+            through * (1.0 - self.split_ratio),
+        )
     }
 
     /// The per-arm loss of a single stage in dB (for a 50-50 device this

@@ -102,7 +102,10 @@ impl ThermalProfile {
         }
         if let Some(h) = &self.hotspot {
             if h.sigma_cm <= 0.0 {
-                return Err(format!("hotspot sigma must be positive, got {}", h.sigma_cm));
+                return Err(format!(
+                    "hotspot sigma must be positive, got {}",
+                    h.sigma_cm
+                ));
             }
         }
         Ok(())
@@ -110,9 +113,8 @@ impl ThermalProfile {
 
     /// Temperature at die location `(x_cm, y_cm)`, °C.
     pub fn temperature_c(&self, x_cm: f64, y_cm: f64) -> f64 {
-        let mut t = self.ambient_c
-            + self.gradient_c_per_cm.0 * x_cm
-            + self.gradient_c_per_cm.1 * y_cm;
+        let mut t =
+            self.ambient_c + self.gradient_c_per_cm.0 * x_cm + self.gradient_c_per_cm.1 * y_cm;
         if let Some(h) = &self.hotspot {
             let dx = x_cm - h.center_cm.0;
             let dy = y_cm - h.center_cm.1;
@@ -158,7 +160,10 @@ mod tests {
         let mut p = ThermalProfile::uniform(50.0);
         p.gradient_c_per_cm = (10.0, 0.0);
         assert!((p.temperature_c(2.0, 0.0) - 70.0).abs() < 1e-12);
-        assert!((p.temperature_c(2.0, 5.0) - 70.0).abs() < 1e-12, "y has no effect");
+        assert!(
+            (p.temperature_c(2.0, 5.0) - 70.0).abs() < 1e-12,
+            "y has no effect"
+        );
     }
 
     #[test]

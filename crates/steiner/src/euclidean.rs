@@ -86,11 +86,7 @@ pub fn steiner_tree(terminals: &[Point], min_gain: f64) -> RouteTree {
                     }
                     let mut trial = points.clone();
                     trial.push(fermat);
-                    let len = mst::length(
-                        &trial,
-                        &mst::euclidean(&trial),
-                        Metric::Euclidean,
-                    );
+                    let len = mst::length(&trial, &mst::euclidean(&trial), Metric::Euclidean);
                     let gain = base - len;
                     if gain > min_gain && best.is_none_or(|(g, _)| gain > g) {
                         best = Some((gain, fermat));
@@ -126,8 +122,7 @@ pub fn steiner_tree(terminals: &[Point], min_gain: f64) -> RouteTree {
 /// assert!(f.euclidean(Point::new(30, 17)) < 2.0);
 /// ```
 pub fn fermat_point(corners: &[Point; 3]) -> Point {
-    let mut cur = FPoint::centroid(corners.iter().map(|&p| p.to_fpoint()))
-        .expect("three corners");
+    let mut cur = FPoint::centroid(corners.iter().map(|&p| p.to_fpoint())).expect("three corners");
     for _ in 0..60 {
         let mut wx = 0.0;
         let mut wy = 0.0;
@@ -155,11 +150,7 @@ pub fn fermat_point(corners: &[Point; 3]) -> Point {
 
 fn dedupe(points: &[Point]) -> Vec<Point> {
     let mut seen = HashSet::new();
-    points
-        .iter()
-        .copied()
-        .filter(|&p| seen.insert(p))
-        .collect()
+    points.iter().copied().filter(|&p| seen.insert(p)).collect()
 }
 
 #[cfg(test)]

@@ -86,8 +86,8 @@ pub fn rsmt_exact(terminals: &[Point]) -> Option<RouteTree> {
     // point index t.
     for t in 1..k {
         let mask = 1usize << (t - 1);
-        for v in 0..n {
-            dp[mask][v] = dist(t, v);
+        for (v, slot) in dp[mask].iter_mut().enumerate() {
+            *slot = dist(t, v);
         }
     }
 

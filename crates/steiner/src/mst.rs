@@ -71,7 +71,10 @@ pub fn edges(points: &[Point], metric: Metric) -> Vec<(usize, usize)> {
                 pick_dist = best_dist[j];
             }
         }
-        debug_assert!(pick != usize::MAX, "graph is complete, a pick always exists");
+        debug_assert!(
+            pick != usize::MAX,
+            "graph is complete, a pick always exists"
+        );
         in_tree[pick] = true;
         result.push((best_from[pick], pick));
         for j in 0..n {

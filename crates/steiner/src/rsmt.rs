@@ -53,7 +53,11 @@ pub fn hanan_points(terminals: &[Point]) -> Vec<Point> {
 fn mst_len_with(pts: &[Point], extra: &[Point]) -> f64 {
     let mut all = pts.to_vec();
     all.extend_from_slice(extra);
-    mst::length(&all, &mst::edges(&all, Metric::Manhattan), Metric::Manhattan)
+    mst::length(
+        &all,
+        &mst::edges(&all, Metric::Manhattan),
+        Metric::Manhattan,
+    )
 }
 
 /// Builds an approximate RSMT over `terminals` with the Batched Iterated
@@ -212,9 +216,7 @@ mod tests {
     fn two_terminals_need_no_steiner_points() {
         let t = rsmt_bi1s(&[Point::new(0, 0), Point::new(5, 7)]);
         assert_eq!(t.wirelength_manhattan(), 12);
-        assert!(t
-            .node_ids()
-            .all(|id| t.kind(id) == NodeKind::Terminal));
+        assert!(t.node_ids().all(|id| t.kind(id) == NodeKind::Terminal));
     }
 
     #[test]
@@ -238,9 +240,7 @@ mod tests {
         let t = rsmt_bi1s(&pins);
         // MST: 15 + 10 = 25; RSMT: trunk 10 + 5 + 5 = 20.
         assert_eq!(t.wirelength_manhattan(), 20);
-        assert!(t
-            .node_ids()
-            .any(|id| t.kind(id) == NodeKind::Steiner));
+        assert!(t.node_ids().any(|id| t.kind(id) == NodeKind::Steiner));
     }
 
     #[test]

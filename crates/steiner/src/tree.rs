@@ -88,10 +88,7 @@ impl RouteTree {
     ///
     /// Panics if `parent` is not a node of this tree.
     pub fn add_child(&mut self, parent: TreeNodeId, point: Point, kind: NodeKind) -> TreeNodeId {
-        assert!(
-            parent.0 < self.nodes.len(),
-            "parent {parent} out of bounds"
-        );
+        assert!(parent.0 < self.nodes.len(), "parent {parent} out of bounds");
         let id = TreeNodeId(self.nodes.len());
         self.nodes.push(TreeNode {
             point,
@@ -146,9 +143,8 @@ impl RouteTree {
 
     /// Iterates over edges as `(parent_id, child_id)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (TreeNodeId, TreeNodeId)> + '_ {
-        self.node_ids().filter_map(move |id| {
-            self.parent(id).map(|p| (p, id))
-        })
+        self.node_ids()
+            .filter_map(move |id| self.parent(id).map(|p| (p, id)))
     }
 
     /// All terminal node ids (the root plus all sink pins).

@@ -25,8 +25,10 @@ fn main() {
     let bits = 8;
 
     println!("hyper net: source (0,0) -> steiner (1 cm,0) -> sinks at (1.4 cm, ±0.3 cm)");
-    println!("bits: {bits}; alpha {} dB/cm, beta {} dB, l_m {} dB\n",
-        lib.alpha_db_per_cm, lib.beta_db_per_crossing, lib.max_loss_db);
+    println!(
+        "bits: {bits}; alpha {} dB/cm, beta {} dB, l_m {} dB\n",
+        lib.alpha_db_per_cm, lib.beta_db_per_crossing, lib.max_loss_db
+    );
 
     let mut candidates = codesign_tree(&tree, bits, &lib, &elec, 64);
     candidates.sort_by(|a, b| {

@@ -1,0 +1,32 @@
+//! Emits the synthetic paper-suite benchmarks (I1–I5) as `.sig` design
+//! files for `operon_route`.
+//!
+//! ```text
+//! cargo run --release --example emit_benchmarks [-- OUT_DIR]
+//! ```
+//!
+//! Uses the same generator seed as the bench harness (2018, the paper's
+//! publication year), so the emitted files match what `table1` and the
+//! integration tests route.
+
+use operon_netlist::io::write_design;
+use operon_netlist::synth::{generate, paper_suite};
+
+const HARNESS_SEED: u64 = 2018;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+    std::fs::create_dir_all(&out_dir)?;
+    for config in paper_suite() {
+        let design = generate(&config, HARNESS_SEED);
+        let path = format!("{out_dir}/{}.sig", config.name);
+        std::fs::write(&path, write_design(&design))?;
+        println!(
+            "{path}: {} groups, {} bits, die {}",
+            design.group_count(),
+            design.bit_count(),
+            design.die()
+        );
+    }
+    Ok(())
+}

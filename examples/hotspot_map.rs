@@ -41,9 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &config.electrical,
     );
 
-    println!("== GLOW: optical layer ({:.1} mW) ==", glow_maps.optical.total());
+    println!(
+        "== GLOW: optical layer ({:.1} mW) ==",
+        glow_maps.optical.total()
+    );
     print!("{}", glow_maps.optical.normalized());
-    println!("== OPERON: optical layer ({:.1} mW) ==", operon_maps.optical.total());
+    println!(
+        "== OPERON: optical layer ({:.1} mW) ==",
+        operon_maps.optical.total()
+    );
     print!("{}", operon_maps.optical.normalized());
     println!(
         "== GLOW: electrical layer ({:.1} mW) ==",

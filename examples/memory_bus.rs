@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flow = OperonFlow::new(OperonConfig::default());
     let result = flow.run(&design)?;
 
-    println!("{:<12} {:>5} {:>9} {:>6} {:>6} {:>11} {:>10}", "net", "bits", "medium", "nmod", "ndet", "power(mW)", "loss(dB)");
+    println!(
+        "{:<12} {:>5} {:>9} {:>6} {:>6} {:>11} {:>10}",
+        "net", "bits", "medium", "nmod", "ndet", "power(mW)", "loss(dB)"
+    );
     for (net, nc) in result.hyper_nets.iter().zip(&result.candidates) {
         let j = result.selection.choice[nc.net_index];
         let cand = &nc.candidates[j];

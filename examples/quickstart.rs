@@ -44,8 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Compare against the paper's baselines.
-    let electrical =
-        operon::baselines::electrical_power_mw(&design, &config.electrical);
+    let electrical = operon::baselines::electrical_power_mw(&design, &config.electrical);
     let glow = flow.run_glow(&design)?;
     println!("\npower comparison (mW):");
     println!("  Electrical [Streak-like] {electrical:10.1}");
@@ -53,6 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  Optical    [GLOW-like]   {:10.1}",
         glow.selection.power_mw
     );
-    println!("  OPERON     (LR)          {:10.1}", result.total_power_mw());
+    println!(
+        "  OPERON     (LR)          {:10.1}",
+        result.total_power_mw()
+    );
     Ok(())
 }

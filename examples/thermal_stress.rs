@@ -51,16 +51,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let glow = flow.run_glow(&design)?;
 
     for (label, profile) in [
-        ("uniform 55 degC (calibrated)", ThermalProfile::uniform(55.0)),
-        ("stressed (gradient + hotspot)", ThermalProfile::stressed(die_cm)),
+        (
+            "uniform 55 degC (calibrated)",
+            ThermalProfile::uniform(55.0),
+        ),
+        (
+            "stressed (gradient + hotspot)",
+            ThermalProfile::stressed(die_cm),
+        ),
     ] {
         let operon_thermal = thermal_report(
             &operon_result.candidates,
             &operon_result.selection.choice,
             &profile,
         );
-        let glow_thermal =
-            thermal_report(&glow.nets, &glow.selection.choice, &profile);
+        let glow_thermal = thermal_report(&glow.nets, &glow.selection.choice, &profile);
         println!("profile: {label}");
         println!(
             "  GLOW   : {:>4} device sites, tuning {:.2} mW, worst derating {:.3} dB",

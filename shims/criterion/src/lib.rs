@@ -1,0 +1,182 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace ships
+//! the part of the criterion API its benches use: [`Criterion`],
+//! [`Bencher::iter`], benchmark groups with [`BenchmarkGroup::sample_size`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is run
+//! for a fixed wall-clock budget and the mean/min/max per-iteration times
+//! are printed. Good enough to compare implementations on one machine;
+//! not a substitute for criterion's confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measures one closure's iterations.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly inside the time budget, recording each
+    /// iteration's wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if Instant::now() >= deadline || self.samples.len() >= 1_000 {
+                break;
+            }
+        }
+    }
+
+    /// Runs `routine` on a fresh input from `setup` each iteration,
+    /// timing only the routine (criterion's `iter_batched`).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One untimed warm-up iteration.
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if Instant::now() >= deadline || self.samples.len() >= 1_000 {
+                break;
+            }
+        }
+    }
+}
+
+/// Accepted for API compatibility; this runner always runs one setup per
+/// timed iteration regardless of the hint.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "{name:<44} {:>12.3?} mean {:>12.3?} min {:>12.3?} max ({} iters)",
+        mean,
+        min,
+        max,
+        samples.len()
+    );
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            budget: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.budget,
+        };
+        f(&mut b);
+        report(name.as_ref(), &b.samples);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (`Criterion::benchmark_group`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this runner sizes samples by time
+    /// budget, not count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.parent.budget,
+        };
+        f(&mut b);
+        report(&full, &b.samples);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

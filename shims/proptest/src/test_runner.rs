@@ -1,0 +1,69 @@
+//! Case-count configuration and the per-test deterministic RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a single random case did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions did not hold; skip it.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing-case error with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// A rejected-case marker with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Reject(m) => write!(f, "rejected: {m}"),
+            Self::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 32 cases — smaller than upstream's 256: this runner re-runs the
+    /// exact same cases every time (deterministic seeding), so piling on
+    /// cases buys less than it does under upstream's fresh entropy.
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// The RNG for one property, seeded from the test's name so every run
+/// and every machine sees the identical case sequence.
+pub fn deterministic_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}

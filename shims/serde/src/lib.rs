@@ -1,0 +1,21 @@
+//! Offline stand-in for the crates.io `serde` crate.
+//!
+//! The workspace annotates several types with `#[derive(Serialize,
+//! Deserialize)]` but never serializes them (no format crate is in the
+//! tree). With the registry unreachable, this shim keeps those
+//! annotations compiling: [`Serialize`] and [`Deserialize`] are marker
+//! traits, and the `derive` feature wires in no-op derive macros that
+//! emit the marker impls.
+//!
+//! If a future change needs real serialization, replace this shim with
+//! the genuine crate (or the hand-rolled JSON in `operon-exec`, which is
+//! what the run-report pipeline uses).
+
+/// Marker mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

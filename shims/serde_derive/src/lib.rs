@@ -1,0 +1,57 @@
+//! Offline stand-in for the crates.io `serde_derive` crate.
+//!
+//! The workspace's `serde` derives are annotations only — nothing in the
+//! tree performs real serialization (there is no `serde_json` or other
+//! format crate). These derives therefore emit just the marker-trait
+//! impls for the shim `serde` crate, so bounds like `T: Serialize` would
+//! still hold, and nothing else.
+//!
+//! Implemented without `syn`/`quote` (registry is unreachable): a tiny
+//! token scan finds the type name. Generic types get no impl (none of
+//! the annotated types in this workspace are generic).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Scans `struct`/`enum`/`union` item tokens for the type name, returning
+/// `None` when the type is generic.
+fn plain_type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ref id) = tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next()? {
+                    TokenTree::Ident(name) => name.to_string(),
+                    _ => return None,
+                };
+                let generic = matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                );
+                return (!generic).then_some(name);
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match plain_type_name(&input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the shim `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Derives the shim `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize<'static>")
+}

@@ -104,7 +104,10 @@ fn svg_renders_every_selected_route() {
         .map(|(nc, &j)| nc.candidates[j].optical_segments.len())
         .sum();
     assert_eq!(svg.matches("class=\"waveguide\"").count(), optical_segments);
-    assert_eq!(svg.matches("class=\"wdm\"").count(), result.wdm.final_count());
+    assert_eq!(
+        svg.matches("class=\"wdm\"").count(),
+        result.wdm.final_count()
+    );
 }
 
 #[test]

@@ -30,10 +30,8 @@ fn lr_flow_produces_consistent_result() {
     let total_bits: usize = result.hyper_nets.iter().map(|n| n.bit_count()).sum();
     assert_eq!(total_bits, design.bit_count());
     // Reported power equals the recomputed selection power.
-    let recomputed = operon::formulation::selection_power_mw(
-        &result.candidates,
-        &result.selection.choice,
-    );
+    let recomputed =
+        operon::formulation::selection_power_mw(&result.candidates, &result.selection.choice);
     assert!((recomputed - result.total_power_mw()).abs() < 1e-9);
 }
 
@@ -96,8 +94,12 @@ fn ilp_and_lr_agree_on_tiny_designs() {
     let lr = OperonFlow::new(OperonConfig::default())
         .run(&design)
         .expect("LR flow");
-    let mut config = OperonConfig::default();
-    config.selector = Selector::Ilp { time_limit_secs: 60 };
+    let config = OperonConfig {
+        selector: Selector::Ilp {
+            time_limit_secs: 60,
+        },
+        ..OperonConfig::default()
+    };
     let ilp = OperonFlow::new(config).run(&design).expect("ILP flow");
     // The ILP is warm-started with LR, so it can only match or improve.
     assert!(ilp.total_power_mw() <= lr.total_power_mw() + 1e-6);
@@ -112,8 +114,7 @@ fn paper_ordering_holds_on_medium_designs() {
         let flow = OperonFlow::new(config.clone());
         let operon_power = flow.run(&design).expect("flow").total_power_mw();
         let glow_power = flow.run_glow(&design).expect("glow").selection.power_mw;
-        let electrical =
-            operon::baselines::electrical_power_mw(&design, &config.electrical);
+        let electrical = operon::baselines::electrical_power_mw(&design, &config.electrical);
         assert!(
             glow_power < electrical,
             "seed {seed}: GLOW {glow_power} !< electrical {electrical}"

@@ -8,12 +8,12 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SynthConfig> {
     (
-        1u64..1000,           // proxy for the seed via name uniqueness
-        8usize..80,           // target bits
-        1usize..6,            // min bus width
-        1usize..4,            // fanout max
+        1u64..1000, // proxy for the seed via name uniqueness
+        8usize..80, // target bits
+        1usize..6,  // min bus width
+        1usize..4,  // fanout max
         prop_oneof![Just(HubLayout::Random), Just(HubLayout::EdgeInterfaces)],
-        0.0f64..1.0,          // distant sink probability
+        0.0f64..1.0, // distant sink probability
     )
         .prop_map(|(tag, bits, min_w, fan, layout, distant)| SynthConfig {
             name: format!("prop{tag}"),
