@@ -16,6 +16,9 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> operon-lint --workspace"
+cargo run -p operon-lint --release -q -- --workspace
+
 echo "==> cargo test -q (tier-1)"
 cargo test -q
 

@@ -56,7 +56,7 @@ fn bench_stages(c: &mut Criterion) {
     let mut group = c.benchmark_group("stage_wdm");
     group.sample_size(10);
     group.bench_function("wdm_400bits", |b| {
-        b.iter(|| wdm::plan(&candidates, &selection.choice, &config.optical))
+        b.iter(|| wdm::plan(&candidates, &selection.choice, &config.optical).expect("feasible"))
     });
     group.finish();
 }

@@ -12,6 +12,7 @@
 //! the limit and report their best incumbent.
 
 use operon_bench::{benchmarks, fmt_power, run_table1_row, BenchRow};
+use operon_exec::Executor;
 use std::time::Duration;
 
 fn main() {
@@ -24,19 +25,11 @@ fn main() {
     }
     println!();
 
-    // Benchmarks run in parallel; each row is independent.
+    // Benchmarks run in parallel; each row is independent, and the
+    // ordered executor keeps the output rows in benchmark order.
     let configs = benchmarks();
-    let mut rows: Vec<Option<BenchRow>> = vec![None; configs.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for cfg in &configs {
-            handles.push(scope.spawn(move || run_table1_row(cfg, ilp_limit)));
-        }
-        for (slot, handle) in rows.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("benchmark thread"));
-        }
-    });
-    let rows: Vec<BenchRow> = rows.into_iter().map(|r| r.expect("filled")).collect();
+    let exec = Executor::new(configs.len().max(1));
+    let rows: Vec<BenchRow> = exec.par_map_coarse(&configs, |cfg| run_table1_row(cfg, ilp_limit));
 
     println!(
         "{:<6} {:>6} {:>6} {:>6} | {:>12} {:>12} | {:>12} {:>9} | {:>12} {:>9}",

@@ -25,6 +25,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod agglomerate;
 mod hypernet;
 pub mod kmeans;

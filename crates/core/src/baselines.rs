@@ -64,7 +64,7 @@ pub struct BaselineSelection {
 /// falls back to electrical. The reported power uses the full, honest
 /// accounting.
 pub fn glow_baseline(nets: &[HyperNet], config: &OperonConfig) -> BaselineSelection {
-    let start = std::time::Instant::now();
+    let start = operon_exec::Stopwatch::start();
     let config = config.resolved_for(nets.iter().map(|n| n.bit_count()));
     let lib = &config.optical;
     let elec = &config.electrical;

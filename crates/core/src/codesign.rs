@@ -320,7 +320,7 @@ impl Label {
 
 /// Prunes dominated labels and caps the set at `max_labels` by power.
 fn prune(labels: &mut Vec<Label>, max_labels: usize) {
-    labels.sort_by(|a, b| a.power.partial_cmp(&b.power).expect("finite powers"));
+    labels.sort_by(|a, b| a.power.total_cmp(&b.power));
     let mut kept: Vec<Label> = Vec::new();
     'outer: for label in labels.drain(..) {
         for k in &kept {
@@ -423,7 +423,7 @@ pub fn codesign_tree(
                     media[edge_idx] = Some(EdgeMedium::Optical);
                     let mut pending = partial.pending.clone();
                     pending.extend(cl.pending.iter().map(|l| l + prop_db));
-                    pending.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    pending.sort_by(|a, b| a.total_cmp(b));
                     next.push(Partial {
                         media,
                         power: partial.power + cl.power,
@@ -453,7 +453,7 @@ pub fn codesign_tree(
                 // survivors back.
                 let mut tagged: Vec<(Label, Vec<Option<EdgeMedium>>)> =
                     stratum.into_iter().zip(media_store).collect();
-                tagged.sort_by(|a, b| a.0.power.partial_cmp(&b.0.power).expect("finite powers"));
+                tagged.sort_by(|a, b| a.0.power.total_cmp(&b.0.power));
                 let mut kept: Vec<(Label, Vec<Option<EdgeMedium>>)> = Vec::new();
                 'outer: for (label, media) in tagged {
                     for (kl, _) in &kept {
@@ -528,7 +528,7 @@ pub fn codesign_tree(
                         power += pdet;
                         pending.push(split);
                     }
-                    pending.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    pending.sort_by(|a, b| a.total_cmp(b));
                     if pending.last().copied().unwrap_or(0.0) <= lib.max_loss_db {
                         opt_ctx.push(Label {
                             media: partial.media,
@@ -551,6 +551,7 @@ pub fn codesign_tree(
         let media: Vec<EdgeMedium> = label
             .media
             .iter()
+            // operon-lint: allow(R001, reason = "the postorder merge assigns a medium to every edge before a label reaches the root")
             .map(|m| m.expect("root label decides every edge"))
             .collect();
         let candidate = analyze_assignment(tree, &media, bits, lib, elec);
@@ -603,11 +604,7 @@ pub fn generate_candidates(
     // Sort by power and drop near-duplicates / dominated candidates:
     // candidate A dominates B when it has no more power AND no more fixed
     // loss (both metrics the selection stage cares about).
-    candidates.sort_by(|a, b| {
-        a.total_power_mw()
-            .partial_cmp(&b.total_power_mw())
-            .expect("finite powers")
-    });
+    candidates.sort_by(|a, b| a.total_power_mw().total_cmp(&b.total_power_mw()));
     let mut kept: Vec<CandidateRoute> = Vec::new();
     for cand in candidates {
         let dominated = kept.iter().any(|k| {
@@ -948,7 +945,7 @@ mod tests {
                     // Skip assignments with dead-end optical edges (a
                     // waveguide serving no detector delivers nothing; the
                     // DP deliberately never emits such routes).
-                    let used: std::collections::HashSet<usize> = cand
+                    let used: std::collections::BTreeSet<usize> = cand
                         .paths
                         .iter()
                         .flat_map(|p| p.segments.iter().copied())

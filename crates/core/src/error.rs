@@ -13,6 +13,8 @@ pub enum OperonError {
     EmptyDesign,
     /// The candidate-selection stage failed to produce a selection.
     SelectionFailed(String),
+    /// WDM placement/assignment cannot carry the demanded channels.
+    WdmInfeasible(String),
 }
 
 impl fmt::Display for OperonError {
@@ -21,6 +23,7 @@ impl fmt::Display for OperonError {
             OperonError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             OperonError::EmptyDesign => write!(f, "design contains no signal groups"),
             OperonError::SelectionFailed(msg) => write!(f, "candidate selection failed: {msg}"),
+            OperonError::WdmInfeasible(msg) => write!(f, "WDM assignment infeasible: {msg}"),
         }
     }
 }

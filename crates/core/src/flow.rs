@@ -256,6 +256,8 @@ impl OperonFlow {
     /// * [`OperonError::EmptyDesign`] if the design has no signal groups.
     /// * [`OperonError::SelectionFailed`] if the ILP selector reports
     ///   infeasibility (cannot happen with intact electrical fallbacks).
+    /// * [`OperonError::WdmInfeasible`] if the WDM stage cannot carry the
+    ///   selected channel demand.
     pub fn run(&self, design: &Design) -> Result<FlowResult, OperonError> {
         self.config.validate()?;
         if design.groups().is_empty() {
@@ -264,7 +266,7 @@ impl OperonFlow {
         let mut times = StageTimes::default();
 
         // Stage 1: signal processing.
-        let t = std::time::Instant::now();
+        let t = operon_exec::Stopwatch::start();
         let hyper_nets = {
             let _stage = self.exec.stage("clustering");
             build_hyper_nets(design, &self.config.cluster)
@@ -277,7 +279,7 @@ impl OperonFlow {
             .resolved_for(hyper_nets.iter().map(|n| n.bit_count()));
 
         // Stage 2: co-design candidates, one independent DP per hyper net.
-        let t = std::time::Instant::now();
+        let t = operon_exec::Stopwatch::start();
         let candidates: Vec<NetCandidates> = {
             let _stage = self.exec.stage("codesign");
             self.exec
@@ -286,7 +288,7 @@ impl OperonFlow {
         times.codesign = t.elapsed();
 
         // Stage 3: crossing coupling + selection.
-        let t = std::time::Instant::now();
+        let t = operon_exec::Stopwatch::start();
         let crossings = {
             let _stage = self.exec.stage("crossing");
             CrossingIndex::build_with(&candidates, &self.exec)
@@ -323,10 +325,10 @@ impl OperonFlow {
         ));
 
         // Stage 4: WDM placement + assignment.
-        let t = std::time::Instant::now();
+        let t = operon_exec::Stopwatch::start();
         let wdm = {
             let _stage = self.exec.stage("wdm");
-            wdm::plan_with(&candidates, &selection.choice, &config.optical, &self.exec)
+            wdm::plan_with(&candidates, &selection.choice, &config.optical, &self.exec)?
         };
         times.wdm = t.elapsed();
 
@@ -366,10 +368,12 @@ impl OperonFlow {
         let mut times = StageTimes::default();
 
         // Index the previous result's hyper nets and candidates by group.
-        let mut prev_by_group: std::collections::HashMap<
+        // BTreeMap keeps group iteration order stable (determinism rule
+        // D001); GroupId derives Ord.
+        let mut prev_by_group: std::collections::BTreeMap<
             operon_netlist::GroupId,
             Vec<(HyperNet, NetCandidates)>,
-        > = std::collections::HashMap::new();
+        > = std::collections::BTreeMap::new();
         for (net, cands) in previous.hyper_nets.iter().zip(&previous.candidates) {
             prev_by_group
                 .entry(net.group())
@@ -378,7 +382,7 @@ impl OperonFlow {
         }
 
         // Stage 1 + 2, incrementally per group.
-        let t = std::time::Instant::now();
+        let t = operon_exec::Stopwatch::start();
         let mut hyper_nets: Vec<HyperNet> = Vec::new();
         let config = {
             // The sharing factor depends on the final bit distribution;
@@ -436,7 +440,7 @@ impl OperonFlow {
         // Re-id densely and (re)generate candidates where needed; each
         // regeneration is an independent DP, so changed groups spread over
         // the executor while reused candidates just renumber.
-        let t = std::time::Instant::now();
+        let t = operon_exec::Stopwatch::start();
         let mut flat: Vec<(HyperNet, Option<NetCandidates>)> = Vec::new();
         for g in per_group {
             let _ = g.group;
@@ -476,7 +480,7 @@ impl OperonFlow {
         times.codesign = t.elapsed();
 
         // Stages 3 + 4 run globally, exactly as in `run`.
-        let t = std::time::Instant::now();
+        let t = operon_exec::Stopwatch::start();
         let crossings = {
             let _stage = self.exec.stage("crossing");
             CrossingIndex::build_with(&candidates, &self.exec)
@@ -501,7 +505,7 @@ impl OperonFlow {
             }
         };
         times.selection = selection.elapsed;
-        let t = std::time::Instant::now();
+        let t = operon_exec::Stopwatch::start();
         let wdm = {
             let _stage = self.exec.stage("wdm");
             wdm::plan_with(
@@ -509,7 +513,7 @@ impl OperonFlow {
                 &selection.choice,
                 &resolved.optical,
                 &self.exec,
-            )
+            )?
         };
         times.wdm = t.elapsed();
 
@@ -706,7 +710,7 @@ mod tests {
             assert_eq!(j, nc.electrical_idx, "only fallbacks may violate");
         }
         // Nets not in the violation list meet the bound.
-        let violating: std::collections::HashSet<usize> =
+        let violating: std::collections::BTreeSet<usize> =
             constrained.delay_violations(&config).into_iter().collect();
         for (nc, &j) in constrained
             .candidates

@@ -18,7 +18,7 @@ use crate::codesign::NetCandidates;
 use crate::{CrossingIndex, OperonError};
 use operon_ilp::{Model, SolveOptions, VarId};
 use operon_optics::OpticalLib;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Outcome of candidate selection (shared by the ILP and LR paths).
@@ -74,6 +74,7 @@ pub fn loaded_path_losses_for(
         if m == i || choice[m] != n {
             continue;
         }
+        // operon-lint: allow(R001, reason = "neighbors(i, j) only lists keys pair() stores")
         let pc = crossings.pair(i, j, m, n).expect("listed neighbor");
         let per_path = if i < m {
             &pc.per_path_a
@@ -132,11 +133,11 @@ pub fn select_ilp(
     time_limit: Duration,
     warm_start: Option<&[usize]>,
 ) -> Result<SelectionResult, OperonError> {
-    let start = std::time::Instant::now();
+    let start = operon_exec::Stopwatch::start();
 
     // Collect, per (net, cand, path), the crossing-loss coefficient of
     // every other candidate that crosses it.
-    let mut loaders: LoaderMap = HashMap::new();
+    let mut loaders: LoaderMap = BTreeMap::new();
     for ((na, ca, nb, cb), pc) in crossings.iter() {
         for &(pi, n) in &pc.per_path_a {
             loaders
@@ -165,7 +166,7 @@ pub fn select_ilp(
             dsu.union(i, m);
         }
     }
-    let mut components: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut components: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     let mut constrained = vec![false; nets.len()];
     for (&(i, _, _), terms) in &loaders {
         constrained[i] = true;
@@ -186,11 +187,7 @@ pub fn select_ilp(
             nc.candidates
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    a.1.total_power_mw()
-                        .partial_cmp(&b.1.total_power_mw())
-                        .expect("finite powers")
-                })
+                .min_by(|a, b| a.1.total_power_mw().total_cmp(&b.1.total_power_mw()))
                 .map(|(j, _)| j)
                 .unwrap_or(nc.electrical_idx)
         })
@@ -218,7 +215,8 @@ pub fn select_ilp(
 
 /// Per-(net, candidate, path) crossing-loss coefficients: each entry maps
 /// a detector path to the `(loss_db, net, candidate)` triples that load it.
-type LoaderMap = HashMap<(usize, usize, usize), Vec<(f64, usize, usize)>>;
+/// Ordered so model rows are generated in a stable order (rule D001).
+type LoaderMap = BTreeMap<(usize, usize, usize), Vec<(f64, usize, usize)>>;
 
 /// Solves one coupled component as a standalone 0/1 ILP. Returns the
 /// per-member candidate choice and whether it is proven optimal.
@@ -231,7 +229,7 @@ fn solve_component(
     warm_start: Option<&[usize]>,
 ) -> Result<(Vec<usize>, bool), OperonError> {
     let mut model = Model::new();
-    let index_of: HashMap<usize, usize> =
+    let index_of: BTreeMap<usize, usize> =
         members.iter().enumerate().map(|(k, &i)| (i, k)).collect();
 
     // a_ij variables for member nets only.

@@ -34,6 +34,8 @@
 //! # Ok::<(), operon::OperonError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod codesign;
 pub mod config;

@@ -52,7 +52,7 @@ pub fn select_lr_with(
     config: &OperonConfig,
     exec: &Executor,
 ) -> SelectionResult {
-    let start = std::time::Instant::now();
+    let start = operon_exec::Stopwatch::start();
     let lib = &config.optical;
 
     // λ_p per (net, candidate, path), initialized proportional to the
@@ -140,11 +140,7 @@ pub fn select_lr_with(
             nc.candidates
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    a.1.total_power_mw()
-                        .partial_cmp(&b.1.total_power_mw())
-                        .expect("finite powers")
-                })
+                .min_by(|a, b| a.1.total_power_mw().total_cmp(&b.1.total_power_mw()))
                 .map(|(j, _)| j)
                 .unwrap_or(nc.electrical_idx)
         })
@@ -445,6 +441,7 @@ fn best_candidate(
                 if prev[m] != n {
                     continue;
                 }
+                // operon-lint: allow(R001, reason = "neighbors(i, j) only lists keys pair() stores")
                 let pc = crossings.pair(i, j, m, n).expect("listed neighbor");
                 let (per_path_own, per_path_other) = if i < m {
                     (&pc.per_path_a, &pc.per_path_b)

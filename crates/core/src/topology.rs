@@ -12,7 +12,7 @@
 
 use operon_geom::Point;
 use operon_steiner::{euclidean, rsmt_bi1s, rsmt_bi1s_with_limit, NodeKind, RouteTree};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 pub use operon_steiner::rsmt_bi1s_with_limit as rsmt_with_limit;
 
@@ -44,7 +44,7 @@ pub fn baseline_topologies(pins: &[Point], max_topologies: usize) -> Vec<RouteTr
     assert!(max_topologies > 0, "must allow at least one topology");
 
     let mut out: Vec<RouteTree> = Vec::new();
-    let mut signatures: HashSet<String> = HashSet::new();
+    let mut signatures: BTreeSet<String> = BTreeSet::new();
     let mut push = |tree: RouteTree, out: &mut Vec<RouteTree>| {
         if out.len() >= max_topologies {
             return;
@@ -91,7 +91,7 @@ pub fn baseline_topologies(pins: &[Point], max_topologies: usize) -> Vec<RouteTr
 pub fn star_topology(pins: &[Point]) -> RouteTree {
     assert!(!pins.is_empty(), "star topology needs pins");
     let mut tree = RouteTree::new(pins[0]);
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     seen.insert(pins[0]);
     for &p in &pins[1..] {
         if seen.insert(p) {
@@ -150,7 +150,7 @@ mod tests {
         for tree in baseline_topologies(&pins, 6) {
             assert!(tree.validate().is_ok());
             assert_eq!(tree.point(tree.root()), pins[0]);
-            let pts: HashSet<Point> = tree.node_ids().map(|id| tree.point(id)).collect();
+            let pts: BTreeSet<Point> = tree.node_ids().map(|id| tree.point(id)).collect();
             for p in &pins {
                 assert!(pts.contains(p), "pin {p} missing from topology");
             }
@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn topologies_are_distinct() {
         let trees = baseline_topologies(&pins(), 6);
-        let sigs: HashSet<String> = trees.iter().map(signature).collect();
+        let sigs: BTreeSet<String> = trees.iter().map(signature).collect();
         assert_eq!(sigs.len(), trees.len());
     }
 

@@ -290,7 +290,7 @@ mod tests {
             })
             .collect();
         let choice = vec![0usize; nets.len()];
-        let plan = crate::wdm::plan(&nets, &choice, &lib);
+        let plan = crate::wdm::plan(&nets, &choice, &lib).expect("feasible");
         let ch = assign_channels(&plan, lib.wdm_capacity);
         assert!(validate_channels(&plan, &ch, lib.wdm_capacity).is_ok());
     }

@@ -20,6 +20,7 @@
 pub mod channels;
 
 use crate::codesign::NetCandidates;
+use crate::error::OperonError;
 use operon_exec::Executor;
 use operon_mcmf::McmfGraph;
 use operon_optics::OpticalLib;
@@ -109,40 +110,41 @@ pub fn extract_connections(nets: &[NetCandidates], choice: &[usize]) -> Vec<Conn
 /// Greedy sweep placement (§4.1) over one orientation; `connections` must
 /// all share the orientation. Returns WDMs with their sweep assignments.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a connection demands more than the WDM capacity.
-fn place_orientation(connections: &[(usize, &Connection)], lib: &OpticalLib) -> Vec<Wdm> {
+/// [`OperonError::WdmInfeasible`] if a connection demands more than the
+/// WDM capacity.
+fn place_orientation(
+    connections: &[(usize, &Connection)],
+    lib: &OpticalLib,
+) -> Result<Vec<Wdm>, OperonError> {
     let mut order: Vec<&(usize, &Connection)> = connections.iter().collect();
     order.sort_by_key(|(_, c)| c.track);
 
     let mut wdms: Vec<Wdm> = Vec::new();
     for &&(idx, conn) in &order {
-        assert!(
-            conn.bits <= lib.wdm_capacity,
-            "connection demands {} channels, capacity is {}",
-            conn.bits,
-            lib.wdm_capacity
-        );
-        let fits = wdms.last().is_some_and(|w| {
-            w.used() + conn.bits <= lib.wdm_capacity
-                && (conn.track - w.track).abs() <= lib.wdm_max_displacement
-        });
-        if fits {
-            wdms.last_mut()
-                .expect("checked above")
-                .assigned
-                .push((idx, conn.bits));
-        } else {
-            wdms.push(Wdm {
+        if conn.bits > lib.wdm_capacity {
+            return Err(OperonError::WdmInfeasible(format!(
+                "connection demands {} channels, capacity is {}",
+                conn.bits, lib.wdm_capacity
+            )));
+        }
+        match wdms.last_mut() {
+            Some(w)
+                if w.used() + conn.bits <= lib.wdm_capacity
+                    && (conn.track - w.track).abs() <= lib.wdm_max_displacement =>
+            {
+                w.assigned.push((idx, conn.bits));
+            }
+            _ => wdms.push(Wdm {
                 orientation: conn.orientation,
                 track: conn.track,
                 assigned: vec![(idx, conn.bits)],
-            });
+            }),
         }
     }
     legalize(&mut wdms, lib.wdm_min_pitch);
-    wdms
+    Ok(wdms)
 }
 
 /// Pushes WDMs apart so neighboring tracks are at least `min_pitch` dbu
@@ -163,9 +165,9 @@ fn assign_orientation(
     connections: &[(usize, &Connection)],
     placed: Vec<Wdm>,
     lib: &OpticalLib,
-) -> Vec<Wdm> {
+) -> Result<Vec<Wdm>, OperonError> {
     if connections.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     // Sweep WDM of each connection (for the feasibility edge).
     let mut sweep_wdm = vec![usize::MAX; connections.len()];
@@ -177,8 +179,16 @@ fn assign_orientation(
     }
 
     let mut active: Vec<bool> = vec![true; placed.len()];
-    let mut best = solve_assignment(connections, &placed, &active, &sweep_wdm, lib)
-        .expect("sweep assignment is always feasible");
+    // The sweep assignment itself is a witness of feasibility, so this
+    // only fails if the guaranteed feasibility edges were broken upstream.
+    let mut best =
+        solve_assignment(connections, &placed, &active, &sweep_wdm, lib).ok_or_else(|| {
+            OperonError::WdmInfeasible(format!(
+                "flow network cannot carry {} connections over {} sweep WDMs",
+                connections.len(),
+                placed.len()
+            ))
+        })?;
 
     // Reduction: try deleting WDMs, emptiest first.
     loop {
@@ -212,12 +222,13 @@ fn assign_orientation(
         }
     }
 
-    best.into_iter()
+    Ok(best
+        .into_iter()
         .enumerate()
         .filter(|&(wi, _)| active[wi])
         .map(|(_, w)| w)
         .filter(|w| w.used() > 0)
-        .collect()
+        .collect())
 }
 
 /// Builds and solves the assignment network over the active WDMs.
@@ -296,7 +307,17 @@ fn solve_assignment(
 }
 
 /// Runs placement and assignment over a full selection.
-pub fn plan(nets: &[NetCandidates], choice: &[usize], lib: &OpticalLib) -> WdmPlan {
+///
+/// # Errors
+///
+/// [`OperonError::WdmInfeasible`] when a connection demands more channels
+/// than one WDM carries, or the assignment network cannot route the full
+/// demand.
+pub fn plan(
+    nets: &[NetCandidates],
+    choice: &[usize],
+    lib: &OpticalLib,
+) -> Result<WdmPlan, OperonError> {
     plan_with(nets, choice, lib, &Executor::sequential())
 }
 
@@ -312,10 +333,10 @@ pub fn plan_with(
     choice: &[usize],
     lib: &OpticalLib,
     exec: &Executor,
-) -> WdmPlan {
+) -> Result<WdmPlan, OperonError> {
     let connections = extract_connections(nets, choice);
     let orientations = [TrackOrientation::Horizontal, TrackOrientation::Vertical];
-    let per_orientation: Vec<(usize, Vec<Wdm>)> =
+    let per_orientation: Vec<Result<(usize, Vec<Wdm>), OperonError>> =
         exec.par_map_coarse(&orientations, |&orientation| {
             let oriented: Vec<(usize, &Connection)> = connections
                 .iter()
@@ -323,7 +344,7 @@ pub fn plan_with(
                 .filter(|(_, c)| c.orientation == orientation)
                 .collect();
             if oriented.is_empty() {
-                return (0, Vec::new());
+                return Ok((0, Vec::new()));
             }
             // Positions within `oriented` index its WDM assignments; remap the
             // sweep output to use those local positions consistently.
@@ -332,28 +353,29 @@ pub fn plan_with(
                 .enumerate()
                 .map(|(pos, &(_, c))| (pos, c))
                 .collect();
-            let placed = place_orientation(&local, lib);
+            let placed = place_orientation(&local, lib)?;
             let initial = placed.len();
-            let mut assigned = assign_orientation(&local, placed, lib);
+            let mut assigned = assign_orientation(&local, placed, lib)?;
             // Remap local connection positions back to global indices.
             for w in &mut assigned {
                 for slot in &mut w.assigned {
                     slot.0 = oriented[slot.0].0;
                 }
             }
-            (initial, assigned)
+            Ok((initial, assigned))
         });
     let mut wdms = Vec::new();
     let mut initial_count = 0usize;
-    for (initial, assigned) in per_orientation {
+    for result in per_orientation {
+        let (initial, assigned) = result?;
         initial_count += initial;
         wdms.extend(assigned);
     }
-    WdmPlan {
+    Ok(WdmPlan {
         connections,
         initial_count,
         wdms,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -386,9 +408,9 @@ mod tests {
         let l = lib();
         let conns = vec![conn(0, 20), conn(100, 20), conn(200, 20)];
         let lc = local(&conns);
-        let placed = place_orientation(&lc, &l);
+        let placed = place_orientation(&lc, &l).expect("feasible");
         assert_eq!(placed.len(), 3, "sweep cannot pack 20+20 into one WDM");
-        let final_wdms = assign_orientation(&lc, placed, &l);
+        let final_wdms = assign_orientation(&lc, placed, &l).expect("feasible");
         assert_eq!(final_wdms.len(), 2, "flow assignment saves one WDM");
         let total: usize = final_wdms.iter().map(Wdm::used).sum();
         assert_eq!(total, 60, "every channel assigned");
@@ -403,7 +425,7 @@ mod tests {
         // Two far-apart connections cannot share despite spare capacity.
         let conns = vec![conn(0, 4), conn(100_000, 4)];
         let lc = local(&conns);
-        let placed = place_orientation(&lc, &l);
+        let placed = place_orientation(&lc, &l).expect("feasible");
         assert_eq!(placed.len(), 2);
     }
 
@@ -412,18 +434,19 @@ mod tests {
         let l = lib();
         let conns: Vec<Connection> = (0..4).map(|i| conn(i * 10, 8)).collect();
         let lc = local(&conns);
-        let placed = place_orientation(&lc, &l);
+        let placed = place_orientation(&lc, &l).expect("feasible");
         assert_eq!(placed.len(), 1, "4 x 8 = 32 fits one WDM");
         assert_eq!(placed[0].used(), 32);
     }
 
     #[test]
-    #[should_panic(expected = "capacity")]
     fn oversized_connection_rejected() {
         let l = lib();
         let conns = vec![conn(0, 64)];
         let lc = local(&conns);
-        let _ = place_orientation(&lc, &l);
+        let err = place_orientation(&lc, &l).expect_err("64 > capacity must fail");
+        assert!(matches!(err, OperonError::WdmInfeasible(_)));
+        assert!(err.to_string().contains("capacity"));
     }
 
     #[test]
@@ -432,7 +455,7 @@ mod tests {
         // Many full WDMs forced at nearly the same track.
         let conns: Vec<Connection> = (0..5).map(|i| conn(i, 32)).collect();
         let lc = local(&conns);
-        let placed = place_orientation(&lc, &l);
+        let placed = place_orientation(&lc, &l).expect("feasible");
         assert_eq!(placed.len(), 5);
         for pair in placed.windows(2) {
             assert!(pair[1].track - pair[0].track >= l.wdm_min_pitch);
@@ -444,8 +467,8 @@ mod tests {
         let l = lib();
         let conns: Vec<Connection> = (0..10).map(|i| conn(i * 50, 7)).collect();
         let lc = local(&conns);
-        let placed = place_orientation(&lc, &l);
-        let final_wdms = assign_orientation(&lc, placed, &l);
+        let placed = place_orientation(&lc, &l).expect("feasible");
+        let final_wdms = assign_orientation(&lc, placed, &l).expect("feasible");
         let total: usize = final_wdms.iter().map(Wdm::used).sum();
         assert_eq!(total, 70);
         for w in &final_wdms {
@@ -460,9 +483,9 @@ mod tests {
             .map(|i| conn((i * i * 37) % 3_000, (5 + (i % 9)) as usize))
             .collect();
         let lc = local(&conns);
-        let placed = place_orientation(&lc, &l);
+        let placed = place_orientation(&lc, &l).expect("feasible");
         let initial = placed.len();
-        let final_wdms = assign_orientation(&lc, placed, &l);
+        let final_wdms = assign_orientation(&lc, placed, &l).expect("feasible");
         assert!(final_wdms.len() <= initial);
         // Lower bound: ceil(total bits / capacity).
         let total: usize = conns.iter().map(|c| c.bits).sum();
@@ -471,7 +494,7 @@ mod tests {
 
     #[test]
     fn empty_connection_list_yields_empty_plan() {
-        let plan = super::plan(&[], &[], &lib());
+        let plan = super::plan(&[], &[], &lib()).expect("empty plan is feasible");
         assert_eq!(plan.connections.len(), 0);
         assert_eq!(plan.initial_count, 0);
         assert_eq!(plan.final_count(), 0);
@@ -545,7 +568,7 @@ mod tests {
             seg_net(1, Point::new(0, 200), Point::new(10_000, 260), 8),
             seg_net(2, Point::new(5_000, 0), Point::new(5_100, 10_000), 8),
         ];
-        let plan = super::plan(&nets, &[0, 0, 0], &lib());
+        let plan = super::plan(&nets, &[0, 0, 0], &lib()).expect("feasible");
         assert_eq!(plan.connections.len(), 3);
         let horizontal = plan
             .wdms
@@ -579,7 +602,7 @@ mod tests {
             })
             .collect();
         let choice = vec![0usize; nets.len()];
-        let plan = super::plan(&nets, &choice, &lib());
+        let plan = super::plan(&nets, &choice, &lib()).expect("feasible");
         assert!(plan
             .wdms
             .iter()

@@ -179,6 +179,7 @@ impl Executor {
                     let mut local: Vec<(u32, R)> = Vec::new();
                     let mut tasks = 0u64;
                     let mut steals = 0u64;
+                    // operon-lint: allow(D002, reason = "worker busy-time feeds the metrics this rule protects")
                     let busy = Instant::now();
                     loop {
                         match claim(deques, w) {

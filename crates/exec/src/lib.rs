@@ -44,4 +44,4 @@ pub mod json;
 pub mod metrics;
 
 pub use executor::Executor;
-pub use metrics::{RunReport, StageRecord, StageScope};
+pub use metrics::{RunReport, StageRecord, StageScope, Stopwatch};

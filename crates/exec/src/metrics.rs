@@ -11,6 +11,47 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// The workspace's sanctioned wall-clock source.
+///
+/// Solver crates never call `Instant::now()` directly (lint rule D002):
+/// all wall-clock reads go through this type so instrumentation stays
+/// centralized and greppable. It is a thin wrapper — the point is the
+/// choke point, not the mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use operon_exec::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let elapsed = sw.elapsed();
+/// assert!(elapsed.as_nanos() < u128::MAX);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch at the current instant.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
 /// Shared atomic counters plus the accumulated stage records.
 #[derive(Debug)]
 pub struct Metrics {

@@ -25,6 +25,8 @@
 //! assert!(a.crosses(&b));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bbox;
 mod grid;
 mod point;

@@ -201,6 +201,7 @@ impl BoundedTableau {
         // Phase 1.
         if self.art_start < self.n_cols {
             if !self.optimize(self.n_cols) {
+                // operon-lint: allow(R001, reason = "phase-1 objective is bounded below by zero, so it cannot be unbounded")
                 unreachable!("phase-1 objective is bounded below by zero");
             }
             let phase1 = -self.obj[self.width - 1];
@@ -378,6 +379,7 @@ impl BoundedTableau {
                 stall = 0;
             }
         }
+        // operon-lint: allow(R001, reason = "the iteration loop only exits via return; this arm is unreachable by construction")
         unreachable!("loop exits via return")
     }
 

@@ -36,6 +36,8 @@
 //! assert_eq!(sol.objective().round(), -8.0); // a + c... or b + c? 3+5=8 wins
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bounded;
 mod model;
 pub mod simplex;

@@ -218,6 +218,7 @@ impl Tableau {
             if !self.pivot_to_optimality(self.art_start + self.n_art) {
                 // Phase 1 of an always-feasible problem cannot be
                 // unbounded (objective bounded below by 0).
+                // operon-lint: allow(R001, reason = "phase-1 objective is bounded below by zero, so it cannot be unbounded")
                 unreachable!("phase-1 objective is bounded below by zero");
             }
             let phase1 = -self.t[self.m][self.width - 1];
@@ -228,6 +229,7 @@ impl Tableau {
         }
 
         // Phase 2: install the real objective priced out over the basis.
+        // operon-lint: allow(R001, reason = "cost_row_for_phase2 is populated at build time and taken exactly once")
         let c = self.cost_row_for_phase2.take().expect("set at build");
         let width = self.width;
         let obj = self.m;
@@ -285,6 +287,7 @@ impl Tableau {
             }
             last_obj = obj;
         }
+        // operon-lint: allow(R001, reason = "the iteration loop only exits via return; this arm is unreachable by construction")
         unreachable!("infinite range loop only exits via return")
     }
 

@@ -174,6 +174,7 @@ impl Model {
     /// assert!(sol.is_one(x));
     /// ```
     pub fn solve(&self, options: &SolveOptions) -> Solution {
+        // operon-lint: allow(D002, reason = "branch-and-bound enforces the caller-supplied wall-clock time limit; ilp stays dependency-free")
         let start = Instant::now();
         let n = self.var_count();
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
@@ -392,6 +393,7 @@ impl Model {
             }
             LpOutcome::Infeasible => LpNodeResult::Infeasible,
             LpOutcome::Unbounded => {
+                // operon-lint: allow(R001, reason = "every binary relaxation bounds all variables in [0, 1], so the LP cannot be unbounded")
                 unreachable!("binary relaxations carry explicit upper bounds")
             }
         }

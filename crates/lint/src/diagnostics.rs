@@ -1,0 +1,165 @@
+//! Findings and their human/JSON renderings.
+
+use std::fmt;
+
+/// Severity of a finding, as configured per rule in `Lint.toml`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Reported but never fails the run.
+    Warn,
+    /// Fails the run (nonzero exit).
+    Deny,
+}
+
+impl Level {
+    /// The lowercase name used in configuration and output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding at a source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (`D001`, `R001`, or `L000` for malformed
+    /// suppressions).
+    pub rule: &'static str,
+    /// Severity after configuration.
+    pub level: Level,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line:col: level[rule] message` — the clickable terminal form.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}:{}:{}: {}[{}] {}",
+            self.file, self.line, self.col, self.level, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts findings into the canonical (file, line, col, rule) order so
+/// output is byte-stable across runs and platforms.
+pub fn sort_canonical(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full finding list as a stable, pretty-printed JSON
+/// document (the `--format json` output).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let deny = diags.iter().filter(|d| d.level == Level::Deny).count();
+    let warn = diags.len() - deny;
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"level\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+            d.rule,
+            d.level,
+            escape_json(&d.file),
+            d.line,
+            d.col,
+            escape_json(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"deny\": {deny},\n  \"warn\": {warn}\n}}\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: u32, col: u32, level: Level) -> Diagnostic {
+        Diagnostic {
+            rule,
+            level,
+            file: file.to_owned(),
+            line,
+            col,
+            message: format!("finding from {rule}"),
+        }
+    }
+
+    #[test]
+    fn human_rendering_is_clickable() {
+        let d = diag("D001", "crates/core/src/flow.rs", 12, 5, Level::Deny);
+        assert_eq!(
+            d.render_human(),
+            "crates/core/src/flow.rs:12:5: deny[D001] finding from D001"
+        );
+    }
+
+    #[test]
+    fn canonical_sort_orders_by_position() {
+        let mut v = vec![
+            diag("R001", "b.rs", 1, 1, Level::Deny),
+            diag("D001", "a.rs", 9, 2, Level::Warn),
+            diag("D001", "a.rs", 9, 1, Level::Warn),
+        ];
+        sort_canonical(&mut v);
+        assert_eq!(v[0].file, "a.rs");
+        assert_eq!(v[0].col, 1);
+        assert_eq!(v[2].file, "b.rs");
+    }
+
+    #[test]
+    fn json_counts_levels_and_escapes() {
+        let mut d = diag("D002", "x.rs", 1, 1, Level::Deny);
+        d.message = "say \"hi\"\npath\\here".to_owned();
+        let json = render_json(&[d, diag("R002", "y.rs", 2, 2, Level::Warn)]);
+        assert!(json.contains("\"deny\": 1"));
+        assert!(json.contains("\"warn\": 1"));
+        assert!(json.contains("say \\\"hi\\\"\\npath\\\\here"));
+    }
+
+    #[test]
+    fn empty_findings_render_empty_array() {
+        let json = render_json(&[]);
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"deny\": 0"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Workspace walker: finds every `.rs` file, classifies it, and runs the
+//! rule engine, producing one canonically-sorted finding list.
+
+use crate::config::Config;
+use crate::diagnostics::{sort_canonical, Diagnostic};
+use crate::rules::lint_source;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a workspace scan.
+pub struct ScanReport {
+    /// All findings, sorted by (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files actually linted (classified Lib/Bin, not excluded).
+    pub files_scanned: usize,
+}
+
+/// Directory names never descended into, independent of `Lint.toml`.
+const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
+
+/// Collects every `.rs` path under `root`, workspace-relative with
+/// forward slashes, in deterministic (sorted) order.
+pub fn collect_rs_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir entry in {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| format!("strip_prefix: {e}"))?;
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scans the workspace rooted at `root` with `config`.
+pub fn scan_workspace(root: &Path, config: &Config) -> Result<ScanReport, String> {
+    let files = collect_rs_files(root)?;
+    scan_files(root, &files, config)
+}
+
+/// Lints an explicit list of workspace-relative files.
+pub fn scan_files(root: &Path, files: &[String], config: &Config) -> Result<ScanReport, String> {
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+    for rel in files {
+        if config.excluded(rel) {
+            continue;
+        }
+        let source = fs::read_to_string(root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        diagnostics.extend(lint_source(rel, &source, config));
+        if crate::rules::classify(rel)
+            .is_some_and(|(_, role)| role != crate::rules::FileRole::Other)
+        {
+            files_scanned += 1;
+        }
+    }
+    sort_canonical(&mut diagnostics);
+    Ok(ScanReport {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+/// Loads `Lint.toml` from `root` when present, else the built-in
+/// defaults.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("Lint.toml");
+    match fs::read_to_string(&path) {
+        Ok(text) => Config::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("read {}: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The workspace root, two levels up from this crate's manifest.
+    fn workspace_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root exists")
+    }
+
+    #[test]
+    fn collects_known_files_in_sorted_order() {
+        let files = collect_rs_files(&workspace_root()).expect("walk succeeds");
+        assert!(files.iter().any(|f| f == "crates/core/src/flow.rs"));
+        assert!(files.iter().any(|f| f == "crates/lint/src/driver.rs"));
+        assert!(files.windows(2).all(|w| w[0] < w[1]));
+        // target/ and .git/ are never walked.
+        assert!(files.iter().all(|f| !f.starts_with("target/")));
+    }
+}

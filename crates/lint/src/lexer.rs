@@ -1,0 +1,492 @@
+//! A hand-rolled Rust lexer, sufficient for token-pattern linting.
+//!
+//! Produces a flat token stream with 1-based line/column positions. The
+//! lexer understands everything that can *hide* source text from a naive
+//! substring scan — string literals (plain, raw with any `#` depth, byte,
+//! C), char literals vs. lifetimes, nested block comments, doc comments —
+//! so rules never fire on text inside a literal or comment, and
+//! suppression comments can be parsed reliably.
+//!
+//! No `syn`, no `proc-macro2`: the workspace policy is fully-offline
+//! builds, and token patterns are all the rule set needs.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `r#raw_ident`).
+    Ident,
+    /// Any literal: string, raw string, byte string, char, or number.
+    Literal,
+    /// A single punctuation character (`:`, `.`, `!`, `[`, …).
+    Punct,
+    /// `// …` (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */`, nesting respected (including `/** … */`).
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// Character cursor with line/column tracking.
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count characters, not UTF-8 continuation bytes.
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`, returning every token including comments.
+///
+/// The lexer is lossless about *positions* but not about whitespace:
+/// only tokens are returned. Unterminated literals and comments are
+/// tolerated (the remainder of the file becomes one token) so a lint run
+/// never aborts on a syntactically broken file.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+
+    while !cur.eof() {
+        let b = match cur.peek() {
+            Some(b) => b,
+            None => break,
+        };
+        // Skip whitespace.
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+
+        // Comments.
+        if b == b'/' && cur.peek_at(1) == Some(b'/') {
+            while let Some(c) = cur.peek() {
+                if c == b'\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            push(&mut out, TokenKind::LineComment, &cur, start, line, col);
+            continue;
+        }
+        if b == b'/' && cur.peek_at(1) == Some(b'*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 && !cur.eof() {
+                if cur.peek() == Some(b'/') && cur.peek_at(1) == Some(b'*') {
+                    cur.bump();
+                    cur.bump();
+                    depth += 1;
+                } else if cur.peek() == Some(b'*') && cur.peek_at(1) == Some(b'/') {
+                    cur.bump();
+                    cur.bump();
+                    depth -= 1;
+                } else {
+                    cur.bump();
+                }
+            }
+            push(&mut out, TokenKind::BlockComment, &cur, start, line, col);
+            continue;
+        }
+
+        // Identifiers, keywords, and prefixed literals (r"", b'', br#""#,
+        // r#ident).
+        if is_ident_start(b) {
+            while let Some(c) = cur.peek() {
+                if is_ident_continue(c) {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            let ident = &src[start..cur.pos];
+            match cur.peek() {
+                // Raw string or raw identifier after a known prefix.
+                Some(b'"') | Some(b'#') if matches!(ident, "r" | "b" | "br" | "c" | "cr") => {
+                    if lex_raw_or_prefixed(&mut cur, ident) {
+                        push(&mut out, TokenKind::Literal, &cur, start, line, col);
+                        continue;
+                    }
+                    // `r#ident` — consumed as part of the identifier.
+                    push(&mut out, TokenKind::Ident, &cur, start, line, col);
+                    continue;
+                }
+                Some(b'\'') if ident == "b" => {
+                    // Byte char literal b'x'.
+                    cur.bump();
+                    lex_char_body(&mut cur);
+                    push(&mut out, TokenKind::Literal, &cur, start, line, col);
+                    continue;
+                }
+                _ => {}
+            }
+            push(&mut out, TokenKind::Ident, &cur, start, line, col);
+            continue;
+        }
+
+        // String literal.
+        if b == b'"' {
+            cur.bump();
+            lex_string_body(&mut cur);
+            push(&mut out, TokenKind::Literal, &cur, start, line, col);
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if b == b'\'' {
+            cur.bump();
+            let is_lifetime = match (cur.peek(), cur.peek_at(1)) {
+                // 'a followed by anything but a closing quote = lifetime.
+                (Some(c), next) if is_ident_start(c) => next != Some(b'\''),
+                _ => false,
+            };
+            if is_lifetime {
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut out, TokenKind::Ident, &cur, start, line, col);
+            } else {
+                lex_char_body(&mut cur);
+                push(&mut out, TokenKind::Literal, &cur, start, line, col);
+            }
+            continue;
+        }
+
+        // Number literal.
+        if b.is_ascii_digit() {
+            while let Some(c) = cur.peek() {
+                // Covers ints, hex/oct/bin, underscores, type suffixes,
+                // and exponents; deliberately loose — value is unused.
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    cur.bump();
+                } else if c == b'.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                    // `1.5` but not the range `1..n`.
+                    cur.bump();
+                } else if (c == b'+' || c == b'-')
+                    && matches!(src.as_bytes().get(cur.pos - 1), Some(b'e') | Some(b'E'))
+                {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            push(&mut out, TokenKind::Literal, &cur, start, line, col);
+            continue;
+        }
+
+        // Everything else: single punctuation character.
+        cur.bump();
+        push(&mut out, TokenKind::Punct, &cur, start, line, col);
+    }
+
+    out
+}
+
+fn push(out: &mut Vec<Token>, kind: TokenKind, cur: &Cursor, start: usize, line: u32, col: u32) {
+    let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+    out.push(Token {
+        kind,
+        text,
+        line,
+        col,
+    });
+}
+
+/// Consumes the body of a `"…"` string (opening quote already consumed).
+fn lex_string_body(cur: &mut Cursor) {
+    while let Some(c) = cur.peek() {
+        cur.bump();
+        if c == b'\\' {
+            cur.bump(); // escaped character, including \" and \\
+        } else if c == b'"' {
+            return;
+        }
+    }
+}
+
+/// Consumes the body of a `'…'` char literal (opening quote consumed).
+fn lex_char_body(cur: &mut Cursor) {
+    while let Some(c) = cur.peek() {
+        cur.bump();
+        if c == b'\\' {
+            cur.bump();
+        } else if c == b'\'' || c == b'\n' {
+            return;
+        }
+    }
+}
+
+/// After a literal prefix (`r`, `b`, `br`, `c`, `cr`), attempts to consume
+/// a raw or plain string. Returns false when the `#` turned out to start a
+/// raw identifier (`r#ident`), which is consumed instead.
+fn lex_raw_or_prefixed(cur: &mut Cursor, prefix: &str) -> bool {
+    let raw = prefix.contains('r');
+    if !raw {
+        // b"…" / c"…": plain string body.
+        if cur.peek() == Some(b'"') {
+            cur.bump();
+            lex_string_body(cur);
+            return true;
+        }
+        return false;
+    }
+    // Count the `#`s of r#"…"# / br##"…"##.
+    let mut hashes = 0usize;
+    while cur.peek_at(hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    match cur.peek_at(hashes) {
+        Some(b'"') => {
+            for _ in 0..=hashes {
+                cur.bump(); // the #s and the opening quote
+            }
+            // Scan for `"` followed by `hashes` #s.
+            'outer: while !cur.eof() {
+                if cur.peek() == Some(b'"') {
+                    for i in 0..hashes {
+                        if cur.peek_at(1 + i) != Some(b'#') {
+                            cur.bump();
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..=hashes {
+                        cur.bump();
+                    }
+                    return true;
+                }
+                cur.bump();
+            }
+            true // unterminated: swallow the rest
+        }
+        Some(c) if hashes == 1 && is_ident_start(c) && prefix == "r" => {
+            // Raw identifier r#ident: consume `#` + ident chars.
+            cur.bump();
+            while let Some(c) = cur.peek() {
+                if is_ident_continue(c) {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = tokenize("let x = a::b;");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["let", "x", "=", "a", ":", ":", "b", ";"]);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[1].col, 5);
+    }
+
+    #[test]
+    fn line_and_col_track_newlines() {
+        let toks = tokenize("a\n  b\nccc d");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (3, 1));
+        assert_eq!((toks[3].line, toks[3].col), (3, 5));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "HashMap::new() // not a comment";"#);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            1
+        );
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let toks = kinds(r#""a\"b" x"#);
+        assert_eq!(toks[0].0, TokenKind::Literal);
+        assert_eq!(toks[0].1, r#""a\"b""#);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"# ; x"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.starts_with("r#\"")));
+        assert!(toks.iter().any(|(_, t)| t == "x"));
+    }
+
+    #[test]
+    fn raw_string_hides_comment_opener() {
+        let toks = kinds("r\"/* not a comment\" y");
+        assert_eq!(toks[0].0, TokenKind::Literal);
+        assert_eq!(toks[1].1, "y");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"b"bytes" br#"raw"# b'x' ok"##);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            3
+        );
+        assert!(toks.iter().any(|(_, t)| t == "ok"));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let toks = kinds("r#fn x");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#fn".to_owned()));
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("&'a str 'x' '\\n'");
+        assert_eq!(toks[1], (TokenKind::Ident, "'a".to_owned()));
+        assert_eq!(toks[3].0, TokenKind::Literal);
+        assert_eq!(toks[3].1, "'x'");
+        assert_eq!(toks[4].0, TokenKind::Literal);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("0..n 1.5 0x1f_u32 1e-3");
+        assert_eq!(toks[0].1, "0");
+        assert_eq!(toks[1].1, ".");
+        assert_eq!(toks[2].1, ".");
+        assert_eq!(toks[3].1, "n");
+        assert_eq!(toks[4].1, "1.5");
+        assert_eq!(toks[5].1, "0x1f_u32");
+        assert_eq!(toks[6].1, "1e-3");
+    }
+
+    #[test]
+    fn line_comment_ends_at_newline() {
+        let toks = kinds("x // trailing HashMap\ny");
+        assert_eq!(toks[0].1, "x");
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert_eq!(toks[2].1, "y");
+    }
+
+    #[test]
+    fn unterminated_string_is_tolerated() {
+        let toks = kinds("let s = \"never closed");
+        assert_eq!(toks.last().map(|(k, _)| *k), Some(TokenKind::Literal));
+    }
+
+    #[test]
+    fn utf8_in_comments_and_strings() {
+        let toks = tokenize("// ünïcode §\nlet x = \"héllo\";");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        let x = toks.iter().find(|t| t.text == "x").expect("x token");
+        assert_eq!(x.line, 2);
+        assert_eq!(x.col, 5);
+    }
+}

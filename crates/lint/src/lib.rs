@@ -1,0 +1,24 @@
+//! operon-lint — dependency-free static analysis for the OPERON
+//! workspace.
+//!
+//! Enforces the determinism, robustness, and no-panic invariants that
+//! the executor's bit-identical-reproducibility guarantee rests on. See
+//! `DESIGN.md` § "Static analysis & invariants" for the rule catalog and
+//! `Lint.toml` for the checked-in configuration.
+//!
+//! The analyzer is deliberately dependency-free: a hand-rolled lexer
+//! (`lexer`), token-pattern rules (`rules`), a minimal `Lint.toml`
+//! parser (`config`), and stable human/JSON renderers (`diagnostics`).
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diagnostics;
+pub mod driver;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use diagnostics::{Diagnostic, Level};
+pub use driver::{scan_files, scan_workspace, ScanReport};
+pub use rules::{classify, lint_source, FileRole};

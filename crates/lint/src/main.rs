@@ -1,0 +1,106 @@
+//! CLI entry point: `operon-lint --workspace [--format json]`.
+
+#![forbid(unsafe_code)]
+
+use operon_lint::diagnostics::{render_json, Level};
+use operon_lint::driver::{load_config, scan_files, scan_workspace, ScanReport};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    workspace: bool,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        workspace: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root requires a path argument")?);
+            }
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("human") => args.json = false,
+                other => {
+                    return Err(format!("--format must be `json` or `human`, got {other:?}"));
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "operon-lint: determinism/robustness static analysis\n\n\
+                     USAGE: operon-lint [--root DIR] [--format json|human] \
+                     (--workspace | FILE...)\n\n\
+                     FILEs are workspace-relative .rs paths. Configuration is\n\
+                     read from <root>/Lint.toml when present."
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            file => args.files.push(file.to_owned()),
+        }
+    }
+    if !args.workspace && args.files.is_empty() {
+        return Err("nothing to lint: pass --workspace or one or more files".to_owned());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    // operon-lint: allow(D002, reason = "the linter times its own run; it is its own instrumentation boundary")
+    let started = std::time::Instant::now();
+    let args = parse_args()?;
+    let config = load_config(&args.root)?;
+    let ScanReport {
+        diagnostics,
+        files_scanned,
+    } = if args.workspace {
+        scan_workspace(&args.root, &config)?
+    } else {
+        scan_files(&args.root, &args.files, &config)?
+    };
+
+    let deny = diagnostics
+        .iter()
+        .filter(|d| d.level == Level::Deny)
+        .count();
+    let warn = diagnostics.len() - deny;
+
+    if args.json {
+        print!("{}", render_json(&diagnostics));
+    } else {
+        for d in &diagnostics {
+            println!("{}", d.render_human());
+        }
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "operon-lint: {deny} deny, {warn} warn across {files_scanned} files ({elapsed_ms:.1} ms)"
+        );
+    }
+    Ok(if deny == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("operon-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! The rule engine: token-pattern rules over one file.
+//!
+//! | Rule | Invariant it protects |
+//! |------|----------------------|
+//! | D001 | No `HashMap`/`HashSet` in solver-crate library code — seed-dependent iteration order breaks bit-identical reproducibility. |
+//! | D002 | No `Instant::now`/`SystemTime` outside `exec::metrics` and the bench crate — wall-clock reads stay centralized (`operon_exec::Stopwatch`). |
+//! | D003 | No `std::thread::spawn`/`scope` outside `operon-exec` — all parallelism goes through the ordered executor. |
+//! | R001 | No `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in solver-crate library code — hot paths return typed errors. |
+//! | R002 | No direct indexing into a call result (`f(x)[i]`) in configured hot paths — prefer `get()` with an error path. |
+//! | L000 | Suppressions themselves: `// operon-lint: allow(RULE, reason = "…")` requires a rule list and a non-empty reason. |
+//!
+//! Rules skip `#[cfg(test)]` modules and `#[test]` functions; D001 and
+//! R001 additionally apply only to library (non-`src/bin`) code of the
+//! configured solver crates.
+
+use crate::config::Config;
+use crate::diagnostics::{Diagnostic, Level};
+use crate::lexer::{tokenize, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a file participates in its crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileRole {
+    /// Library code (`src/**` except `src/bin` and `src/main.rs`).
+    Lib,
+    /// Binary code (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Tests, benches, examples — not scanned.
+    Other,
+}
+
+/// Classifies `path` (workspace-relative, forward slashes) into its crate
+/// name and role. Returns `None` for non-`.rs` files.
+pub fn classify(path: &str) -> Option<(String, FileRole)> {
+    if !path.ends_with(".rs") {
+        return None;
+    }
+    let (crate_name, rest) = if let Some(rest) = path.strip_prefix("crates/") {
+        let (name, tail) = rest.split_once('/')?;
+        (name.to_owned(), tail)
+    } else {
+        ("operon-repro".to_owned(), path)
+    };
+    let role = if rest.starts_with("tests/")
+        || rest.starts_with("benches/")
+        || rest.starts_with("examples/")
+    {
+        FileRole::Other
+    } else if rest.starts_with("src/bin/") || rest == "src/main.rs" {
+        FileRole::Bin
+    } else if rest.starts_with("src/") {
+        FileRole::Lib
+    } else {
+        FileRole::Other
+    };
+    Some((crate_name, role))
+}
+
+/// Lints one file's source. `path` is the workspace-relative path used
+/// for reporting and configuration matching.
+pub fn lint_source(path: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
+    let Some((crate_name, role)) = classify(path) else {
+        return Vec::new();
+    };
+    if role == FileRole::Other || config.excluded(path) {
+        return Vec::new();
+    }
+
+    let tokens = tokenize(source);
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let in_test = test_regions(&code);
+    let (allows, mut diags) = parse_allows(path, &tokens, &code);
+    let solver = config.solver_crates.iter().any(|c| c == &crate_name);
+
+    let fire = |rule: &'static str, tok: &Token, message: String, diags: &mut Vec<Diagnostic>| {
+        let Some(level) = config.level(rule) else {
+            return;
+        };
+        if config.path_allowed(rule, path) || config.path_out_of_scope(rule, path) {
+            return;
+        }
+        if allows
+            .get(&tok.line)
+            .is_some_and(|rules| rules.contains(rule))
+        {
+            return;
+        }
+        diags.push(Diagnostic {
+            rule,
+            level,
+            file: path.to_owned(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    };
+
+    for (i, tok) in code.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let next = |off: usize| code.get(i + off).copied();
+        let followed_by_path_sep = |at: usize| {
+            next(at).is_some_and(|t| t.is_punct(':'))
+                && next(at + 1).is_some_and(|t| t.is_punct(':'))
+        };
+
+        // D001 — hash collections in solver-crate library code.
+        if solver
+            && role == FileRole::Lib
+            && tok.kind == TokenKind::Ident
+            && (tok.text == "HashMap" || tok.text == "HashSet")
+        {
+            let replacement = if tok.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            fire(
+                "D001",
+                tok,
+                format!(
+                    "`{}` in solver-crate library code: iteration order is \
+                     seed-dependent and breaks bit-identical reproducibility; \
+                     use `{}` or iterate over sorted keys",
+                    tok.text, replacement
+                ),
+                &mut diags,
+            );
+        }
+
+        // D002 — ad-hoc wall-clock reads.
+        if tok.is_ident("Instant")
+            && followed_by_path_sep(1)
+            && next(3).is_some_and(|t| t.is_ident("now"))
+        {
+            fire(
+                "D002",
+                tok,
+                "`Instant::now()` outside `exec::metrics`/bench: route timing \
+                 through `operon_exec::Stopwatch` so clock reads stay centralized"
+                    .to_owned(),
+                &mut diags,
+            );
+        }
+        if tok.is_ident("SystemTime") {
+            fire(
+                "D002",
+                tok,
+                "`SystemTime` outside `exec::metrics`/bench: wall-clock reads \
+                 must go through `operon_exec` instrumentation"
+                    .to_owned(),
+                &mut diags,
+            );
+        }
+
+        // D003 — raw thread creation.
+        if tok.is_ident("thread") && followed_by_path_sep(1) {
+            if let Some(t) = next(3) {
+                if t.is_ident("spawn") || t.is_ident("scope") {
+                    fire(
+                        "D003",
+                        tok,
+                        format!(
+                            "`thread::{}` outside `operon-exec`: all parallelism \
+                             must go through the ordered executor (`Executor::par_map`)",
+                            t.text
+                        ),
+                        &mut diags,
+                    );
+                }
+            }
+        }
+
+        // R001 — panic family in solver-crate library code.
+        if solver && role == FileRole::Lib {
+            let method_call =
+                i > 0 && code[i - 1].is_punct('.') && next(1).is_some_and(|t| t.is_punct('('));
+            if method_call && (tok.text == "unwrap" || tok.text == "expect") {
+                fire(
+                    "R001",
+                    tok,
+                    format!(
+                        "`.{}()` in solver-crate library code: return a typed \
+                         `operon::error` variant, or annotate the provably-infallible \
+                         case with `// operon-lint: allow(R001, reason = ...)`",
+                        tok.text
+                    ),
+                    &mut diags,
+                );
+            }
+            let bang_macro = next(1).is_some_and(|t| t.is_punct('!'));
+            if bang_macro
+                && matches!(
+                    tok.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                )
+            {
+                fire(
+                    "R001",
+                    tok,
+                    format!(
+                        "`{}!` in solver-crate library code: return a typed error \
+                         instead of panicking, or annotate with \
+                         `// operon-lint: allow(R001, reason = ...)`",
+                        tok.text
+                    ),
+                    &mut diags,
+                );
+            }
+        }
+
+        // R002 — indexing straight into a call result in hot paths.
+        if role == FileRole::Lib && tok.is_punct(')') {
+            if let Some(bracket) = next(1) {
+                if bracket.is_punct('[') {
+                    fire(
+                        "R002",
+                        bracket,
+                        "indexing directly into a call result in a hot path: \
+                         prefer `.get()` with an explicit error path over `[...]`"
+                            .to_owned(),
+                        &mut diags,
+                    );
+                }
+            }
+        }
+    }
+
+    diags
+}
+
+/// Marks code-token indices inside `#[cfg(test)]` / `#[test]` /
+/// `#[should_panic]`-gated items (the `{ … }` that follows the attribute).
+fn test_regions(code: &[&Token]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let close = matching_braces(code);
+
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < code.len() {
+                let t = code[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.kind == TokenKind::Ident {
+                    idents.push(&t.text);
+                }
+                j += 1;
+            }
+            let is_test_attr = match idents.first().copied() {
+                Some("test") | Some("should_panic") => true,
+                Some("cfg") => idents.contains(&"test"),
+                _ => false,
+            };
+            if is_test_attr {
+                // The gated item's body: first `{` before any `;` at the
+                // item level (a gated `use …;` or `fn …;` has no body).
+                let mut k = j + 1;
+                while k < code.len() {
+                    let t = code[k];
+                    if t.is_punct('{') {
+                        let end = close[k];
+                        for slot in in_test.iter_mut().take(end + 1).skip(i) {
+                            *slot = true;
+                        }
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        for slot in in_test.iter_mut().take(k + 1).skip(i) {
+                            *slot = true;
+                        }
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// For each `{` code-token index, the index of its matching `}` (or the
+/// last token when unbalanced).
+fn matching_braces(code: &[&Token]) -> Vec<usize> {
+    let mut close = vec![code.len().saturating_sub(1); code.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.is_punct('{') {
+            stack.push(i);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                close[open] = i;
+            }
+        }
+    }
+    close
+}
+
+/// Parses every `// operon-lint: allow(...)` comment. Returns the
+/// per-line suppression map plus L000 diagnostics for malformed ones.
+fn parse_allows(
+    path: &str,
+    tokens: &[Token],
+    code: &[&Token],
+) -> (BTreeMap<u32, BTreeSet<String>>, Vec<Diagnostic>) {
+    let mut allows: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    let mut diags = Vec::new();
+
+    for tok in tokens {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = tok.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("operon-lint:") else {
+            continue;
+        };
+        let bad = |message: &str, diags: &mut Vec<Diagnostic>| {
+            diags.push(Diagnostic {
+                rule: "L000",
+                level: Level::Deny,
+                file: path.to_owned(),
+                line: tok.line,
+                col: tok.col,
+                message: message.to_owned(),
+            });
+        };
+        let rest = rest.trim();
+        let Some(args) = rest
+            .strip_prefix("allow(")
+            .and_then(|a| a.strip_suffix(')'))
+        else {
+            bad(
+                "malformed suppression: expected `operon-lint: allow(RULE, reason = \"...\")`",
+                &mut diags,
+            );
+            continue;
+        };
+        let Some(rules) = parse_allow_args(args) else {
+            bad(
+                "suppression without a reason: every `allow` must carry \
+                 `reason = \"...\"` explaining why the invariant holds",
+                &mut diags,
+            );
+            continue;
+        };
+        // Trailing comment suppresses its own line; a standalone comment
+        // suppresses the next line that has code on it.
+        let own_line = code.iter().any(|t| t.line == tok.line && t.col < tok.col);
+        let target_line = if own_line {
+            tok.line
+        } else {
+            match code.iter().find(|t| t.line > tok.line) {
+                Some(t) => t.line,
+                None => continue, // allow at EOF: nothing to suppress
+            }
+        };
+        allows.entry(target_line).or_default().extend(rules);
+    }
+    (allows, diags)
+}
+
+/// Parses `R001, D001, reason = "why"` into the listed rule ids.
+/// Returns `None` when no rule is listed or the reason is missing/empty.
+fn parse_allow_args(args: &str) -> Option<Vec<String>> {
+    let mut rules = Vec::new();
+    let mut reason: Option<String> = None;
+    // Split on commas outside quotes.
+    let mut parts: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    for c in args.chars() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            ',' if !in_string => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    parts.push(current);
+
+    for part in parts {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some(value) = part.strip_prefix("reason") {
+            let value = value.trim().strip_prefix('=')?.trim();
+            let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+            if inner.trim().is_empty() {
+                return None;
+            }
+            reason = Some(inner.to_owned());
+        } else if part.chars().all(|c| c.is_ascii_alphanumeric()) {
+            rules.push(part.to_owned());
+        } else {
+            return None;
+        }
+    }
+    if rules.is_empty() || reason.is_none() {
+        return None;
+    }
+    Some(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_as(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(path, src, &Config::default())
+    }
+
+    #[test]
+    fn classify_roles() {
+        assert_eq!(
+            classify("crates/core/src/flow.rs"),
+            Some(("core".to_owned(), FileRole::Lib))
+        );
+        assert_eq!(
+            classify("crates/core/src/bin/operon_route.rs"),
+            Some(("core".to_owned(), FileRole::Bin))
+        );
+        assert_eq!(
+            classify("crates/lint/tests/golden.rs"),
+            Some(("lint".to_owned(), FileRole::Other))
+        );
+        assert_eq!(
+            classify("src/lib.rs"),
+            Some(("operon-repro".to_owned(), FileRole::Lib))
+        );
+        assert_eq!(classify("README.md"), None);
+    }
+
+    #[test]
+    fn d001_fires_in_solver_lib_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lint_as("crates/core/src/x.rs", src).len(), 1);
+        assert_eq!(lint_as("crates/exec/src/x.rs", src).len(), 0);
+        assert_eq!(lint_as("crates/core/src/bin/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn d001_skips_strings_comments_and_tests() {
+        let src = r#"
+// HashMap in a comment
+const S: &str = "HashMap";
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn f() { let _m: HashMap<u32, u32> = HashMap::new(); }
+}
+"#;
+        assert!(lint_as("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_matches_instant_now_and_systemtime() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let d = lint_as("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "D002");
+        // `Instant` alone (e.g. storing a start passed in) is fine.
+        assert!(lint_as("crates/core/src/x.rs", "fn f(t: Instant) {}\n").is_empty());
+        assert_eq!(
+            lint_as(
+                "crates/core/src/x.rs",
+                "fn f() { let _ = SystemTime::UNIX_EPOCH; }\n"
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn d003_matches_spawn_and_scope() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let d = lint_as("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "D003");
+        let d = lint_as(
+            "crates/geom/src/x.rs",
+            "fn f() { thread::scope(|s| {}); }\n",
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn r001_matches_panic_family() {
+        let src = r#"
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("msg");
+    if a > b { panic!("boom"); }
+    unreachable!()
+}
+"#;
+        let d = lint_as("crates/steiner/src/x.rs", src);
+        let rules: Vec<_> = d.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["R001"; 4]);
+        // Non-solver crates keep their panics (e.g. netlist synth config).
+        assert!(lint_as("crates/netlist/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r001_ignores_expect_err_and_standalone_idents() {
+        let src = "fn f(r: Result<u32, u32>) { let _ = r.expect_err(\"e\"); }\n";
+        assert!(lint_as("crates/core/src/x.rs", src).is_empty());
+        // A function *named* unwrap, not a method call.
+        assert!(lint_as("crates/core/src/x.rs", "fn unwrap() {}\n").is_empty());
+    }
+
+    #[test]
+    fn r002_fires_only_in_scoped_paths() {
+        let mut config = Config::default();
+        config
+            .rules
+            .get_mut("R002")
+            .expect("R002 configured")
+            .only_paths = vec!["crates/core/src/hot.rs".to_owned()];
+        let src = "fn f() { let x = items()[0]; }\n";
+        assert_eq!(lint_source("crates/core/src/hot.rs", src, &config).len(), 1);
+        assert!(lint_source("crates/core/src/cold.rs", src, &config).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_suppresses_with_reason() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // operon-lint: allow(R001, reason = \"checked by caller\")\n    x.unwrap()\n}\n";
+        assert!(lint_as("crates/core/src/x.rs", src).is_empty());
+        let trailing = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // operon-lint: allow(R001, reason = \"checked\")\n}\n";
+        assert!(lint_as("crates/core/src/x.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_deny_finding() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 {\n    // operon-lint: allow(R001)\n    x.unwrap()\n}\n";
+        let d = lint_as("crates/core/src/x.rs", src);
+        let rules: Vec<_> = d.iter().map(|d| d.rule).collect();
+        // The malformed allow suppresses nothing, so R001 still fires.
+        assert!(rules.contains(&"L000"));
+        assert!(rules.contains(&"R001"));
+    }
+
+    #[test]
+    fn allow_only_covers_listed_rules() {
+        let src = "fn f() {\n    // operon-lint: allow(D002, reason = \"not the right rule\")\n    let m = std::collections::HashMap::<u32, u32>::new();\n}\n";
+        let d = lint_as("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "D001");
+    }
+
+    #[test]
+    fn test_fn_attribute_skips_body() {
+        let src = "#[test]\nfn t() { let x: Option<u32> = None; x.unwrap(); }\nfn lib(x: Option<u32>) { x.unwrap(); }\n";
+        let d = lint_as("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: a suppression without a reason is itself a deny finding
+// (L000) and suppresses nothing, so the underlying rule still fires.
+pub fn unjustified(x: Option<u32>) -> u32 {
+    // operon-lint: allow(R001)
+    x.unwrap()
+}
+
+pub fn empty_reason(x: Option<u32>) -> u32 {
+    // operon-lint: allow(R001, reason = "  ")
+    x.unwrap()
+}
+
+pub fn not_even_allow(x: Option<u32>) -> u32 {
+    // operon-lint: silence(R001)
+    x.unwrap()
+}

@@ -1,0 +1,14 @@
+// Fixture: well-formed suppressions silence their target line only.
+pub fn checked(x: Option<u32>) -> u32 {
+    // operon-lint: allow(R001, reason = "guarded by the caller's is_some check")
+    x.unwrap()
+}
+
+pub fn trailing(x: Option<u32>) -> u32 {
+    x.unwrap() // operon-lint: allow(R001, reason = "invariant: x set during construction")
+}
+
+pub fn multi_rule() {
+    // operon-lint: allow(D001, D002, reason = "fixture exercising a multi-rule allow")
+    let _pair = (std::collections::HashMap::<u32, u32>::new(), std::time::Instant::now());
+}

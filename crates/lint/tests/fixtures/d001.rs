@@ -1,0 +1,23 @@
+// Fixture: D001 fires on hash collections in solver library code, but
+// never inside #[cfg(test)] modules or string literals.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn build() -> HashMap<u32, u32> {
+    let _names = "HashMap inside a string is fine";
+    HashMap::new()
+}
+
+pub fn seen() -> HashSet<u32> {
+    HashSet::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn in_tests_hash_is_fine() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: D002 fires on ad-hoc wall-clock reads anywhere outside the
+// metrics boundary; storing an Instant passed in is fine.
+use std::time::{Instant, SystemTime};
+
+pub fn timed() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn keep(start: Instant) -> Instant {
+    start
+}

@@ -1,0 +1,8 @@
+// Fixture: D003 fires on raw thread creation outside operon-exec.
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 41 + 1);
+    let _ = handle.join();
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+}

@@ -1,0 +1,19 @@
+// Fixture: lexer edge cases. Violations quoted in strings, raw strings,
+// char literals, or comments must NOT fire; the one real violation at
+// the end must be reported at the exact line and column.
+pub fn tricky<'a>(s: &'a str) -> usize {
+    let plain = "HashMap::new() and Instant::now() in a string";
+    let raw = r#"std::thread::spawn(|| x.unwrap()) inside r#""#;
+    let deep = r##"nested "r#" raw string with HashSet"##;
+    let escaped = "escaped quote \" then HashMap";
+    let ch = '"';
+    let _lifetime: &'a str = s;
+    /* block comment: SystemTime::now()
+       /* nested block comment: panic!("no") */
+       still inside the outer comment: x.unwrap() */
+    plain.len() + raw.len() + deep.len() + escaped.len() + ch.len_utf8()
+}
+
+pub fn real() -> std::collections::HashSet<u8> {
+    std::collections::HashSet::new()
+}

@@ -1,0 +1,23 @@
+// Fixture: R001 fires on the panic family in solver library code, but
+// not on #[test] functions or idents that merely share a name.
+pub fn risky(x: Option<u32>, r: Result<u32, u32>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("value");
+    if a > b {
+        panic!("a exceeded b");
+    }
+    match a {
+        0 => unreachable!("zero was filtered upstream"),
+        n => n,
+    }
+}
+
+pub fn expect_err_is_different(r: Result<u32, u32>) -> u32 {
+    r.expect_err("only fires on expect/unwrap")
+}
+
+#[test]
+fn tests_may_unwrap() {
+    let v: Option<u32> = Some(3);
+    assert_eq!(v.unwrap(), 3);
+}

@@ -1,0 +1,10 @@
+// Fixture: R002 (warn) flags indexing straight into a call result.
+pub fn hot(items: &[u32]) -> u32 {
+    let first = neighbors(items)[0];
+    let safe = neighbors(items).first().copied().unwrap_or_default();
+    first + safe
+}
+
+fn neighbors(items: &[u32]) -> Vec<u32> {
+    items.to_vec()
+}

@@ -1,0 +1,84 @@
+//! Golden-file tests: each fixture under `tests/fixtures/` is linted as
+//! if it lived at `crates/core/src/<fixture>.rs` (solver-crate library
+//! code, so every rule is in scope) and the exact JSON output is
+//! compared against the checked-in `<fixture>.json`.
+//!
+//! Regenerate goldens after an intentional output change with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p operon-lint --test golden
+//! ```
+
+use operon_lint::diagnostics::render_json;
+use operon_lint::{lint_source, Config};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lints `<fixture>.rs` under the default config and compares the JSON
+/// rendering to `<fixture>.json`.
+fn check(fixture: &str) {
+    let rs = fixture_dir().join(format!("{fixture}.rs"));
+    let golden = fixture_dir().join(format!("{fixture}.json"));
+    let source = std::fs::read_to_string(&rs).expect("fixture source exists");
+
+    // Label the fixture as solver-crate library code so every rule
+    // applies; the default config has no path scoping.
+    let label = format!("crates/core/src/{fixture}.rs");
+    let mut diags = lint_source(&label, &source, &Config::default());
+    operon_lint::diagnostics::sort_canonical(&mut diags);
+    let got = render_json(&diags);
+
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden)
+        .unwrap_or_else(|_| panic!("golden {} missing — run with BLESS=1", golden.display()));
+    assert_eq!(
+        got, want,
+        "fixture {fixture} diverged from its golden; run with BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn d001_hash_collections() {
+    check("d001");
+}
+
+#[test]
+fn d002_wall_clock_reads() {
+    check("d002");
+}
+
+#[test]
+fn d003_raw_threads() {
+    check("d003");
+}
+
+#[test]
+fn r001_panic_family() {
+    check("r001");
+}
+
+#[test]
+fn r002_index_into_call() {
+    check("r002");
+}
+
+#[test]
+fn allow_with_reason_suppresses() {
+    check("allow_ok");
+}
+
+#[test]
+fn allow_without_reason_is_denied() {
+    check("allow_bad");
+}
+
+#[test]
+fn lexer_tricky_cases() {
+    check("lexer_tricky");
+}

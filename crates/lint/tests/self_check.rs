@@ -1,0 +1,58 @@
+//! The linter's most important test: the real workspace, under the real
+//! checked-in `Lint.toml`, must have zero deny findings. This is the
+//! same invariant `ci.sh` enforces via the binary; running it as a test
+//! keeps `cargo test` sufficient to catch regressions.
+
+use operon_lint::driver::{load_config, scan_workspace};
+use operon_lint::Level;
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn workspace_has_zero_deny_findings() {
+    let root = workspace_root();
+    let config = load_config(&root).expect("Lint.toml parses");
+    let report = scan_workspace(&root, &config).expect("scan succeeds");
+
+    let deny: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.level == Level::Deny)
+        .map(|d| d.render_human())
+        .collect();
+    assert!(
+        deny.is_empty(),
+        "workspace has {} deny finding(s):\n{}",
+        deny.len(),
+        deny.join("\n")
+    );
+    // Sanity: the scan actually covered the workspace.
+    assert!(
+        report.files_scanned > 40,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn checked_in_config_pins_the_contract() {
+    let config = load_config(&workspace_root()).expect("Lint.toml parses");
+    // The determinism and robustness gates must stay deny — loosening
+    // them is an intentional, reviewed change to this test.
+    for rule in ["D001", "D002", "D003", "R001"] {
+        assert_eq!(config.level(rule), Some(Level::Deny), "rule {rule}");
+    }
+    assert_eq!(config.level("R002"), Some(Level::Warn));
+    for solver in ["core", "steiner", "ilp", "mcmf", "optics"] {
+        assert!(
+            config.solver_crates.iter().any(|c| c == solver),
+            "{solver} must stay under the solver-crate contract"
+        );
+    }
+}

@@ -25,6 +25,8 @@
 //! assert_eq!(result.cost, 8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use core::fmt;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

@@ -22,6 +22,8 @@
 //! assert!(design.die().width() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod design;
 mod ids;
 pub mod io;

@@ -28,6 +28,8 @@
 //! assert!(loss.total_db() < lib.max_loss_db);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod delay;
 mod lib_params;
 pub mod linkbudget;

@@ -10,7 +10,7 @@
 use crate::mst::{self, Metric};
 use crate::RouteTree;
 use operon_geom::{FPoint, Point};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Builds the Euclidean-MST topology over `terminals`, rooted at
 /// `terminals[0]`.
@@ -122,6 +122,7 @@ pub fn steiner_tree(terminals: &[Point], min_gain: f64) -> RouteTree {
 /// assert!(f.euclidean(Point::new(30, 17)) < 2.0);
 /// ```
 pub fn fermat_point(corners: &[Point; 3]) -> Point {
+    // operon-lint: allow(R001, reason = "a [Point; 3] array is never empty, so the centroid exists")
     let mut cur = FPoint::centroid(corners.iter().map(|&p| p.to_fpoint())).expect("three corners");
     for _ in 0..60 {
         let mut wx = 0.0;
@@ -149,7 +150,7 @@ pub fn fermat_point(corners: &[Point; 3]) -> Point {
 }
 
 fn dedupe(points: &[Point]) -> Vec<Point> {
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     points.iter().copied().filter(|&p| seen.insert(p)).collect()
 }
 
@@ -229,7 +230,7 @@ mod tests {
         ) {
             let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
             let tree = steiner_tree(&pts, 1.0);
-            let tree_pts: std::collections::HashSet<Point> =
+            let tree_pts: std::collections::BTreeSet<Point> =
                 tree.node_ids().map(|id| tree.point(id)).collect();
             for p in &pts {
                 prop_assert!(tree_pts.contains(p));

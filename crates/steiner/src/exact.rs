@@ -28,7 +28,7 @@
 use crate::rsmt::hanan_points;
 use crate::{NodeKind, RouteTree};
 use operon_geom::Point;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The largest terminal count [`rsmt_exact`] accepts (the DP is
 /// exponential in it).
@@ -45,7 +45,7 @@ pub const MAX_EXACT_TERMINALS: usize = 9;
 pub fn rsmt_exact(terminals: &[Point]) -> Option<RouteTree> {
     assert!(!terminals.is_empty(), "RSMT needs at least one terminal");
     // Deduplicate, keeping the source first.
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     let unique: Vec<Point> = terminals
         .iter()
         .copied()
@@ -178,7 +178,7 @@ pub fn rsmt_exact_length(terminals: &[Point]) -> Option<i64> {
 /// duplicate edges and unused grid points.
 fn build_tree(points: &[Point], n_terminals: usize, edges: &[(usize, usize)]) -> RouteTree {
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); points.len()];
-    let mut dedup = HashSet::new();
+    let mut dedup = BTreeSet::new();
     for &(a, b) in edges {
         let key = (a.min(b), a.max(b));
         if a != b && dedup.insert(key) {
@@ -193,6 +193,7 @@ fn build_tree(points: &[Point], n_terminals: usize, edges: &[(usize, usize)]) ->
     let mut visited = vec![false; points.len()];
     visited[0] = true;
     while let Some(u) = stack.pop() {
+        // operon-lint: allow(R001, reason = "every node is assigned an id when first visited, before its neighbors are stacked")
         let uid = ids[u].expect("visited nodes have ids");
         for &v in &adj[u] {
             if !visited[v] {
@@ -317,7 +318,7 @@ mod tests {
             let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
             let tree = rsmt_exact(&pts).expect("small");
             prop_assert!(tree.validate().is_ok());
-            let tree_pts: std::collections::HashSet<Point> =
+            let tree_pts: std::collections::BTreeSet<Point> =
                 tree.node_ids().map(|id| tree.point(id)).collect();
             for p in &pts {
                 prop_assert!(tree_pts.contains(p));

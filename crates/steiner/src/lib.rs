@@ -29,6 +29,8 @@
 //! assert!(tree.wirelength_manhattan() <= mst_len);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod euclidean;
 pub mod exact;
 pub mod mst;

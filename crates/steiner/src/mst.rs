@@ -144,6 +144,7 @@ pub fn to_route_tree(
     let mut visited = vec![false; n];
     visited[root] = true;
     while let Some(u) = stack.pop() {
+        // operon-lint: allow(R001, reason = "every node is assigned an id when first visited, before its neighbors are stacked")
         let uid = ids[u].expect("visited nodes have ids");
         for &v in &adj[u] {
             if !visited[v] {

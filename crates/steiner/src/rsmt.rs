@@ -9,7 +9,7 @@
 use crate::mst::{self, Metric};
 use crate::RouteTree;
 use operon_geom::Point;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The Hanan grid of `terminals`: all intersections of horizontal and
 /// vertical lines through the terminals, minus the terminals themselves.
@@ -30,7 +30,7 @@ use std::collections::HashSet;
 /// assert!(h.contains(&Point::new(0, 7)) && h.contains(&Point::new(4, 0)));
 /// ```
 pub fn hanan_points(terminals: &[Point]) -> Vec<Point> {
-    let terminal_set: HashSet<Point> = terminals.iter().copied().collect();
+    let terminal_set: BTreeSet<Point> = terminals.iter().copied().collect();
     let mut xs: Vec<i64> = terminals.iter().map(|p| p.x).collect();
     let mut ys: Vec<i64> = terminals.iter().map(|p| p.y).collect();
     xs.sort_unstable();
@@ -106,7 +106,7 @@ pub fn rsmt_bi1s(terminals: &[Point]) -> RouteTree {
 pub fn rsmt_bi1s_with_limit(terminals: &[Point], max_steiner: usize) -> RouteTree {
     assert!(!terminals.is_empty(), "RSMT needs at least one terminal");
     let mut unique = Vec::new();
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     for &p in terminals {
         if seen.insert(p) {
             unique.push(p);
@@ -140,11 +140,7 @@ pub fn rsmt_bi1s_with_limit(terminals: &[Point], max_steiner: usize) -> RouteTre
         if gains.is_empty() {
             break;
         }
-        gains.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .expect("gains are finite")
-                .then_with(|| a.1.cmp(&b.1))
-        });
+        gains.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
         // Batched insertion: accept candidates in gain order, re-verifying
         // each against the already-extended point set.
         let mut inserted_this_round = 0;
@@ -308,7 +304,7 @@ mod tests {
         ) {
             let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
             let tree = rsmt_bi1s(&pts);
-            let tree_pts: std::collections::HashSet<Point> =
+            let tree_pts: std::collections::BTreeSet<Point> =
                 tree.node_ids().map(|id| tree.point(id)).collect();
             for p in &pts {
                 prop_assert!(tree_pts.contains(p), "terminal {p} missing");

@@ -38,7 +38,7 @@ fn main() {
     let nets: Vec<NetCandidates> = (0..3).map(|k| connection(k, k as i64 * 100, 20)).collect();
     let choice = vec![0usize; nets.len()];
 
-    let plan = wdm::plan(&nets, &choice, &lib);
+    let plan = wdm::plan(&nets, &choice, &lib).expect("demo plan is feasible");
     println!(
         "connections: {} (20 bits each, WDM capacity {})",
         plan.connections.len(),
