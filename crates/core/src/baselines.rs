@@ -162,6 +162,7 @@ pub fn glow_baseline(nets: &[HyperNet], config: &OperonConfig) -> BaselineSelect
             power_mw,
             proven_optimal: false,
             elapsed: start.elapsed(),
+            ilp_stats: None,
         },
     }
 }

@@ -1,20 +1,25 @@
 //! Command-line front end for the OPERON flow.
 //!
 //! ```text
-//! operon_route <design.sig>... [--threads N] [--run-report FILE]
-//!              [--ilp SECS] [--capacity N] [--max-loss DB] [--max-delay PS]
-//!              [--scale N/D] [--maps] [--nets] [--svg FILE]
+//! operon_route <design.sig>... [--threads N|auto] [--run-report FILE]
+//!              [--ilp SECS] [--ilp-wave-size N] [--capacity N]
+//!              [--max-loss DB] [--max-delay PS] [--scale N/D]
+//!              [--maps] [--nets] [--svg FILE]
 //! ```
 //!
 //! Reads designs in the `operon-netlist` text format (see
 //! `operon_netlist::io`), runs the flow, and prints the selection summary.
 //! Several design paths form a batch: they are routed concurrently on one
 //! shared executor and reported in input order. `--threads` sets the
-//! worker count (0 = one per hardware thread; results are bit-identical
-//! for every count), `--run-report` writes the executor's per-stage JSON
-//! instrumentation. `--maps` additionally renders the optical/electrical
-//! power maps as ASCII heat maps; `--svg` writes the routed layout as an
-//! SVG drawing (single design only).
+//! worker count (`auto` or `0`, the default, means one per hardware
+//! thread; results are bit-identical for every count), `--run-report`
+//! writes the executor's per-stage JSON instrumentation.
+//! `--ilp-wave-size` sets how many branch-and-bound nodes the exact
+//! selector expands per parallel wave (default 1 = sequential best-first;
+//! the explored tree depends on the wave size but never on the thread
+//! count). `--maps` additionally renders the optical/electrical power
+//! maps as ASCII heat maps; `--svg` writes the routed layout as an SVG
+//! drawing (single design only).
 
 use operon::config::{OperonConfig, Selector};
 use operon::flow::OperonFlow;
@@ -24,9 +29,9 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: operon_route <design.sig>... [--threads N] [--run-report FILE] [--ilp SECS] \
-         [--capacity N] [--max-loss DB] [--max-delay PS] [--scale N/D] [--maps] [--nets] \
-         [--svg FILE]"
+        "usage: operon_route <design.sig>... [--threads N|auto] [--run-report FILE] [--ilp SECS] \
+         [--ilp-wave-size N] [--capacity N] [--max-loss DB] [--max-delay PS] [--scale N/D] \
+         [--maps] [--nets] [--svg FILE]"
     );
     ExitCode::from(2)
 }
@@ -56,7 +61,16 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--threads" => {
-                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                // "auto" (the default) means one worker per hardware
+                // thread, same as 0.
+                let parsed = args.get(i + 1).and_then(|s| {
+                    if s == "auto" {
+                        Some(0)
+                    } else {
+                        s.parse::<usize>().ok()
+                    }
+                });
+                let Some(n) = parsed else {
                     return usage();
                 };
                 threads = n;
@@ -76,6 +90,13 @@ fn main() -> ExitCode {
                 opts.config.selector = Selector::Ilp {
                     time_limit_secs: secs,
                 };
+                i += 2;
+            }
+            "--ilp-wave-size" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                opts.config.ilp_wave_size = n;
                 i += 2;
             }
             "--capacity" => {

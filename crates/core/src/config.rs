@@ -62,6 +62,12 @@ pub struct OperonConfig {
     pub max_candidates: usize,
     /// Label cap per node in the co-design dynamic program.
     pub max_labels: usize,
+    /// Branch-and-bound nodes the ILP selector expands concurrently per
+    /// wave (see [`crate::formulation::select_ilp_with`]). The explored
+    /// tree depends on this value but never on the thread count, so
+    /// results are reproducible across machines at a fixed wave size.
+    /// `1` (the default) is the classic sequential best-first search.
+    pub ilp_wave_size: usize,
     /// LR iteration cap (the paper uses 10).
     pub lr_max_iters: usize,
     /// LR convergence ratio: stop when both power and violation improve
@@ -84,6 +90,7 @@ impl Default for OperonConfig {
             max_topologies: 4,
             max_candidates: 8,
             max_labels: 32,
+            ilp_wave_size: 1,
             lr_max_iters: 10,
             lr_converge_ratio: 0.01,
             powermap_cells: 64,
@@ -153,6 +160,11 @@ impl OperonConfig {
         if self.max_topologies == 0 || self.max_candidates == 0 || self.max_labels == 0 {
             return Err(OperonError::InvalidConfig(
                 "topology/candidate/label caps must be positive".to_owned(),
+            ));
+        }
+        if self.ilp_wave_size == 0 {
+            return Err(OperonError::InvalidConfig(
+                "ilp_wave_size must be positive".to_owned(),
             ));
         }
         if self.lr_max_iters == 0 {
@@ -233,6 +245,18 @@ mod tests {
             ..OperonConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_ilp_wave_size_rejected() {
+        let cfg = OperonConfig {
+            ilp_wave_size: 0,
+            ..OperonConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(OperonError::InvalidConfig(msg)) if msg.contains("ilp_wave_size")
+        ));
     }
 
     #[test]

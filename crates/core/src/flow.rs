@@ -3,7 +3,7 @@
 use crate::baselines::BaselineSelection;
 use crate::codesign::{generate_candidates, NetCandidates};
 use crate::config::{OperonConfig, Selector};
-use crate::formulation::{select_ilp, selection_feasible, SelectionResult};
+use crate::formulation::{select_ilp_with, selection_feasible, SelectionResult};
 use crate::lr::select_lr_with;
 use crate::report::{power_maps, PowerMaps};
 use crate::wdm::{self, WdmPlan};
@@ -296,25 +296,29 @@ impl OperonFlow {
         times.crossing = t.elapsed();
 
         let selection = {
-            let _stage = self.exec.stage("selection");
-            match config.selector {
+            let mut stage = self.exec.stage("selection");
+            let sel = match config.selector {
                 Selector::Ilp { time_limit_secs } => {
                     // Warm-start the exact solver with the fast LR heuristic
                     // so limit-terminated solves still return a strong
                     // incumbent.
                     let warm = select_lr_with(&candidates, &crossings, &config, &self.exec);
-                    select_ilp(
+                    select_ilp_with(
                         &candidates,
                         &crossings,
                         &config.optical,
                         Duration::from_secs(time_limit_secs),
                         Some(&warm.choice),
+                        config.ilp_wave_size,
+                        &self.exec,
                     )?
                 }
                 Selector::LagrangianRelaxation => {
                     select_lr_with(&candidates, &crossings, &config, &self.exec)
                 }
-            }
+            };
+            record_ilp_stats(&mut stage, &sel);
+            sel
         };
         times.selection = selection.elapsed;
         debug_assert!(selection_feasible(
@@ -487,22 +491,26 @@ impl OperonFlow {
         };
         times.crossing = t.elapsed();
         let selection = {
-            let _stage = self.exec.stage("selection");
-            match resolved.selector {
+            let mut stage = self.exec.stage("selection");
+            let sel = match resolved.selector {
                 Selector::Ilp { time_limit_secs } => {
                     let warm = select_lr_with(&candidates, &crossings, &resolved, &self.exec);
-                    select_ilp(
+                    select_ilp_with(
                         &candidates,
                         &crossings,
                         &resolved.optical,
                         Duration::from_secs(time_limit_secs),
                         Some(&warm.choice),
+                        resolved.ilp_wave_size,
+                        &self.exec,
                     )?
                 }
                 Selector::LagrangianRelaxation => {
                     select_lr_with(&candidates, &crossings, &resolved, &self.exec)
                 }
-            }
+            };
+            record_ilp_stats(&mut stage, &sel);
+            sel
         };
         times.selection = selection.elapsed;
         let t = operon_exec::Stopwatch::start();
@@ -536,6 +544,19 @@ impl OperonFlow {
         }
         let hyper_nets = build_hyper_nets(design, &self.config.cluster);
         Ok(crate::baselines::glow_baseline(&hyper_nets, &self.config))
+    }
+}
+
+/// Surfaces the exact solver's search counters into the selection
+/// stage's run-report record (a no-op for the LR/baseline paths, which
+/// carry no ILP stats).
+fn record_ilp_stats(stage: &mut operon_exec::StageScope<'_>, sel: &SelectionResult) {
+    if let Some(stats) = sel.ilp_stats {
+        stage.record("ilp_nodes", stats.nodes_explored as u64);
+        stage.record("ilp_lp_solves", stats.lp_solves as u64);
+        stage.record("ilp_waves", stats.waves as u64);
+        stage.record("ilp_incumbent_updates", stats.incumbent_updates as u64);
+        stage.record("ilp_simplex_iterations", stats.simplex_iterations);
     }
 }
 

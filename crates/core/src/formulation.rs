@@ -16,7 +16,8 @@
 
 use crate::codesign::NetCandidates;
 use crate::{CrossingIndex, OperonError};
-use operon_ilp::{Model, SolveOptions, VarId};
+use operon_exec::Executor;
+use operon_ilp::{Model, SolveOptions, SolveStats, VarId};
 use operon_optics::OpticalLib;
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -33,6 +34,9 @@ pub struct SelectionResult {
     pub proven_optimal: bool,
     /// Wall-clock time of the selection stage.
     pub elapsed: Duration,
+    /// Branch-and-bound counters totalled over every component sub-ILP
+    /// (`None` for the LR and baseline paths, which solve no ILP).
+    pub ilp_stats: Option<SolveStats>,
 }
 
 /// Total power of a selection: candidate powers plus the per-net constant
@@ -133,6 +137,36 @@ pub fn select_ilp(
     time_limit: Duration,
     warm_start: Option<&[usize]>,
 ) -> Result<SelectionResult, OperonError> {
+    select_ilp_with(
+        nets,
+        crossings,
+        lib,
+        time_limit,
+        warm_start,
+        1,
+        &Executor::sequential(),
+    )
+}
+
+/// [`select_ilp`] with explicit wave-synchronous search knobs: each
+/// component sub-ILP expands `wave_size` branch-and-bound nodes per round
+/// on `exec`. The solve is bit-identical for any thread count at a fixed
+/// `wave_size`; `wave_size = 1` performs the classic sequential search.
+///
+/// # Errors
+///
+/// Returns [`OperonError::SelectionFailed`] if a sub-ILP reports
+/// infeasibility, which cannot happen while every net retains its
+/// electrical fallback.
+pub fn select_ilp_with(
+    nets: &[NetCandidates],
+    crossings: &CrossingIndex,
+    lib: &OpticalLib,
+    time_limit: Duration,
+    warm_start: Option<&[usize]>,
+    wave_size: usize,
+    exec: &Executor,
+) -> Result<SelectionResult, OperonError> {
     let start = operon_exec::Stopwatch::start();
 
     // Collect, per (net, cand, path), the crossing-loss coefficient of
@@ -194,15 +228,19 @@ pub fn select_ilp(
         .collect();
 
     let mut proven_optimal = true;
+    let mut ilp_stats = SolveStats::default();
     let mut component_list: Vec<Vec<usize>> = components.into_values().collect();
     component_list.sort_by_key(|c| (c.len(), c.first().copied()));
     for members in component_list {
         let remaining = time_limit.saturating_sub(start.elapsed());
-        let sol = solve_component(nets, &loaders, &members, lib, remaining, warm_start)?;
-        for (&i, &j) in members.iter().zip(&sol.0) {
+        let sol = solve_component(
+            nets, &loaders, &members, lib, remaining, warm_start, wave_size, exec,
+        )?;
+        for (&i, &j) in members.iter().zip(&sol.choice) {
             choice[i] = j;
         }
-        proven_optimal &= sol.1;
+        proven_optimal &= sol.proven_optimal;
+        ilp_stats.accumulate(&sol.stats);
     }
 
     Ok(SelectionResult {
@@ -210,6 +248,7 @@ pub fn select_ilp(
         proven_optimal,
         elapsed: start.elapsed(),
         choice,
+        ilp_stats: Some(ilp_stats),
     })
 }
 
@@ -218,8 +257,18 @@ pub fn select_ilp(
 /// Ordered so model rows are generated in a stable order (rule D001).
 type LoaderMap = BTreeMap<(usize, usize, usize), Vec<(f64, usize, usize)>>;
 
-/// Solves one coupled component as a standalone 0/1 ILP. Returns the
-/// per-member candidate choice and whether it is proven optimal.
+/// One component sub-ILP's outcome.
+struct ComponentSolve {
+    /// Candidate choice per member net.
+    choice: Vec<usize>,
+    /// Whether the component solved to proven optimality.
+    proven_optimal: bool,
+    /// The solver's search counters.
+    stats: SolveStats,
+}
+
+/// Solves one coupled component as a standalone 0/1 ILP.
+#[allow(clippy::too_many_arguments)]
 fn solve_component(
     nets: &[NetCandidates],
     loaders: &LoaderMap,
@@ -227,7 +276,9 @@ fn solve_component(
     lib: &OpticalLib,
     time_limit: Duration,
     warm_start: Option<&[usize]>,
-) -> Result<(Vec<usize>, bool), OperonError> {
+    wave_size: usize,
+    exec: &Executor,
+) -> Result<ComponentSolve, OperonError> {
     let mut model = Model::new();
     let index_of: BTreeMap<usize, usize> =
         members.iter().enumerate().map(|(k, &i)| (i, k)).collect();
@@ -283,6 +334,8 @@ fn solve_component(
     let options = SolveOptions {
         time_limit,
         initial_solution,
+        wave_size,
+        executor: exec.clone(),
         ..SolveOptions::default()
     };
     let sol = model.solve(&options);
@@ -305,7 +358,11 @@ fn solve_component(
         // No incumbent within the limit: the electrical fallback is safe.
         members.iter().map(|&i| nets[i].electrical_idx).collect()
     };
-    Ok((choice, sol.is_optimal()))
+    Ok(ComponentSolve {
+        choice,
+        proven_optimal: sol.is_optimal(),
+        stats: sol.stats(),
+    })
 }
 
 /// Minimal union-find for the component decomposition.

@@ -160,6 +160,7 @@ pub fn select_lr_with(
         proven_optimal: false,
         elapsed: start.elapsed(),
         choice,
+        ilp_stats: None,
     }
 }
 

@@ -161,10 +161,20 @@ fn legalize(wdms: &mut [Wdm], min_pitch: i64) {
 /// Min-cost max-flow re-assignment (§4.2) of one orientation, followed by
 /// under-fill reduction. Connections keep a guaranteed edge to their
 /// sweep-assigned WDM so the network always carries the full demand.
+///
+/// The reduction's tentative-deletion re-solves are evaluated in batches
+/// of `exec.threads()` concurrent MCMF trials. Each trial in a batch
+/// starts from the same base active set (exactly what the sequential loop
+/// sees, because failed deletions are reactivated before the next trial),
+/// and only the first in-order success is committed — so the committed
+/// deletion sequence is bit-identical to the sequential one for every
+/// thread count; extra threads merely pre-compute trials the sequential
+/// loop would have run next.
 fn assign_orientation(
     connections: &[(usize, &Connection)],
     placed: Vec<Wdm>,
     lib: &OpticalLib,
+    exec: &Executor,
 ) -> Result<Vec<Wdm>, OperonError> {
     if connections.is_empty() {
         return Ok(Vec::new());
@@ -190,7 +200,10 @@ fn assign_orientation(
             ))
         })?;
 
-    // Reduction: try deleting WDMs, emptiest first.
+    // Reduction: try deleting WDMs, emptiest first. Idle WDMs go outright;
+    // the loaded candidates need a tentative-deletion re-solve each, and
+    // those run `exec.threads()` at a time.
+    let batch = exec.threads().max(1);
     loop {
         let mut candidates: Vec<(usize, usize)> = best
             .iter()
@@ -200,21 +213,35 @@ fn assign_orientation(
             .collect();
         candidates.sort_unstable();
         let mut removed_any = false;
-        for &(used, wi) in &candidates {
-            if used == 0 {
-                active[wi] = false;
-                removed_any = true;
-                continue;
-            }
-            // Tentative removal requires the demand to fit elsewhere.
-            active[wi] = false;
-            match solve_assignment(connections, &placed, &active, &sweep_wdm, lib) {
-                Some(assignment) => {
+        // Idle WDMs sort first; dropping them needs no re-solve.
+        let loaded: Vec<usize> = candidates
+            .iter()
+            .filter_map(|&(used, wi)| {
+                if used == 0 {
+                    active[wi] = false;
+                    removed_any = true;
+                    None
+                } else {
+                    Some(wi)
+                }
+            })
+            .collect();
+        // Every trial in a batch removes one candidate from the same base
+        // active set; committing the first in-order success reproduces the
+        // sequential deletion order exactly.
+        'pass: for chunk in loaded.chunks(batch) {
+            let trials = exec.wave_map(chunk, |&wi| {
+                let mut trial = active.clone();
+                trial[wi] = false;
+                solve_assignment(connections, &placed, &trial, &sweep_wdm, lib)
+            });
+            for (&wi, trial) in chunk.iter().zip(trials) {
+                if let Some(assignment) = trial {
+                    active[wi] = false;
                     best = assignment;
                     removed_any = true;
-                    break; // re-rank by the new fill levels
+                    break 'pass; // re-rank by the new fill levels
                 }
-                None => active[wi] = true,
             }
         }
         if !removed_any {
@@ -355,7 +382,7 @@ pub fn plan_with(
                 .collect();
             let placed = place_orientation(&local, lib)?;
             let initial = placed.len();
-            let mut assigned = assign_orientation(&local, placed, lib)?;
+            let mut assigned = assign_orientation(&local, placed, lib, exec)?;
             // Remap local connection positions back to global indices.
             for w in &mut assigned {
                 for slot in &mut w.assigned {
@@ -410,7 +437,8 @@ mod tests {
         let lc = local(&conns);
         let placed = place_orientation(&lc, &l).expect("feasible");
         assert_eq!(placed.len(), 3, "sweep cannot pack 20+20 into one WDM");
-        let final_wdms = assign_orientation(&lc, placed, &l).expect("feasible");
+        let final_wdms =
+            assign_orientation(&lc, placed, &l, &Executor::sequential()).expect("feasible");
         assert_eq!(final_wdms.len(), 2, "flow assignment saves one WDM");
         let total: usize = final_wdms.iter().map(Wdm::used).sum();
         assert_eq!(total, 60, "every channel assigned");
@@ -468,7 +496,8 @@ mod tests {
         let conns: Vec<Connection> = (0..10).map(|i| conn(i * 50, 7)).collect();
         let lc = local(&conns);
         let placed = place_orientation(&lc, &l).expect("feasible");
-        let final_wdms = assign_orientation(&lc, placed, &l).expect("feasible");
+        let final_wdms =
+            assign_orientation(&lc, placed, &l, &Executor::sequential()).expect("feasible");
         let total: usize = final_wdms.iter().map(Wdm::used).sum();
         assert_eq!(total, 70);
         for w in &final_wdms {
@@ -485,7 +514,8 @@ mod tests {
         let lc = local(&conns);
         let placed = place_orientation(&lc, &l).expect("feasible");
         let initial = placed.len();
-        let final_wdms = assign_orientation(&lc, placed, &l).expect("feasible");
+        let final_wdms =
+            assign_orientation(&lc, placed, &l, &Executor::sequential()).expect("feasible");
         assert!(final_wdms.len() <= initial);
         // Lower bound: ceil(total bits / capacity).
         let total: usize = conns.iter().map(|c| c.bits).sum();

@@ -70,6 +70,121 @@ fn ilp_flow_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn ilp_flow_is_bit_identical_across_threads_at_every_wave_size() {
+    // The wave-synchronous search explores a tree that depends on the
+    // wave size but never on the thread count: at a fixed wave size every
+    // thread count must reproduce the same flow result bit for bit (this
+    // also pins the batched WDM reduction, which runs inside every flow).
+    // The tightened loss budget makes crossing constraints bind, so the
+    // solver genuinely branches instead of presolving everything away.
+    for wave_size in [1, 4, 16] {
+        let mut config = OperonConfig {
+            selector: Selector::Ilp {
+                time_limit_secs: 30,
+            },
+            ilp_wave_size: wave_size,
+            ..OperonConfig::default()
+        };
+        config.optical.max_loss_db = 4.0;
+        let one = run_with_threads(1, &config, 42);
+        let searched = one
+            .selection
+            .ilp_stats
+            .expect("ILP path carries stats")
+            .nodes_explored;
+        assert!(searched > 0, "wave {wave_size}: solver must really search");
+        for threads in [2, 8] {
+            let many = run_with_threads(threads, &config, 42);
+            assert_identical(
+                &one,
+                &many,
+                &format!("ilp wave {wave_size}, threads {threads}"),
+            );
+            assert_eq!(
+                many.selection.ilp_stats.map(|s| s.nodes_explored),
+                Some(searched),
+                "wave {wave_size}, threads {threads}: explored tree"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_wave_size_finds_the_same_optimum() {
+    // Different wave sizes may branch differently, but on a solve that
+    // runs to proven optimality they must all land on the same power.
+    let mut base = OperonConfig {
+        selector: Selector::Ilp {
+            time_limit_secs: 30,
+        },
+        ..OperonConfig::default()
+    };
+    base.optical.max_loss_db = 4.0;
+    let reference = run_with_threads(1, &base, 42);
+    assert!(reference.selection.proven_optimal, "solve must complete");
+    for wave_size in [4, 16] {
+        let config = OperonConfig {
+            ilp_wave_size: wave_size,
+            ..base.clone()
+        };
+        let waved = run_with_threads(8, &config, 42);
+        assert!(waved.selection.proven_optimal);
+        assert_eq!(
+            reference.total_power_mw().to_bits(),
+            waved.total_power_mw().to_bits(),
+            "wave {wave_size}: optimum power"
+        );
+    }
+}
+
+#[test]
+fn ilp_flow_surfaces_search_counters_in_the_run_report() {
+    let mut config = OperonConfig {
+        selector: Selector::Ilp {
+            time_limit_secs: 30,
+        },
+        ilp_wave_size: 4,
+        ..OperonConfig::default()
+    };
+    // Tighten the loss budget so crossing constraints bind and the exact
+    // solver really searches (at the default budget the presolve removes
+    // every constraint and no ILP runs).
+    config.optical.max_loss_db = 4.0;
+    let design = generate(&SynthConfig::small(), 42);
+    let flow = OperonFlow::new(config).with_threads(2);
+    let result = flow.run(&design).expect("flow succeeds");
+    let stats = result.selection.ilp_stats.expect("ILP path carries stats");
+    assert!(stats.nodes_explored > 0);
+    assert!(stats.lp_solves > 0);
+
+    let report = flow.executor().report();
+    let selection = report
+        .stages
+        .iter()
+        .find(|s| s.name == "selection")
+        .expect("selection stage recorded");
+    let counter = |key: &str| {
+        selection
+            .counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("counter {key} missing"))
+    };
+    assert_eq!(counter("ilp_nodes"), stats.nodes_explored as u64);
+    assert_eq!(counter("ilp_lp_solves"), stats.lp_solves as u64);
+    assert_eq!(counter("ilp_waves"), stats.waves as u64);
+    assert_eq!(
+        counter("ilp_incumbent_updates"),
+        stats.incumbent_updates as u64
+    );
+    assert_eq!(counter("ilp_simplex_iterations"), stats.simplex_iterations);
+    let json = report.to_json();
+    assert!(json.contains("\"ilp_nodes\""));
+    assert!(json.contains("\"total_waves\""));
+}
+
+#[test]
 fn parallel_flow_reports_its_stages() {
     let design = generate(&SynthConfig::small(), 21);
     let flow = OperonFlow::new(OperonConfig::default()).with_threads(2);

@@ -61,6 +61,8 @@ pub struct Metrics {
     tasks: AtomicU64,
     /// Successful steal operations.
     steals: AtomicU64,
+    /// Synchronized solver waves (see `Executor::wave_map`).
+    pub(crate) waves: AtomicU64,
     /// Nanoseconds workers spent inside `par_map` loops (busy + brief
     /// idle spin; an upper bound on useful CPU time).
     busy_nanos: AtomicU64,
@@ -74,6 +76,7 @@ impl Metrics {
             par_calls: AtomicU64::new(0),
             tasks: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            waves: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             stages: Mutex::new(Vec::new()),
         }
@@ -103,6 +106,11 @@ impl Metrics {
         self.par_calls.load(Ordering::Relaxed)
     }
 
+    /// Total synchronized waves (`wave_map` rounds) so far.
+    pub fn waves(&self) -> u64 {
+        self.waves.load(Ordering::Relaxed)
+    }
+
     /// Opens a named stage scope; the record is written when the guard
     /// drops.
     pub fn stage(&self, name: impl Into<String>) -> StageScope<'_> {
@@ -113,6 +121,8 @@ impl Metrics {
             tasks0: self.tasks.load(Ordering::Relaxed),
             steals0: self.steals.load(Ordering::Relaxed),
             busy0: self.busy_nanos.load(Ordering::Relaxed),
+            waves0: self.waves.load(Ordering::Relaxed),
+            counters: Vec::new(),
         }
     }
 
@@ -124,6 +134,7 @@ impl Metrics {
             total_tasks: self.tasks(),
             total_steals: self.steals(),
             total_par_calls: self.par_calls(),
+            total_waves: self.waves(),
         }
     }
 }
@@ -152,6 +163,17 @@ pub struct StageScope<'a> {
     tasks0: u64,
     steals0: u64,
     busy0: u64,
+    waves0: u64,
+    counters: Vec<(String, u64)>,
+}
+
+impl StageScope<'_> {
+    /// Attaches a named counter to the stage record (e.g. the ILP stage's
+    /// `nodes_explored`). Counters land in [`StageRecord::counters`] and in
+    /// the JSON run report, keyed in insertion order.
+    pub fn record(&mut self, key: impl Into<String>, value: u64) {
+        self.counters.push((key.into(), value));
+    }
 }
 
 impl Drop for StageScope<'_> {
@@ -167,6 +189,8 @@ impl Drop for StageScope<'_> {
             ),
             tasks: self.metrics.tasks().saturating_sub(self.tasks0),
             steals: self.metrics.steals().saturating_sub(self.steals0),
+            waves: self.metrics.waves().saturating_sub(self.waves0),
+            counters: std::mem::take(&mut self.counters),
         };
         self.metrics.stages.lock().expect("stage lock").push(record);
     }
@@ -186,6 +210,11 @@ pub struct StageRecord {
     pub tasks: u64,
     /// Steals inside the scope.
     pub steals: u64,
+    /// Synchronized `wave_map` rounds inside the scope.
+    pub waves: u64,
+    /// Caller-recorded named counters (see [`StageScope::record`]), e.g.
+    /// the selection stage's branch-and-bound statistics.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// A full run's instrumentation snapshot.
@@ -202,6 +231,8 @@ pub struct RunReport {
     pub total_steals: u64,
     /// `par_map` invocations across the whole run.
     pub total_par_calls: u64,
+    /// Synchronized `wave_map` rounds across the whole run.
+    pub total_waves: u64,
 }
 
 impl RunReport {
@@ -212,13 +243,23 @@ impl RunReport {
             .stages
             .iter()
             .map(|s| {
-                Value::object(vec![
+                let mut fields = vec![
                     ("name", Value::from(s.name.as_str())),
                     ("wall_ms", Value::from(s.wall.as_secs_f64() * 1e3)),
                     ("busy_ms", Value::from(s.busy.as_secs_f64() * 1e3)),
                     ("tasks", Value::from(s.tasks)),
                     ("steals", Value::from(s.steals)),
-                ])
+                    ("waves", Value::from(s.waves)),
+                ];
+                if !s.counters.is_empty() {
+                    let counters = s
+                        .counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::from(*v)))
+                        .collect();
+                    fields.push(("counters", Value::Object(counters)));
+                }
+                Value::object(fields)
             })
             .collect();
         Value::object(vec![
@@ -226,6 +267,7 @@ impl RunReport {
             ("total_tasks", Value::from(self.total_tasks)),
             ("total_steals", Value::from(self.total_steals)),
             ("total_par_calls", Value::from(self.total_par_calls)),
+            ("total_waves", Value::from(self.total_waves)),
             ("stages", Value::Array(stages)),
         ])
         .pretty()

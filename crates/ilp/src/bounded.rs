@@ -34,10 +34,31 @@ const EPS: f64 = 1e-9;
 const FEAS_EPS: f64 = 1e-7;
 
 /// Where a nonbasic variable currently rests.
+///
+/// Also the unit of warm-start information between branch-and-bound
+/// nodes: a parent LP's per-variable rests, replayed into a child's
+/// initial tableau via [`solve_lp_bounded_with`], start the child search
+/// near the parent vertex and cut pivot counts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Rest {
+pub enum Rest {
+    /// Resting at the lower bound `0`.
     Lower,
+    /// Resting at the upper bound `u_j`.
     Upper,
+}
+
+/// Result of a bounded solve, with the extras warm-started callers need.
+#[derive(Clone, Debug)]
+pub struct BoundedSolve {
+    /// The LP outcome (same as [`solve_lp_bounded`] returns).
+    pub outcome: LpOutcome,
+    /// Rest-bound summary of each structural variable at the optimum —
+    /// empty unless optimal. Feed it back as the `hint` of a related
+    /// solve (e.g. a child branch-and-bound node).
+    pub rests: Vec<Rest>,
+    /// Simplex iterations performed (pivots plus bound flips, both
+    /// phases).
+    pub iterations: u64,
 }
 
 /// Solves `min c·x` subject to `rows` and `0 <= x_j <= upper[j]`.
@@ -50,6 +71,29 @@ enum Rest {
 /// Panics on dimension mismatches or non-finite input data (infinite
 /// upper bounds excepted).
 pub fn solve_lp_bounded(c: &[f64], rows: &[LpRow], upper: &[f64]) -> LpOutcome {
+    solve_lp_bounded_with(c, rows, upper, None).outcome
+}
+
+/// [`solve_lp_bounded`] with an optional warm-start rest `hint` (one
+/// [`Rest`] per structural variable), returning the rests and iteration
+/// count alongside the outcome.
+///
+/// Hinted columns are flipped to their upper bound before phase 1 when
+/// doing so keeps every basic value feasible and does not increase the
+/// artificial infeasibility — so a stale or wrong hint can slow nothing
+/// down structurally; it is simply ignored column by column. The result
+/// is identical to the unhinted solve up to degenerate-vertex ties.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches or non-finite input data (infinite
+/// upper bounds excepted).
+pub fn solve_lp_bounded_with(
+    c: &[f64],
+    rows: &[LpRow],
+    upper: &[f64],
+    hint: Option<&[Rest]>,
+) -> BoundedSolve {
     let n = c.len();
     assert_eq!(upper.len(), n, "one upper bound per variable");
     assert!(c.iter().all(|v| v.is_finite()), "non-finite cost");
@@ -65,7 +109,15 @@ pub fn solve_lp_bounded(c: &[f64], rows: &[LpRow], upper: &[f64]) -> LpOutcome {
             "non-finite coefficient"
         );
     }
-    BoundedTableau::build(c, rows, upper).solve()
+    if let Some(h) = hint {
+        assert_eq!(h.len(), n, "one rest hint per variable");
+    }
+    let mut tableau = BoundedTableau::build(c, rows, upper);
+    if let Some(h) = hint {
+        tableau.apply_rest_hint(h);
+    }
+    tableau.init_phase1_objective();
+    tableau.solve()
 }
 
 struct BoundedTableau {
@@ -89,6 +141,8 @@ struct BoundedTableau {
     rest: Vec<Rest>,
     /// Phase-2 cost per column.
     cost2: Vec<f64>,
+    /// Simplex iterations (pivots + bound flips) performed so far.
+    iters: u64,
 }
 
 impl BoundedTableau {
@@ -169,22 +223,9 @@ impl BoundedTableau {
         let mut cost2 = vec![0.0; n_cols];
         cost2[..n].copy_from_slice(c);
 
-        // Phase-1 reduced costs: minimize the sum of artificials.
-        let mut obj = vec![0.0; width];
-        for i in 0..m {
-            if basis[i] >= art_start {
-                for j in 0..width {
-                    obj[j] -= t[i][j];
-                }
-            }
-        }
-        for a in 0..n_art {
-            obj[art_start + a] = 0.0;
-        }
-
         Self {
             t,
-            obj,
+            obj: vec![0.0; width],
             m,
             width,
             n_cols,
@@ -194,10 +235,69 @@ impl BoundedTableau {
             basis,
             rest: vec![Rest::Lower; n_cols],
             cost2,
+            iters: 0,
         }
     }
 
-    fn solve(mut self) -> LpOutcome {
+    /// Replays a parent vertex's rests: flips hinted structural columns
+    /// to their upper bound before phase 1. A flip is committed only when
+    /// every basic value stays non-negative AND the total artificial
+    /// infeasibility does not grow, so hints can never make phase 1 start
+    /// from a worse point than the cold start. Must run before
+    /// [`Self::init_phase1_objective`] so the phase-1 reduced costs price
+    /// the flipped values.
+    fn apply_rest_hint(&mut self, hint: &[Rest]) {
+        let last = self.width - 1;
+        for (j, &h) in hint.iter().enumerate().take(self.n_struct) {
+            if h != Rest::Upper {
+                continue;
+            }
+            let u = self.ub[j];
+            if !u.is_finite() || u <= 0.0 {
+                continue;
+            }
+            let mut ok = true;
+            let mut art_delta = 0.0;
+            for i in 0..self.m {
+                let nv = self.t[i][last] - u * self.t[i][j];
+                if nv < -FEAS_EPS {
+                    ok = false;
+                    break;
+                }
+                if self.basis[i] >= self.art_start {
+                    art_delta -= u * self.t[i][j];
+                }
+            }
+            if !ok || art_delta > FEAS_EPS {
+                continue;
+            }
+            for i in 0..self.m {
+                let nv = self.t[i][last] - u * self.t[i][j];
+                self.t[i][last] = nv.max(0.0);
+            }
+            self.rest[j] = Rest::Upper;
+        }
+    }
+
+    /// Phase-1 reduced costs: minimize the sum of artificials over the
+    /// current basic values (which [`Self::apply_rest_hint`] may have
+    /// already shrunk).
+    fn init_phase1_objective(&mut self) {
+        let mut obj = vec![0.0; self.width];
+        for i in 0..self.m {
+            if self.basis[i] >= self.art_start {
+                for (o, v) in obj.iter_mut().zip(&self.t[i]) {
+                    *o -= v;
+                }
+            }
+        }
+        for o in obj.iter_mut().take(self.n_cols).skip(self.art_start) {
+            *o = 0.0;
+        }
+        self.obj = obj;
+    }
+
+    fn solve(mut self) -> BoundedSolve {
         // Phase 1.
         if self.art_start < self.n_cols {
             if !self.optimize(self.n_cols) {
@@ -206,7 +306,11 @@ impl BoundedTableau {
             }
             let phase1 = -self.obj[self.width - 1];
             if phase1 > FEAS_EPS {
-                return LpOutcome::Infeasible;
+                return BoundedSolve {
+                    outcome: LpOutcome::Infeasible,
+                    rests: Vec::new(),
+                    iterations: self.iters,
+                };
             }
             self.evict_basic_artificials();
         }
@@ -215,7 +319,11 @@ impl BoundedTableau {
         // priced out over the current basis and nonbasic rests.
         self.install_phase2_objective();
         if !self.optimize(self.art_start) {
-            return LpOutcome::Unbounded;
+            return BoundedSolve {
+                outcome: LpOutcome::Unbounded,
+                rests: Vec::new(),
+                iterations: self.iters,
+            };
         }
 
         // Extract structural values.
@@ -236,7 +344,28 @@ impl BoundedTableau {
             .zip(&self.cost2[..self.n_struct])
             .map(|(v, c)| v * c)
             .sum();
-        LpOutcome::Optimal { objective, x }
+        // Rest summary for warm-starting related solves: nonbasic columns
+        // report their actual rest; basic columns report the nearer bound.
+        let mut rests = vec![Rest::Lower; self.n_struct];
+        for (j, r) in rests.iter_mut().enumerate() {
+            *r = self.rest[j];
+        }
+        for i in 0..self.m {
+            let b = self.basis[i];
+            if b < self.n_struct {
+                let u = self.ub[b];
+                rests[b] = if u.is_finite() && self.t[i][self.width - 1] >= 0.5 * u {
+                    Rest::Upper
+                } else {
+                    Rest::Lower
+                };
+            }
+        }
+        BoundedSolve {
+            outcome: LpOutcome::Optimal { objective, x },
+            rests,
+            iterations: self.iters,
+        }
     }
 
     fn install_phase2_objective(&mut self) {
@@ -307,6 +436,7 @@ impl BoundedTableau {
             if best_t.is_infinite() {
                 return false; // unbounded direction
             }
+            self.iters += 1;
 
             let before = self.obj[self.width - 1];
             match leave {
@@ -541,6 +671,40 @@ mod tests {
     }
 
     #[test]
+    fn rest_hint_preserves_optimum_and_cuts_iterations() {
+        // min -3a -4b -5c s.t. 2a + 3b + 4c <= 6: the optimum rests a and
+        // b at Upper. Re-solving with the optimal rests as hint must find
+        // the same objective in no more iterations.
+        let rows = vec![LpRow::new(vec![2.0, 3.0, 4.0], Cmp::Le, 6.0)];
+        let c = [-3.0, -4.0, -5.0];
+        let cold = solve_lp_bounded_with(&c, &rows, &[1.0, 1.0, 1.0], None);
+        let LpOutcome::Optimal { objective: o1, .. } = cold.outcome else {
+            panic!("cold solve must be optimal");
+        };
+        let warm = solve_lp_bounded_with(&c, &rows, &[1.0, 1.0, 1.0], Some(&cold.rests));
+        let LpOutcome::Optimal { objective: o2, .. } = warm.outcome else {
+            panic!("warm solve must be optimal");
+        };
+        assert!((o1 - o2).abs() < 1e-7, "warm {o2} vs cold {o1}");
+        assert!(warm.iterations <= cold.iterations);
+        assert!(warm.iterations < cold.iterations, "hint should skip pivots");
+    }
+
+    #[test]
+    fn infeasible_hint_is_harmless() {
+        // x0 must stay 0 (row forces x0 <= 0), but the hint says Upper:
+        // the flip is rejected and the solve still succeeds.
+        let rows = vec![LpRow::new(vec![1.0, 0.0], Cmp::Le, 0.0)];
+        let hint = [Rest::Upper, Rest::Upper];
+        let got = solve_lp_bounded_with(&[1.0, -1.0], &rows, &[1.0, 1.0], Some(&hint));
+        let LpOutcome::Optimal { objective, x } = got.outcome else {
+            panic!("must stay solvable under a bad hint");
+        };
+        assert!((objective + 1.0).abs() < 1e-7);
+        assert!(x[0].abs() < 1e-7 && (x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
     fn mixed_bounds_with_negative_rhs() {
         // -x <= -0.4  (x >= 0.4), min x -> 0.4.
         let rows = vec![LpRow::new(vec![-1.0], Cmp::Le, -0.4)];
@@ -622,6 +786,51 @@ mod tests {
                 }
                 (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
                 (g, w) => prop_assert!(false, "disagreement: bounded {g:?} vs plain {w:?}"),
+            }
+        }
+
+        /// Any hint — including an arbitrary one — must leave the optimum
+        /// value (and feasibility verdict) unchanged.
+        #[test]
+        fn hinted_solve_matches_unhinted(
+            n in 1usize..6,
+            costs in proptest::collection::vec(-5i32..=5, 6),
+            hint_bits in proptest::collection::vec(0u8..2, 6),
+            raw_rows in proptest::collection::vec(
+                (proptest::collection::vec(-4i32..=4, 6), 0u8..3, -6i32..=8),
+                0..6,
+            ),
+        ) {
+            let c: Vec<f64> = costs[..n].iter().map(|&v| v as f64).collect();
+            let upper = vec![1.0; n];
+            let hint: Vec<Rest> = hint_bits[..n]
+                .iter()
+                .map(|&b| if b == 1 { Rest::Upper } else { Rest::Lower })
+                .collect();
+            let rows: Vec<LpRow> = raw_rows
+                .into_iter()
+                .map(|(coeffs, cmp, rhs)| {
+                    let cmp = match cmp {
+                        0 => Cmp::Le,
+                        1 => Cmp::Ge,
+                        _ => Cmp::Eq,
+                    };
+                    LpRow::new(
+                        coeffs[..n].iter().map(|&v| v as f64).collect(),
+                        cmp,
+                        rhs as f64,
+                    )
+                })
+                .collect();
+            let cold = solve_lp_bounded_with(&c, &rows, &upper, None);
+            let warm = solve_lp_bounded_with(&c, &rows, &upper, Some(&hint));
+            match (cold.outcome, warm.outcome) {
+                (
+                    LpOutcome::Optimal { objective: a, .. },
+                    LpOutcome::Optimal { objective: b, .. },
+                ) => prop_assert!((a - b).abs() < 1e-6, "cold {a} vs hinted {b}"),
+                (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+                (g, w) => prop_assert!(false, "hint changed verdict: {g:?} vs {w:?}"),
             }
         }
     }

@@ -44,4 +44,4 @@ pub mod simplex;
 mod solver;
 
 pub use model::{Cmp, LinExpr, Model, VarId};
-pub use solver::{Solution, SolveOptions, SolveStatus};
+pub use solver::{Solution, SolveOptions, SolveStats, SolveStatus};

@@ -1,10 +1,28 @@
-//! Best-first branch and bound over the simplex LP relaxation.
+//! Wave-synchronous best-first branch and bound over the simplex LP
+//! relaxation.
+//!
+//! The search alternates two steps per round: *expand* — pop the
+//! `wave_size` best open nodes from the frontier and solve their LP
+//! relaxations concurrently on an [`operon_exec::Executor`] — and
+//! *merge* — walk the results in wave order, updating the incumbent and
+//! pushing children sequentially. The frontier orders nodes by
+//! `(bound, id)` with ids assigned in merge order, so the explored tree
+//! (and therefore the returned solution) is bit-identical for any thread
+//! count at a fixed `wave_size`, and `wave_size = 1` performs exactly the
+//! classic pop-one/solve-one best-first search.
+//!
+//! Parent LP vertices are replayed into children as *rest hints*
+//! ([`crate::bounded::Rest`]): the child tableau starts with the parent's
+//! at-upper-bound columns pre-flipped, which cuts simplex iterations
+//! without affecting the relaxation's optimum value.
 
-use crate::bounded::solve_lp_bounded;
+use crate::bounded::{solve_lp_bounded_with, Rest};
 use crate::simplex::{LpOutcome, LpRow};
 use crate::{Cmp, Model, VarId};
+use operon_exec::Executor;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const INT_TOL: f64 = 1e-6;
@@ -14,7 +32,7 @@ const FEAS_TOL: f64 = 1e-6;
 #[derive(Clone, Debug)]
 pub struct SolveOptions {
     /// Wall-clock budget; on expiry the best incumbent is returned with
-    /// [`SolveStatus::TimeLimit`].
+    /// [`SolveStatus::TimeLimit`]. Checked at wave boundaries.
     pub time_limit: Duration,
     /// Cap on explored branch-and-bound nodes.
     pub max_nodes: usize,
@@ -22,6 +40,20 @@ pub struct SolveOptions {
     /// variable). If it satisfies every constraint it seeds the incumbent,
     /// so even limit-terminated solves return at least this solution.
     pub initial_solution: Option<Vec<f64>>,
+    /// Nodes expanded concurrently per search round. The explored tree
+    /// depends on this value (larger waves speculate past incumbent
+    /// updates) but never on the executor's thread count.
+    pub wave_size: usize,
+    /// Executor the wave expansion runs on. Defaults to sequential; the
+    /// flow passes its shared executor so ILP waves appear in the run
+    /// report.
+    pub executor: Executor,
+    /// Replay parent LP vertices into children as rest hints (fewer
+    /// simplex iterations per node). Degenerate relaxations may surface a
+    /// different — equally optimal — vertex than a cold solve, which can
+    /// reorder branching; disable for vertex-exact reproduction of the
+    /// cold search.
+    pub warm_start_basis: bool,
 }
 
 impl Default for SolveOptions {
@@ -30,6 +62,9 @@ impl Default for SolveOptions {
             time_limit: Duration::from_secs(60),
             max_nodes: 1_000_000,
             initial_solution: None,
+            wave_size: 1,
+            executor: Executor::sequential(),
+            warm_start_basis: true,
         }
     }
 }
@@ -58,6 +93,34 @@ pub enum SolveStatus {
     Infeasible,
 }
 
+/// Search counters accumulated over one solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes popped from the frontier.
+    pub nodes_explored: usize,
+    /// LP relaxations solved (root pre-solve included).
+    pub lp_solves: usize,
+    /// Search rounds (waves) executed.
+    pub waves: usize,
+    /// Times the incumbent was created or improved (warm-start seeding
+    /// and root rounding included).
+    pub incumbent_updates: usize,
+    /// Simplex iterations (pivots + bound flips) across all LP solves —
+    /// the quantity warm-start basis reuse exists to shrink.
+    pub simplex_iterations: u64,
+}
+
+impl SolveStats {
+    /// Adds `other` into `self` (used to total per-component solves).
+    pub fn accumulate(&mut self, other: &SolveStats) {
+        self.nodes_explored += other.nodes_explored;
+        self.lp_solves += other.lp_solves;
+        self.waves += other.waves;
+        self.incumbent_updates += other.incumbent_updates;
+        self.simplex_iterations += other.simplex_iterations;
+    }
+}
+
 /// Result of a solve: status, objective, and variable values.
 #[derive(Clone, Debug)]
 pub struct Solution {
@@ -65,7 +128,7 @@ pub struct Solution {
     feasible: bool,
     objective: f64,
     values: Vec<f64>,
-    nodes_explored: usize,
+    stats: SolveStats,
     elapsed: Duration,
 }
 
@@ -115,7 +178,12 @@ impl Solution {
 
     /// Number of branch-and-bound nodes explored.
     pub fn nodes_explored(&self) -> usize {
-        self.nodes_explored
+        self.stats.nodes_explored
+    }
+
+    /// Search counters for this solve.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
     }
 
     /// Wall-clock time spent solving.
@@ -124,15 +192,21 @@ impl Solution {
     }
 }
 
-/// A branch-and-bound node ordered by its LP lower bound (min-heap).
+/// A branch-and-bound node, ordered by `(bound, id)` as a min-heap: the
+/// id tie-break (ids are assigned in deterministic merge order) is what
+/// makes the frontier — and the whole search — independent of executor
+/// thread count.
 struct Node {
+    id: u64,
     bound: f64,
     fixed: Vec<Option<bool>>,
+    /// Parent LP rests, full model length (see `SolveOptions::warm_start_basis`).
+    hint: Option<Arc<[Rest]>>,
 }
 
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound
+        self.bound == other.bound && self.id == other.id
     }
 }
 impl Eq for Node {}
@@ -143,22 +217,25 @@ impl PartialOrd for Node {
 }
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for best-first (lowest bound).
+        // BinaryHeap is a max-heap; invert for best-first (lowest bound,
+        // then lowest id).
         other
             .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.bound)
+            .then_with(|| other.id.cmp(&self.id))
     }
 }
 
 impl Model {
     /// Solves the model to optimality or until a limit expires.
     ///
-    /// Best-first branch and bound: each node solves the LP relaxation
-    /// with its fixed variables substituted out; integral relaxations
-    /// update the incumbent, fractional ones branch on the most
-    /// fractional variable. A rounding heuristic seeds the incumbent at
-    /// the root.
+    /// Wave-synchronous best-first branch and bound: each round expands
+    /// the `wave_size` best open nodes concurrently (LP relaxation with
+    /// fixed variables substituted out), then merges results in wave
+    /// order — integral relaxations update the incumbent, fractional ones
+    /// branch on the most fractional variable. A rounding heuristic seeds
+    /// the incumbent at the root. The search is bit-identical for any
+    /// executor thread count at a fixed `wave_size`.
     ///
     /// # Examples
     ///
@@ -177,8 +254,9 @@ impl Model {
         // operon-lint: allow(D002, reason = "branch-and-bound enforces the caller-supplied wall-clock time limit; ilp stays dependency-free")
         let start = Instant::now();
         let n = self.var_count();
+        let wave_size = options.wave_size.max(1);
+        let mut stats = SolveStats::default();
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
-        let mut nodes_explored = 0usize;
         let mut status = SolveStatus::Optimal;
 
         // Seed from the caller's warm start when it checks out.
@@ -188,35 +266,208 @@ impl Model {
                 && self.all_satisfied(start_values)
             {
                 incumbent = Some((self.objective.eval(start_values), start_values.clone()));
+                stats.incumbent_updates += 1;
             }
         }
 
-        let mut heap = BinaryHeap::new();
+        let mut frontier: BinaryHeap<Node> = BinaryHeap::new();
+        let mut next_id: u64 = 1;
         // Root node.
         let root_fixed = vec![None; n];
-        match self.lp_relaxation(&root_fixed) {
+        let (root, root_iters) = self.lp_relaxation(&root_fixed, None);
+        stats.lp_solves += 1;
+        stats.simplex_iterations += root_iters;
+        match root {
             LpNodeResult::Infeasible => {
+                stats.nodes_explored = 1;
                 return Solution {
                     status: SolveStatus::Infeasible,
                     feasible: false,
                     objective: f64::INFINITY,
                     values: Vec::new(),
-                    nodes_explored: 1,
+                    stats,
                     elapsed: start.elapsed(),
                 };
             }
-            LpNodeResult::Solved { objective, x } => {
+            LpNodeResult::Solved {
+                objective,
+                x,
+                rests,
+                ..
+            } => {
                 // Seed the incumbent by rounding the root relaxation,
                 // unless the warm start is already better.
                 if let Some(rounded) = self.round_to_feasible(&x) {
                     let obj = self.objective.eval(&rounded);
                     if incumbent.as_ref().is_none_or(|(b, _)| obj < *b) {
                         incumbent = Some((obj, rounded));
+                        stats.incumbent_updates += 1;
+                    }
+                }
+                frontier.push(Node {
+                    id: 0,
+                    bound: objective,
+                    fixed: root_fixed,
+                    hint: options.warm_start_basis.then_some(rests),
+                });
+            }
+        }
+
+        'search: while !frontier.is_empty() {
+            if start.elapsed() > options.time_limit {
+                status = SolveStatus::TimeLimit;
+                break;
+            }
+
+            // Fill the wave: pop best-first, skipping bound-pruned nodes.
+            let mut wave: Vec<Node> = Vec::with_capacity(wave_size);
+            let mut hit_node_limit = false;
+            while wave.len() < wave_size {
+                let Some(node) = frontier.pop() else { break };
+                if stats.nodes_explored >= options.max_nodes {
+                    hit_node_limit = true;
+                    break;
+                }
+                stats.nodes_explored += 1;
+                if let Some((best, _)) = &incumbent {
+                    if node.bound >= *best - INT_TOL {
+                        continue; // pruned by bound
+                    }
+                }
+                wave.push(node);
+            }
+
+            if !wave.is_empty() {
+                stats.waves += 1;
+                // Expand concurrently; order-preserving, so the merge
+                // below sees results in the deterministic wave order.
+                let results = options.executor.wave_map(&wave, |node| {
+                    self.lp_relaxation(&node.fixed, node.hint.as_deref())
+                });
+
+                // Merge sequentially in wave order.
+                for (node, (result, iters)) in wave.iter().zip(results) {
+                    stats.lp_solves += 1;
+                    stats.simplex_iterations += iters;
+                    let LpNodeResult::Solved {
+                        objective,
+                        x,
+                        rests,
+                    } = result
+                    else {
+                        continue; // infeasible subtree
+                    };
+                    if let Some((best, _)) = &incumbent {
+                        if objective >= *best - INT_TOL {
+                            continue;
+                        }
+                    }
+                    // Find the most fractional variable.
+                    let frac_var = x
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| node.fixed[i].is_none())
+                        .map(|(i, &v)| (i, (v - v.round()).abs()))
+                        .filter(|&(_, f)| f > INT_TOL)
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+
+                    match frac_var {
+                        None => {
+                            // Integral: candidate incumbent.
+                            let rounded: Vec<f64> = x.iter().map(|v| v.round()).collect();
+                            if self.all_satisfied(&rounded) {
+                                let obj = self.objective.eval(&rounded);
+                                if incumbent.as_ref().is_none_or(|(b, _)| obj < *b) {
+                                    incumbent = Some((obj, rounded));
+                                    stats.incumbent_updates += 1;
+                                }
+                            }
+                        }
+                        Some((branch_var, _)) => {
+                            // Both children inherit the node's LP objective
+                            // as their bound (valid: fixing a variable only
+                            // tightens the relaxation) and its vertex as a
+                            // warm-start hint.
+                            let hint = options.warm_start_basis.then_some(&rests);
+                            for value in [x[branch_var] >= 0.5, x[branch_var] < 0.5] {
+                                let mut fixed = node.fixed.clone();
+                                fixed[branch_var] = Some(value);
+                                frontier.push(Node {
+                                    id: next_id,
+                                    bound: objective,
+                                    fixed,
+                                    hint: hint.cloned(),
+                                });
+                                next_id += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            if hit_node_limit {
+                status = SolveStatus::NodeLimit;
+                break 'search;
+            }
+        }
+
+        self.finish(status, incumbent, stats, start)
+    }
+
+    /// The exact pop-one/solve-one sequential search this crate shipped
+    /// before wave-synchronous expansion (cold LP solves, no executor) —
+    /// kept as the oracle for the `wave_size = 1` equivalence tests and
+    /// the single-thread regression bench. Ignores `wave_size`,
+    /// `executor`, and `warm_start_basis`.
+    pub fn solve_reference(&self, options: &SolveOptions) -> Solution {
+        // operon-lint: allow(D002, reason = "reference search enforces the caller-supplied wall-clock time limit, mirroring Model::solve")
+        let start = Instant::now();
+        let n = self.var_count();
+        let mut stats = SolveStats::default();
+        let mut incumbent: Option<(f64, Vec<f64>)> = None;
+        let mut status = SolveStatus::Optimal;
+
+        if let Some(start_values) = &options.initial_solution {
+            if start_values.len() == n
+                && start_values.iter().all(|v| *v == 0.0 || *v == 1.0)
+                && self.all_satisfied(start_values)
+            {
+                incumbent = Some((self.objective.eval(start_values), start_values.clone()));
+                stats.incumbent_updates += 1;
+            }
+        }
+
+        let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+        let mut next_id: u64 = 1;
+        let root_fixed = vec![None; n];
+        let (root, root_iters) = self.lp_relaxation(&root_fixed, None);
+        stats.lp_solves += 1;
+        stats.simplex_iterations += root_iters;
+        match root {
+            LpNodeResult::Infeasible => {
+                stats.nodes_explored = 1;
+                return Solution {
+                    status: SolveStatus::Infeasible,
+                    feasible: false,
+                    objective: f64::INFINITY,
+                    values: Vec::new(),
+                    stats,
+                    elapsed: start.elapsed(),
+                };
+            }
+            LpNodeResult::Solved { objective, x, .. } => {
+                if let Some(rounded) = self.round_to_feasible(&x) {
+                    let obj = self.objective.eval(&rounded);
+                    if incumbent.as_ref().is_none_or(|(b, _)| obj < *b) {
+                        incumbent = Some((obj, rounded));
+                        stats.incumbent_updates += 1;
                     }
                 }
                 heap.push(Node {
+                    id: 0,
                     bound: objective,
                     fixed: root_fixed,
+                    hint: None,
                 });
             }
         }
@@ -226,26 +477,28 @@ impl Model {
                 status = SolveStatus::TimeLimit;
                 break;
             }
-            if nodes_explored >= options.max_nodes {
+            if stats.nodes_explored >= options.max_nodes {
                 status = SolveStatus::NodeLimit;
                 break;
             }
-            nodes_explored += 1;
+            stats.nodes_explored += 1;
 
             if let Some((best, _)) = &incumbent {
                 if node.bound >= *best - INT_TOL {
-                    continue; // pruned by bound
+                    continue;
                 }
             }
-            let LpNodeResult::Solved { objective, x } = self.lp_relaxation(&node.fixed) else {
-                continue; // infeasible subtree
+            let (result, iters) = self.lp_relaxation(&node.fixed, None);
+            stats.lp_solves += 1;
+            stats.simplex_iterations += iters;
+            let LpNodeResult::Solved { objective, x, .. } = result else {
+                continue;
             };
             if let Some((best, _)) = &incumbent {
                 if objective >= *best - INT_TOL {
                     continue;
                 }
             }
-            // Find the most fractional variable.
             let frac_var = x
                 .iter()
                 .enumerate()
@@ -256,39 +509,49 @@ impl Model {
 
             match frac_var {
                 None => {
-                    // Integral: candidate incumbent.
                     let rounded: Vec<f64> = x.iter().map(|v| v.round()).collect();
                     if self.all_satisfied(&rounded) {
                         let obj = self.objective.eval(&rounded);
                         if incumbent.as_ref().is_none_or(|(b, _)| obj < *b) {
                             incumbent = Some((obj, rounded));
+                            stats.incumbent_updates += 1;
                         }
                     }
                 }
                 Some((branch_var, _)) => {
-                    // Try the rounded value first: push both children with
-                    // the same parent bound (their true bound is computed
-                    // when popped... we recompute LP at pop; bound here is
-                    // the parent's objective, a valid lower bound).
                     for value in [x[branch_var] >= 0.5, x[branch_var] < 0.5] {
                         let mut fixed = node.fixed.clone();
                         fixed[branch_var] = Some(value);
                         heap.push(Node {
+                            id: next_id,
                             bound: objective,
                             fixed,
+                            hint: None,
                         });
+                        next_id += 1;
                     }
                 }
             }
         }
 
+        self.finish(status, incumbent, stats, start)
+    }
+
+    /// Packages the search outcome into a [`Solution`].
+    fn finish(
+        &self,
+        status: SolveStatus,
+        incumbent: Option<(f64, Vec<f64>)>,
+        stats: SolveStats,
+        start: Instant,
+    ) -> Solution {
         match incumbent {
             Some((objective, values)) => Solution {
                 status,
                 feasible: true,
                 objective,
                 values,
-                nodes_explored,
+                stats,
                 elapsed: start.elapsed(),
             },
             None => Solution {
@@ -302,7 +565,7 @@ impl Model {
                 feasible: false,
                 objective: f64::INFINITY,
                 values: Vec::new(),
-                nodes_explored,
+                stats,
                 elapsed: start.elapsed(),
             },
         }
@@ -325,10 +588,10 @@ impl Model {
         }
     }
 
-    /// Solves the LP relaxation with `fixed` variables substituted out.
-    /// Returns the bound and a full-length solution vector (fixed entries
-    /// at their fixed values).
-    fn lp_relaxation(&self, fixed: &[Option<bool>]) -> LpNodeResult {
+    /// Solves the LP relaxation with `fixed` variables substituted out,
+    /// optionally warm-started from a full-length rest `hint`. Returns
+    /// the node result plus the simplex iterations spent.
+    fn lp_relaxation(&self, fixed: &[Option<bool>], hint: Option<&[Rest]>) -> (LpNodeResult, u64) {
         // Map free variables to dense LP columns.
         let mut col_of = vec![usize::MAX; fixed.len()];
         let mut free_vars = Vec::new();
@@ -362,7 +625,7 @@ impl Model {
                     Cmp::Eq => rhs.abs() <= FEAS_TOL,
                 };
                 if !ok {
-                    return LpNodeResult::Infeasible;
+                    return (LpNodeResult::Infeasible, 0);
                 }
                 continue;
             }
@@ -377,21 +640,36 @@ impl Model {
             }
         }
 
-        match solve_lp_bounded(&cost, &rows, &vec![1.0; n_free]) {
+        // Project the full-length hint onto the free columns.
+        let col_hint: Option<Vec<Rest>> = hint.map(|h| free_vars.iter().map(|&i| h[i]).collect());
+        let solve = solve_lp_bounded_with(&cost, &rows, &vec![1.0; n_free], col_hint.as_deref());
+        let iters = solve.iterations;
+        match solve.outcome {
             LpOutcome::Optimal { objective, x } => {
                 let mut full = vec![0.0; fixed.len()];
+                let mut full_rests = vec![Rest::Lower; fixed.len()];
                 for (i, f) in fixed.iter().enumerate() {
-                    full[i] = match f {
-                        Some(val) => *val as u8 as f64,
-                        None => x[col_of[i]],
-                    };
+                    match f {
+                        Some(val) => {
+                            full[i] = *val as u8 as f64;
+                            full_rests[i] = if *val { Rest::Upper } else { Rest::Lower };
+                        }
+                        None => {
+                            full[i] = x[col_of[i]];
+                            full_rests[i] = solve.rests[col_of[i]];
+                        }
+                    }
                 }
-                LpNodeResult::Solved {
-                    objective: objective + fixed_cost,
-                    x: full,
-                }
+                (
+                    LpNodeResult::Solved {
+                        objective: objective + fixed_cost,
+                        x: full,
+                        rests: full_rests.into(),
+                    },
+                    iters,
+                )
             }
-            LpOutcome::Infeasible => LpNodeResult::Infeasible,
+            LpOutcome::Infeasible => (LpNodeResult::Infeasible, iters),
             LpOutcome::Unbounded => {
                 // operon-lint: allow(R001, reason = "every binary relaxation bounds all variables in [0, 1], so the LP cannot be unbounded")
                 unreachable!("binary relaxations carry explicit upper bounds")
@@ -401,7 +679,13 @@ impl Model {
 }
 
 enum LpNodeResult {
-    Solved { objective: f64, x: Vec<f64> },
+    Solved {
+        objective: f64,
+        x: Vec<f64>,
+        /// Per-model-variable rests at the relaxation's optimum (fixed
+        /// variables report the bound they are fixed to).
+        rests: Arc<[Rest]>,
+    },
     Infeasible,
 }
 
@@ -525,6 +809,11 @@ mod tests {
         assert!(sol.is_optimal());
         assert_eq!(sol.objective().round(), 2.0);
         assert!(sol.nodes_explored() >= 1);
+        let stats = sol.stats();
+        assert!(stats.lp_solves >= stats.nodes_explored);
+        assert!(stats.waves >= 1);
+        assert!(stats.incumbent_updates >= 1);
+        assert!(stats.simplex_iterations >= 1);
     }
 
     #[test]
@@ -653,37 +942,43 @@ mod tests {
         best
     }
 
+    /// Deterministic battery of small random models shared by the
+    /// differential tests.
+    fn random_model(rng: &mut StdRng) -> Model {
+        let n = rng.gen_range(1..=8);
+        let mut m = Model::new();
+        let vars: Vec<VarId> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let n_cons = rng.gen_range(0..=5);
+        for _ in 0..n_cons {
+            let mut expr: Vec<(f64, VarId)> = Vec::new();
+            for &v in &vars {
+                if rng.gen_bool(0.6) {
+                    expr.push((rng.gen_range(-5..=5) as f64, v));
+                }
+            }
+            if expr.is_empty() {
+                continue;
+            }
+            let rhs = rng.gen_range(-4..=6) as f64;
+            match rng.gen_range(0..3) {
+                0 => m.add_le(expr, rhs),
+                1 => m.add_ge(expr, rhs),
+                _ => m.add_eq(expr, rhs),
+            }
+        }
+        let obj: Vec<(f64, VarId)> = vars
+            .iter()
+            .map(|&v| (rng.gen_range(-9..=9) as f64, v))
+            .collect();
+        m.set_objective(obj);
+        m
+    }
+
     #[test]
     fn random_models_match_brute_force() {
         let mut rng = StdRng::seed_from_u64(7);
         for trial in 0..40 {
-            let n = rng.gen_range(1..=8);
-            let mut m = Model::new();
-            let vars: Vec<VarId> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
-            let n_cons = rng.gen_range(0..=5);
-            for _ in 0..n_cons {
-                let mut expr: Vec<(f64, VarId)> = Vec::new();
-                for &v in &vars {
-                    if rng.gen_bool(0.6) {
-                        expr.push((rng.gen_range(-5..=5) as f64, v));
-                    }
-                }
-                if expr.is_empty() {
-                    continue;
-                }
-                let rhs = rng.gen_range(-4..=6) as f64;
-                match rng.gen_range(0..3) {
-                    0 => m.add_le(expr, rhs),
-                    1 => m.add_ge(expr, rhs),
-                    _ => m.add_eq(expr, rhs),
-                }
-            }
-            let obj: Vec<(f64, VarId)> = vars
-                .iter()
-                .map(|&v| (rng.gen_range(-9..=9) as f64, v))
-                .collect();
-            m.set_objective(obj);
-
+            let m = random_model(&mut rng);
             let sol = m.solve(&default_opts());
             match brute_force(&m) {
                 None => assert_eq!(
@@ -701,6 +996,110 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn wave_size_one_matches_reference_node_for_node() {
+        // With basis reuse off the wave search at wave_size = 1 performs
+        // exactly the reference's cold pop-one/solve-one loop: same
+        // explored count, same LP count, same objective, same values.
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..30 {
+            let m = random_model(&mut rng);
+            let opts = SolveOptions {
+                wave_size: 1,
+                warm_start_basis: false,
+                ..SolveOptions::default()
+            };
+            let wave = m.solve(&opts);
+            let reference = m.solve_reference(&opts);
+            assert_eq!(wave.status(), reference.status(), "trial {trial}");
+            assert_eq!(wave.is_feasible(), reference.is_feasible(), "trial {trial}");
+            assert_eq!(
+                wave.nodes_explored(),
+                reference.nodes_explored(),
+                "trial {trial}: explored trees differ"
+            );
+            assert_eq!(
+                wave.stats().lp_solves,
+                reference.stats().lp_solves,
+                "trial {trial}: LP work differs"
+            );
+            if wave.is_feasible() {
+                assert_eq!(wave.objective(), reference.objective(), "trial {trial}");
+                let n = m.var_count();
+                for i in 0..n {
+                    assert_eq!(
+                        wave.value(VarId(i)),
+                        reference.value(VarId(i)),
+                        "trial {trial}: value {i} differs"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn any_wave_size_and_thread_count_agree_on_the_optimum() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..15 {
+            let m = random_model(&mut rng);
+            let oracle = brute_force(&m);
+            for wave_size in [1usize, 4, 16] {
+                for threads in [1usize, 2, 8] {
+                    let opts = SolveOptions {
+                        wave_size,
+                        executor: Executor::new(threads),
+                        ..SolveOptions::default()
+                    };
+                    let sol = m.solve(&opts);
+                    match oracle {
+                        None => assert_eq!(
+                            sol.status(),
+                            SolveStatus::Infeasible,
+                            "trial {trial} wave {wave_size} threads {threads}"
+                        ),
+                        Some(best) => {
+                            assert!(sol.is_optimal());
+                            assert!(
+                                (sol.objective() - best).abs() < 1e-6,
+                                "trial {trial} wave {wave_size} threads {threads}: \
+                                 got {} want {best}",
+                                sol.objective()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_basis_cuts_simplex_iterations() {
+        // Aggregated over a battery of branching-heavy random models,
+        // replaying parent vertices as rest hints must shrink total pivot
+        // work (individual models may tie when the root already prunes).
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut cold_total = 0u64;
+        let mut warm_total = 0u64;
+        for _ in 0..30 {
+            let m = random_model(&mut rng);
+            let cold = m.solve(&SolveOptions {
+                warm_start_basis: false,
+                ..SolveOptions::default()
+            });
+            let warm = m.solve(&SolveOptions::default());
+            assert_eq!(cold.is_feasible(), warm.is_feasible());
+            if cold.is_feasible() {
+                assert!((cold.objective() - warm.objective()).abs() < 1e-6);
+            }
+            cold_total += cold.stats().simplex_iterations;
+            warm_total += warm.stats().simplex_iterations;
+        }
+        assert!(
+            warm_total < cold_total,
+            "warm {warm_total} vs cold {cold_total}: basis reuse saved nothing"
+        );
     }
 
     proptest! {
