@@ -25,4 +25,7 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> crossing_bench --smoke (kernel identity gate)"
+cargo run -p operon-bench --release -q --bin crossing_bench -- --smoke
+
 echo "CI green."

@@ -163,6 +163,7 @@ pub fn glow_baseline(nets: &[HyperNet], config: &OperonConfig) -> BaselineSelect
             proven_optimal: false,
             elapsed: start.elapsed(),
             ilp_stats: None,
+            lr_stats: None,
         },
     }
 }

@@ -9,13 +9,26 @@
 //! reads the same index when pricing candidates against the previous
 //! iterate (Eq. (5)).
 //!
-//! The paper's variable-reduction speed-up — "remove those crossing
-//! variables belonging to the pair of hyper nets with non-overlapped
-//! bounding boxes" — is the bounding-box prefilter here.
+//! # The spatial build
+//!
+//! [`CrossingIndex::build_with`] buckets every candidate segment into a
+//! uniform [`SegmentGrid`] and tests only pairs that co-occupy a cell.
+//! Two segments can only cross where they overlap, and the grid's
+//! coverage invariant guarantees the cell containing the crossing point
+//! holds both segments, so no crossing is missed. A segment pair sharing
+//! several cells is discovered several times; every discovered crossing
+//! is emitted as a `(pair key, segment a, segment b)` tuple and the
+//! tuples are globally sorted and deduplicated, which makes the result a
+//! pure function of the candidate set — independent of cell count, cell
+//! iteration order, and thread count. The pre-grid all-pairs scan (the
+//! paper's "remove those crossing variables belonging to the pair of
+//! hyper nets with non-overlapped bounding boxes" prefilter) is retained
+//! as [`CrossingIndex::build_reference`], the equivalence oracle for
+//! tests and benchmarks.
 
 use crate::codesign::NetCandidates;
 use operon_exec::Executor;
-use operon_geom::BoundingBox;
+use operon_geom::{BoundingBox, Segment, SegmentGrid};
 use std::collections::BTreeMap;
 
 /// Crossing counts between one ordered pair of candidates.
@@ -32,43 +45,188 @@ pub struct PairCross {
 /// Key: `(net_a, cand_a, net_b, cand_b)` with `net_a < net_b`.
 type PairKey = (usize, usize, usize, usize);
 
+/// One side's `(path index, crossings)` counts of a crossing record.
+pub type PathCounts = [(usize, usize)];
+
+/// One entry of a candidate's neighbor list: a candidate of another net
+/// that it crosses, plus a direct handle to the shared crossing record so
+/// hot pricing loops read per-path counts without a `pairs` map walk per
+/// query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Neighbor {
+    /// The crossing net.
+    pub net: usize,
+    /// The crossing net's candidate index.
+    pub cand: usize,
+    /// Index into `CrossingIndex::records`.
+    record: u32,
+    /// Whether the list owner is side A of the record.
+    owner_is_a: bool,
+}
+
+impl Neighbor {
+    /// The `(net, cand)` pair of this neighbor.
+    #[inline]
+    pub fn key(&self) -> (usize, usize) {
+        (self.net, self.cand)
+    }
+}
+
 /// All pairwise crossing counts over a candidate set.
 ///
-/// Both maps are `BTreeMap`s deliberately: selection algorithms iterate
+/// The maps are `BTreeMap`s deliberately: selection algorithms iterate
 /// them (directly or through the neighbor lists) while accumulating
 /// floating-point losses, so the iteration order must not depend on a
-/// hash seed for runs to be bit-reproducible.
-#[derive(Clone, Debug, Default)]
+/// hash seed for runs to be bit-reproducible. Records live in a dense
+/// vector (in sorted `PairKey` order) that both sides' neighbor entries
+/// point into.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CrossingIndex {
-    pairs: BTreeMap<PairKey, PairCross>,
-    /// Adjacency: `(net, cand)` → the `(other_net, other_cand)` it
-    /// crosses. Lets selection algorithms iterate actual coupling instead
-    /// of scanning every net.
-    neighbors: BTreeMap<(usize, usize), Vec<(usize, usize)>>,
+    pairs: BTreeMap<PairKey, u32>,
+    /// Crossing records, one per `pairs` entry, in sorted key order.
+    records: Vec<PairCross>,
+    /// Adjacency: `(net, cand)` → the candidates it crosses. Lets
+    /// selection algorithms iterate actual coupling instead of scanning
+    /// every net.
+    neighbors: BTreeMap<(usize, usize), Vec<Neighbor>>,
 }
 
 impl CrossingIndex {
     /// Builds the index over every candidate pair from different hyper
-    /// nets whose optical bounding boxes overlap.
+    /// nets whose optical segments properly cross.
     pub fn build(nets: &[NetCandidates]) -> Self {
         Self::build_with(nets, &Executor::sequential())
     }
 
-    /// [`build`](Self::build) with the pairwise scan spread over `exec`'s
-    /// workers. Net `a`'s row (its pairs against all `b > a`) is an
-    /// independent unit of work; rows are merged in net order afterwards,
-    /// so the index is identical for every thread count.
+    /// [`build`](Self::build) with the per-cell pair tests spread over
+    /// `exec`'s workers. The global sort/dedup merge makes the index
+    /// identical for every thread count.
     pub fn build_with(nets: &[NetCandidates], exec: &Executor) -> Self {
-        // Net-level prefilter: union bbox of all optical candidates.
-        let net_bbox: Vec<Option<BoundingBox>> = nets
-            .iter()
-            .map(|nc| {
-                nc.candidates
-                    .iter()
-                    .filter_map(|c| c.optical_bbox)
-                    .reduce(|a, b| a.union(&b))
-            })
+        Self::build_with_grid_dims(nets, exec, None)
+    }
+
+    /// Grid build with explicit cell dimensions (`None` = auto-sized);
+    /// the escape hatch the equivalence proptests use to vary cell sizes.
+    fn build_with_grid_dims(
+        nets: &[NetCandidates],
+        exec: &Executor,
+        dims: Option<(usize, usize)>,
+    ) -> Self {
+        // Flatten every non-degenerate optical segment in
+        // (net, cand, seg) order; degenerate segments can never properly
+        // cross anything.
+        struct SegRef {
+            net: u32,
+            cand: u32,
+            seg: u32,
+            s: Segment,
+        }
+        let mut segs: Vec<SegRef> = Vec::new();
+        let mut extent: Option<BoundingBox> = None;
+        for (i, nc) in nets.iter().enumerate() {
+            for (j, c) in nc.candidates.iter().enumerate() {
+                for (k, s) in c.optical_segments.iter().enumerate() {
+                    if s.is_degenerate() {
+                        continue;
+                    }
+                    let bb = BoundingBox::new(s.a, s.b);
+                    extent = Some(match extent {
+                        Some(e) => e.union(&bb),
+                        None => bb,
+                    });
+                    segs.push(SegRef {
+                        net: i as u32,
+                        cand: j as u32,
+                        seg: k as u32,
+                        s: *s,
+                    });
+                }
+            }
+        }
+        let Some(extent) = extent else {
+            return Self::default();
+        };
+        if segs.len() < 2 {
+            return Self::default();
+        }
+
+        let mut grid = match dims {
+            Some((cols, rows)) => SegmentGrid::new(extent, cols, rows),
+            None => SegmentGrid::sized(extent, segs.len()),
+        };
+        for (id, sr) in segs.iter().enumerate() {
+            grid.insert(id as u32, sr.s);
+        }
+
+        let cells: Vec<usize> = grid
+            .nonempty_cells()
+            .into_iter()
+            .filter(|&c| grid.cell_items(c).len() >= 2)
             .collect();
+        // Every properly-crossing segment pair co-occupies the cell of
+        // its crossing point, so testing within cells finds all of them;
+        // a pair sharing several cells is found several times and
+        // deduplicated by the sort below.
+        let hits: Vec<Vec<(PairKey, u32, u32)>> = exec.par_map(&cells, |&cell| {
+            let ids = grid.cell_items(cell);
+            let mut out = Vec::new();
+            for (x, &ia) in ids.iter().enumerate() {
+                let a = &segs[ia as usize];
+                for &ib in &ids[x + 1..] {
+                    let b = &segs[ib as usize];
+                    if a.net == b.net || !a.s.crosses(&b.s) {
+                        continue;
+                    }
+                    let (p, q) = if a.net < b.net { (a, b) } else { (b, a) };
+                    out.push((
+                        (
+                            p.net as usize,
+                            p.cand as usize,
+                            q.net as usize,
+                            q.cand as usize,
+                        ),
+                        p.seg,
+                        q.seg,
+                    ));
+                }
+            }
+            out
+        });
+        let mut hits: Vec<(PairKey, u32, u32)> = hits.into_iter().flatten().collect();
+        hits.sort_unstable();
+        hits.dedup();
+
+        // Assemble one record per key from its contiguous run of hits,
+        // reproducing `count_pair`'s attribution exactly.
+        let mut pairs: BTreeMap<PairKey, PairCross> = BTreeMap::new();
+        let mut i = 0;
+        while i < hits.len() {
+            let key = hits[i].0;
+            let mut j = i + 1;
+            while j < hits.len() && hits[j].0 == key {
+                j += 1;
+            }
+            pairs.insert(key, assemble_pair(nets, key, &hits[i..j]));
+            i = j;
+        }
+        Self::from_pairs(pairs)
+    }
+
+    /// The pre-grid all-pairs build: scans every net pair with a
+    /// bounding-box prefilter, then every candidate pair with overlapping
+    /// optical boxes. Retained as the equivalence oracle — the grid build
+    /// must produce a byte-identical index.
+    pub fn build_reference(nets: &[NetCandidates]) -> Self {
+        Self::build_reference_with(nets, &Executor::sequential())
+    }
+
+    /// [`build_reference`](Self::build_reference) with net `a`'s row (its
+    /// pairs against all `b > a`) spread over `exec`'s workers; rows are
+    /// merged in net order afterwards, so the index is identical for
+    /// every thread count.
+    pub fn build_reference_with(nets: &[NetCandidates], exec: &Executor) -> Self {
+        // Net-level prefilter: union bbox of all optical candidates.
+        let net_bbox = net_bboxes(nets);
 
         let rows: Vec<Vec<(PairKey, PairCross)>> = exec.par_map_indexed(&net_bbox, |a, bb_a| {
             let mut row = Vec::new();
@@ -99,13 +257,95 @@ impl CrossingIndex {
             row
         });
 
-        let pairs: BTreeMap<PairKey, PairCross> = rows.into_iter().flatten().collect();
-        let mut neighbors: BTreeMap<(usize, usize), Vec<(usize, usize)>> = BTreeMap::new();
-        for &(na, ca, nb, cb) in pairs.keys() {
-            neighbors.entry((na, ca)).or_default().push((nb, cb));
-            neighbors.entry((nb, cb)).or_default().push((na, ca));
+        Self::from_pairs(rows.into_iter().flatten().collect())
+    }
+
+    /// Rebuilds the index after the candidates of `changed` nets were
+    /// replaced, reusing every record that involves no changed net.
+    /// Equivalent to a full [`build`](Self::build) of the new candidate
+    /// set, at the cost of the changed rows only.
+    pub fn rebuild_delta(&self, nets: &[NetCandidates], changed: &[usize]) -> Self {
+        let mut is_changed = vec![false; nets.len()];
+        for &i in changed {
+            if i < nets.len() {
+                is_changed[i] = true;
+            }
         }
-        Self { pairs, neighbors }
+        let mut pairs: BTreeMap<PairKey, PairCross> = BTreeMap::new();
+        for (key, &r) in &self.pairs {
+            if key.0 < nets.len() && key.2 < nets.len() && !is_changed[key.0] && !is_changed[key.2]
+            {
+                pairs.insert(*key, self.records[r as usize].clone());
+            }
+        }
+        let net_bbox = net_bboxes(nets);
+        for a in 0..nets.len() {
+            if !is_changed[a] {
+                continue;
+            }
+            let Some(bb_a) = net_bbox[a] else { continue };
+            for b in 0..nets.len() {
+                // Changed-changed rows meet twice; count them once.
+                if b == a || (is_changed[b] && b < a) {
+                    continue;
+                }
+                let Some(bb_b) = net_bbox[b] else { continue };
+                if !bb_a.overlaps(&bb_b) {
+                    continue;
+                }
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                for (ai, ca) in nets[lo].candidates.iter().enumerate() {
+                    let Some(cbb_a) = ca.optical_bbox else {
+                        continue;
+                    };
+                    for (bi, cb) in nets[hi].candidates.iter().enumerate() {
+                        let Some(cbb_b) = cb.optical_bbox else {
+                            continue;
+                        };
+                        if !cbb_a.overlaps(&cbb_b) {
+                            continue;
+                        }
+                        let cross = count_pair(ca, cb);
+                        if cross.total > 0 {
+                            pairs.insert((lo, ai, hi, bi), cross);
+                        }
+                    }
+                }
+            }
+        }
+        Self::from_pairs(pairs)
+    }
+
+    /// Assembles the dense record vector and both-direction neighbor
+    /// lists from a finished key → record map. Keys arrive in sorted
+    /// order, so records and every neighbor list come out sorted too.
+    fn from_pairs(map: BTreeMap<PairKey, PairCross>) -> Self {
+        let mut pairs = BTreeMap::new();
+        let mut records = Vec::with_capacity(map.len());
+        let mut neighbors: BTreeMap<(usize, usize), Vec<Neighbor>> = BTreeMap::new();
+        for (idx, (key, pc)) in map.into_iter().enumerate() {
+            let (na, ca, nb, cb) = key;
+            let record = idx as u32;
+            pairs.insert(key, record);
+            neighbors.entry((na, ca)).or_default().push(Neighbor {
+                net: nb,
+                cand: cb,
+                record,
+                owner_is_a: true,
+            });
+            neighbors.entry((nb, cb)).or_default().push(Neighbor {
+                net: na,
+                cand: ca,
+                record,
+                owner_is_a: false,
+            });
+            records.push(pc);
+        }
+        Self {
+            pairs,
+            records,
+            neighbors,
+        }
     }
 
     /// The crossing record of a candidate pair, if they cross. The nets
@@ -117,10 +357,30 @@ impl CrossingIndex {
         net_b: usize,
         cand_b: usize,
     ) -> Option<&PairCross> {
-        if net_a < net_b {
-            self.pairs.get(&(net_a, cand_a, net_b, cand_b))
+        let key = if net_a < net_b {
+            (net_a, cand_a, net_b, cand_b)
         } else {
-            self.pairs.get(&(net_b, cand_b, net_a, cand_a))
+            (net_b, cand_b, net_a, cand_a)
+        };
+        self.pairs.get(&key).map(|&r| &self.records[r as usize])
+    }
+
+    /// The crossing record behind a neighbor-list entry — no map walk.
+    #[inline]
+    pub fn record(&self, nb: &Neighbor) -> &PairCross {
+        &self.records[nb.record as usize]
+    }
+
+    /// Per-path crossing counts of a neighbor-list entry, as
+    /// `(owner's side, neighbor's side)` — the cached equivalent of a
+    /// `pair()` lookup plus the `net < other` side selection.
+    #[inline]
+    pub fn per_path(&self, nb: &Neighbor) -> (&PathCounts, &PathCounts) {
+        let pc = &self.records[nb.record as usize];
+        if nb.owner_is_a {
+            (&pc.per_path_a, &pc.per_path_b)
+        } else {
+            (&pc.per_path_b, &pc.per_path_a)
         }
     }
 
@@ -151,12 +411,33 @@ impl CrossingIndex {
     /// Iterates over all crossing pairs as
     /// `((net_a, cand_a, net_b, cand_b), record)`.
     pub fn iter(&self) -> impl Iterator<Item = (PairKey, &PairCross)> {
-        self.pairs.iter().map(|(&k, v)| (k, v))
+        self.pairs
+            .iter()
+            .map(|(&k, &r)| (k, &self.records[r as usize]))
     }
 
-    /// The `(other_net, other_cand)` candidates that cross `(net, cand)`.
-    pub fn neighbors(&self, net: usize, cand: usize) -> &[(usize, usize)] {
+    /// The candidates of other nets that cross `(net, cand)`.
+    pub fn neighbors(&self, net: usize, cand: usize) -> &[Neighbor] {
         self.neighbors.get(&(net, cand)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Net-level adjacency over `net_count` nets: `adj[i]` lists, sorted
+    /// ascending, the nets sharing at least one crossing candidate pair
+    /// with net `i`. This is the coupling graph incremental pricing uses
+    /// for its dirty sets.
+    pub fn net_adjacency(&self, net_count: usize) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); net_count];
+        for key in self.pairs.keys() {
+            if key.0 < net_count && key.2 < net_count {
+                adj[key.0].push(key.2);
+                adj[key.2].push(key.0);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
     }
 
     /// Number of crossing candidate pairs.
@@ -168,6 +449,18 @@ impl CrossingIndex {
     pub fn is_empty(&self) -> bool {
         self.pairs.is_empty()
     }
+}
+
+/// Union bbox of each net's optical candidates (the net-level prefilter).
+fn net_bboxes(nets: &[NetCandidates]) -> Vec<Option<BoundingBox>> {
+    nets.iter()
+        .map(|nc| {
+            nc.candidates
+                .iter()
+                .filter_map(|c| c.optical_bbox)
+                .reduce(|a, b| a.union(&b))
+        })
+        .collect()
 }
 
 /// Counts proper crossings between two candidates and attributes them to
@@ -192,21 +485,43 @@ fn count_pair(
     if total == 0 {
         return PairCross::default();
     }
-    let attribute = |paths: &[crate::codesign::PathLoss], seg: &[usize]| {
-        paths
-            .iter()
-            .enumerate()
-            .filter_map(|(pi, p)| {
-                let n: usize = p.segments.iter().map(|&s| seg[s]).sum();
-                (n > 0).then_some((pi, n))
-            })
-            .collect::<Vec<_>>()
-    };
     PairCross {
         per_path_a: attribute(&a.paths, &seg_a),
         per_path_b: attribute(&b.paths, &seg_b),
         total,
     }
+}
+
+/// Builds one pair record from the deduplicated `(key, seg_a, seg_b)`
+/// crossing tuples the grid build found for `key`.
+fn assemble_pair(nets: &[NetCandidates], key: PairKey, hits: &[(PairKey, u32, u32)]) -> PairCross {
+    let (na, ca, nb, cb) = key;
+    let a = &nets[na].candidates[ca];
+    let b = &nets[nb].candidates[cb];
+    let mut seg_a = vec![0usize; a.optical_segments.len()];
+    let mut seg_b = vec![0usize; b.optical_segments.len()];
+    for &(_, sa, sb) in hits {
+        seg_a[sa as usize] += 1;
+        seg_b[sb as usize] += 1;
+    }
+    PairCross {
+        per_path_a: attribute(&a.paths, &seg_a),
+        per_path_b: attribute(&b.paths, &seg_b),
+        total: hits.len(),
+    }
+}
+
+/// Sums per-segment crossing counts along each detector path, keeping
+/// `(path index, count)` for paths that suffer at least one crossing.
+fn attribute(paths: &[crate::codesign::PathLoss], seg: &[usize]) -> Vec<(usize, usize)> {
+    paths
+        .iter()
+        .enumerate()
+        .filter_map(|(pi, p)| {
+            let n: usize = p.segments.iter().map(|&s| seg[s]).sum();
+            (n > 0).then_some((pi, n))
+        })
+        .collect::<Vec<_>>()
 }
 
 #[cfg(test)]
@@ -216,6 +531,7 @@ mod tests {
     use operon_geom::Point;
     use operon_optics::{ElectricalParams, OpticalLib};
     use operon_steiner::{NodeKind, RouteTree};
+    use proptest::prelude::*;
 
     /// A single optical edge from `a` to `b` as a one-candidate net.
     fn optical_net(net_index: usize, a: Point, b: Point) -> NetCandidates {
@@ -235,6 +551,48 @@ mod tests {
             electrical_idx: 0, // not actually electrical; fine for tests
             fanout_power_mw: 0.0,
         }
+    }
+
+    /// A net whose candidates are optical chains through each point list.
+    fn chain_net(net_index: usize, chains: &[Vec<Point>]) -> NetCandidates {
+        let candidates = chains
+            .iter()
+            .map(|pts| {
+                let mut tree = RouteTree::new(pts[0]);
+                let mut prev = tree.root();
+                for (i, &p) in pts.iter().enumerate().skip(1) {
+                    let kind = if i + 1 == pts.len() {
+                        NodeKind::Terminal
+                    } else {
+                        NodeKind::Steiner
+                    };
+                    prev = tree.add_child(prev, p, kind);
+                }
+                analyze_assignment(
+                    &tree,
+                    &vec![EdgeMedium::Optical; pts.len() - 1],
+                    1,
+                    &OpticalLib::paper_defaults(),
+                    &ElectricalParams::paper_defaults(),
+                )
+            })
+            .collect();
+        NetCandidates {
+            net_index,
+            bits: 1,
+            candidates,
+            electrical_idx: 0,
+            fanout_power_mw: 0.0,
+        }
+    }
+
+    fn assert_index_eq(a: &CrossingIndex, b: &CrossingIndex, label: &str) {
+        assert_eq!(a.len(), b.len(), "{label}: pair count");
+        for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ka, kb, "{label}: keys");
+            assert_eq!(va, vb, "{label}: records");
+        }
+        assert_eq!(a.neighbors, b.neighbors, "{label}: neighbor lists");
     }
 
     #[test]
@@ -345,18 +703,48 @@ mod tests {
         ];
         let idx = CrossingIndex::build(&nets);
         // Every pair entry appears in both endpoints' neighbor lists, and
-        // every neighbor entry resolves to a pair.
-        for ((na, ca, nb, cb), _) in idx.iter() {
-            assert!(idx.neighbors(na, ca).contains(&(nb, cb)));
-            assert!(idx.neighbors(nb, cb).contains(&(na, ca)));
+        // every neighbor entry resolves to the same record via the cached
+        // handle and the map lookup.
+        for ((na, ca, nb, cb), pc) in idx.iter() {
+            assert!(idx.neighbors(na, ca).iter().any(|n| n.key() == (nb, cb)));
+            assert!(idx.neighbors(nb, cb).iter().any(|n| n.key() == (na, ca)));
+            assert_eq!(idx.pair(na, ca, nb, cb), Some(pc));
         }
         for net in 0..nets.len() {
-            for &(m, n) in idx.neighbors(net, 0) {
-                assert!(idx.pair(net, 0, m, n).is_some());
+            for nb in idx.neighbors(net, 0) {
+                let via_map = idx.pair(net, 0, nb.net, nb.cand).expect("pair exists");
+                assert_eq!(idx.record(nb), via_map);
+                let (own, other) = idx.per_path(nb);
+                if net < nb.net {
+                    assert_eq!(own, via_map.per_path_a.as_slice());
+                    assert_eq!(other, via_map.per_path_b.as_slice());
+                } else {
+                    assert_eq!(own, via_map.per_path_b.as_slice());
+                    assert_eq!(other, via_map.per_path_a.as_slice());
+                }
             }
         }
         // The vertical net crosses both diagonals.
         assert_eq!(idx.neighbors(2, 0).len(), 2);
+    }
+
+    #[test]
+    fn grid_build_matches_reference_on_spanning_diagonals() {
+        // 24 die-spanning diagonals: the worst case for any bbox-based
+        // pruning (every bbox overlaps every other) and the fixture that
+        // forces the grid rasterizer to stay sparse.
+        let nets: Vec<NetCandidates> = (0..24)
+            .map(|k| {
+                let y0 = (k as i64) * 700;
+                optical_net(k, Point::new(0, y0), Point::new(20_000, 18_000 - y0))
+            })
+            .collect();
+        let reference = CrossingIndex::build_reference(&nets);
+        assert!(!reference.is_empty());
+        for threads in [1, 2, 4, 8] {
+            let grid = CrossingIndex::build_with(&nets, &Executor::new(threads));
+            assert_index_eq(&grid, &reference, &format!("threads={threads}"));
+        }
     }
 
     #[test]
@@ -370,15 +758,51 @@ mod tests {
         let seq = CrossingIndex::build(&nets);
         for threads in [2, 4, 8] {
             let par = CrossingIndex::build_with(&nets, &Executor::new(threads));
-            assert_eq!(par.len(), seq.len(), "threads={threads}");
-            for ((ka, va), (kb, vb)) in seq.iter().zip(par.iter()) {
-                assert_eq!(ka, kb);
-                assert_eq!(va, vb);
-            }
-            for ((na, ca), list) in &seq.neighbors {
-                assert_eq!(par.neighbors(*na, *ca), list.as_slice());
-            }
+            assert_index_eq(&par, &seq, &format!("threads={threads}"));
         }
+    }
+
+    #[test]
+    fn rebuild_delta_equals_full_build() {
+        let mut nets: Vec<NetCandidates> = (0..10)
+            .map(|k| {
+                let y0 = (k as i64) * 90;
+                optical_net(k, Point::new(0, y0), Point::new(1000, 900 - y0))
+            })
+            .collect();
+        let before = CrossingIndex::build(&nets);
+        // Replace two nets' geometry (one reroute, one that stops
+        // crossing anything) and patch the index.
+        nets[3] = optical_net(3, Point::new(0, 500), Point::new(1000, 70));
+        nets[7] = optical_net(7, Point::new(5000, 5000), Point::new(6000, 6000));
+        let delta = before.rebuild_delta(&nets, &[3, 7]);
+        let full = CrossingIndex::build(&nets);
+        assert_index_eq(&delta, &full, "delta vs full");
+        // No-op delta reproduces the index too.
+        let noop = before.rebuild_delta(
+            &(0..10)
+                .map(|k| {
+                    let y0 = (k as i64) * 90;
+                    optical_net(k, Point::new(0, y0), Point::new(1000, 900 - y0))
+                })
+                .collect::<Vec<_>>(),
+            &[],
+        );
+        assert_index_eq(&noop, &before, "noop delta");
+    }
+
+    #[test]
+    fn net_adjacency_lists_coupled_nets() {
+        let nets = vec![
+            optical_net(0, Point::new(0, 0), Point::new(100, 100)),
+            optical_net(1, Point::new(0, 100), Point::new(100, 0)),
+            optical_net(2, Point::new(2000, 0), Point::new(2000, 100)),
+        ];
+        let idx = CrossingIndex::build(&nets);
+        let adj = idx.net_adjacency(3);
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0]);
+        assert!(adj[2].is_empty());
     }
 
     #[test]
@@ -387,5 +811,53 @@ mod tests {
         let idx = CrossingIndex::build(&nets);
         assert!(idx.neighbors(0, 0).is_empty());
         assert!(idx.neighbors(5, 9).is_empty());
+    }
+
+    proptest! {
+        /// The tentpole equivalence contract: for random multi-candidate,
+        /// multi-segment nets — including collinear, shared-endpoint, and
+        /// zero-length segments from the cramped coordinate range — the
+        /// grid build equals the brute-force reference byte for byte, for
+        /// every cell size and thread count.
+        #[test]
+        fn grid_build_equals_reference_on_random_candidate_sets(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec((0i64..64, 0i64..64), 2..5),
+                    1..3,
+                ),
+                2..7,
+            ),
+            cols in 1usize..20,
+            rows in 1usize..20,
+        ) {
+            let nets: Vec<NetCandidates> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, chains)| {
+                    let pts: Vec<Vec<Point>> = chains
+                        .iter()
+                        .map(|c| c.iter().map(|&(x, y)| Point::new(x, y)).collect())
+                        .collect();
+                    chain_net(i, &pts)
+                })
+                .collect();
+            let reference = CrossingIndex::build_reference(&nets);
+            for threads in [1usize, 2, 8] {
+                let exec = Executor::new(threads);
+                let auto = CrossingIndex::build_with(&nets, &exec);
+                assert_index_eq(&auto, &reference, &format!("auto grid, threads={threads}"));
+                let sized = CrossingIndex::build_with_grid_dims(
+                    &nets,
+                    &exec,
+                    Some((cols, rows)),
+                );
+                assert_index_eq(
+                    &sized,
+                    &reference,
+                    &format!("{cols}x{rows} grid, threads={threads}"),
+                );
+            }
+        }
     }
 }

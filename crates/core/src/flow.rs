@@ -303,7 +303,7 @@ impl OperonFlow {
                     // so limit-terminated solves still return a strong
                     // incumbent.
                     let warm = select_lr_with(&candidates, &crossings, &config, &self.exec);
-                    select_ilp_with(
+                    let mut ilp = select_ilp_with(
                         &candidates,
                         &crossings,
                         &config.optical,
@@ -311,13 +311,16 @@ impl OperonFlow {
                         Some(&warm.choice),
                         config.ilp_wave_size,
                         &self.exec,
-                    )?
+                    )?;
+                    ilp.lr_stats = warm.lr_stats;
+                    ilp
                 }
                 Selector::LagrangianRelaxation => {
                     select_lr_with(&candidates, &crossings, &config, &self.exec)
                 }
             };
             record_ilp_stats(&mut stage, &sel);
+            record_lr_stats(&mut stage, &sel);
             sel
         };
         times.selection = selection.elapsed;
@@ -331,8 +334,10 @@ impl OperonFlow {
         // Stage 4: WDM placement + assignment.
         let t = operon_exec::Stopwatch::start();
         let wdm = {
-            let _stage = self.exec.stage("wdm");
-            wdm::plan_with(&candidates, &selection.choice, &config.optical, &self.exec)?
+            let mut stage = self.exec.stage("wdm");
+            let plan = wdm::plan_with(&candidates, &selection.choice, &config.optical, &self.exec)?;
+            record_wdm_stats(&mut stage, &plan);
+            plan
         };
         times.wdm = t.elapsed();
 
@@ -495,7 +500,7 @@ impl OperonFlow {
             let sel = match resolved.selector {
                 Selector::Ilp { time_limit_secs } => {
                     let warm = select_lr_with(&candidates, &crossings, &resolved, &self.exec);
-                    select_ilp_with(
+                    let mut ilp = select_ilp_with(
                         &candidates,
                         &crossings,
                         &resolved.optical,
@@ -503,25 +508,30 @@ impl OperonFlow {
                         Some(&warm.choice),
                         resolved.ilp_wave_size,
                         &self.exec,
-                    )?
+                    )?;
+                    ilp.lr_stats = warm.lr_stats;
+                    ilp
                 }
                 Selector::LagrangianRelaxation => {
                     select_lr_with(&candidates, &crossings, &resolved, &self.exec)
                 }
             };
             record_ilp_stats(&mut stage, &sel);
+            record_lr_stats(&mut stage, &sel);
             sel
         };
         times.selection = selection.elapsed;
         let t = operon_exec::Stopwatch::start();
         let wdm = {
-            let _stage = self.exec.stage("wdm");
-            wdm::plan_with(
+            let mut stage = self.exec.stage("wdm");
+            let plan = wdm::plan_with(
                 &candidates,
                 &selection.choice,
                 &resolved.optical,
                 &self.exec,
-            )?
+            )?;
+            record_wdm_stats(&mut stage, &plan);
+            plan
         };
         times.wdm = t.elapsed();
 
@@ -558,6 +568,28 @@ fn record_ilp_stats(stage: &mut operon_exec::StageScope<'_>, sel: &SelectionResu
         stage.record("ilp_incumbent_updates", stats.incumbent_updates as u64);
         stage.record("ilp_simplex_iterations", stats.simplex_iterations);
     }
+}
+
+/// Surfaces the incremental-pricing counters into the selection stage's
+/// run-report record (a no-op for paths that never ran the LR loop).
+fn record_lr_stats(stage: &mut operon_exec::StageScope<'_>, sel: &SelectionResult) {
+    if let Some(stats) = sel.lr_stats {
+        stage.record("lr_iterations", stats.iterations);
+        stage.record("lr_priced_nets", stats.priced_nets);
+        stage.record("lr_reused_prices", stats.reused_prices);
+        stage.record("lr_load_evals", stats.load_evals);
+        stage.record("lr_reused_loads", stats.reused_loads);
+    }
+}
+
+/// Surfaces the WDM stage's warm/cold network-solver counters into its
+/// run-report record.
+fn record_wdm_stats(stage: &mut operon_exec::StageScope<'_>, plan: &WdmPlan) {
+    stage.record("wdm_cold_solves", plan.stats.cold_solves);
+    stage.record("wdm_warm_trials", plan.stats.warm_trials);
+    stage.record("wdm_dijkstra_passes", plan.stats.mcmf.dijkstra_passes);
+    stage.record("wdm_repair_rounds", plan.stats.mcmf.repair_rounds);
+    stage.record("wdm_warm_fallbacks", plan.stats.mcmf.warm_fallbacks);
 }
 
 #[cfg(test)]

@@ -37,6 +37,10 @@ pub struct SelectionResult {
     /// Branch-and-bound counters totalled over every component sub-ILP
     /// (`None` for the LR and baseline paths, which solve no ILP).
     pub ilp_stats: Option<SolveStats>,
+    /// Incremental-pricing work counters of the LR loop that produced
+    /// (or warm-started) this selection. `None` when no LR pricing ran
+    /// (a cold ILP solve or a baseline).
+    pub lr_stats: Option<crate::lr::LrStats>,
 }
 
 /// Total power of a selection: candidate powers plus the per-net constant
@@ -74,17 +78,11 @@ pub fn loaded_path_losses_for(
 ) -> Vec<f64> {
     let cand = &nets[i].candidates[j];
     let mut losses: Vec<f64> = cand.paths.iter().map(|p| p.fixed_db).collect();
-    for &(m, n) in crossings.neighbors(i, j) {
-        if m == i || choice[m] != n {
+    for nb in crossings.neighbors(i, j) {
+        if nb.net == i || choice[nb.net] != nb.cand {
             continue;
         }
-        // operon-lint: allow(R001, reason = "neighbors(i, j) only lists keys pair() stores")
-        let pc = crossings.pair(i, j, m, n).expect("listed neighbor");
-        let per_path = if i < m {
-            &pc.per_path_a
-        } else {
-            &pc.per_path_b
-        };
+        let (per_path, _) = crossings.per_path(nb);
         for &(pi, cnt) in per_path {
             losses[pi] += lib.crossing_loss_db(cnt);
         }
@@ -249,6 +247,7 @@ pub fn select_ilp_with(
         elapsed: start.elapsed(),
         choice,
         ilp_stats: Some(ilp_stats),
+        lr_stats: None,
     })
 }
 

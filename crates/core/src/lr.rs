@@ -14,6 +14,18 @@
 //! A final repair pass drops any still-violating net to its electrical
 //! fallback so the returned selection is always feasible — the paper's
 //! "residual nets have to be completed through electrical wires".
+//!
+//! # Incremental pricing
+//!
+//! Net `i`'s pricing subproblem reads exactly three inputs: its own
+//! multipliers `λ[i]`, the multipliers `λ[m]` of the nets it crosses, and
+//! those nets' previous selections. When none of them moved (bitwise)
+//! since the last iteration, re-running the argmin would reproduce the
+//! cached answer bit for bit — so [`select_lr_with`] skips it and reuses
+//! the cached one. The same reasoning caches the loaded-loss evaluations
+//! feeding the sub-gradient. The iterate sequence is therefore identical
+//! to the full recomputation loop, which is retained as
+//! [`select_lr_reference`] and pinned by fixture tests.
 
 use crate::codesign::NetCandidates;
 use crate::config::OperonConfig;
@@ -24,6 +36,22 @@ use crate::formulation::{
 use crate::CrossingIndex;
 use operon_exec::Executor;
 use operon_optics::OpticalLib;
+
+/// Work counters of one LR selection: how much pricing the incremental
+/// dirty sets actually performed versus reused.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LrStats {
+    /// Sub-gradient iterations run (≤ `lr_max_iters`).
+    pub iterations: u64,
+    /// Pricing subproblems actually solved.
+    pub priced_nets: u64,
+    /// Pricing subproblems skipped because no input moved.
+    pub reused_prices: u64,
+    /// Loaded-loss vectors actually evaluated.
+    pub load_evals: u64,
+    /// Loaded-loss vectors reused from the previous iteration.
+    pub reused_loads: u64,
+}
 
 /// Runs the LR-based selection.
 ///
@@ -76,41 +104,99 @@ pub fn select_lr_with(
     let mut prev_power = f64::INFINITY;
     let mut prev_violation = f64::INFINITY;
 
+    // Incremental-pricing bookkeeping. A clean net's fresh argmin would
+    // bitwise equal the cached one (all its inputs are unchanged), so
+    // skipping it is a pure recomputation saving, never an approximation;
+    // the net-level coupling graph says whose inputs those are.
+    let mut stats = LrStats::default();
+    let net_adj = crossings.net_adjacency(nets.len());
+    let mut lambda_changed = vec![true; nets.len()];
+    let mut prev_selection_changed = vec![true; nets.len()];
+    let mut loads_cache: Vec<Vec<f64>> = Vec::new();
+
     for iter in 1..=config.lr_max_iters {
-        // Select per net against the previous iterate (lines 5).
+        stats.iterations += 1;
+        // Select per net against the previous iterate (lines 5). Net `i`
+        // must re-price iff its own or a neighbor's multipliers moved, or
+        // a neighbor's previous selection moved. Iteration 1 prices all:
+        // the cold start ran without crossing terms.
         let previous = choice;
+        let first = iter == 1;
+        let price_dirty: Vec<bool> = (0..nets.len())
+            .map(|i| {
+                first
+                    || lambda_changed[i]
+                    || net_adj[i]
+                        .iter()
+                        .any(|&m| lambda_changed[m] || prev_selection_changed[m])
+            })
+            .collect();
         choice = exec.par_map_indexed(nets, |i, nc| {
-            best_candidate(nc, i, &lambda, Some(&previous), crossings, lib)
+            if price_dirty[i] {
+                best_candidate(nc, i, &lambda, Some(&previous), crossings, lib)
+            } else {
+                previous[i]
+            }
         });
+        let priced = price_dirty.iter().filter(|&&d| d).count() as u64;
+        stats.priced_nets += priced;
+        stats.reused_prices += nets.len() as u64 - priced;
 
         // Violations under the current joint selection (line 6). The
         // loaded losses are pure per-net functions of the frozen
-        // `choice`, so they batch-evaluate in parallel; the multiplier
-        // updates below consume them in net order.
+        // `choice`, so they batch-evaluate in parallel — and a net whose
+        // selection and neighbor selections are unchanged reuses last
+        // iteration's vector. The multiplier updates below consume them
+        // in net order.
+        let selection_changed: Vec<bool> =
+            (0..nets.len()).map(|i| choice[i] != previous[i]).collect();
+        let loads_dirty: Vec<bool> = (0..nets.len())
+            .map(|i| {
+                loads_cache.is_empty()
+                    || selection_changed[i]
+                    || net_adj[i].iter().any(|&m| selection_changed[m])
+            })
+            .collect();
         let all_loads: Vec<Vec<f64>> = exec.par_map_indexed(nets, |i, _| {
-            loaded_path_losses(nets, crossings, &choice, i, lib)
+            if loads_dirty[i] {
+                loaded_path_losses(nets, crossings, &choice, i, lib)
+            } else {
+                loads_cache[i].clone()
+            }
         });
+        let evaluated = loads_dirty.iter().filter(|&&d| d).count() as u64;
+        stats.load_evals += evaluated;
+        stats.reused_loads += nets.len() as u64 - evaluated;
+
         let mut total_violation = 0.0f64;
         let step = 1.0 / iter as f64;
-        for (i, loaded) in all_loads.into_iter().enumerate() {
-            for (pi, load) in loaded.into_iter().enumerate() {
+        for (i, loaded) in all_loads.iter().enumerate() {
+            let mut changed = false;
+            for (pi, &load) in loaded.iter().enumerate() {
                 let subgradient = load - lib.max_loss_db;
                 if subgradient > 0.0 {
                     total_violation += subgradient;
                 }
                 let l = &mut lambda[i][choice[i]][pi];
-                *l = (*l + step * subgradient * 0.1).max(0.0);
+                let updated = (*l + step * subgradient * 0.1).max(0.0);
+                changed |= updated.to_bits() != l.to_bits();
+                *l = updated;
             }
             // Paths of unselected candidates relax toward zero (their
             // constraint LHS is 0, sub-gradient -l_m).
             for (j, lam_j) in lambda[i].iter_mut().enumerate() {
                 if j != choice[i] {
                     for l in lam_j.iter_mut() {
-                        *l = (*l - step * lib.max_loss_db * 0.01).max(0.0);
+                        let updated = (*l - step * lib.max_loss_db * 0.01).max(0.0);
+                        changed |= updated.to_bits() != l.to_bits();
+                        *l = updated;
                     }
                 }
             }
+            lambda_changed[i] = changed;
         }
+        prev_selection_changed = selection_changed;
+        loads_cache = all_loads;
 
         let power = selection_power_mw(nets, &choice);
         let power_gain = (prev_power - power) / prev_power.max(1e-12);
@@ -161,6 +247,119 @@ pub fn select_lr_with(
         elapsed: start.elapsed(),
         choice,
         ilp_stats: None,
+        lr_stats: Some(stats),
+    }
+}
+
+/// The pre-incremental LR loop: every net re-priced and every loaded loss
+/// re-evaluated, every iteration, sequentially. Retained as the oracle
+/// that pins [`select_lr`]'s iterate sequence — the incremental dirty-set
+/// loop must reproduce this result bit for bit (see the fixture tests and
+/// `crossing_bench`).
+pub fn select_lr_reference(
+    nets: &[NetCandidates],
+    crossings: &CrossingIndex,
+    config: &OperonConfig,
+) -> SelectionResult {
+    let start = operon_exec::Stopwatch::start();
+    let lib = &config.optical;
+
+    let mut lambda: Vec<Vec<Vec<f64>>> = nets
+        .iter()
+        .map(|nc| {
+            let pe = nc.electrical().total_power_mw().max(1e-6);
+            nc.candidates
+                .iter()
+                .map(|c| vec![0.01 * pe / lib.max_loss_db; c.paths.len()])
+                .collect()
+        })
+        .collect();
+
+    let mut choice: Vec<usize> = nets
+        .iter()
+        .enumerate()
+        .map(|(i, nc)| best_candidate(nc, i, &lambda, None, crossings, lib))
+        .collect();
+
+    let mut prev_power = f64::INFINITY;
+    let mut prev_violation = f64::INFINITY;
+
+    for iter in 1..=config.lr_max_iters {
+        let previous = choice;
+        choice = nets
+            .iter()
+            .enumerate()
+            .map(|(i, nc)| best_candidate(nc, i, &lambda, Some(&previous), crossings, lib))
+            .collect();
+
+        let all_loads: Vec<Vec<f64>> = (0..nets.len())
+            .map(|i| loaded_path_losses(nets, crossings, &choice, i, lib))
+            .collect();
+        let mut total_violation = 0.0f64;
+        let step = 1.0 / iter as f64;
+        for (i, loaded) in all_loads.into_iter().enumerate() {
+            for (pi, load) in loaded.into_iter().enumerate() {
+                let subgradient = load - lib.max_loss_db;
+                if subgradient > 0.0 {
+                    total_violation += subgradient;
+                }
+                let l = &mut lambda[i][choice[i]][pi];
+                *l = (*l + step * subgradient * 0.1).max(0.0);
+            }
+            for (j, lam_j) in lambda[i].iter_mut().enumerate() {
+                if j != choice[i] {
+                    for l in lam_j.iter_mut() {
+                        *l = (*l - step * lib.max_loss_db * 0.01).max(0.0);
+                    }
+                }
+            }
+        }
+
+        let power = selection_power_mw(nets, &choice);
+        let power_gain = (prev_power - power) / prev_power.max(1e-12);
+        let viol_gain = if prev_violation > 0.0 {
+            (prev_violation - total_violation) / prev_violation
+        } else {
+            0.0
+        };
+        let converged = prev_power.is_finite()
+            && power_gain.abs() < config.lr_converge_ratio
+            && viol_gain.abs() < config.lr_converge_ratio;
+        prev_power = power;
+        prev_violation = total_violation;
+        if converged {
+            break;
+        }
+    }
+
+    let polished_lr = repair_and_polish(nets, crossings, choice, lib);
+    let greedy: Vec<usize> = nets
+        .iter()
+        .map(|nc| {
+            nc.candidates
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_power_mw().total_cmp(&b.1.total_power_mw()))
+                .map(|(j, _)| j)
+                .unwrap_or(nc.electrical_idx)
+        })
+        .collect();
+    let polished_greedy = repair_and_polish(nets, crossings, greedy, lib);
+
+    let choice =
+        if selection_power_mw(nets, &polished_lr) <= selection_power_mw(nets, &polished_greedy) {
+            polished_lr
+        } else {
+            polished_greedy
+        };
+
+    SelectionResult {
+        power_mw: selection_power_mw(nets, &choice),
+        proven_optimal: false,
+        elapsed: start.elapsed(),
+        choice,
+        ilp_stats: None,
+        lr_stats: None,
     }
 }
 
@@ -250,42 +449,32 @@ impl LoadCache {
         if old_j == new_j {
             return;
         }
-        for &(m, n) in crossings.neighbors(i, old_j) {
-            if choice[m] == n {
-                self.adjust(crossings, i, old_j, m, n, -1.0, lib);
+        for nb in crossings.neighbors(i, old_j) {
+            if choice[nb.net] == nb.cand {
+                self.adjust(crossings, nb, -1.0, lib);
             }
         }
-        for &(m, n) in crossings.neighbors(i, new_j) {
-            if choice[m] == n {
-                self.adjust(crossings, i, new_j, m, n, 1.0, lib);
+        for nb in crossings.neighbors(i, new_j) {
+            if choice[nb.net] == nb.cand {
+                self.adjust(crossings, nb, 1.0, lib);
             }
         }
         choice[i] = new_j;
         self.loads[i] = loaded_path_losses(nets, crossings, choice, i, lib);
     }
 
-    /// Adds `sign ×` the crossing loss that `(i, j)` inflicts on net `m`'s
-    /// current selection.
-    #[allow(clippy::too_many_arguments)]
+    /// Adds `sign ×` the crossing loss that the neighbor list's owner
+    /// inflicts on `nb`'s paths.
     fn adjust(
         &mut self,
         crossings: &CrossingIndex,
-        i: usize,
-        j: usize,
-        m: usize,
-        sel_m: usize,
+        nb: &crate::crossing::Neighbor,
         sign: f64,
         lib: &OpticalLib,
     ) {
-        if let Some(pc) = crossings.pair(i, j, m, sel_m) {
-            let per_path_m = if i < m {
-                &pc.per_path_b
-            } else {
-                &pc.per_path_a
-            };
-            for &(pm, n) in per_path_m {
-                self.loads[m][pm] += sign * lib.crossing_loss_db(n);
-            }
+        let (_, per_path_m) = crossings.per_path(nb);
+        for &(pm, n) in per_path_m {
+            self.loads[nb.net][pm] += sign * lib.crossing_loss_db(n);
         }
     }
 
@@ -305,16 +494,14 @@ impl LoadCache {
         // the old contribution never hurts, so only the new one is checked
         // (against the load minus any old overlap on the same pair).
         let old_j = choice[i];
-        let mut affected: Vec<usize> = crossings
-            .neighbors(i, j)
-            .iter()
-            .filter(|&&(m, n)| choice[m] == n)
-            .map(|&(m, _)| m)
-            .collect();
-        affected.sort_unstable();
-        affected.dedup();
-        for m in affected {
-            let sel_m = choice[m];
+        // The neighbor list is sorted and the `choice[m] == n` filter
+        // keeps at most one candidate per net, so this visits each
+        // affected net once, in ascending net order.
+        for nb in crossings.neighbors(i, j) {
+            let (m, sel_m) = nb.key();
+            if choice[m] != sel_m {
+                continue;
+            }
             let mut delta = vec![0.0f64; self.loads[m].len()];
             if let Some(pc) = crossings.pair(i, old_j, m, sel_m) {
                 let per_path_m = if i < m {
@@ -326,15 +513,9 @@ impl LoadCache {
                     delta[pm] -= lib.crossing_loss_db(n);
                 }
             }
-            if let Some(pc) = crossings.pair(i, j, m, sel_m) {
-                let per_path_m = if i < m {
-                    &pc.per_path_b
-                } else {
-                    &pc.per_path_a
-                };
-                for &(pm, n) in per_path_m {
-                    delta[pm] += lib.crossing_loss_db(n);
-                }
+            let (_, per_path_m) = crossings.per_path(nb);
+            for &(pm, n) in per_path_m {
+                delta[pm] += lib.crossing_loss_db(n);
             }
             for (load, d) in self.loads[m].iter().zip(&delta) {
                 if load + d > lib.max_loss_db + 1e-9 {
@@ -437,18 +618,13 @@ fn best_candidate(
             cost += lambda[i][j][pi] * path.fixed_db;
         }
         if let Some(prev) = previous {
-            // Only candidates this one actually crosses contribute.
-            for &(m, n) in crossings.neighbors(i, j) {
-                if prev[m] != n {
+            // Only candidates this one actually crosses contribute; the
+            // neighbor entry carries the per-path counts directly.
+            for nb in crossings.neighbors(i, j) {
+                if prev[nb.net] != nb.cand {
                     continue;
                 }
-                // operon-lint: allow(R001, reason = "neighbors(i, j) only lists keys pair() stores")
-                let pc = crossings.pair(i, j, m, n).expect("listed neighbor");
-                let (per_path_own, per_path_other) = if i < m {
-                    (&pc.per_path_a, &pc.per_path_b)
-                } else {
-                    (&pc.per_path_b, &pc.per_path_a)
-                };
+                let (per_path_own, per_path_other) = crossings.per_path(nb);
                 // Crossing load on this candidate's own paths.
                 for &(pi, cnt) in per_path_own {
                     cost += lambda[i][j][pi] * lib.crossing_loss_db(cnt);
@@ -456,7 +632,7 @@ fn best_candidate(
                 // Loss inflicted on the previously selected paths of other
                 // nets (the a_mn · a'_ij term of Eq. (5)).
                 for &(pm, cnt) in per_path_other {
-                    cost += lambda[m][n][pm] * lib.crossing_loss_db(cnt);
+                    cost += lambda[nb.net][nb.cand][pm] * lib.crossing_loss_db(cnt);
                 }
             }
         }
@@ -601,6 +777,73 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn incremental_lr_matches_reference_selector() {
+        // Contested two-pin bundle: crossing-coupled nets exercise the
+        // dirty-set propagation and fragile candidates force repair, so
+        // the incremental loop must hit both the reuse and recompute
+        // branches while staying bit-identical to the plain selector.
+        let lib = OpticalLib::paper_defaults();
+        let mut nets: Vec<NetCandidates> = (0..8)
+            .map(|k| {
+                let y0 = (k as i64) * 4_000;
+                two_pin_net(k, Point::new(0, y0), Point::new(30_000, 30_000 - y0), 2)
+            })
+            .collect();
+        for nc in nets.iter_mut().step_by(2) {
+            for p in &mut nc.candidates[0].paths {
+                p.fixed_db = lib.max_loss_db - 1.0;
+            }
+        }
+        let crossings = CrossingIndex::build(&nets);
+        let reference = select_lr_reference(&nets, &crossings, &config());
+        for threads in [1, 2, 8] {
+            let r = select_lr_with(&nets, &crossings, &config(), &Executor::new(threads));
+            assert_eq!(r.choice, reference.choice, "threads={threads}");
+            assert_eq!(
+                r.power_mw.to_bits(),
+                reference.power_mw.to_bits(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_lr_matches_reference_on_synth_fixture() {
+        // Full synthetic design (I1-class): real candidate sets, real
+        // crossing structure. Pins the incremental pricing loop against
+        // the retained reference selector and checks the stats counters
+        // actually record reuse.
+        use crate::codesign::generate_candidates;
+        use operon_cluster::build_hyper_nets;
+        use operon_netlist::synth::{generate, SynthConfig};
+
+        let design = generate(&SynthConfig::small(), 42);
+        let config = OperonConfig::default();
+        let hyper = build_hyper_nets(&design, &config.cluster);
+        let config = config.resolved_for(hyper.iter().map(|n| n.bit_count()));
+        let nets: Vec<NetCandidates> = hyper
+            .iter()
+            .enumerate()
+            .map(|(i, n)| generate_candidates(n, i, &config))
+            .collect();
+        let crossings = CrossingIndex::build(&nets);
+        let reference = select_lr_reference(&nets, &crossings, &config);
+        let r = select_lr(&nets, &crossings, &config);
+        assert_eq!(r.choice, reference.choice);
+        assert_eq!(r.power_mw.to_bits(), reference.power_mw.to_bits());
+        let stats = r.lr_stats.expect("LR path records stats");
+        assert!(stats.iterations > 0);
+        assert_eq!(
+            stats.priced_nets + stats.reused_prices,
+            stats.iterations * nets.len() as u64
+        );
+        assert!(
+            stats.reused_prices > 0,
+            "incremental pricing should reuse at least some prices: {stats:?}"
+        );
     }
 
     /// A naive reference repair: start from per-net cheapest, drop the

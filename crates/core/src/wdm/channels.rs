@@ -66,7 +66,7 @@ impl WaveguideChannels {
 ///
 /// ```
 /// use operon::wdm::channels::assign_channels;
-/// use operon::wdm::{TrackOrientation, Wdm, WdmPlan};
+/// use operon::wdm::{TrackOrientation, Wdm, WdmPlan, WdmStats};
 ///
 /// let plan = WdmPlan {
 ///     connections: vec![],
@@ -76,6 +76,7 @@ impl WaveguideChannels {
 ///         track: 0,
 ///         assigned: vec![(0, 20), (1, 12)],
 ///     }],
+///     stats: WdmStats::default(),
 /// };
 /// let channels = assign_channels(&plan, 32);
 /// assert_eq!(channels[0].blocks.len(), 2);
@@ -173,6 +174,7 @@ mod tests {
             connections,
             initial_count: wdms.len(),
             wdms,
+            stats: crate::wdm::WdmStats::default(),
         }
     }
 

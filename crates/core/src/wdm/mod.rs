@@ -22,7 +22,7 @@ pub mod channels;
 use crate::codesign::NetCandidates;
 use crate::error::OperonError;
 use operon_exec::Executor;
-use operon_mcmf::McmfGraph;
+use operon_mcmf::{EdgeId, McmfGraph, McmfStats};
 use operon_optics::OpticalLib;
 
 /// Orientation of a connection or WDM track.
@@ -65,6 +65,32 @@ impl Wdm {
     }
 }
 
+/// Work counters for the WDM assignment and reduction stage.
+///
+/// The counters are canonical for the *sequential* reduction order: with
+/// more executor threads the batched trials may pre-compute extra
+/// re-solves, but only the trials the sequential loop would have run are
+/// counted, so the stats are identical for every thread count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WdmStats {
+    /// Cold MCMF solves: the initial assignment plus one re-solve per
+    /// committed deletion.
+    pub cold_solves: u64,
+    /// Warm-started tentative-deletion feasibility trials.
+    pub warm_trials: u64,
+    /// Aggregated network-solver counters across those solves.
+    pub mcmf: McmfStats,
+}
+
+impl WdmStats {
+    /// Adds every counter of `other` into `self`.
+    pub fn accumulate(&mut self, other: &WdmStats) {
+        self.cold_solves += other.cold_solves;
+        self.warm_trials += other.warm_trials;
+        self.mcmf.accumulate(&other.mcmf);
+    }
+}
+
 /// The full WDM stage outcome — the data behind the paper's Fig. 8.
 #[derive(Clone, Debug)]
 pub struct WdmPlan {
@@ -74,6 +100,8 @@ pub struct WdmPlan {
     pub initial_count: usize,
     /// WDMs after flow-based re-assignment and reduction.
     pub wdms: Vec<Wdm>,
+    /// Solver work counters accumulated over both orientations.
+    pub stats: WdmStats,
 }
 
 impl WdmPlan {
@@ -170,14 +198,23 @@ fn legalize(wdms: &mut [Wdm], min_pitch: i64) {
 /// deletion sequence is bit-identical to the sequential one for every
 /// thread count; extra threads merely pre-compute trials the sequential
 /// loop would have run next.
+///
+/// Trials are *warm-started*: each one clones the committed solved
+/// network, withdraws the deleted WDM's flow paths, and re-solves with
+/// the committed potentials, so only the displaced channels are
+/// re-routed. Feasibility is decided by the max-flow *value*, which is
+/// unique, so warm and cold trials always agree; the committed
+/// assignment after a successful trial is re-solved cold on the reduced
+/// network, keeping the final plan bit-identical to the all-cold
+/// reference ([`assign_orientation_reference`]).
 fn assign_orientation(
     connections: &[(usize, &Connection)],
     placed: Vec<Wdm>,
     lib: &OpticalLib,
     exec: &Executor,
-) -> Result<Vec<Wdm>, OperonError> {
+) -> Result<(Vec<Wdm>, WdmStats), OperonError> {
     if connections.is_empty() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), WdmStats::default()));
     }
     // Sweep WDM of each connection (for the feasibility edge).
     let mut sweep_wdm = vec![usize::MAX; connections.len()];
@@ -188,17 +225,25 @@ fn assign_orientation(
         }
     }
 
+    let mut stats = WdmStats::default();
     let mut active: Vec<bool> = vec![true; placed.len()];
+    let mut committed = build_network(connections, &placed, &active, &sweep_wdm, lib);
+    let first = {
+        let (s, t) = (committed.g.node(0), committed.g.node(1));
+        committed.g.min_cost_max_flow(s, t)
+    };
+    stats.cold_solves += 1;
+    stats.mcmf.accumulate(&committed.g.stats());
     // The sweep assignment itself is a witness of feasibility, so this
     // only fails if the guaranteed feasibility edges were broken upstream.
-    let mut best =
-        solve_assignment(connections, &placed, &active, &sweep_wdm, lib).ok_or_else(|| {
-            OperonError::WdmInfeasible(format!(
-                "flow network cannot carry {} connections over {} sweep WDMs",
-                connections.len(),
-                placed.len()
-            ))
-        })?;
+    if first.flow < committed.total_demand {
+        return Err(OperonError::WdmInfeasible(format!(
+            "flow network cannot carry {} connections over {} sweep WDMs",
+            connections.len(),
+            placed.len()
+        )));
+    }
+    let mut best = extract_assignment(&committed, &placed);
 
     // Reduction: try deleting WDMs, emptiest first. Idle WDMs go outright;
     // the loaded candidates need a tentative-deletion re-solve each, and
@@ -213,7 +258,109 @@ fn assign_orientation(
             .collect();
         candidates.sort_unstable();
         let mut removed_any = false;
-        // Idle WDMs sort first; dropping them needs no re-solve.
+        // Idle WDMs sort first; dropping them needs no re-solve. Zeroing
+        // their sink edge keeps the committed network in step with the
+        // active set (they carry no flow, so nothing to withdraw).
+        let loaded: Vec<usize> = candidates
+            .iter()
+            .filter_map(|&(used, wi)| {
+                if used == 0 {
+                    active[wi] = false;
+                    if let Some(e) = committed.wdm_edges[wi] {
+                        committed.g.set_edge_capacity(e, 0);
+                    }
+                    removed_any = true;
+                    None
+                } else {
+                    Some(wi)
+                }
+            })
+            .collect();
+        // Every trial in a batch removes one candidate from the same base
+        // active set; committing the first in-order success reproduces the
+        // sequential deletion order exactly. Stats are accumulated only
+        // for the trials the sequential loop would have run (up to and
+        // including the first success), so they are thread-count
+        // invariant.
+        'pass: for chunk in loaded.chunks(batch) {
+            let trials = exec.wave_map(chunk, |&wi| warm_trial(&committed, wi));
+            for (&wi, (feasible, trial_stats)) in chunk.iter().zip(trials) {
+                stats.warm_trials += 1;
+                stats.mcmf.accumulate(&trial_stats);
+                if feasible {
+                    // Commit with a cold solve of the reduced network so
+                    // the assignment is bit-identical to the all-cold
+                    // reduction path.
+                    let mut trial_active = active.clone();
+                    trial_active[wi] = false;
+                    let mut net =
+                        build_network(connections, &placed, &trial_active, &sweep_wdm, lib);
+                    let (s, t) = (net.g.node(0), net.g.node(1));
+                    let r = net.g.min_cost_max_flow(s, t);
+                    stats.cold_solves += 1;
+                    stats.mcmf.accumulate(&net.g.stats());
+                    if r.flow == net.total_demand {
+                        active = trial_active;
+                        best = extract_assignment(&net, &placed);
+                        committed = net;
+                        removed_any = true;
+                        break 'pass; // re-rank by the new fill levels
+                    }
+                }
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    let wdms = best
+        .into_iter()
+        .enumerate()
+        .filter(|&(wi, _)| active[wi])
+        .map(|(_, w)| w)
+        .filter(|w| w.used() > 0)
+        .collect();
+    Ok((wdms, stats))
+}
+
+/// The pre-warm-start reduction loop: every tentative deletion is a full
+/// cold re-solve. Retained as the identity reference for
+/// [`assign_orientation`] — the two must produce the same WDM set.
+fn assign_orientation_reference(
+    connections: &[(usize, &Connection)],
+    placed: Vec<Wdm>,
+    lib: &OpticalLib,
+) -> Result<Vec<Wdm>, OperonError> {
+    if connections.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut sweep_wdm = vec![usize::MAX; connections.len()];
+    for (wi, w) in placed.iter().enumerate() {
+        for &(conn_pos, _) in &w.assigned {
+            sweep_wdm[conn_pos] = wi;
+        }
+    }
+
+    let mut active: Vec<bool> = vec![true; placed.len()];
+    let mut best =
+        solve_assignment(connections, &placed, &active, &sweep_wdm, lib).ok_or_else(|| {
+            OperonError::WdmInfeasible(format!(
+                "flow network cannot carry {} connections over {} sweep WDMs",
+                connections.len(),
+                placed.len()
+            ))
+        })?;
+
+    loop {
+        let mut candidates: Vec<(usize, usize)> = best
+            .iter()
+            .enumerate()
+            .filter(|&(wi, _)| active[wi])
+            .map(|(wi, w)| (w.used(), wi))
+            .collect();
+        candidates.sort_unstable();
+        let mut removed_any = false;
         let loaded: Vec<usize> = candidates
             .iter()
             .filter_map(|&(used, wi)| {
@@ -226,22 +373,16 @@ fn assign_orientation(
                 }
             })
             .collect();
-        // Every trial in a batch removes one candidate from the same base
-        // active set; committing the first in-order success reproduces the
-        // sequential deletion order exactly.
-        'pass: for chunk in loaded.chunks(batch) {
-            let trials = exec.wave_map(chunk, |&wi| {
-                let mut trial = active.clone();
-                trial[wi] = false;
+        for wi in loaded {
+            let mut trial = active.clone();
+            trial[wi] = false;
+            if let Some(assignment) =
                 solve_assignment(connections, &placed, &trial, &sweep_wdm, lib)
-            });
-            for (&wi, trial) in chunk.iter().zip(trials) {
-                if let Some(assignment) = trial {
-                    active[wi] = false;
-                    best = assignment;
-                    removed_any = true;
-                    break 'pass; // re-rank by the new fill levels
-                }
+            {
+                active[wi] = false;
+                best = assignment;
+                removed_any = true;
+                break;
             }
         }
         if !removed_any {
@@ -258,15 +399,70 @@ fn assign_orientation(
         .collect())
 }
 
-/// Builds and solves the assignment network over the active WDMs.
-/// Returns `None` when the active set cannot carry the full demand.
-fn solve_assignment(
+/// One warm tentative-deletion trial: clone the committed solved network,
+/// withdraw every flow path through WDM `wi` (assign edge, source edge and
+/// sink edge of each carrying connection), zero `wi`'s sink capacity, and
+/// warm re-solve from the committed potentials. Returns whether the
+/// reduced network still carries the full demand, plus the solver
+/// counters of the trial.
+fn warm_trial(net: &AssignmentNetwork, wi: usize) -> (bool, McmfStats) {
+    let mut g = net.g.clone();
+    g.reset_stats();
+    let prior = net.g.potentials().to_vec();
+    for &(i, w, e) in &net.assign_edges {
+        if w != wi {
+            continue;
+        }
+        let f = g.flow(e);
+        if f > 0 {
+            g.withdraw_edge_flow(e, f);
+            g.withdraw_edge_flow(net.conn_edges[i], f);
+            if let Some(sink) = net.wdm_edges[wi] {
+                g.withdraw_edge_flow(sink, f);
+            }
+        }
+    }
+    if let Some(sink) = net.wdm_edges[wi] {
+        g.set_edge_capacity(sink, 0);
+    }
+    let (s, t) = (g.node(0), g.node(1));
+    let r = g.min_cost_max_flow_warm(s, t, &prior);
+    (r.flow == net.total_demand, g.stats())
+}
+
+/// The assignment flow network of one orientation, with the edge handles
+/// needed to replay tentative deletions warm.
+///
+/// Node indexing is `0 = s`, `1 = t`, `2 + i` for connection `i` and
+/// `2 + n_conn + w` for WDM `w`, for *every* placed WDM whether active or
+/// not — so potentials from one active set are dimension-compatible with
+/// any other, which is what makes the committed potentials a valid warm
+/// start for the trial networks.
+struct AssignmentNetwork {
+    g: McmfGraph,
+    /// `s → connection` edge per connection.
+    conn_edges: Vec<EdgeId>,
+    /// `(connection, wdm, edge)` for every reachable active pair, in
+    /// deterministic build order.
+    assign_edges: Vec<(usize, usize, EdgeId)>,
+    /// `wdm → t` edge per placed WDM (`None` when inactive at build
+    /// time).
+    wdm_edges: Vec<Option<EdgeId>>,
+    /// Total channel demand of all connections.
+    total_demand: i64,
+}
+
+/// Builds the (unsolved) assignment network over the active WDMs,
+/// recording every edge handle. Edge insertion order matches the original
+/// in-line construction exactly, so solving it cold reproduces the same
+/// flow byte-for-byte.
+fn build_network(
     connections: &[(usize, &Connection)],
     placed: &[Wdm],
     active: &[bool],
     sweep_wdm: &[usize],
     lib: &OpticalLib,
-) -> Option<Vec<Wdm>> {
+) -> AssignmentNetwork {
     let n_conn = connections.len();
     let n_wdm = placed.len();
     let mut g = McmfGraph::new(2 + n_conn + n_wdm);
@@ -276,8 +472,9 @@ fn solve_assignment(
     let wdm_node = |w: usize| 2 + n_conn + w;
 
     let total_demand: i64 = connections.iter().map(|(_, c)| c.bits as i64).sum();
+    let mut conn_edges = Vec::with_capacity(n_conn);
     for (i, (_, c)) in connections.iter().enumerate() {
-        g.add_edge(s, g.node(conn_node(i)), c.bits as i64, 0);
+        conn_edges.push(g.add_edge(s, g.node(conn_node(i)), c.bits as i64, 0));
     }
     // Displacement costs normalized so WDM usage (handled by the
     // reduction loop) dominates; scaled to integers.
@@ -305,17 +502,24 @@ fn solve_assignment(
             }
         }
     }
-    for (wi, w) in placed.iter().enumerate() {
+    let mut wdm_edges = vec![None; n_wdm];
+    for wi in 0..n_wdm {
         if active[wi] {
-            let _ = w;
-            g.add_edge(g.node(wdm_node(wi)), t, lib.wdm_capacity as i64, 1);
+            wdm_edges[wi] = Some(g.add_edge(g.node(wdm_node(wi)), t, lib.wdm_capacity as i64, 1));
         }
     }
 
-    let result = g.min_cost_max_flow(s, t);
-    if result.flow < total_demand {
-        return None;
+    AssignmentNetwork {
+        g,
+        conn_edges,
+        assign_edges,
+        wdm_edges,
+        total_demand,
     }
+}
+
+/// Reads the per-WDM assignment off a solved network's edge flows.
+fn extract_assignment(net: &AssignmentNetwork, placed: &[Wdm]) -> Vec<Wdm> {
     let mut out: Vec<Wdm> = placed
         .iter()
         .map(|w| Wdm {
@@ -324,13 +528,31 @@ fn solve_assignment(
             assigned: Vec::new(),
         })
         .collect();
-    for (i, wi, e) in assign_edges {
-        let f = g.flow(e);
+    for &(i, wi, e) in &net.assign_edges {
+        let f = net.g.flow(e);
         if f > 0 {
             out[wi].assigned.push((i, f as usize));
         }
     }
-    Some(out)
+    out
+}
+
+/// Builds and solves the assignment network over the active WDMs.
+/// Returns `None` when the active set cannot carry the full demand.
+fn solve_assignment(
+    connections: &[(usize, &Connection)],
+    placed: &[Wdm],
+    active: &[bool],
+    sweep_wdm: &[usize],
+    lib: &OpticalLib,
+) -> Option<Vec<Wdm>> {
+    let mut net = build_network(connections, placed, active, sweep_wdm, lib);
+    let (s, t) = (net.g.node(0), net.g.node(1));
+    let result = net.g.min_cost_max_flow(s, t);
+    if result.flow < net.total_demand {
+        return None;
+    }
+    Some(extract_assignment(&net, placed))
 }
 
 /// Runs placement and assignment over a full selection.
@@ -355,6 +577,10 @@ pub fn plan(
 /// placement + assignment (including its MCMF reduction loop) runs as one
 /// coarse parallel task. Results are concatenated in the fixed
 /// horizontal-then-vertical order, identical to the sequential [`plan`].
+/// One orientation's planning result: initial sweep count, final WDMs,
+/// and the reduction's work counters.
+type OrientationPlan = (usize, Vec<Wdm>, WdmStats);
+
 pub fn plan_with(
     nets: &[NetCandidates],
     choice: &[usize],
@@ -363,7 +589,7 @@ pub fn plan_with(
 ) -> Result<WdmPlan, OperonError> {
     let connections = extract_connections(nets, choice);
     let orientations = [TrackOrientation::Horizontal, TrackOrientation::Vertical];
-    let per_orientation: Vec<Result<(usize, Vec<Wdm>), OperonError>> =
+    let per_orientation: Vec<Result<OrientationPlan, OperonError>> =
         exec.par_map_coarse(&orientations, |&orientation| {
             let oriented: Vec<(usize, &Connection)> = connections
                 .iter()
@@ -371,7 +597,7 @@ pub fn plan_with(
                 .filter(|(_, c)| c.orientation == orientation)
                 .collect();
             if oriented.is_empty() {
-                return Ok((0, Vec::new()));
+                return Ok((0, Vec::new(), WdmStats::default()));
             }
             // Positions within `oriented` index its WDM assignments; remap the
             // sweep output to use those local positions consistently.
@@ -382,26 +608,79 @@ pub fn plan_with(
                 .collect();
             let placed = place_orientation(&local, lib)?;
             let initial = placed.len();
-            let mut assigned = assign_orientation(&local, placed, lib, exec)?;
+            let (mut assigned, stats) = assign_orientation(&local, placed, lib, exec)?;
             // Remap local connection positions back to global indices.
             for w in &mut assigned {
                 for slot in &mut w.assigned {
                     slot.0 = oriented[slot.0].0;
                 }
             }
-            Ok((initial, assigned))
+            Ok((initial, assigned, stats))
         });
     let mut wdms = Vec::new();
     let mut initial_count = 0usize;
+    let mut stats = WdmStats::default();
     for result in per_orientation {
-        let (initial, assigned) = result?;
+        let (initial, assigned, orientation_stats) = result?;
         initial_count += initial;
+        wdms.extend(assigned);
+        stats.accumulate(&orientation_stats);
+    }
+    Ok(WdmPlan {
+        connections,
+        initial_count,
+        wdms,
+        stats,
+    })
+}
+
+/// The all-cold reference planner: identical placement, assignment and
+/// reduction decisions to [`plan`], but every tentative deletion pays a
+/// full cold re-solve and no work counters are collected. Retained to pin
+/// the warm-started reduction — `plan(...)` and `plan_cold_reference(...)`
+/// must agree on the final WDM set exactly.
+///
+/// # Errors
+///
+/// Same failure modes as [`plan`].
+pub fn plan_cold_reference(
+    nets: &[NetCandidates],
+    choice: &[usize],
+    lib: &OpticalLib,
+) -> Result<WdmPlan, OperonError> {
+    let connections = extract_connections(nets, choice);
+    let orientations = [TrackOrientation::Horizontal, TrackOrientation::Vertical];
+    let mut wdms = Vec::new();
+    let mut initial_count = 0usize;
+    for orientation in orientations {
+        let oriented: Vec<(usize, &Connection)> = connections
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.orientation == orientation)
+            .collect();
+        if oriented.is_empty() {
+            continue;
+        }
+        let local: Vec<(usize, &Connection)> = oriented
+            .iter()
+            .enumerate()
+            .map(|(pos, &(_, c))| (pos, c))
+            .collect();
+        let placed = place_orientation(&local, lib)?;
+        initial_count += placed.len();
+        let mut assigned = assign_orientation_reference(&local, placed, lib)?;
+        for w in &mut assigned {
+            for slot in &mut w.assigned {
+                slot.0 = oriented[slot.0].0;
+            }
+        }
         wdms.extend(assigned);
     }
     Ok(WdmPlan {
         connections,
         initial_count,
         wdms,
+        stats: WdmStats::default(),
     })
 }
 
@@ -437,9 +716,11 @@ mod tests {
         let lc = local(&conns);
         let placed = place_orientation(&lc, &l).expect("feasible");
         assert_eq!(placed.len(), 3, "sweep cannot pack 20+20 into one WDM");
-        let final_wdms =
+        let (final_wdms, stats) =
             assign_orientation(&lc, placed, &l, &Executor::sequential()).expect("feasible");
         assert_eq!(final_wdms.len(), 2, "flow assignment saves one WDM");
+        assert!(stats.cold_solves >= 2, "initial solve + committed deletion");
+        assert!(stats.warm_trials >= 1, "reduction ran warm trials");
         let total: usize = final_wdms.iter().map(Wdm::used).sum();
         assert_eq!(total, 60, "every channel assigned");
         for w in &final_wdms {
@@ -496,7 +777,7 @@ mod tests {
         let conns: Vec<Connection> = (0..10).map(|i| conn(i * 50, 7)).collect();
         let lc = local(&conns);
         let placed = place_orientation(&lc, &l).expect("feasible");
-        let final_wdms =
+        let (final_wdms, _) =
             assign_orientation(&lc, placed, &l, &Executor::sequential()).expect("feasible");
         let total: usize = final_wdms.iter().map(Wdm::used).sum();
         assert_eq!(total, 70);
@@ -514,7 +795,7 @@ mod tests {
         let lc = local(&conns);
         let placed = place_orientation(&lc, &l).expect("feasible");
         let initial = placed.len();
-        let final_wdms =
+        let (final_wdms, _) =
             assign_orientation(&lc, placed, &l, &Executor::sequential()).expect("feasible");
         assert!(final_wdms.len() <= initial);
         // Lower bound: ceil(total bits / capacity).
@@ -616,6 +897,60 @@ mod tests {
             }
         }
         assert_eq!(carried, vec![8, 8, 8]);
+    }
+
+    #[test]
+    fn warm_reduction_matches_cold_reference() {
+        // Mixed track geometries that force multi-round reductions: the
+        // warm-trial plan must equal the all-cold reference exactly (same
+        // tracks, same per-connection channel splits), for every thread
+        // count, while the warm path saves Dijkstra passes.
+        use operon_geom::Point;
+        for (spread, bits) in [(40i64, 20usize), (700, 7), (90, 13)] {
+            let nets: Vec<NetCandidates> = (0..9)
+                .map(|k| {
+                    let y = (k as i64) * spread;
+                    seg_net(k, Point::new(0, y), Point::new(12_000, y + 40), bits)
+                })
+                .collect();
+            let choice = vec![0usize; nets.len()];
+            let reference = plan_cold_reference(&nets, &choice, &lib()).expect("feasible");
+            for threads in [1, 2, 8] {
+                let warm =
+                    plan_with(&nets, &choice, &lib(), &Executor::new(threads)).expect("feasible");
+                assert_eq!(
+                    warm.wdms, reference.wdms,
+                    "spread={spread} threads={threads}"
+                );
+                assert_eq!(warm.initial_count, reference.initial_count);
+                assert_eq!(
+                    warm.stats.mcmf.warm_fallbacks, 0,
+                    "spread={spread}: warm trials should repair, not fall back"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wdm_stats_are_thread_count_invariant() {
+        use operon_geom::Point;
+        let nets: Vec<NetCandidates> = (0..8)
+            .map(|k| {
+                let y = (k as i64) * 55;
+                seg_net(k, Point::new(0, y), Point::new(9_000, y + 30), 11)
+            })
+            .collect();
+        let choice = vec![0usize; nets.len()];
+        let base = plan_with(&nets, &choice, &lib(), &Executor::sequential())
+            .expect("feasible")
+            .stats;
+        assert!(base.warm_trials > 0, "reduction should run trials");
+        for threads in [2, 8] {
+            let stats = plan_with(&nets, &choice, &lib(), &Executor::new(threads))
+                .expect("feasible")
+                .stats;
+            assert_eq!(stats, base, "threads={threads}");
+        }
     }
 
     #[test]

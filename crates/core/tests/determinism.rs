@@ -179,8 +179,55 @@ fn ilp_flow_surfaces_search_counters_in_the_run_report() {
         stats.incumbent_updates as u64
     );
     assert_eq!(counter("ilp_simplex_iterations"), stats.simplex_iterations);
+
+    // The ILP warm start runs the incremental LR pricing loop; its work
+    // counters ride along in the same stage record.
+    let lr = result.selection.lr_stats.expect("warm start carries stats");
+    assert_eq!(counter("lr_iterations"), lr.iterations);
+    assert_eq!(counter("lr_priced_nets"), lr.priced_nets);
+    assert_eq!(counter("lr_reused_prices"), lr.reused_prices);
+    assert_eq!(counter("lr_load_evals"), lr.load_evals);
+    assert_eq!(counter("lr_reused_loads"), lr.reused_loads);
+    assert!(lr.iterations > 0);
+    assert_eq!(
+        lr.priced_nets + lr.reused_prices,
+        lr.iterations * result.candidates.len() as u64
+    );
+
+    // The WDM stage surfaces its warm/cold solver counters too.
+    let wdm_stage = report
+        .stages
+        .iter()
+        .find(|s| s.name == "wdm")
+        .expect("wdm stage recorded");
+    let wdm_counter = |key: &str| {
+        wdm_stage
+            .counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("counter {key} missing"))
+    };
+    assert_eq!(wdm_counter("wdm_cold_solves"), result.wdm.stats.cold_solves);
+    assert_eq!(wdm_counter("wdm_warm_trials"), result.wdm.stats.warm_trials);
+    assert_eq!(
+        wdm_counter("wdm_dijkstra_passes"),
+        result.wdm.stats.mcmf.dijkstra_passes
+    );
+    assert_eq!(
+        wdm_counter("wdm_repair_rounds"),
+        result.wdm.stats.mcmf.repair_rounds
+    );
+    assert_eq!(
+        wdm_counter("wdm_warm_fallbacks"),
+        result.wdm.stats.mcmf.warm_fallbacks
+    );
+    assert!(result.wdm.stats.cold_solves > 0);
+
     let json = report.to_json();
     assert!(json.contains("\"ilp_nodes\""));
+    assert!(json.contains("\"lr_iterations\""));
+    assert!(json.contains("\"wdm_dijkstra_passes\""));
     assert!(json.contains("\"total_waves\""));
 }
 

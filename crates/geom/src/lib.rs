@@ -33,7 +33,7 @@ mod point;
 mod segment;
 
 pub use bbox::BoundingBox;
-pub use grid::{Grid, GridCell};
+pub use grid::{Grid, GridCell, SegmentGrid};
 pub use point::{FPoint, Point};
 pub use segment::{Orientation, Segment};
 

@@ -65,6 +65,40 @@ pub struct FlowResult {
     pub cost: i64,
 }
 
+/// Work counters accumulated across solves of one graph.
+///
+/// Read with [`McmfGraph::stats`], clear with
+/// [`McmfGraph::reset_stats`]. The counters measure *work*, never
+/// influence *results*: two graphs that solve to the same flow always
+/// report the same [`FlowResult`] regardless of how the counters differ
+/// (e.g. warm versus cold starts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct McmfStats {
+    /// Dijkstra shortest-path computations (one per augmentation
+    /// attempt, including the final failed search that proves
+    /// maximality).
+    pub dijkstra_passes: u64,
+    /// Bellman-Ford relaxation rounds spent initializing potentials
+    /// for graphs with negative-cost residual arcs.
+    pub bellman_ford_rounds: u64,
+    /// Relaxation rounds spent repairing warm-start potentials in
+    /// [`McmfGraph::min_cost_max_flow_warm`].
+    pub repair_rounds: u64,
+    /// Warm solves that fell back to a cold solve because the repair
+    /// pass could not certify the prior potentials.
+    pub warm_fallbacks: u64,
+}
+
+impl McmfStats {
+    /// Adds every counter of `other` into `self`.
+    pub fn accumulate(&mut self, other: &McmfStats) {
+        self.dijkstra_passes += other.dijkstra_passes;
+        self.bellman_ford_rounds += other.bellman_ford_rounds;
+        self.repair_rounds += other.repair_rounds;
+        self.warm_fallbacks += other.warm_fallbacks;
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Arc {
     to: usize,
@@ -86,7 +120,12 @@ pub struct McmfGraph {
     /// Forward-arc index and original capacity of each user edge (indexed
     /// by `EdgeId`), to recover flow values.
     edges: Vec<(usize, i64)>,
-    has_negative_cost: bool,
+    /// Node potentials left behind by the most recent solve (empty
+    /// before any solve). Feed them to
+    /// [`min_cost_max_flow_warm`](McmfGraph::min_cost_max_flow_warm) on
+    /// a similar network to skip the Bellman-Ford initialization.
+    potential: Vec<i64>,
+    stats: McmfStats,
 }
 
 impl McmfGraph {
@@ -96,7 +135,8 @@ impl McmfGraph {
             adj: vec![Vec::new(); n],
             arcs: Vec::new(),
             edges: Vec::new(),
-            has_negative_cost: false,
+            potential: Vec::new(),
+            stats: McmfStats::default(),
         }
     }
 
@@ -153,9 +193,6 @@ impl McmfGraph {
         });
         self.adj[from.0].push(fwd);
         self.adj[to.0].push(bwd);
-        if cost < 0 {
-            self.has_negative_cost = true;
-        }
         self.edges.push((fwd, cap));
         EdgeId(self.edges.len() - 1)
     }
@@ -164,6 +201,125 @@ impl McmfGraph {
     pub fn flow(&self, edge: EdgeId) -> i64 {
         let (arc, original_cap) = self.edges[edge.0];
         original_cap - self.arcs[arc].cap
+    }
+
+    /// Net flow currently leaving node `s`, summed over user edges.
+    ///
+    /// For a source node this is the total flow of the routed solution.
+    pub fn flow_value(&self, s: NodeId) -> i64 {
+        let mut total = 0;
+        for &(fwd, cap) in &self.edges {
+            let routed = cap - self.arcs[fwd].cap;
+            if self.arcs[self.arcs[fwd].rev].to == s.0 {
+                total += routed;
+            }
+            if self.arcs[fwd].to == s.0 {
+                total -= routed;
+            }
+        }
+        total
+    }
+
+    /// Total cost of the flow currently routed (Σ flow(e) · cost(e)).
+    pub fn flow_cost(&self) -> i64 {
+        self.edges
+            .iter()
+            .map(|&(fwd, cap)| (cap - self.arcs[fwd].cap) * self.arcs[fwd].cost)
+            .sum()
+    }
+
+    /// Work counters accumulated since construction (or the last
+    /// [`reset_stats`](McmfGraph::reset_stats)).
+    pub fn stats(&self) -> McmfStats {
+        self.stats
+    }
+
+    /// Clears the work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = McmfStats::default();
+    }
+
+    /// Node potentials left by the most recent solve (empty before any
+    /// solve). Valid warm-start input for
+    /// [`min_cost_max_flow_warm`](McmfGraph::min_cost_max_flow_warm) on
+    /// this graph or any graph with the same node indexing.
+    pub fn potentials(&self) -> &[i64] {
+        &self.potential
+    }
+
+    /// Returns every user edge to its stored capacity with zero flow,
+    /// keeping the potentials from the last solve.
+    ///
+    /// Capacities changed through
+    /// [`set_edge_capacity`](McmfGraph::set_edge_capacity) keep their
+    /// new value.
+    pub fn reset_flow_keep_potentials(&mut self) {
+        for e in 0..self.edges.len() {
+            let (fwd, cap) = self.edges[e];
+            let rev = self.arcs[fwd].rev;
+            self.arcs[fwd].cap = cap;
+            self.arcs[rev].cap = 0;
+        }
+    }
+
+    /// Replaces a user edge's capacity, clearing any flow routed on it.
+    ///
+    /// The stored capacity is updated too, so subsequent
+    /// [`flow`](McmfGraph::flow) reads and
+    /// [`reset_flow_keep_potentials`](McmfGraph::reset_flow_keep_potentials)
+    /// respect the new value. Clearing the edge's flow in isolation
+    /// breaks conservation at its endpoints; callers re-solving
+    /// incrementally should withdraw whole source-to-sink paths first
+    /// (see [`withdraw_edge_flow`](McmfGraph::withdraw_edge_flow)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is negative.
+    pub fn set_edge_capacity(&mut self, edge: EdgeId, cap: i64) {
+        assert!(cap >= 0, "edge capacity must be non-negative, got {cap}");
+        let (fwd, _) = self.edges[edge.0];
+        let rev = self.arcs[fwd].rev;
+        self.arcs[fwd].cap = cap;
+        self.arcs[rev].cap = 0;
+        self.edges[edge.0].1 = cap;
+    }
+
+    /// Withdraws `amount` units of previously routed flow from a user
+    /// edge, returning that capacity to the residual network.
+    ///
+    /// Flow conservation is the caller's responsibility: withdrawing a
+    /// single edge unbalances its endpoints, so incremental re-solves
+    /// must withdraw along whole source-to-sink paths (e.g. the
+    /// source→connection, connection→WDM and WDM→sink edges of one
+    /// assignment) before augmenting again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is negative or exceeds the flow currently
+    /// routed on the edge.
+    pub fn withdraw_edge_flow(&mut self, edge: EdgeId, amount: i64) {
+        assert!(amount >= 0, "withdraw amount must be non-negative");
+        let (fwd, _) = self.edges[edge.0];
+        let rev = self.arcs[fwd].rev;
+        assert!(
+            self.arcs[rev].cap >= amount,
+            "cannot withdraw {amount} units from an edge carrying {}",
+            self.arcs[rev].cap
+        );
+        self.arcs[fwd].cap += amount;
+        self.arcs[rev].cap -= amount;
+    }
+
+    /// Whether any residual arc with spare capacity has a negative
+    /// cost, i.e. whether zero potentials are unusable and a
+    /// Bellman-Ford initialization is required before Dijkstra.
+    ///
+    /// This scans the *current* residual network rather than
+    /// remembering whether a negative edge was ever added: a saturated
+    /// negative edge no longer forces the Bellman-Ford pass, while the
+    /// negative reverse arcs of a routed solution do.
+    pub fn needs_bellman_ford(&self) -> bool {
+        self.arcs.iter().any(|a| a.cap > 0 && a.cost < 0)
     }
 
     /// Computes a maximum flow of minimum cost from `s` to `t`.
@@ -198,13 +354,167 @@ impl McmfGraph {
         assert!(max_flow >= 0, "max_flow must be non-negative");
         let n = self.adj.len();
         let mut potential = vec![0i64; n];
-        if self.has_negative_cost {
-            potential = self.bellman_ford_potentials(s.0);
+        if self.needs_bellman_ford() {
+            let (dist, rounds) = self.bellman_ford_potentials(s.0);
+            potential = dist;
+            self.stats.bellman_ford_rounds += rounds;
         }
+        self.run_ssp(s, t, max_flow, potential)
+    }
 
+    /// Computes a maximum flow of minimum cost, warm-started from
+    /// `prior` node potentials (typically
+    /// [`potentials`](McmfGraph::potentials) of a previously solved
+    /// similar network) and from whatever flow is already routed in
+    /// this graph.
+    ///
+    /// A bounded relaxation pass repairs the prior potentials until
+    /// every residual reduced cost is non-negative, which certifies the
+    /// retained flow as cost-optimal for its value; successive shortest
+    /// paths then only push the missing flow. If the retained flow is
+    /// *not* optimal for its value (a negative residual cycle exists —
+    /// typical after withdrawing part of a committed solution whose
+    /// remainder could now be routed cheaper), bounded cycle canceling
+    /// pushes flow around the offending cycles first, restoring
+    /// optimality without discarding the retained flow. Returns the
+    /// **total** flow and cost of the final solution (retained plus
+    /// newly pushed), so the result is directly comparable to a cold
+    /// [`min_cost_max_flow`](McmfGraph::min_cost_max_flow) of the same
+    /// network.
+    ///
+    /// When the repair budget is exhausted or `prior` has the wrong
+    /// length, the solver transparently falls back to a cold solve from
+    /// zero flow and records a `warm_fallbacks` tick — results are
+    /// identical either way, only the work counters differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t`, or (in the fallback path) if the graph
+    /// contains a negative-cost cycle reachable from `s`.
+    pub fn min_cost_max_flow_warm(&mut self, s: NodeId, t: NodeId, prior: &[i64]) -> FlowResult {
+        assert!(s != t, "source and sink must differ");
+        if prior.len() == self.adj.len() {
+            let cancel_budget = self.adj.len() + self.edges.len();
+            for _ in 0..=cancel_budget {
+                let mut potential = prior.to_vec();
+                if self.repair_potentials(&mut potential) {
+                    let pre_flow = self.flow_value(s);
+                    let pre_cost = self.flow_cost();
+                    let pushed = self.run_ssp(s, t, i64::MAX, potential);
+                    return FlowResult {
+                        flow: pre_flow + pushed.flow,
+                        cost: pre_cost + pushed.cost,
+                    };
+                }
+                if !self.cancel_negative_cycle() {
+                    break;
+                }
+            }
+        }
+        self.stats.warm_fallbacks += 1;
+        self.reset_flow_keep_potentials();
+        self.min_cost_max_flow(s, t)
+    }
+
+    /// Finds one negative-cost cycle in the residual network and cancels
+    /// it by pushing the bottleneck capacity around it, strictly
+    /// decreasing the cost of the routed flow while preserving its
+    /// value. Returns `false` when no negative cycle exists.
+    fn cancel_negative_cycle(&mut self) -> bool {
+        let n = self.adj.len();
+        let mut dist = vec![0i64; n];
+        let mut parent_arc = vec![usize::MAX; n];
+        let mut last_updated = usize::MAX;
+        for _ in 0..n {
+            last_updated = usize::MAX;
+            for u in 0..n {
+                for k in 0..self.adj[u].len() {
+                    let ai = self.adj[u][k];
+                    let arc = &self.arcs[ai];
+                    if arc.cap > 0 && dist[u] + arc.cost < dist[arc.to] {
+                        dist[arc.to] = dist[u] + arc.cost;
+                        parent_arc[arc.to] = ai;
+                        last_updated = arc.to;
+                    }
+                }
+            }
+            if last_updated == usize::MAX {
+                return false;
+            }
+        }
+        // A node relaxed in round `n` is reachable from a negative
+        // cycle; walking `n` predecessors lands on the cycle itself.
+        let mut v = last_updated;
+        for _ in 0..n {
+            v = self.arc_tail(parent_arc[v]);
+        }
+        let start = v;
+        let mut push = i64::MAX;
+        let mut cycle = Vec::new();
+        loop {
+            let ai = parent_arc[v];
+            cycle.push(ai);
+            push = push.min(self.arcs[ai].cap);
+            v = self.arc_tail(ai);
+            if v == start {
+                break;
+            }
+        }
+        for &ai in &cycle {
+            self.arcs[ai].cap -= push;
+            let rev = self.arcs[ai].rev;
+            self.arcs[rev].cap += push;
+        }
+        true
+    }
+
+    /// The node an arc leaves from (the head of its reverse twin).
+    fn arc_tail(&self, arc: usize) -> usize {
+        self.arcs[self.arcs[arc].rev].to
+    }
+
+    /// Relaxes `potential` over the residual arcs until every arc with
+    /// spare capacity has a non-negative reduced cost. Returns `false`
+    /// when `n` rounds fail to converge, which happens exactly when the
+    /// residual network contains a negative-cost cycle.
+    fn repair_potentials(&mut self, potential: &mut [i64]) -> bool {
+        let n = self.adj.len();
+        for _ in 0..n {
+            self.stats.repair_rounds += 1;
+            let mut changed = false;
+            for u in 0..n {
+                for k in 0..self.adj[u].len() {
+                    let arc = &self.arcs[self.adj[u][k]];
+                    if arc.cap > 0 && potential[u] + arc.cost < potential[arc.to] {
+                        potential[arc.to] = potential[u] + arc.cost;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The successive-shortest-paths augmentation loop shared by the
+    /// cold and warm entry points. `potential` must give non-negative
+    /// reduced costs on every residual arc. Stores the final potentials
+    /// for later warm starts and returns the flow *pushed by this
+    /// call* (not any flow already routed).
+    fn run_ssp(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        max_flow: i64,
+        mut potential: Vec<i64>,
+    ) -> FlowResult {
+        let n = self.adj.len();
         let mut total_flow = 0i64;
         let mut total_cost = 0i64;
         while total_flow < max_flow {
+            self.stats.dijkstra_passes += 1;
             let Some((dist, parent)) = self.dijkstra(s.0, t.0, &potential) else {
                 break; // sink unreachable in residual graph
             };
@@ -234,6 +544,7 @@ impl McmfGraph {
             }
             total_flow += push;
         }
+        self.potential = potential;
         FlowResult {
             flow: total_flow,
             cost: total_cost,
@@ -242,16 +553,19 @@ impl McmfGraph {
 
     /// Bellman-Ford from `s` to initialize potentials when negative edge
     /// costs exist. Unreachable nodes keep potential 0 (they can never be
-    /// on an augmenting path from `s` anyway).
+    /// on an augmenting path from `s` anyway). Returns the potentials and
+    /// the number of relaxation rounds executed.
     ///
     /// # Panics
     ///
     /// Panics on a negative cycle reachable from `s`.
-    fn bellman_ford_potentials(&self, s: usize) -> Vec<i64> {
+    fn bellman_ford_potentials(&self, s: usize) -> (Vec<i64>, u64) {
         let n = self.adj.len();
         let mut dist = vec![i64::MAX; n];
+        let mut rounds = 0u64;
         dist[s] = 0;
         for round in 0..n {
+            rounds += 1;
             let mut changed = false;
             for (u, arcs) in self.adj.iter().enumerate() {
                 if dist[u] == i64::MAX {
@@ -273,9 +587,11 @@ impl McmfGraph {
                 "negative-cost cycle detected; min-cost flow is unbounded"
             );
         }
-        dist.iter()
+        let potentials = dist
+            .iter()
             .map(|&d| if d == i64::MAX { 0 } else { d })
-            .collect()
+            .collect();
+        (potentials, rounds)
     }
 
     /// Dijkstra on reduced costs. Returns `(dist, parent_arc)` or `None`
@@ -422,6 +738,117 @@ mod tests {
         assert_eq!(first.flow, 5);
         let second = g.min_cost_max_flow(s, t);
         assert_eq!(second, FlowResult { flow: 0, cost: 0 });
+    }
+
+    #[test]
+    fn negativity_scan_branches_agree() {
+        // Two equivalent networks: one whose only negative-cost edge has
+        // zero capacity (scan says Dijkstra-only), one where the negative
+        // edge has spare capacity but hangs off an unreachable node (scan
+        // forces the Bellman-Ford branch). Results must agree.
+        let build = |dead_cap: i64| {
+            let mut g = McmfGraph::new(5);
+            let (s, a, t) = (g.node(0), g.node(1), g.node(2));
+            g.add_edge(s, a, 3, 2);
+            g.add_edge(a, t, 3, 1);
+            g.add_edge(s, t, 1, 7);
+            // Dead appendage between nodes 3 and 4, disconnected from s.
+            g.add_edge(g.node(3), g.node(4), dead_cap, -9);
+            g
+        };
+        let mut fast = build(0);
+        let mut slow = build(1);
+        assert!(!fast.needs_bellman_ford());
+        assert!(slow.needs_bellman_ford());
+        let rf = fast.min_cost_max_flow(fast.node(0), fast.node(2));
+        let rs = slow.min_cost_max_flow(slow.node(0), slow.node(2));
+        assert_eq!(rf, rs);
+        assert_eq!(fast.stats().bellman_ford_rounds, 0);
+        assert!(slow.stats().bellman_ford_rounds > 0);
+    }
+
+    #[test]
+    fn set_edge_capacity_reshapes_the_network() {
+        let mut g = McmfGraph::new(2);
+        let (s, t) = (g.node(0), g.node(1));
+        let e = g.add_edge(s, t, 5, 1);
+        let r = g.min_cost_max_flow(s, t);
+        assert_eq!(r.flow, 5);
+        // Shrink the edge: flow clears, reset respects the new capacity.
+        g.set_edge_capacity(e, 2);
+        assert_eq!(g.flow(e), 0);
+        let r2 = g.min_cost_max_flow(s, t);
+        assert_eq!(r2, FlowResult { flow: 2, cost: 2 });
+        assert_eq!(g.flow(e), 2);
+        g.reset_flow_keep_potentials();
+        assert_eq!(g.flow(e), 0);
+        let r3 = g.min_cost_max_flow(s, t);
+        assert_eq!(r3, FlowResult { flow: 2, cost: 2 });
+    }
+
+    #[test]
+    fn warm_reduction_matches_cold_with_fewer_passes() {
+        // The WDM tentative-deletion pattern: solve the committed
+        // network, withdraw every path through one WDM, zero its sink
+        // capacity, and warm re-solve with the committed potentials.
+        // Flow and cost must match a cold solve of the reduced network;
+        // the warm path must run strictly fewer Dijkstra passes.
+        let build = || {
+            let mut g = McmfGraph::new(7);
+            let s = g.node(0);
+            let t = g.node(6);
+            let mut conn = Vec::new();
+            let mut assign = Vec::new();
+            let mut wdm = Vec::new();
+            for i in 0..3 {
+                conn.push(g.add_edge(s, g.node(1 + i), 20, 0));
+            }
+            for i in 0..3usize {
+                for j in 0..2usize {
+                    let cost = (i as i64 - j as i64).abs();
+                    assign.push(g.add_edge(g.node(1 + i), g.node(4 + j), 20, cost));
+                }
+            }
+            for j in 0..2 {
+                wdm.push(g.add_edge(g.node(4 + j), t, 32, 10));
+            }
+            (g, conn, assign, wdm)
+        };
+
+        // Committed solve over both WDMs.
+        let (mut committed, conn, assign, wdm) = build();
+        let (s, t) = (committed.node(0), committed.node(6));
+        let full = committed.min_cost_max_flow(s, t);
+        assert_eq!(full.flow, 60);
+        let prior = committed.potentials().to_vec();
+
+        // Cold reference: fresh network with WDM 1 deleted.
+        let (mut cold, _, _, cold_wdm) = build();
+        cold.set_edge_capacity(cold_wdm[1], 0);
+        let cold_result = cold.min_cost_max_flow(cold.node(0), cold.node(6));
+
+        // Warm trial: withdraw WDM 1's committed paths, then re-solve.
+        let mut warm = committed.clone();
+        warm.reset_stats();
+        for i in 0..3 {
+            let f = warm.flow(assign[i * 2 + 1]);
+            if f > 0 {
+                warm.withdraw_edge_flow(assign[i * 2 + 1], f);
+                warm.withdraw_edge_flow(conn[i], f);
+                warm.withdraw_edge_flow(wdm[1], f);
+            }
+        }
+        warm.set_edge_capacity(wdm[1], 0);
+        let warm_result = warm.min_cost_max_flow_warm(s, t, &prior);
+
+        assert_eq!(warm_result, cold_result);
+        assert_eq!(warm.stats().warm_fallbacks, 0);
+        assert!(
+            warm.stats().dijkstra_passes < cold.stats().dijkstra_passes,
+            "warm {} passes vs cold {}",
+            warm.stats().dijkstra_passes,
+            cold.stats().dijkstra_passes
+        );
     }
 
     #[test]
@@ -576,6 +1003,40 @@ mod tests {
             let got = g.min_cost_max_flow(g.node(0), g.node(1));
             let want = ssp_bellman_oracle(n, &edges, 0, 1);
             prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn warm_restart_matches_cold_solve(
+            n in 2usize..7,
+            raw_edges in proptest::collection::vec(
+                (0usize..7, 0usize..7, 0i64..10, -5i64..20), 0..18),
+        ) {
+            let edges: Vec<_> = raw_edges
+                .into_iter()
+                .map(|(u, v, cap, cost)| (u % n, v % n, cap, cost))
+                .filter(|&(u, v, _, _)| u != v)
+                .collect();
+            let mut g = McmfGraph::new(n);
+            for &(u, v, cap, cost) in &edges {
+                g.add_edge(g.node(u), g.node(v), cap, cost);
+            }
+            // Negative cycles make min-cost flow undefined; skip them.
+            if !g.clone().repair_potentials(&mut vec![0i64; n]) {
+                return Ok(());
+            }
+            let (s, t) = (g.node(0), g.node(1));
+            let cold = g.min_cost_max_flow(s, t);
+            let prior = g.potentials().to_vec();
+            // Restart from zero flow with the solved potentials: the
+            // warm path (repair or fallback) must reproduce the cold
+            // result exactly.
+            g.reset_flow_keep_potentials();
+            g.reset_stats();
+            let warm = g.min_cost_max_flow_warm(s, t, &prior);
+            prop_assert_eq!(warm, cold);
+            if g.stats().warm_fallbacks == 0 {
+                prop_assert_eq!(g.stats().bellman_ford_rounds, 0);
+            }
         }
 
         #[test]
