@@ -28,4 +28,7 @@ cargo test --workspace -q
 echo "==> crossing_bench --smoke (kernel identity gate)"
 cargo run -p operon-bench --release -q --bin crossing_bench -- --smoke
 
+echo "==> wdm_bench --smoke (transactional trial identity gate)"
+cargo run -p operon-bench --release -q --bin wdm_bench -- --smoke
+
 echo "CI green."

@@ -387,6 +387,7 @@ impl OperonFlow {
             prev_by_group
                 .entry(net.group())
                 .or_default()
+                // operon-lint: allow(P001, reason = "HyperNet metadata copied once per ECO re-flow, not a solver residual network")
                 .push((net.clone(), cands.clone()));
         }
 
@@ -590,6 +591,9 @@ fn record_wdm_stats(stage: &mut operon_exec::StageScope<'_>, plan: &WdmPlan) {
     stage.record("wdm_dijkstra_passes", plan.stats.mcmf.dijkstra_passes);
     stage.record("wdm_repair_rounds", plan.stats.mcmf.repair_rounds);
     stage.record("wdm_warm_fallbacks", plan.stats.mcmf.warm_fallbacks);
+    stage.record("wdm_undo_entries", plan.stats.mcmf.undo_entries);
+    stage.record("wdm_rollbacks", plan.stats.mcmf.rollbacks);
+    stage.record("wdm_networks_cloned", plan.stats.mcmf.networks_cloned);
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ use crate::error::OperonError;
 use operon_exec::Executor;
 use operon_mcmf::{EdgeId, McmfGraph, McmfStats};
 use operon_optics::OpticalLib;
+use std::sync::Mutex;
 
 /// Orientation of a connection or WDM track.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -199,10 +200,18 @@ fn legalize(wdms: &mut [Wdm], min_pitch: i64) {
 /// thread count; extra threads merely pre-compute trials the sequential
 /// loop would have run next.
 ///
-/// Trials are *warm-started*: each one clones the committed solved
-/// network, withdraws the deleted WDM's flow paths, and re-solves with
-/// the committed potentials, so only the displaced channels are
-/// re-routed. Feasibility is decided by the max-flow *value*, which is
+/// Trials are *warm-started and transactional*: each one opens a
+/// [`checkout`](McmfGraph::checkout) on the committed solved network,
+/// withdraws the deleted WDM's sink-edge flow (residual-arc removals,
+/// which keep the committed potentials feasible), re-routes just the
+/// displaced units to the sink along successive shortest paths, and
+/// rolls back — the undo log restores the committed network bitwise, so
+/// no trial ever copies the network. Sequential trials run directly on the
+/// committed network; with more threads each worker slot keeps one
+/// scratch replica that is refreshed (allocation-reusing `clone_from`)
+/// only when a commit or idle removal actually changes the committed
+/// network, then rolls back between trials exactly like the sequential
+/// path. Feasibility is decided by the max-flow *value*, which is
 /// unique, so warm and cold trials always agree; the committed
 /// assignment after a successful trial is re-solved cold on the reduced
 /// network, keeping the final plan bit-identical to the all-cold
@@ -236,19 +245,35 @@ fn assign_orientation(
     stats.mcmf.accumulate(&committed.g.stats());
     // The sweep assignment itself is a witness of feasibility, so this
     // only fails if the guaranteed feasibility edges were broken upstream.
-    if first.flow < committed.total_demand {
+    if first.flow < committed.idx.total_demand {
         return Err(OperonError::WdmInfeasible(format!(
             "flow network cannot carry {} connections over {} sweep WDMs",
             connections.len(),
             placed.len()
         )));
     }
-    let mut best = extract_assignment(&committed, &placed);
+    let mut best = extract_assignment(&committed.g, &committed.idx, &placed);
 
     // Reduction: try deleting WDMs, emptiest first. Idle WDMs go outright;
     // the loaded candidates need a tentative-deletion re-solve each, and
     // those run `exec.threads()` at a time.
     let batch = exec.threads().max(1);
+    // Scratch replicas for concurrent trials, one per batch slot. A
+    // replica is refreshed from the committed network only when
+    // `committed_epoch` moved (commit or idle removal); between epochs,
+    // transactional rollback already leaves it bitwise equal to the
+    // committed network, so trials reuse it copy-free. Sequential runs
+    // (batch == 1) skip the pool entirely and run trials directly on the
+    // committed network.
+    let mut committed_epoch = 1u64;
+    let pool: Vec<Mutex<TrialScratch>> = if batch > 1 {
+        (0..batch)
+            .map(|_| Mutex::new(TrialScratch::default()))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut prior_buf: Vec<i64> = Vec::new();
     loop {
         let mut candidates: Vec<(usize, usize)> = best
             .iter()
@@ -266,7 +291,7 @@ fn assign_orientation(
             .filter_map(|&(used, wi)| {
                 if used == 0 {
                     active[wi] = false;
-                    if let Some(e) = committed.wdm_edges[wi] {
+                    if let Some(e) = committed.idx.wdm_edges[wi] {
                         committed.g.set_edge_capacity(e, 0);
                     }
                     removed_any = true;
@@ -276,14 +301,37 @@ fn assign_orientation(
                 }
             })
             .collect();
+        if removed_any {
+            committed_epoch += 1; // replicas must resync the zeroed sinks
+        }
         // Every trial in a batch removes one candidate from the same base
         // active set; committing the first in-order success reproduces the
         // sequential deletion order exactly. Stats are accumulated only
         // for the trials the sequential loop would have run (up to and
         // including the first success), so they are thread-count
-        // invariant.
+        // invariant: a trial's counter delta depends only on the network
+        // state and prior potentials, which are bitwise identical whether
+        // it runs on the committed network or a synced replica.
         'pass: for chunk in loaded.chunks(batch) {
-            let trials = exec.wave_map(chunk, |&wi| warm_trial(&committed, wi));
+            let trials: Vec<(bool, McmfStats)> = if batch == 1 {
+                chunk
+                    .iter()
+                    .map(|&wi| warm_trial(&mut committed.g, &committed.idx, &mut prior_buf, wi))
+                    .collect()
+            } else {
+                let items: Vec<(usize, usize)> = chunk.iter().copied().enumerate().collect();
+                exec.wave_map(&items, |&(slot, wi)| {
+                    let mut scratch = pool[slot]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if scratch.epoch != committed_epoch {
+                        scratch.g.clone_from(&committed.g);
+                        scratch.epoch = committed_epoch;
+                    }
+                    let TrialScratch { g, prior, .. } = &mut *scratch;
+                    warm_trial(g, &committed.idx, prior, wi)
+                })
+            };
             for (&wi, (feasible, trial_stats)) in chunk.iter().zip(trials) {
                 stats.warm_trials += 1;
                 stats.mcmf.accumulate(&trial_stats);
@@ -291,21 +339,23 @@ fn assign_orientation(
                     // Commit with a cold solve of the reduced network so
                     // the assignment is bit-identical to the all-cold
                     // reduction path.
-                    let mut trial_active = active.clone();
-                    trial_active[wi] = false;
-                    let mut net =
-                        build_network(connections, &placed, &trial_active, &sweep_wdm, lib);
+                    active[wi] = false;
+                    let mut net = build_network(connections, &placed, &active, &sweep_wdm, lib);
                     let (s, t) = (net.g.node(0), net.g.node(1));
                     let r = net.g.min_cost_max_flow(s, t);
                     stats.cold_solves += 1;
                     stats.mcmf.accumulate(&net.g.stats());
-                    if r.flow == net.total_demand {
-                        active = trial_active;
-                        best = extract_assignment(&net, &placed);
+                    if r.flow == net.idx.total_demand {
+                        best = extract_assignment(&net.g, &net.idx, &placed);
                         committed = net;
+                        committed_epoch += 1;
                         removed_any = true;
                         break 'pass; // re-rank by the new fill levels
                     }
+                    // The warm trial certified feasibility, so the cold
+                    // solve of the same reduced network cannot disagree;
+                    // reactivate defensively if it ever does.
+                    active[wi] = true;
                 }
             }
         }
@@ -374,16 +424,18 @@ fn assign_orientation_reference(
             })
             .collect();
         for wi in loaded {
-            let mut trial = active.clone();
-            trial[wi] = false;
+            // Tentatively deactivate, reverting when the reduced network
+            // cannot carry the demand (same decisions as a cloned trial
+            // set, without the per-trial allocation).
+            active[wi] = false;
             if let Some(assignment) =
-                solve_assignment(connections, &placed, &trial, &sweep_wdm, lib)
+                solve_assignment(connections, &placed, &active, &sweep_wdm, lib)
             {
-                active[wi] = false;
                 best = assignment;
                 removed_any = true;
                 break;
             }
+            active[wi] = true;
         }
         if !removed_any {
             break;
@@ -399,47 +451,74 @@ fn assign_orientation_reference(
         .collect())
 }
 
-/// One warm tentative-deletion trial: clone the committed solved network,
-/// withdraw every flow path through WDM `wi` (assign edge, source edge and
-/// sink edge of each carrying connection), zero `wi`'s sink capacity, and
-/// warm re-solve from the committed potentials. Returns whether the
-/// reduced network still carries the full demand, plus the solver
-/// counters of the trial.
-fn warm_trial(net: &AssignmentNetwork, wi: usize) -> (bool, McmfStats) {
-    let mut g = net.g.clone();
-    g.reset_stats();
-    let prior = net.g.potentials().to_vec();
-    for &(i, w, e) in &net.assign_edges {
-        if w != wi {
-            continue;
+/// One warm tentative-deletion trial, run *in place* on `g` (the
+/// committed network or a synced scratch replica): open a transaction,
+/// withdraw the flow on WDM `wi`'s sink edge and zero its capacity —
+/// pure residual-arc removals, which keep the committed potentials
+/// feasible — then [`min_cost_reroute`](McmfGraph::min_cost_reroute)
+/// the displaced units from `wi`'s node to the sink along successive
+/// shortest paths, and roll back — the undo log restores `g` bitwise,
+/// so the next trial starts from the committed state without any copy.
+/// The reduced network carries the full demand exactly when every
+/// displaced unit re-routes, so the trial decides feasibility without
+/// touching the rest of the committed flow (no path withdrawals, no
+/// potential repair, no cycle canceling). `prior` is a reusable buffer
+/// for the warm-start potentials. Returns the feasibility verdict plus
+/// the solver counters the trial added.
+fn warm_trial(
+    g: &mut McmfGraph,
+    idx: &NetIndex,
+    prior: &mut Vec<i64>,
+    wi: usize,
+) -> (bool, McmfStats) {
+    let before = g.stats();
+    prior.clear();
+    prior.extend_from_slice(g.potentials());
+    let t = g.node(1);
+    let wdm_node = g.node(2 + idx.conn_edges.len() + wi);
+    let mut txn = g.checkout();
+    let mut displaced = 0;
+    if let Some(sink) = idx.wdm_edges[wi] {
+        displaced = txn.flow(sink);
+        if displaced > 0 {
+            txn.withdraw_edge_flow(sink, displaced);
         }
-        let f = g.flow(e);
-        if f > 0 {
-            g.withdraw_edge_flow(e, f);
-            g.withdraw_edge_flow(net.conn_edges[i], f);
-            if let Some(sink) = net.wdm_edges[wi] {
-                g.withdraw_edge_flow(sink, f);
-            }
-        }
+        txn.set_edge_capacity(sink, 0);
     }
-    if let Some(sink) = net.wdm_edges[wi] {
-        g.set_edge_capacity(sink, 0);
-    }
-    let (s, t) = (g.node(0), g.node(1));
-    let r = g.min_cost_max_flow_warm(s, t, &prior);
-    (r.flow == net.total_demand, g.stats())
+    let r = txn.min_cost_reroute(wdm_node, t, displaced, prior);
+    txn.rollback();
+    (r.flow == displaced, g.stats().delta_since(&before))
 }
 
-/// The assignment flow network of one orientation, with the edge handles
-/// needed to replay tentative deletions warm.
+/// Per-slot scratch state for concurrent tentative-deletion trials: a
+/// replica of the committed network (refreshed lazily via the
+/// allocation-reusing `clone_from` when `epoch` falls behind) and a
+/// reusable warm-start potential buffer.
+#[derive(Default)]
+struct TrialScratch {
+    g: McmfGraph,
+    prior: Vec<i64>,
+    /// `committed_epoch` value `g` was last synced against (0 = never).
+    epoch: u64,
+}
+
+/// The assignment flow network of one orientation: the residual network
+/// plus the edge handles ([`NetIndex`]) needed to replay tentative
+/// deletions warm. Split so trials can mutably borrow the network while
+/// reading the immutable handle lists.
+struct AssignmentNetwork {
+    g: McmfGraph,
+    idx: NetIndex,
+}
+
+/// Edge handles of an assignment network, immutable once built.
 ///
 /// Node indexing is `0 = s`, `1 = t`, `2 + i` for connection `i` and
 /// `2 + n_conn + w` for WDM `w`, for *every* placed WDM whether active or
 /// not — so potentials from one active set are dimension-compatible with
 /// any other, which is what makes the committed potentials a valid warm
 /// start for the trial networks.
-struct AssignmentNetwork {
-    g: McmfGraph,
+struct NetIndex {
     /// `s → connection` edge per connection.
     conn_edges: Vec<EdgeId>,
     /// `(connection, wdm, edge)` for every reachable active pair, in
@@ -511,15 +590,17 @@ fn build_network(
 
     AssignmentNetwork {
         g,
-        conn_edges,
-        assign_edges,
-        wdm_edges,
-        total_demand,
+        idx: NetIndex {
+            conn_edges,
+            assign_edges,
+            wdm_edges,
+            total_demand,
+        },
     }
 }
 
 /// Reads the per-WDM assignment off a solved network's edge flows.
-fn extract_assignment(net: &AssignmentNetwork, placed: &[Wdm]) -> Vec<Wdm> {
+fn extract_assignment(g: &McmfGraph, idx: &NetIndex, placed: &[Wdm]) -> Vec<Wdm> {
     let mut out: Vec<Wdm> = placed
         .iter()
         .map(|w| Wdm {
@@ -528,8 +609,8 @@ fn extract_assignment(net: &AssignmentNetwork, placed: &[Wdm]) -> Vec<Wdm> {
             assigned: Vec::new(),
         })
         .collect();
-    for &(i, wi, e) in &net.assign_edges {
-        let f = net.g.flow(e);
+    for &(i, wi, e) in &idx.assign_edges {
+        let f = g.flow(e);
         if f > 0 {
             out[wi].assigned.push((i, f as usize));
         }
@@ -549,10 +630,10 @@ fn solve_assignment(
     let mut net = build_network(connections, placed, active, sweep_wdm, lib);
     let (s, t) = (net.g.node(0), net.g.node(1));
     let result = net.g.min_cost_max_flow(s, t);
-    if result.flow < net.total_demand {
+    if result.flow < net.idx.total_demand {
         return None;
     }
-    Some(extract_assignment(&net, placed))
+    Some(extract_assignment(&net.g, &net.idx, placed))
 }
 
 /// Runs placement and assignment over a full selection.
@@ -927,6 +1008,20 @@ mod tests {
                     warm.stats.mcmf.warm_fallbacks, 0,
                     "spread={spread}: warm trials should repair, not fall back"
                 );
+                assert_eq!(
+                    warm.stats.mcmf.networks_cloned, 0,
+                    "spread={spread}: trials must roll back, never copy the network"
+                );
+                assert_eq!(
+                    warm.stats.mcmf.rollbacks, warm.stats.warm_trials,
+                    "spread={spread}: every warm trial ends in exactly one rollback"
+                );
+                if warm.stats.warm_trials > 0 {
+                    assert!(
+                        warm.stats.mcmf.undo_entries > 0,
+                        "spread={spread}: trials must write through the undo log"
+                    );
+                }
             }
         }
     }

@@ -222,6 +222,22 @@ fn ilp_flow_surfaces_search_counters_in_the_run_report() {
         wdm_counter("wdm_warm_fallbacks"),
         result.wdm.stats.mcmf.warm_fallbacks
     );
+    assert_eq!(
+        wdm_counter("wdm_undo_entries"),
+        result.wdm.stats.mcmf.undo_entries
+    );
+    assert_eq!(
+        wdm_counter("wdm_rollbacks"),
+        result.wdm.stats.mcmf.rollbacks
+    );
+    assert_eq!(
+        wdm_counter("wdm_networks_cloned"),
+        result.wdm.stats.mcmf.networks_cloned
+    );
+    assert_eq!(
+        result.wdm.stats.mcmf.networks_cloned, 0,
+        "transactional trials never copy the committed network"
+    );
     assert!(result.wdm.stats.cold_solves > 0);
 
     let json = report.to_json();

@@ -49,6 +49,7 @@ impl Default for Config {
         rules.insert("D002".to_owned(), RuleConfig::new(Level::Deny));
         rules.insert("D003".to_owned(), RuleConfig::new(Level::Deny));
         rules.insert("R001".to_owned(), RuleConfig::new(Level::Deny));
+        rules.insert("P001".to_owned(), RuleConfig::new(Level::Deny));
         let mut r002 = RuleConfig::new(Level::Warn);
         r002.only_paths = Vec::new();
         rules.insert("R002".to_owned(), r002);

@@ -7,11 +7,12 @@
 //! | D003 | No `std::thread::spawn`/`scope` outside `operon-exec` — all parallelism goes through the ordered executor. |
 //! | R001 | No `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in solver-crate library code — hot paths return typed errors. |
 //! | R002 | No direct indexing into a call result (`f(x)[i]`) in configured hot paths — prefer `get()` with an error path. |
+//! | P001 | No `.clone()` of a solver network/graph (`g`, `*graph`, `net`, `*network`) inside a loop body — per-iteration network copies are the hot-path cost the transactional undo log (`checkout()`/`rollback()`) exists to remove. |
 //! | L000 | Suppressions themselves: `// operon-lint: allow(RULE, reason = "…")` requires a rule list and a non-empty reason. |
 //!
-//! Rules skip `#[cfg(test)]` modules and `#[test]` functions; D001 and
-//! R001 additionally apply only to library (non-`src/bin`) code of the
-//! configured solver crates.
+//! Rules skip `#[cfg(test)]` modules and `#[test]` functions; D001,
+//! R001 and P001 additionally apply only to library (non-`src/bin`)
+//! code of the configured solver crates.
 
 use crate::config::Config;
 use crate::diagnostics::{Diagnostic, Level};
@@ -69,6 +70,7 @@ pub fn lint_source(path: &str, source: &str, config: &Config) -> Vec<Diagnostic>
     let tokens = tokenize(source);
     let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
     let in_test = test_regions(&code);
+    let in_loop = loop_regions(&code);
     let (allows, mut diags) = parse_allows(path, &tokens, &code);
     let solver = config.solver_crates.iter().any(|c| c == &crate_name);
 
@@ -210,6 +212,33 @@ pub fn lint_source(path: &str, source: &str, config: &Config) -> Vec<Diagnostic>
             }
         }
 
+        // P001 — cloning a solver network inside a loop body.
+        if solver
+            && role == FileRole::Lib
+            && in_loop[i]
+            && tok.is_ident("clone")
+            && i >= 2
+            && code[i - 1].is_punct('.')
+            && code[i - 2].kind == TokenKind::Ident
+            && graph_receiver(&code[i - 2].text)
+            && next(1).is_some_and(|t| t.is_punct('('))
+            && next(2).is_some_and(|t| t.is_punct(')'))
+        {
+            fire(
+                "P001",
+                tok,
+                format!(
+                    "`{}.clone()` inside a loop body: per-iteration copies of a \
+                     solver network are the hot-path cost the transactional undo \
+                     log removes; use `checkout()`/`rollback()` (or a \
+                     `clone_from`-synced scratch replica outside the loop), or \
+                     annotate with `// operon-lint: allow(P001, reason = ...)`",
+                    code[i - 2].text
+                ),
+                &mut diags,
+            );
+        }
+
         // R002 — indexing straight into a call result in hot paths.
         if role == FileRole::Lib && tok.is_punct(')') {
             if let Some(bracket) = next(1) {
@@ -228,6 +257,65 @@ pub fn lint_source(path: &str, source: &str, config: &Config) -> Vec<Diagnostic>
     }
 
     diags
+}
+
+/// Whether an identifier names a solver residual network or graph — the
+/// receivers P001 polices. Matches the workspace's naming convention
+/// (`g`, `graph`, `net`, `network` and suffixed forms like
+/// `committed_net` or `trial_graph`) rather than attempting type
+/// resolution; a bare `net`-suffixed word like `planet` stays exempt
+/// because only the `_`-separated suffix counts.
+fn graph_receiver(name: &str) -> bool {
+    matches!(name, "g" | "graph" | "net" | "network")
+        || name.ends_with("_g")
+        || name.ends_with("_net")
+        || name.ends_with("graph")
+        || name.ends_with("network")
+}
+
+/// Marks code-token indices inside `for`/`while`/`loop` bodies (nested
+/// closures included: work inside a closure that is called per item of a
+/// loop is still per-iteration work).
+///
+/// A loop body is the first `{` at paren/bracket depth 0 after the
+/// keyword; for `for` the header must also contain a depth-0 `in`, which
+/// keeps `impl Trait for Type { … }` and `for<'a>` bounds from being
+/// mistaken for loops.
+fn loop_regions(code: &[&Token]) -> Vec<bool> {
+    let mut in_loop = vec![false; code.len()];
+    let close = matching_braces(code);
+    for (i, t) in code.iter().enumerate() {
+        let is_for = t.is_ident("for");
+        if !(is_for || t.is_ident("while") || t.is_ident("loop")) {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut saw_in = false;
+        let mut j = i + 1;
+        while j < code.len() {
+            let tok = code[j];
+            if tok.is_punct('(') || tok.is_punct('[') {
+                depth += 1;
+            } else if tok.is_punct(')') || tok.is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 {
+                if tok.is_ident("in") {
+                    saw_in = true;
+                } else if tok.is_punct('{') {
+                    if !is_for || saw_in {
+                        for slot in in_loop.iter_mut().take(close[j] + 1).skip(j) {
+                            *slot = true;
+                        }
+                    }
+                    break;
+                } else if tok.is_punct(';') || tok.is_punct('}') {
+                    break; // not a loop header after all
+                }
+            }
+            j += 1;
+        }
+    }
+    in_loop
 }
 
 /// Marks code-token indices inside `#[cfg(test)]` / `#[test]` /
@@ -524,6 +612,66 @@ fn f(x: Option<u32>) -> u32 {
         assert!(lint_as("crates/core/src/x.rs", src).is_empty());
         // A function *named* unwrap, not a method call.
         assert!(lint_as("crates/core/src/x.rs", "fn unwrap() {}\n").is_empty());
+    }
+
+    #[test]
+    fn p001_flags_network_clones_in_loop_bodies() {
+        let src = "fn f(g: &McmfGraph) { for wi in 0..3 { let t = g.clone(); } }\n";
+        let d = lint_as("crates/mcmf/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "P001");
+        // Suffixed receivers and `while` loops count too.
+        let src = "fn f() { while go() { let t = committed_graph.clone(); } }\n";
+        assert_eq!(lint_as("crates/core/src/x.rs", src).len(), 1);
+        // A clone inside a closure that a loop invokes per item is still
+        // per-iteration work.
+        let src = "fn f() { loop { run(|| net.clone()); } }\n";
+        assert_eq!(lint_as("crates/core/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn p001_ignores_non_loops_and_non_network_receivers() {
+        // Outside a loop body.
+        assert!(lint_as(
+            "crates/mcmf/src/x.rs",
+            "fn f(g: &G) { let t = g.clone(); }\n"
+        )
+        .is_empty());
+        // Receiver is not network-named.
+        assert!(lint_as(
+            "crates/core/src/x.rs",
+            "fn f() { for i in 0..3 { let t = items.clone(); } }\n"
+        )
+        .is_empty());
+        // `impl … for …` and `planet` must not pattern-match.
+        assert!(lint_as(
+            "crates/mcmf/src/x.rs",
+            "impl Clone for Foo { fn clone(&self) -> Foo { Foo { g: self.g.clone() } } }\n"
+        )
+        .is_empty());
+        assert!(lint_as(
+            "crates/core/src/x.rs",
+            "fn f() { for i in 0..3 { let t = planet.clone(); } }\n"
+        )
+        .is_empty());
+        // `clone_from` is the sanctioned replica-refresh idiom.
+        assert!(lint_as(
+            "crates/core/src/x.rs",
+            "fn f() { for i in 0..3 { scratch.g.clone_from(&committed.g); } }\n"
+        )
+        .is_empty());
+        // Solver crates only.
+        assert!(lint_as(
+            "crates/exec/src/x.rs",
+            "fn f() { for i in 0..3 { let t = g.clone(); } }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn p001_respects_reasoned_allows() {
+        let src = "fn f() {\n    for i in 0..3 {\n        // operon-lint: allow(P001, reason = \"cold oracle intentionally copies\")\n        let t = g.clone();\n    }\n}\n";
+        assert!(lint_as("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,47 @@
+// Fixture: P001 — cloning a solver network/graph inside a loop body.
+
+fn deletion_loop(candidates: &[usize], committed: &Net) {
+    for wi in candidates {
+        let trial_graph = graph.clone(); // fires: suffixed receiver in `for`
+        let scratch = committed_net.clone(); // fires
+        run(trial_graph, scratch, *wi);
+    }
+    while keep_going() {
+        let n = net.clone(); // fires: `while` bodies count
+        run2(n);
+    }
+    loop {
+        evaluate(|| g.clone()); // fires: closures inside loops still pay per iteration
+        break;
+    }
+}
+
+fn fine(committed: &Net) {
+    // Outside any loop: a one-time copy is not the reduction hot path.
+    let snapshot = network.clone();
+    for i in 0..3 {
+        let items = list.clone(); // non-network receiver
+        scratch.g.clone_from(&committed.g); // sanctioned replica refresh
+        // operon-lint: allow(P001, reason = "cold oracle keeps an intentional per-trial copy")
+        let oracle = g.clone();
+        run3(snapshot, items, oracle, i);
+    }
+}
+
+impl Clone for Holder {
+    fn clone(&self) -> Holder {
+        // `impl … for …` is not a loop header.
+        Holder { g: self.g.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_clone_freely() {
+        for _ in 0..2 {
+            let copy = g.clone();
+            drop(copy);
+        }
+    }
+}

@@ -69,6 +69,11 @@ fn r002_index_into_call() {
 }
 
 #[test]
+fn p001_network_clones_in_loops() {
+    check("p001");
+}
+
+#[test]
 fn allow_with_reason_suppresses() {
     check("allow_ok");
 }

@@ -9,6 +9,27 @@
 //! "uni-modular property" the paper relies on to read the WDM assignment
 //! directly off the flow without rounding.
 //!
+//! # Storage layout
+//!
+//! Arcs live in a flat struct-of-arrays arena: residual twins are paired
+//! at indices `2i` / `2i ^ 1`, so the reverse of arc `a` is always
+//! `a ^ 1` and the forward arc of user edge `e` is `2e` — no per-arc
+//! `rev` pointer, no per-node `Vec` chains. Adjacency is a CSR index
+//! (`adj_start` offsets into `adj_arcs`) rebuilt lazily after edge
+//! insertion, so the Dijkstra/Bellman-Ford hot loops walk contiguous
+//! memory.
+//!
+//! # Transactions
+//!
+//! [`checkout`](McmfGraph::checkout) opens a [`Transaction`]: every
+//! capacity, stored-edge-capacity, and potential write made through the
+//! guard records `(slot, old_value)` in an append-only undo log on the
+//! *first* write per slot, and [`rollback`](Transaction::rollback)
+//! (or dropping the guard) restores the pre-transaction network
+//! **bitwise**. This is what lets the WDM reduction evaluate tentative
+//! deletions on one shared network — withdraw, re-solve, roll back —
+//! instead of cloning the committed residual network per trial.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,6 +51,7 @@
 use core::fmt;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::ops::{Deref, DerefMut};
 
 /// A node handle in a [`McmfGraph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -87,6 +109,17 @@ pub struct McmfStats {
     /// Warm solves that fell back to a cold solve because the repair
     /// pass could not certify the prior potentials.
     pub warm_fallbacks: u64,
+    /// Undo-log entries recorded inside transactions (first write per
+    /// slot per transaction; see [`McmfGraph::checkout`]).
+    pub undo_entries: u64,
+    /// Transactions ended by rollback (explicit or guard drop).
+    pub rollbacks: u64,
+    /// Full residual-network copies this graph went through: cloning a
+    /// graph marks the *copy*'s counters, so consumers that aggregate
+    /// per-trial stats off cloned networks (the pre-transactional WDM
+    /// reduction pattern) surface their clone traffic — "zero-clone" is
+    /// measured rather than claimed. The solver itself never clones.
+    pub networks_cloned: u64,
 }
 
 impl McmfStats {
@@ -96,47 +129,137 @@ impl McmfStats {
         self.bellman_ford_rounds += other.bellman_ford_rounds;
         self.repair_rounds += other.repair_rounds;
         self.warm_fallbacks += other.warm_fallbacks;
+        self.undo_entries += other.undo_entries;
+        self.rollbacks += other.rollbacks;
+        self.networks_cloned += other.networks_cloned;
     }
-}
 
-#[derive(Clone, Debug)]
-struct Arc {
-    to: usize,
-    cap: i64,
-    cost: i64,
-    /// Index of the reverse arc in `arcs`.
-    rev: usize,
+    /// The per-counter difference `self - before`, for reading the work
+    /// one operation performed on a graph whose counters accumulate
+    /// (snapshot before, subtract after). Saturates at zero so a
+    /// mismatched snapshot can never underflow.
+    pub fn delta_since(&self, before: &McmfStats) -> McmfStats {
+        McmfStats {
+            dijkstra_passes: self.dijkstra_passes.saturating_sub(before.dijkstra_passes),
+            bellman_ford_rounds: self
+                .bellman_ford_rounds
+                .saturating_sub(before.bellman_ford_rounds),
+            repair_rounds: self.repair_rounds.saturating_sub(before.repair_rounds),
+            warm_fallbacks: self.warm_fallbacks.saturating_sub(before.warm_fallbacks),
+            undo_entries: self.undo_entries.saturating_sub(before.undo_entries),
+            rollbacks: self.rollbacks.saturating_sub(before.rollbacks),
+            networks_cloned: self.networks_cloned.saturating_sub(before.networks_cloned),
+        }
+    }
 }
 
 /// A directed flow network with integer capacities and costs.
 ///
-/// Arcs are stored with their residual twins, so after solving, residual
-/// capacities encode the flow ([`flow`](McmfGraph::flow)).
-#[derive(Clone, Debug, Default)]
+/// Arcs are stored with their residual twins in a flat arena (see the
+/// crate docs for the layout), so after solving, residual capacities
+/// encode the flow ([`flow`](McmfGraph::flow)).
+#[derive(Debug, Default)]
 pub struct McmfGraph {
-    /// Per-node outgoing arc indices.
-    adj: Vec<Vec<usize>>,
-    arcs: Vec<Arc>,
-    /// Forward-arc index and original capacity of each user edge (indexed
-    /// by `EdgeId`), to recover flow values.
-    edges: Vec<(usize, i64)>,
+    n_nodes: usize,
+    /// Head (target node) of each arc; the tail is `arc_to[a ^ 1]`.
+    arc_to: Vec<u32>,
+    /// Per-unit cost of each arc (`-cost` on residual twins).
+    arc_cost: Vec<i64>,
+    /// Residual capacity of each arc.
+    arc_cap: Vec<i64>,
+    /// Stored capacity of each user edge (forward arc of edge `e` is
+    /// `2e`), to recover flow values and reset cleanly.
+    edge_cap: Vec<i64>,
+    /// CSR adjacency: arcs leaving node `u` are
+    /// `adj_arcs[adj_start[u]..adj_start[u + 1]]`, in insertion order.
+    adj_start: Vec<u32>,
+    adj_arcs: Vec<u32>,
+    csr_valid: bool,
+    /// Number of arcs with `cap > 0 && cost < 0`, maintained on every
+    /// capacity write so [`needs_bellman_ford`](McmfGraph::needs_bellman_ford)
+    /// is O(1) instead of an O(m) rescan.
+    neg_arcs: usize,
     /// Node potentials left behind by the most recent solve (empty
     /// before any solve). Feed them to
     /// [`min_cost_max_flow_warm`](McmfGraph::min_cost_max_flow_warm) on
     /// a similar network to skip the Bellman-Ford initialization.
     potential: Vec<i64>,
     stats: McmfStats,
+    // --- transactional undo log ---
+    txn_active: bool,
+    /// Current transaction epoch; a slot whose mark equals the epoch has
+    /// already been logged this transaction.
+    txn_epoch: u32,
+    cap_mark: Vec<u32>,
+    edge_mark: Vec<u32>,
+    undo_caps: Vec<(u32, i64)>,
+    undo_edge_caps: Vec<(u32, i64)>,
+    /// Pre-transaction potentials, stashed on the first potential
+    /// overwrite inside a transaction (buffer reused across trials).
+    saved_potential: Vec<i64>,
+    potential_saved: bool,
+}
+
+impl Clone for McmfGraph {
+    fn clone(&self) -> Self {
+        let mut stats = self.stats;
+        stats.networks_cloned += 1;
+        Self {
+            n_nodes: self.n_nodes,
+            arc_to: self.arc_to.clone(),
+            arc_cost: self.arc_cost.clone(),
+            arc_cap: self.arc_cap.clone(),
+            edge_cap: self.edge_cap.clone(),
+            adj_start: self.adj_start.clone(),
+            adj_arcs: self.adj_arcs.clone(),
+            csr_valid: self.csr_valid,
+            neg_arcs: self.neg_arcs,
+            potential: self.potential.clone(),
+            stats,
+            txn_active: self.txn_active,
+            txn_epoch: self.txn_epoch,
+            cap_mark: self.cap_mark.clone(),
+            edge_mark: self.edge_mark.clone(),
+            undo_caps: self.undo_caps.clone(),
+            undo_edge_caps: self.undo_edge_caps.clone(),
+            saved_potential: self.saved_potential.clone(),
+            potential_saved: self.potential_saved,
+        }
+    }
+
+    /// Allocation-reusing copy: `Vec::clone_from` keeps the existing
+    /// buffers, so refreshing a same-shape scratch replica is a straight
+    /// memcpy with no allocator traffic.
+    fn clone_from(&mut self, source: &Self) {
+        self.n_nodes = source.n_nodes;
+        self.arc_to.clone_from(&source.arc_to);
+        self.arc_cost.clone_from(&source.arc_cost);
+        self.arc_cap.clone_from(&source.arc_cap);
+        self.edge_cap.clone_from(&source.edge_cap);
+        self.adj_start.clone_from(&source.adj_start);
+        self.adj_arcs.clone_from(&source.adj_arcs);
+        self.csr_valid = source.csr_valid;
+        self.neg_arcs = source.neg_arcs;
+        self.potential.clone_from(&source.potential);
+        self.stats = source.stats;
+        self.stats.networks_cloned += 1;
+        self.txn_active = source.txn_active;
+        self.txn_epoch = source.txn_epoch;
+        self.cap_mark.clone_from(&source.cap_mark);
+        self.edge_mark.clone_from(&source.edge_mark);
+        self.undo_caps.clone_from(&source.undo_caps);
+        self.undo_edge_caps.clone_from(&source.undo_edge_caps);
+        self.saved_potential.clone_from(&source.saved_potential);
+        self.potential_saved = source.potential_saved;
+    }
 }
 
 impl McmfGraph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
         Self {
-            adj: vec![Vec::new(); n],
-            arcs: Vec::new(),
-            edges: Vec::new(),
-            potential: Vec::new(),
-            stats: McmfStats::default(),
+            n_nodes: n,
+            ..Self::default()
         }
     }
 
@@ -146,24 +269,34 @@ impl McmfGraph {
     ///
     /// Panics if `index` is out of bounds.
     pub fn node(&self, index: usize) -> NodeId {
-        assert!(index < self.adj.len(), "node index {index} out of bounds");
+        assert!(index < self.n_nodes, "node index {index} out of bounds");
         NodeId(index)
     }
 
     /// Adds a node, returning its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics inside a transaction (the undo log tracks value slots, not
+    /// structure).
     pub fn add_node(&mut self) -> NodeId {
-        self.adj.push(Vec::new());
-        NodeId(self.adj.len() - 1)
+        assert!(
+            !self.txn_active,
+            "cannot add nodes inside a transaction; rollback or commit first"
+        );
+        self.n_nodes += 1;
+        self.csr_valid = false;
+        NodeId(self.n_nodes - 1)
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.n_nodes
     }
 
     /// Number of user edges (residual twins not counted).
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.edge_cap.len()
     }
 
     /// Adds a directed edge with capacity `cap` and per-unit cost `cost`.
@@ -174,33 +307,38 @@ impl McmfGraph {
     ///
     /// # Panics
     ///
-    /// Panics if `cap` is negative.
+    /// Panics if `cap` is negative, or inside a transaction (the undo
+    /// log tracks value slots, not structure).
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: i64, cost: i64) -> EdgeId {
         assert!(cap >= 0, "edge capacity must be non-negative, got {cap}");
-        let fwd = self.arcs.len();
-        let bwd = fwd + 1;
-        self.arcs.push(Arc {
-            to: to.0,
-            cap,
-            cost,
-            rev: bwd,
-        });
-        self.arcs.push(Arc {
-            to: from.0,
-            cap: 0,
-            cost: -cost,
-            rev: fwd,
-        });
-        self.adj[from.0].push(fwd);
-        self.adj[to.0].push(bwd);
-        self.edges.push((fwd, cap));
-        EdgeId(self.edges.len() - 1)
+        assert!(
+            !self.txn_active,
+            "cannot add edges inside a transaction; rollback or commit first"
+        );
+        assert!(
+            self.arc_to.len() + 2 <= u32::MAX as usize,
+            "arc arena exceeds u32 indexing"
+        );
+        self.arc_to.push(to.0 as u32);
+        self.arc_cost.push(cost);
+        self.arc_cap.push(cap);
+        self.arc_to.push(from.0 as u32);
+        self.arc_cost.push(-cost);
+        self.arc_cap.push(0);
+        self.cap_mark.push(0);
+        self.cap_mark.push(0);
+        if cap > 0 && cost < 0 {
+            self.neg_arcs += 1;
+        }
+        self.edge_cap.push(cap);
+        self.edge_mark.push(0);
+        self.csr_valid = false;
+        EdgeId(self.edge_cap.len() - 1)
     }
 
     /// Flow currently routed through a user edge (0 before solving).
     pub fn flow(&self, edge: EdgeId) -> i64 {
-        let (arc, original_cap) = self.edges[edge.0];
-        original_cap - self.arcs[arc].cap
+        self.edge_cap[edge.0] - self.arc_cap[2 * edge.0]
     }
 
     /// Net flow currently leaving node `s`, summed over user edges.
@@ -208,12 +346,13 @@ impl McmfGraph {
     /// For a source node this is the total flow of the routed solution.
     pub fn flow_value(&self, s: NodeId) -> i64 {
         let mut total = 0;
-        for &(fwd, cap) in &self.edges {
-            let routed = cap - self.arcs[fwd].cap;
-            if self.arcs[self.arcs[fwd].rev].to == s.0 {
+        for e in 0..self.edge_cap.len() {
+            let fwd = 2 * e;
+            let routed = self.edge_cap[e] - self.arc_cap[fwd];
+            if self.arc_to[fwd ^ 1] as usize == s.0 {
                 total += routed;
             }
-            if self.arcs[fwd].to == s.0 {
+            if self.arc_to[fwd] as usize == s.0 {
                 total -= routed;
             }
         }
@@ -222,9 +361,8 @@ impl McmfGraph {
 
     /// Total cost of the flow currently routed (Σ flow(e) · cost(e)).
     pub fn flow_cost(&self) -> i64 {
-        self.edges
-            .iter()
-            .map(|&(fwd, cap)| (cap - self.arcs[fwd].cap) * self.arcs[fwd].cost)
+        (0..self.edge_cap.len())
+            .map(|e| (self.edge_cap[e] - self.arc_cap[2 * e]) * self.arc_cost[2 * e])
             .sum()
     }
 
@@ -247,6 +385,187 @@ impl McmfGraph {
         &self.potential
     }
 
+    /// Whether a transaction opened by [`checkout`](McmfGraph::checkout)
+    /// is currently active.
+    pub fn in_transaction(&self) -> bool {
+        self.txn_active
+    }
+
+    /// Opens a transaction: every capacity and potential write made until
+    /// the returned guard is rolled back (explicitly or by drop) records
+    /// its pre-image in an append-only undo log, first write per slot.
+    /// [`Transaction::rollback`] restores the network bitwise —
+    /// capacities, stored edge capacities, potentials, and the
+    /// negative-arc counter all return to their checkout state.
+    ///
+    /// Work counters ([`stats`](McmfGraph::stats)) are *not* rolled back:
+    /// they measure work performed, which the rollback cannot unperform.
+    ///
+    /// ```
+    /// use operon_mcmf::McmfGraph;
+    ///
+    /// let mut g = McmfGraph::new(2);
+    /// let (s, t) = (g.node(0), g.node(1));
+    /// let e = g.add_edge(s, t, 4, 1);
+    /// g.min_cost_max_flow(s, t);
+    /// let mut txn = g.checkout();
+    /// txn.set_edge_capacity(e, 0);
+    /// assert_eq!(txn.flow(e), 0);
+    /// txn.rollback();
+    /// assert_eq!(g.flow(e), 4); // bitwise back to the committed state
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already active (no nesting).
+    pub fn checkout(&mut self) -> Transaction<'_> {
+        assert!(
+            !self.txn_active,
+            "nested transactions are not supported; rollback or commit first"
+        );
+        self.txn_epoch = self.txn_epoch.wrapping_add(1);
+        if self.txn_epoch == 0 {
+            // Epoch counter wrapped: clear the marks so no stale mark can
+            // alias the fresh epoch, then restart from 1.
+            self.cap_mark.iter_mut().for_each(|m| *m = 0);
+            self.edge_mark.iter_mut().for_each(|m| *m = 0);
+            self.txn_epoch = 1;
+        }
+        self.undo_caps.clear();
+        self.undo_edge_caps.clear();
+        self.potential_saved = false;
+        self.txn_active = true;
+        Transaction {
+            g: self,
+            finished: false,
+        }
+    }
+
+    /// Restores every logged slot to its checkout value and closes the
+    /// transaction.
+    fn rollback_internal(&mut self) {
+        debug_assert!(self.txn_active, "rollback without an active transaction");
+        while let Some((slot, old)) = self.undo_caps.pop() {
+            self.put_cap(slot as usize, old);
+        }
+        while let Some((slot, old)) = self.undo_edge_caps.pop() {
+            self.edge_cap[slot as usize] = old;
+        }
+        if self.potential_saved {
+            std::mem::swap(&mut self.potential, &mut self.saved_potential);
+            self.potential_saved = false;
+        }
+        self.txn_active = false;
+        self.stats.rollbacks += 1;
+    }
+
+    /// Keeps every change made during the transaction and closes it.
+    fn commit_internal(&mut self) {
+        debug_assert!(self.txn_active, "commit without an active transaction");
+        self.undo_caps.clear();
+        self.undo_edge_caps.clear();
+        self.potential_saved = false;
+        self.txn_active = false;
+    }
+
+    /// Writes `value` into arc slot `a`, maintaining the negative-arc
+    /// counter. Used directly by rollback (no logging).
+    #[inline]
+    fn put_cap(&mut self, a: usize, value: i64) {
+        let old = self.arc_cap[a];
+        if old == value {
+            return;
+        }
+        if self.arc_cost[a] < 0 {
+            if old > 0 && value <= 0 {
+                self.neg_arcs -= 1;
+            } else if old <= 0 && value > 0 {
+                self.neg_arcs += 1;
+            }
+        }
+        self.arc_cap[a] = value;
+    }
+
+    /// Writes `value` into arc slot `a` through the undo log: inside a
+    /// transaction the slot's pre-image is recorded on its first write.
+    #[inline]
+    fn write_cap(&mut self, a: usize, value: i64) {
+        if self.arc_cap[a] == value {
+            return;
+        }
+        if self.txn_active && self.cap_mark[a] != self.txn_epoch {
+            self.cap_mark[a] = self.txn_epoch;
+            self.undo_caps.push((a as u32, self.arc_cap[a]));
+            self.stats.undo_entries += 1;
+        }
+        self.put_cap(a, value);
+    }
+
+    /// Writes a user edge's stored capacity through the undo log.
+    #[inline]
+    fn write_edge_cap(&mut self, e: usize, value: i64) {
+        if self.edge_cap[e] == value {
+            return;
+        }
+        if self.txn_active && self.edge_mark[e] != self.txn_epoch {
+            self.edge_mark[e] = self.txn_epoch;
+            self.undo_edge_caps.push((e as u32, self.edge_cap[e]));
+            self.stats.undo_entries += 1;
+        }
+        self.edge_cap[e] = value;
+    }
+
+    /// Replaces the stored solve potentials, stashing the pre-image once
+    /// per transaction so rollback restores them bitwise.
+    fn store_potentials(&mut self, p: Vec<i64>) {
+        if self.txn_active && !self.potential_saved {
+            std::mem::swap(&mut self.potential, &mut self.saved_potential);
+            self.potential_saved = true;
+            self.stats.undo_entries += 1;
+        }
+        self.potential = p;
+    }
+
+    /// Rebuilds the CSR adjacency index if edges or nodes were added
+    /// since the last build. Stable counting sort by arc tail, so each
+    /// node's arc list keeps insertion order — iteration order (and
+    /// therefore every tie-break downstream) is identical to the
+    /// per-node `Vec` layout this arena replaced.
+    fn ensure_csr(&mut self) {
+        if self.csr_valid {
+            return;
+        }
+        let n = self.n_nodes;
+        let m = self.arc_to.len();
+        self.adj_start.clear();
+        self.adj_start.resize(n + 1, 0);
+        for a in 0..m {
+            let tail = self.arc_to[a ^ 1] as usize;
+            self.adj_start[tail + 1] += 1;
+        }
+        for u in 0..n {
+            self.adj_start[u + 1] += self.adj_start[u];
+        }
+        self.adj_arcs.clear();
+        self.adj_arcs.resize(m, 0);
+        let mut cursor: Vec<u32> = self.adj_start[..n].to_vec();
+        for a in 0..m {
+            let tail = self.arc_to[a ^ 1] as usize;
+            self.adj_arcs[cursor[tail] as usize] = a as u32;
+            cursor[tail] += 1;
+        }
+        self.csr_valid = true;
+    }
+
+    /// Arcs leaving node `u`, in insertion order. The CSR index must be
+    /// current (every solve entry point calls
+    /// [`ensure_csr`](McmfGraph::ensure_csr) first).
+    #[inline]
+    fn out_arcs(&self, u: usize) -> &[u32] {
+        debug_assert!(self.csr_valid, "CSR index is stale");
+        &self.adj_arcs[self.adj_start[u] as usize..self.adj_start[u + 1] as usize]
+    }
+
     /// Returns every user edge to its stored capacity with zero flow,
     /// keeping the potentials from the last solve.
     ///
@@ -254,11 +573,10 @@ impl McmfGraph {
     /// [`set_edge_capacity`](McmfGraph::set_edge_capacity) keep their
     /// new value.
     pub fn reset_flow_keep_potentials(&mut self) {
-        for e in 0..self.edges.len() {
-            let (fwd, cap) = self.edges[e];
-            let rev = self.arcs[fwd].rev;
-            self.arcs[fwd].cap = cap;
-            self.arcs[rev].cap = 0;
+        for e in 0..self.edge_cap.len() {
+            let cap = self.edge_cap[e];
+            self.write_cap(2 * e, cap);
+            self.write_cap(2 * e + 1, 0);
         }
     }
 
@@ -277,11 +595,9 @@ impl McmfGraph {
     /// Panics if `cap` is negative.
     pub fn set_edge_capacity(&mut self, edge: EdgeId, cap: i64) {
         assert!(cap >= 0, "edge capacity must be non-negative, got {cap}");
-        let (fwd, _) = self.edges[edge.0];
-        let rev = self.arcs[fwd].rev;
-        self.arcs[fwd].cap = cap;
-        self.arcs[rev].cap = 0;
-        self.edges[edge.0].1 = cap;
+        self.write_cap(2 * edge.0, cap);
+        self.write_cap(2 * edge.0 + 1, 0);
+        self.write_edge_cap(edge.0, cap);
     }
 
     /// Withdraws `amount` units of previously routed flow from a user
@@ -299,27 +615,30 @@ impl McmfGraph {
     /// routed on the edge.
     pub fn withdraw_edge_flow(&mut self, edge: EdgeId, amount: i64) {
         assert!(amount >= 0, "withdraw amount must be non-negative");
-        let (fwd, _) = self.edges[edge.0];
-        let rev = self.arcs[fwd].rev;
+        let fwd = 2 * edge.0;
+        let rev = fwd + 1;
         assert!(
-            self.arcs[rev].cap >= amount,
+            self.arc_cap[rev] >= amount,
             "cannot withdraw {amount} units from an edge carrying {}",
-            self.arcs[rev].cap
+            self.arc_cap[rev]
         );
-        self.arcs[fwd].cap += amount;
-        self.arcs[rev].cap -= amount;
+        let new_fwd = self.arc_cap[fwd] + amount;
+        let new_rev = self.arc_cap[rev] - amount;
+        self.write_cap(fwd, new_fwd);
+        self.write_cap(rev, new_rev);
     }
 
     /// Whether any residual arc with spare capacity has a negative
     /// cost, i.e. whether zero potentials are unusable and a
     /// Bellman-Ford initialization is required before Dijkstra.
     ///
-    /// This scans the *current* residual network rather than
-    /// remembering whether a negative edge was ever added: a saturated
-    /// negative edge no longer forces the Bellman-Ford pass, while the
-    /// negative reverse arcs of a routed solution do.
+    /// O(1): a counter of `cap > 0 && cost < 0` arcs is maintained on
+    /// every capacity write (including transactional rollbacks) instead
+    /// of rescanning all arcs per call. Semantics are unchanged: a
+    /// saturated negative edge no longer forces the Bellman-Ford pass,
+    /// while the negative reverse arcs of a routed solution do.
     pub fn needs_bellman_ford(&self) -> bool {
-        self.arcs.iter().any(|a| a.cap > 0 && a.cost < 0)
+        self.neg_arcs > 0
     }
 
     /// Computes a maximum flow of minimum cost from `s` to `t`.
@@ -352,7 +671,8 @@ impl McmfGraph {
     pub fn min_cost_flow_bounded(&mut self, s: NodeId, t: NodeId, max_flow: i64) -> FlowResult {
         assert!(s != t, "source and sink must differ");
         assert!(max_flow >= 0, "max_flow must be non-negative");
-        let n = self.adj.len();
+        self.ensure_csr();
+        let n = self.n_nodes;
         let mut potential = vec![0i64; n];
         if self.needs_bellman_ford() {
             let (dist, rounds) = self.bellman_ford_potentials(s.0);
@@ -393,8 +713,9 @@ impl McmfGraph {
     /// contains a negative-cost cycle reachable from `s`.
     pub fn min_cost_max_flow_warm(&mut self, s: NodeId, t: NodeId, prior: &[i64]) -> FlowResult {
         assert!(s != t, "source and sink must differ");
-        if prior.len() == self.adj.len() {
-            let cancel_budget = self.adj.len() + self.edges.len();
+        self.ensure_csr();
+        if prior.len() == self.n_nodes {
+            let cancel_budget = self.n_nodes + self.edge_cap.len();
             for _ in 0..=cancel_budget {
                 let mut potential = prior.to_vec();
                 if self.repair_potentials(&mut potential) {
@@ -416,25 +737,79 @@ impl McmfGraph {
         self.min_cost_max_flow(s, t)
     }
 
+    /// Re-routes up to `amount` units of displaced flow from `from` to
+    /// `to` along successive shortest residual paths, warm-started from
+    /// `prior` node potentials.
+    ///
+    /// This is the cheap incremental step for *arc deletions*: withdraw
+    /// the deleted arc's flow (leaving `amount` units of excess at
+    /// `from` and a matching deficit at `to`) and zero its capacity —
+    /// both pure residual-arc *removals*, which cannot create a
+    /// negative reduced cost — then call this to push the excess back
+    /// to `to`. Because `prior` (the potentials of the previously
+    /// solved network) stays feasible under removals, no Bellman-Ford
+    /// and no potential repair beyond a single converged verification
+    /// round is needed. Returns the flow actually pushed and its cost:
+    /// when `result.flow == amount` the full excess re-routed and the
+    /// resulting flow is again cost-optimal for its value;
+    /// `result.flow < amount` means the residual network cannot absorb
+    /// the full excess (for a tentative deletion: infeasible — the
+    /// stranded remainder leaves a pseudo-flow whose cost is not
+    /// comparable to a cold solve, though the *reachable flow value*
+    /// still matches it).
+    ///
+    /// When `prior` has the wrong length the potentials start from zero
+    /// and the repair pass does the full work — results are identical,
+    /// only the work counters differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`, `amount` is negative, or the residual
+    /// network contains a negative-cost cycle (the retained pseudo-flow
+    /// was not optimal for its value — not reachable via withdrawals of
+    /// a solved network).
+    pub fn min_cost_reroute(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        amount: i64,
+        prior: &[i64],
+    ) -> FlowResult {
+        assert!(from != to, "reroute endpoints must differ");
+        assert!(amount >= 0, "amount must be non-negative");
+        self.ensure_csr();
+        let mut potential = if prior.len() == self.n_nodes {
+            prior.to_vec()
+        } else {
+            vec![0i64; self.n_nodes]
+        };
+        let repaired = self.repair_potentials(&mut potential);
+        assert!(
+            repaired,
+            "negative-cost residual cycle: reroute requires a cycle-free pseudo-flow"
+        );
+        self.run_ssp(from, to, amount, potential)
+    }
+
     /// Finds one negative-cost cycle in the residual network and cancels
     /// it by pushing the bottleneck capacity around it, strictly
     /// decreasing the cost of the routed flow while preserving its
     /// value. Returns `false` when no negative cycle exists.
     fn cancel_negative_cycle(&mut self) -> bool {
-        let n = self.adj.len();
+        let n = self.n_nodes;
         let mut dist = vec![0i64; n];
         let mut parent_arc = vec![usize::MAX; n];
         let mut last_updated = usize::MAX;
         for _ in 0..n {
             last_updated = usize::MAX;
             for u in 0..n {
-                for k in 0..self.adj[u].len() {
-                    let ai = self.adj[u][k];
-                    let arc = &self.arcs[ai];
-                    if arc.cap > 0 && dist[u] + arc.cost < dist[arc.to] {
-                        dist[arc.to] = dist[u] + arc.cost;
-                        parent_arc[arc.to] = ai;
-                        last_updated = arc.to;
+                for &ai in self.out_arcs(u) {
+                    let ai = ai as usize;
+                    let to = self.arc_to[ai] as usize;
+                    if self.arc_cap[ai] > 0 && dist[u] + self.arc_cost[ai] < dist[to] {
+                        dist[to] = dist[u] + self.arc_cost[ai];
+                        parent_arc[to] = ai;
+                        last_updated = to;
                     }
                 }
             }
@@ -454,23 +829,22 @@ impl McmfGraph {
         loop {
             let ai = parent_arc[v];
             cycle.push(ai);
-            push = push.min(self.arcs[ai].cap);
+            push = push.min(self.arc_cap[ai]);
             v = self.arc_tail(ai);
             if v == start {
                 break;
             }
         }
         for &ai in &cycle {
-            self.arcs[ai].cap -= push;
-            let rev = self.arcs[ai].rev;
-            self.arcs[rev].cap += push;
+            self.write_cap(ai, self.arc_cap[ai] - push);
+            self.write_cap(ai ^ 1, self.arc_cap[ai ^ 1] + push);
         }
         true
     }
 
-    /// The node an arc leaves from (the head of its reverse twin).
+    /// The node an arc leaves from (the head of its residual twin).
     fn arc_tail(&self, arc: usize) -> usize {
-        self.arcs[self.arcs[arc].rev].to
+        self.arc_to[arc ^ 1] as usize
     }
 
     /// Relaxes `potential` over the residual arcs until every arc with
@@ -478,15 +852,17 @@ impl McmfGraph {
     /// when `n` rounds fail to converge, which happens exactly when the
     /// residual network contains a negative-cost cycle.
     fn repair_potentials(&mut self, potential: &mut [i64]) -> bool {
-        let n = self.adj.len();
+        self.ensure_csr();
+        let n = self.n_nodes;
         for _ in 0..n {
             self.stats.repair_rounds += 1;
             let mut changed = false;
             for u in 0..n {
-                for k in 0..self.adj[u].len() {
-                    let arc = &self.arcs[self.adj[u][k]];
-                    if arc.cap > 0 && potential[u] + arc.cost < potential[arc.to] {
-                        potential[arc.to] = potential[u] + arc.cost;
+                for &ai in self.out_arcs(u) {
+                    let ai = ai as usize;
+                    let to = self.arc_to[ai] as usize;
+                    if self.arc_cap[ai] > 0 && potential[u] + self.arc_cost[ai] < potential[to] {
+                        potential[to] = potential[u] + self.arc_cost[ai];
                         changed = true;
                     }
                 }
@@ -510,7 +886,7 @@ impl McmfGraph {
         max_flow: i64,
         mut potential: Vec<i64>,
     ) -> FlowResult {
-        let n = self.adj.len();
+        let n = self.n_nodes;
         let mut total_flow = 0i64;
         let mut total_cost = 0i64;
         while total_flow < max_flow {
@@ -529,22 +905,21 @@ impl McmfGraph {
             let mut v = t.0;
             while v != s.0 {
                 let arc = parent[v];
-                push = push.min(self.arcs[arc].cap);
-                v = self.arcs[self.arcs[arc].rev].to;
+                push = push.min(self.arc_cap[arc]);
+                v = self.arc_tail(arc);
             }
             // Apply.
             let mut v = t.0;
             while v != s.0 {
                 let arc = parent[v];
-                self.arcs[arc].cap -= push;
-                let rev = self.arcs[arc].rev;
-                self.arcs[rev].cap += push;
-                total_cost += push * self.arcs[arc].cost;
-                v = self.arcs[rev].to;
+                self.write_cap(arc, self.arc_cap[arc] - push);
+                self.write_cap(arc ^ 1, self.arc_cap[arc ^ 1] + push);
+                total_cost += push * self.arc_cost[arc];
+                v = self.arc_tail(arc);
             }
             total_flow += push;
         }
-        self.potential = potential;
+        self.store_potentials(potential);
         FlowResult {
             flow: total_flow,
             cost: total_cost,
@@ -560,21 +935,22 @@ impl McmfGraph {
     ///
     /// Panics on a negative cycle reachable from `s`.
     fn bellman_ford_potentials(&self, s: usize) -> (Vec<i64>, u64) {
-        let n = self.adj.len();
+        let n = self.n_nodes;
         let mut dist = vec![i64::MAX; n];
         let mut rounds = 0u64;
         dist[s] = 0;
         for round in 0..n {
             rounds += 1;
             let mut changed = false;
-            for (u, arcs) in self.adj.iter().enumerate() {
+            for u in 0..n {
                 if dist[u] == i64::MAX {
                     continue;
                 }
-                for &ai in arcs {
-                    let arc = &self.arcs[ai];
-                    if arc.cap > 0 && dist[u] + arc.cost < dist[arc.to] {
-                        dist[arc.to] = dist[u] + arc.cost;
+                for &ai in self.out_arcs(u) {
+                    let ai = ai as usize;
+                    let to = self.arc_to[ai] as usize;
+                    if self.arc_cap[ai] > 0 && dist[u] + self.arc_cost[ai] < dist[to] {
+                        dist[to] = dist[u] + self.arc_cost[ai];
                         changed = true;
                     }
                 }
@@ -597,7 +973,7 @@ impl McmfGraph {
     /// Dijkstra on reduced costs. Returns `(dist, parent_arc)` or `None`
     /// when `t` is unreachable.
     fn dijkstra(&self, s: usize, t: usize, potential: &[i64]) -> Option<(Vec<i64>, Vec<usize>)> {
-        let n = self.adj.len();
+        let n = self.n_nodes;
         let mut dist = vec![i64::MAX; n];
         let mut parent = vec![usize::MAX; n];
         let mut heap = BinaryHeap::new();
@@ -607,21 +983,22 @@ impl McmfGraph {
             if d > dist[u] {
                 continue;
             }
-            for &ai in &self.adj[u] {
-                let arc = &self.arcs[ai];
-                if arc.cap <= 0 {
+            for &ai in self.out_arcs(u) {
+                let ai = ai as usize;
+                if self.arc_cap[ai] <= 0 {
                     continue;
                 }
-                let reduced = arc.cost + potential[u] - potential[arc.to];
+                let to = self.arc_to[ai] as usize;
+                let reduced = self.arc_cost[ai] + potential[u] - potential[to];
                 debug_assert!(
                     reduced >= 0,
                     "reduced cost must be non-negative (got {reduced})"
                 );
                 let nd = d + reduced;
-                if nd < dist[arc.to] {
-                    dist[arc.to] = nd;
-                    parent[arc.to] = ai;
-                    heap.push(Reverse((nd, arc.to)));
+                if nd < dist[to] {
+                    dist[to] = nd;
+                    parent[to] = ai;
+                    heap.push(Reverse((nd, to)));
                 }
             }
         }
@@ -629,6 +1006,57 @@ impl McmfGraph {
             None
         } else {
             Some((dist, parent))
+        }
+    }
+}
+
+/// An open transaction on a [`McmfGraph`], created by
+/// [`McmfGraph::checkout`].
+///
+/// Derefs to the graph, so every solver and mutation method is available
+/// through the guard; all writes are recorded in the undo log. Dropping
+/// the guard rolls back, so a trial that unwinds mid-solve still leaves
+/// the committed network intact; call [`commit`](Transaction::commit) to
+/// keep the changes instead.
+#[derive(Debug)]
+pub struct Transaction<'a> {
+    g: &'a mut McmfGraph,
+    finished: bool,
+}
+
+impl Transaction<'_> {
+    /// Restores the network to its checkout state, bitwise, and ends the
+    /// transaction.
+    pub fn rollback(mut self) {
+        self.g.rollback_internal();
+        self.finished = true;
+    }
+
+    /// Keeps every change made during the transaction and ends it.
+    pub fn commit(mut self) {
+        self.g.commit_internal();
+        self.finished = true;
+    }
+}
+
+impl Deref for Transaction<'_> {
+    type Target = McmfGraph;
+
+    fn deref(&self) -> &McmfGraph {
+        self.g
+    }
+}
+
+impl DerefMut for Transaction<'_> {
+    fn deref_mut(&mut self) -> &mut McmfGraph {
+        self.g
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.g.rollback_internal();
         }
     }
 }
@@ -743,9 +1171,10 @@ mod tests {
     #[test]
     fn negativity_scan_branches_agree() {
         // Two equivalent networks: one whose only negative-cost edge has
-        // zero capacity (scan says Dijkstra-only), one where the negative
-        // edge has spare capacity but hangs off an unreachable node (scan
-        // forces the Bellman-Ford branch). Results must agree.
+        // zero capacity (counter says Dijkstra-only), one where the
+        // negative edge has spare capacity but hangs off an unreachable
+        // node (counter forces the Bellman-Ford branch). Results must
+        // agree.
         let build = |dead_cap: i64| {
             let mut g = McmfGraph::new(5);
             let (s, a, t) = (g.node(0), g.node(1), g.node(2));
@@ -767,6 +1196,36 @@ mod tests {
         assert!(slow.stats().bellman_ford_rounds > 0);
     }
 
+    /// Recomputes the negative-arc predicate by brute force, the oracle
+    /// for the incrementally maintained counter.
+    fn scan_needs_bellman_ford(g: &McmfGraph) -> bool {
+        (0..g.arc_cap.len()).any(|a| g.arc_cap[a] > 0 && g.arc_cost[a] < 0)
+    }
+
+    #[test]
+    fn negative_arc_counter_tracks_writes() {
+        let mut g = McmfGraph::new(3);
+        let (s, a, t) = (g.node(0), g.node(1), g.node(2));
+        let e = g.add_edge(s, a, 2, -3);
+        g.add_edge(a, t, 2, 1);
+        assert!(g.needs_bellman_ford());
+        assert_eq!(g.needs_bellman_ford(), scan_needs_bellman_ford(&g));
+        // Solving saturates the negative edge; its residual twin has
+        // cost +3, the a->t twin has cost -1 with flow on it.
+        g.min_cost_max_flow(s, t);
+        assert_eq!(g.needs_bellman_ford(), scan_needs_bellman_ford(&g));
+        // Zeroing the negative edge entirely and resetting flows leaves
+        // no negative residual arc.
+        g.set_edge_capacity(e, 0);
+        g.reset_flow_keep_potentials();
+        assert_eq!(g.needs_bellman_ford(), scan_needs_bellman_ford(&g));
+        assert!(!g.needs_bellman_ford());
+        // Restoring the capacity brings it back.
+        g.set_edge_capacity(e, 2);
+        assert!(g.needs_bellman_ford());
+        assert_eq!(g.needs_bellman_ford(), scan_needs_bellman_ford(&g));
+    }
+
     #[test]
     fn set_edge_capacity_reshapes_the_network() {
         let mut g = McmfGraph::new(2);
@@ -784,6 +1243,134 @@ mod tests {
         assert_eq!(g.flow(e), 0);
         let r3 = g.min_cost_max_flow(s, t);
         assert_eq!(r3, FlowResult { flow: 2, cost: 2 });
+    }
+
+    /// Everything rollback promises to restore, cloned out for a
+    /// before/after bitwise comparison (work counters excluded by
+    /// design — they measure work, which rollback cannot unperform).
+    type Fingerprint = (
+        usize,
+        Vec<u32>,
+        Vec<i64>,
+        Vec<i64>,
+        Vec<i64>,
+        Vec<i64>,
+        bool,
+    );
+
+    fn fingerprint(g: &McmfGraph) -> Fingerprint {
+        (
+            g.n_nodes,
+            g.arc_to.clone(),
+            g.arc_cost.clone(),
+            g.arc_cap.clone(),
+            g.edge_cap.clone(),
+            g.potential.clone(),
+            g.needs_bellman_ford(),
+        )
+    }
+
+    #[test]
+    fn rollback_restores_caps_and_potentials_bitwise() {
+        let mut g = McmfGraph::new(4);
+        let (s, a, b, t) = (g.node(0), g.node(1), g.node(2), g.node(3));
+        let sa = g.add_edge(s, a, 3, 1);
+        let at = g.add_edge(a, t, 3, 2);
+        g.add_edge(s, b, 2, 4);
+        let bt = g.add_edge(b, t, 2, 1);
+        g.min_cost_max_flow(s, t);
+        let committed = fingerprint(&g);
+        let prior = g.potentials().to_vec();
+
+        let mut txn = g.checkout();
+        let f = txn.flow(bt);
+        txn.withdraw_edge_flow(bt, f);
+        txn.withdraw_edge_flow(sa, 0);
+        txn.set_edge_capacity(bt, 0);
+        txn.set_edge_capacity(at, 1);
+        let _ = txn.min_cost_max_flow_warm(s, t, &prior);
+        txn.rollback();
+
+        assert_eq!(fingerprint(&g), committed);
+        assert!(g.stats().undo_entries > 0);
+        assert_eq!(g.stats().rollbacks, 1);
+        assert!(!g.in_transaction());
+        // The untouched graph re-solves to a no-op, proving the residual
+        // network really is the committed one.
+        let again = g.min_cost_max_flow(s, t);
+        assert_eq!(again, FlowResult { flow: 0, cost: 0 });
+    }
+
+    #[test]
+    fn dropping_the_guard_rolls_back() {
+        let mut g = McmfGraph::new(2);
+        let (s, t) = (g.node(0), g.node(1));
+        let e = g.add_edge(s, t, 5, 1);
+        g.min_cost_max_flow(s, t);
+        let committed = fingerprint(&g);
+        {
+            let mut txn = g.checkout();
+            txn.set_edge_capacity(e, 0);
+        } // guard dropped without rollback/commit
+        assert_eq!(fingerprint(&g), committed);
+        assert_eq!(g.stats().rollbacks, 1);
+    }
+
+    #[test]
+    fn commit_keeps_transactional_changes() {
+        let mut g = McmfGraph::new(2);
+        let (s, t) = (g.node(0), g.node(1));
+        let e = g.add_edge(s, t, 5, 1);
+        g.min_cost_max_flow(s, t);
+        let txn = {
+            let mut txn = g.checkout();
+            txn.set_edge_capacity(e, 3);
+            txn
+        };
+        txn.commit();
+        assert_eq!(g.flow(e), 0);
+        assert_eq!(g.stats().rollbacks, 0);
+        let r = g.min_cost_max_flow(s, t);
+        assert_eq!(r, FlowResult { flow: 3, cost: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "nested transactions")]
+    fn nested_checkout_rejected() {
+        let mut g = McmfGraph::new(2);
+        let (s, t) = (g.node(0), g.node(1));
+        g.add_edge(s, t, 1, 0);
+        let mut txn = g.checkout();
+        let _inner = txn.checkout();
+    }
+
+    #[test]
+    #[should_panic(expected = "inside a transaction")]
+    fn add_edge_inside_transaction_rejected() {
+        let mut g = McmfGraph::new(2);
+        let (s, t) = (g.node(0), g.node(1));
+        g.add_edge(s, t, 1, 0);
+        let mut txn = g.checkout();
+        let _ = txn.add_edge(s, t, 1, 0);
+    }
+
+    #[test]
+    fn undo_log_records_first_write_per_slot_only() {
+        let mut g = McmfGraph::new(2);
+        let (s, t) = (g.node(0), g.node(1));
+        let e = g.add_edge(s, t, 5, 1);
+        let mut txn = g.checkout();
+        // Three writes to the same two arc slots: only the first write
+        // of each slot lands in the log.
+        txn.withdraw_edge_flow(e, 0);
+        txn.set_edge_capacity(e, 4);
+        txn.set_edge_capacity(e, 2);
+        txn.set_edge_capacity(e, 1);
+        txn.rollback();
+        // One arc-cap slot (forward; the reverse stayed 0 throughout)
+        // plus one stored-edge-cap slot.
+        assert_eq!(g.stats().undo_entries, 2);
+        assert_eq!(g.edge_cap[0], 5);
     }
 
     #[test]
@@ -827,28 +1414,119 @@ mod tests {
         cold.set_edge_capacity(cold_wdm[1], 0);
         let cold_result = cold.min_cost_max_flow(cold.node(0), cold.node(6));
 
-        // Warm trial: withdraw WDM 1's committed paths, then re-solve.
-        let mut warm = committed.clone();
-        warm.reset_stats();
-        for i in 0..3 {
-            let f = warm.flow(assign[i * 2 + 1]);
-            if f > 0 {
-                warm.withdraw_edge_flow(assign[i * 2 + 1], f);
-                warm.withdraw_edge_flow(conn[i], f);
-                warm.withdraw_edge_flow(wdm[1], f);
+        // Warm trial: withdraw WDM 1's committed paths inside a
+        // transaction, re-solve, and roll back — the committed network
+        // must come back bitwise.
+        committed.reset_stats();
+        let before = fingerprint(&committed);
+        let warm_result = {
+            let mut txn = committed.checkout();
+            for i in 0..3 {
+                let f = txn.flow(assign[i * 2 + 1]);
+                if f > 0 {
+                    txn.withdraw_edge_flow(assign[i * 2 + 1], f);
+                    txn.withdraw_edge_flow(conn[i], f);
+                    txn.withdraw_edge_flow(wdm[1], f);
+                }
             }
-        }
-        warm.set_edge_capacity(wdm[1], 0);
-        let warm_result = warm.min_cost_max_flow_warm(s, t, &prior);
+            txn.set_edge_capacity(wdm[1], 0);
+            let r = txn.min_cost_max_flow_warm(s, t, &prior);
+            txn.rollback();
+            r
+        };
 
         assert_eq!(warm_result, cold_result);
-        assert_eq!(warm.stats().warm_fallbacks, 0);
+        assert_eq!(fingerprint(&committed), before);
+        assert_eq!(committed.stats().warm_fallbacks, 0);
         assert!(
-            warm.stats().dijkstra_passes < cold.stats().dijkstra_passes,
+            committed.stats().dijkstra_passes < cold.stats().dijkstra_passes,
             "warm {} passes vs cold {}",
-            warm.stats().dijkstra_passes,
+            committed.stats().dijkstra_passes,
             cold.stats().dijkstra_passes
         );
+    }
+
+    #[test]
+    fn reroute_after_sink_deletion_matches_cold_solve() {
+        // Sink-arc deletion as the WDM trial runs it: withdraw only the
+        // deleted sink edge's flow (arc removals keep the committed
+        // potentials feasible), then re-push the displaced units from
+        // the WDM node to the sink. Flow value and cost must match a
+        // cold solve of the reduced network, with no Bellman-Ford and a
+        // single converged repair round — in both the feasible and the
+        // infeasible case.
+        let build = |capacity: i64| {
+            let mut g = McmfGraph::new(7);
+            let s = g.node(0);
+            let t = g.node(6);
+            for i in 0..3 {
+                g.add_edge(s, g.node(1 + i), 20, 0);
+            }
+            let mut wdm = Vec::new();
+            for i in 0..3usize {
+                for j in 0..2usize {
+                    let cost = (i as i64 - j as i64).abs();
+                    g.add_edge(g.node(1 + i), g.node(4 + j), 20, cost);
+                }
+            }
+            for j in 0..2 {
+                wdm.push(g.add_edge(g.node(4 + j), t, capacity, 10));
+            }
+            (g, wdm)
+        };
+
+        // capacity 64: WDM 0 can absorb all 60 bits, deletion feasible;
+        // capacity 32: it cannot, deletion infeasible.
+        for capacity in [64i64, 32] {
+            let (mut committed, wdm) = build(capacity);
+            let (s, t) = (committed.node(0), committed.node(6));
+            let full = committed.min_cost_max_flow(s, t);
+            assert_eq!(full.flow, 60);
+            let prior = committed.potentials().to_vec();
+
+            let (mut cold, cold_wdm) = build(capacity);
+            cold.set_edge_capacity(cold_wdm[1], 0);
+            let cold_result = cold.min_cost_max_flow(cold.node(0), cold.node(6));
+
+            committed.reset_stats();
+            let before = fingerprint(&committed);
+            let (displaced, rerouted) = {
+                let mut txn = committed.checkout();
+                let f = txn.flow(wdm[1]);
+                txn.withdraw_edge_flow(wdm[1], f);
+                txn.set_edge_capacity(wdm[1], 0);
+                let w1 = txn.node(5);
+                let r = txn.min_cost_reroute(w1, t, f, &prior);
+                txn.rollback();
+                (f, r)
+            };
+
+            assert!(displaced > 0, "committed plan must load WDM 1");
+            assert_eq!(
+                60 - displaced + rerouted.flow,
+                cold_result.flow,
+                "cap {capacity}: rerouted flow value"
+            );
+            let feasible = rerouted.flow == displaced;
+            assert_eq!(feasible, capacity == 64, "cap {capacity}: feasibility");
+            if feasible {
+                // With the full excess re-routed the result is a real
+                // flow again, and cost-optimal for its value.
+                assert_eq!(
+                    full.cost - 10 * displaced + rerouted.cost,
+                    cold_result.cost,
+                    "cap {capacity}: rerouted flow must stay cost-optimal"
+                );
+            }
+            assert_eq!(fingerprint(&committed), before);
+            let stats = committed.stats();
+            assert_eq!(
+                stats.bellman_ford_rounds, 0,
+                "removals keep priors feasible"
+            );
+            assert_eq!(stats.repair_rounds, 1, "one converged verification round");
+            assert_eq!(stats.warm_fallbacks, 0);
+        }
     }
 
     #[test]
@@ -1068,6 +1746,74 @@ mod tests {
             for &imbalance in &net[1..n - 1] {
                 prop_assert_eq!(imbalance, 0);
             }
+        }
+
+        /// The tentpole guarantee: checkout → arbitrary mutations
+        /// (withdrawals, capacity edits, resets, warm and cold solves)
+        /// → rollback restores the network bitwise, and the O(1)
+        /// negative-arc counter always agrees with a full rescan.
+        #[test]
+        fn rollback_is_bitwise_and_neg_counter_exact(
+            n in 2usize..7,
+            raw_edges in proptest::collection::vec(
+                (0usize..7, 0usize..7, 0i64..10, -5i64..20), 1..18),
+            ops in proptest::collection::vec((0u8..5, 0usize..18, 0i64..10), 1..12),
+        ) {
+            let edges: Vec<_> = raw_edges
+                .into_iter()
+                .map(|(u, v, cap, cost)| (u % n, v % n, cap, cost))
+                .filter(|&(u, v, _, _)| u != v)
+                .collect();
+            if edges.is_empty() {
+                return Ok(());
+            }
+            let mut g = McmfGraph::new(n);
+            let handles: Vec<_> = edges
+                .iter()
+                .map(|&(u, v, cap, cost)| g.add_edge(g.node(u), g.node(v), cap, cost))
+                .collect();
+            // Negative cycles make min-cost flow undefined; skip them.
+            if !g.clone().repair_potentials(&mut vec![0i64; n]) {
+                return Ok(());
+            }
+            let (s, t) = (g.node(0), g.node(1));
+            g.min_cost_max_flow(s, t);
+            let prior = g.potentials().to_vec();
+            let committed = fingerprint(&g);
+
+            let mut txn = g.checkout();
+            for &(op, which, amount) in &ops {
+                let e = handles[which % handles.len()];
+                match op {
+                    0 => {
+                        let f = txn.flow(e).min(amount);
+                        if f > 0 {
+                            txn.withdraw_edge_flow(e, f);
+                        }
+                    }
+                    1 => txn.set_edge_capacity(e, amount),
+                    2 => txn.reset_flow_keep_potentials(),
+                    3 => {
+                        let _ = txn.min_cost_max_flow_warm(s, t, &prior);
+                    }
+                    _ => {
+                        // Cold solves inside a transaction are legal too
+                        // (the fallback path exercises them); guard the
+                        // negative-cycle panic the same way warm does.
+                        if txn.clone().repair_potentials(&mut vec![0i64; n]) {
+                            let _ = txn.min_cost_max_flow(s, t);
+                        }
+                    }
+                }
+                prop_assert_eq!(
+                    txn.needs_bellman_ford(),
+                    scan_needs_bellman_ford(&txn),
+                    "negative-arc counter diverged from rescan"
+                );
+            }
+            txn.rollback();
+            prop_assert_eq!(fingerprint(&g), committed);
+            prop_assert_eq!(g.needs_bellman_ford(), scan_needs_bellman_ford(&g));
         }
     }
 }
