@@ -31,4 +31,7 @@ cargo run -p operon-bench --release -q --bin crossing_bench -- --smoke
 echo "==> wdm_bench --smoke (transactional trial identity gate)"
 cargo run -p operon-bench --release -q --bin wdm_bench -- --smoke
 
+echo "==> serve_bench --smoke (warm-session identity gate)"
+cargo run -p operon-bench --release -q --bin serve_bench -- --smoke
+
 echo "CI green."

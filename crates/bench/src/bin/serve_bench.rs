@@ -1,0 +1,261 @@
+//! Measures the `operon-serve` warm-session daemon against one-shot
+//! cold routing on a synthetic ECO trace, and writes `BENCH_serve.json`
+//! at the repository root.
+//!
+//! ```text
+//! cargo run -p operon-bench --release --bin serve_bench
+//! cargo run -p operon-bench --release --bin serve_bench -- --smoke
+//! ```
+//!
+//! The fixture is a synthesized design plus a request trace of
+//! `eco_move_pins` requests cycling through its groups (each group
+//! alternately nudged away from and back to its home position, so every
+//! ECO is feasible), with periodic `report` requests. Three criteria:
+//!
+//! 1. **Identity**: every warm ECO response's `power_mw` must equal —
+//!    bitwise, through the JSON round-trip — the power of a fresh
+//!    cold `OperonFlow::run` on the identically-mutated design
+//!    (asserted per request).
+//! 2. **Replay determinism**: the whole trace replayed through servers
+//!    at 1, 2 and 8 worker threads must produce byte-identical response
+//!    streams (asserted in-process).
+//! 3. **Warm speed**: serving the trace warm must be at least 3x faster
+//!    than routing every request cold (asserted, non-smoke only — the
+//!    PR's acceptance criterion).
+//!
+//! `--smoke` shrinks the trace, keeps every identity assertion, and
+//! skips the timing criteria and the JSON write — the cheap CI gate.
+//!
+//! Numbers in the committed `BENCH_serve.json` come from whatever
+//! machine last ran this binary; `hardware_threads` records the truth.
+
+use operon::config::OperonConfig;
+use operon::flow::OperonFlow;
+use operon_exec::json::{self, Value};
+use operon_exec::{Executor, Stopwatch};
+use operon_geom::Point;
+use operon_netlist::synth::{generate, SynthConfig};
+use operon_netlist::{Bit, Design, SignalGroup};
+use operon_serve::Server;
+
+const REPORT_EVERY: usize = 100;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let hardware = std::thread::available_parallelism().map_or(1, usize::from);
+    let requests = if smoke { 40 } else { 1000 };
+
+    let design = generate(&SynthConfig::small(), 42);
+    let moves = plan_moves(&design, requests);
+    let trace = build_trace(&design, &moves);
+
+    // Criterion 2: byte-identical replay at every thread count.
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 8] };
+    let reference = Server::new(Executor::new(1), 1).run_trace(&trace);
+    for &threads in &thread_counts[1..] {
+        let replay = Server::new(Executor::new(threads), threads).run_trace(&trace);
+        assert_eq!(
+            replay, reference,
+            "replay diverged at {threads} worker threads"
+        );
+    }
+
+    // Criterion 1 + warm timing: one request at a time through a
+    // single-threaded server, cold-checked against a fresh flow run on
+    // the identically-mutated design.
+    let mut server = Server::new(Executor::new(1), 1);
+    let mut mutated = design.clone();
+    let mut warm_total = 0.0f64;
+    let mut cold_total = 0.0f64;
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    for (pos, line) in trace.lines().enumerate() {
+        let sw = Stopwatch::start();
+        let response = server.handle_line(line);
+        let elapsed = sw.elapsed().as_secs_f64();
+        warm_total += elapsed;
+        assert!(
+            response.contains("\"ok\":true"),
+            "request {pos} failed: {response}"
+        );
+        let Some((group, delta)) = eco_of(line, &moves) else {
+            continue;
+        };
+        latencies_ms.push(elapsed * 1e3);
+        mutated = shifted(&mutated, group, delta);
+        let sw = Stopwatch::start();
+        let cold = OperonFlow::new(OperonConfig::default())
+            .run(&mutated)
+            .expect("cold flow feasible");
+        cold_total += sw.elapsed().as_secs_f64();
+        let warm_power = json::parse(&response)
+            .expect("response is valid JSON")
+            .get("power_mw")
+            .and_then(Value::as_f64)
+            .expect("ECO response carries power_mw");
+        assert_eq!(
+            warm_power.to_bits(),
+            cold.selection.power_mw.to_bits(),
+            "request {pos}: warm power diverged from the cold reference"
+        );
+    }
+
+    let report = server.handle_line("{\"op\":\"report\",\"session\":\"bench\"}");
+    assert!(
+        report.contains("\"wdm_networks_cloned\":0"),
+        "warm sessions must never clone a flow network: {report}"
+    );
+
+    if smoke {
+        println!("serve_bench --smoke: all identity checks passed");
+        return;
+    }
+
+    let speedup = cold_total / warm_total;
+    assert!(
+        speedup >= 3.0,
+        "warm sessions must be at least 3x faster than one-shot cold \
+         routing (got {speedup:.2}x: warm {warm_total:.3} s vs cold {cold_total:.3} s)"
+    );
+
+    latencies_ms.sort_by(f64::total_cmp);
+    let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
+    let p50 = pct(0.50);
+    let p99 = pct(0.99);
+    let rps = trace.lines().count() as f64 / warm_total;
+    println!(
+        "serve: {n} requests, warm {warm_total:.3} s vs cold {cold_total:.3} s \
+         ({speedup:.2}x), {rps:.0} req/s, ECO p50 {p50:.3} ms p99 {p99:.3} ms",
+        n = trace.lines().count(),
+    );
+
+    let out = Value::object(vec![
+        ("benchmark", Value::from("serve_warm_sessions")),
+        ("hardware_threads", Value::from(hardware)),
+        ("requests", Value::from(trace.lines().count())),
+        ("eco_requests", Value::from(latencies_ms.len())),
+        ("warm_total_s", Value::from(warm_total)),
+        ("cold_total_s", Value::from(cold_total)),
+        ("speedup", Value::from(speedup)),
+        ("rps_warm", Value::from(rps)),
+        ("eco_p50_ms", Value::from(p50)),
+        ("eco_p99_ms", Value::from(p99)),
+        (
+            "replay_thread_counts",
+            Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(8)]),
+        ),
+        ("identical_results", Value::from(true)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, out.pretty() + "\n").expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}
+
+/// Plans `count` feasible pin moves cycling through the design's
+/// groups: each group gets a fixed nudge direction that provably stays
+/// on the die, applied and undone alternately so pins orbit their home
+/// positions. Returns `(group, (dx, dy))` per ECO request.
+fn plan_moves(design: &Design, count: usize) -> Vec<(usize, (i64, i64))> {
+    const NUDGE: i64 = 24;
+    let die = design.die();
+    let mut directions: Vec<Option<(i64, i64)>> = Vec::new();
+    for group in design.groups() {
+        let fits = |dx: i64, dy: i64| {
+            group.bits().iter().all(|b| {
+                b.pins()
+                    .all(|p| die.contains(Point::new(p.x + dx, p.y + dy)))
+            })
+        };
+        directions.push(
+            [(NUDGE, 0), (-NUDGE, 0), (0, NUDGE), (0, -NUDGE)]
+                .into_iter()
+                .find(|&(dx, dy)| fits(dx, dy)),
+        );
+    }
+    let mut out = Vec::new();
+    let mut away: Vec<bool> = vec![true; directions.len()];
+    let mut group = 0usize;
+    while out.len() < count {
+        if let Some((dx, dy)) = directions[group] {
+            let sign = if away[group] { 1 } else { -1 };
+            out.push((group, (sign * dx, sign * dy)));
+            away[group] = !away[group];
+        }
+        group = (group + 1) % directions.len();
+    }
+    out
+}
+
+/// Renders the bench request trace: open, first (cold) route, the
+/// planned ECOs with a `report` heartbeat every [`REPORT_EVERY`]
+/// requests.
+fn build_trace(design: &Design, moves: &[(usize, (i64, i64))]) -> String {
+    let mut trace = String::new();
+    trace.push_str(
+        &Value::object(vec![
+            ("op", "open_design".into()),
+            ("session", "bench".into()),
+            ("design", operon_netlist::io::write_design(design).into()),
+        ])
+        .compact(),
+    );
+    trace.push('\n');
+    trace.push_str("{\"op\":\"route\",\"session\":\"bench\"}\n");
+    for (pos, (group, (dx, dy))) in moves.iter().enumerate() {
+        trace.push_str(
+            &Value::object(vec![
+                ("op", "eco_move_pins".into()),
+                ("session", "bench".into()),
+                ("group", Value::Int(*group as i64)),
+                ("dx", Value::Int(*dx)),
+                ("dy", Value::Int(*dy)),
+            ])
+            .compact(),
+        );
+        trace.push('\n');
+        if (pos + 1) % REPORT_EVERY == 0 {
+            trace.push_str("{\"op\":\"report\",\"session\":\"bench\"}\n");
+        }
+    }
+    trace
+}
+
+/// Maps a trace line back to its planned move (None for non-ECO lines).
+fn eco_of(line: &str, moves: &[(usize, (i64, i64))]) -> Option<(usize, (i64, i64))> {
+    if !line.contains("eco_move_pins") {
+        return None;
+    }
+    let value = json::parse(line).expect("trace lines are valid JSON");
+    let group = value.get("group").and_then(Value::as_i64)? as usize;
+    let dx = value.get("dx").and_then(Value::as_i64)?;
+    let dy = value.get("dy").and_then(Value::as_i64)?;
+    debug_assert!(moves.contains(&(group, (dx, dy))));
+    Some((group, (dx, dy)))
+}
+
+/// The cold-reference mutation: the same pin translation the daemon's
+/// `eco_move_pins` applies, rebuilt as a standalone design.
+fn shifted(design: &Design, group: usize, (dx, dy): (i64, i64)) -> Design {
+    let mut next = Design::new(design.name(), design.die());
+    for g in design.groups() {
+        if g.id().index() == group {
+            let bits = g
+                .bits()
+                .iter()
+                .map(|b| {
+                    Bit::new(
+                        b.id(),
+                        Point::new(b.source().x + dx, b.source().y + dy),
+                        b.sinks()
+                            .iter()
+                            .map(|&s| Point::new(s.x + dx, s.y + dy))
+                            .collect(),
+                    )
+                })
+                .collect();
+            next.push_group(SignalGroup::new(g.id(), g.name(), bits));
+        } else {
+            next.push_group(g.clone());
+        }
+    }
+    next
+}

@@ -4,7 +4,7 @@
 //! operon_route <design.sig>... [--threads N|auto] [--run-report FILE]
 //!              [--ilp SECS] [--ilp-wave-size N] [--capacity N]
 //!              [--max-loss DB] [--max-delay PS] [--scale N/D]
-//!              [--maps] [--nets] [--svg FILE]
+//!              [--maps] [--nets] [--svg FILE] [--emit-trace FILE]
 //! ```
 //!
 //! Reads designs in the `operon-netlist` text format (see
@@ -19,7 +19,10 @@
 //! the explored tree depends on the wave size but never on the thread
 //! count). `--maps` additionally renders the optical/electrical power
 //! maps as ASCII heat maps; `--svg` writes the routed layout as an SVG
-//! drawing (single design only).
+//! drawing (single design only). `--emit-trace` additionally writes the
+//! whole invocation as a JSONL request trace — one
+//! `open_design`/`set_config`/`route`/`close` session per design, in
+//! input order — consumable by `operon_serve --replay`.
 
 use operon::config::{OperonConfig, Selector};
 use operon::flow::OperonFlow;
@@ -31,7 +34,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: operon_route <design.sig>... [--threads N|auto] [--run-report FILE] [--ilp SECS] \
          [--ilp-wave-size N] [--capacity N] [--max-loss DB] [--max-delay PS] [--scale N/D] \
-         [--maps] [--nets] [--svg FILE]"
+         [--maps] [--nets] [--svg FILE] [--emit-trace FILE]"
     );
     ExitCode::from(2)
 }
@@ -42,6 +45,7 @@ struct Options {
     show_nets: bool,
     scale: Option<(i64, i64)>,
     svg_path: Option<String>,
+    emit_trace: bool,
 }
 
 fn main() -> ExitCode {
@@ -54,9 +58,11 @@ fn main() -> ExitCode {
         show_nets: false,
         scale: None,
         svg_path: None,
+        emit_trace: false,
     };
     let mut threads = 0usize; // 0 = one worker per hardware thread
     let mut report_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -150,6 +156,14 @@ fn main() -> ExitCode {
                 opts.svg_path = Some(path.clone());
                 i += 2;
             }
+            "--emit-trace" => {
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                trace_path = Some(path.clone());
+                opts.emit_trace = true;
+                i += 2;
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown argument '{other}'");
                 return usage();
@@ -172,24 +186,38 @@ fn main() -> ExitCode {
     // concurrently, each flow parallelizes internally on the same worker
     // budget, and every stage lands in one shared run report.
     let exec = Executor::new(threads);
-    let outputs: Vec<Result<String, String>> = if paths.len() == 1 {
+    let outputs: Vec<Result<(String, Option<String>), String>> = if paths.len() == 1 {
         vec![route_one(&paths[0], &opts, &exec)]
     } else {
         exec.par_map_coarse(&paths, |path| route_one(path, &opts, &exec))
     };
 
     let mut failed = false;
+    let mut trace = String::new();
     for (pos, output) in outputs.iter().enumerate() {
         if pos > 0 {
             println!();
         }
         match output {
-            Ok(text) => print!("{text}"),
+            Ok((text, session_trace)) => {
+                print!("{text}");
+                if let Some(lines) = session_trace {
+                    trace.push_str(lines);
+                }
+            }
             Err(e) => {
                 eprintln!("{e}");
                 failed = true;
             }
         }
+    }
+
+    if let Some(path) = trace_path {
+        if let Err(e) = std::fs::write(&path, &trace) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("request trace written to {path}");
     }
 
     if let Some(path) = report_path {
@@ -206,10 +234,72 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Renders one design's invocation as a JSONL request-trace session
+/// (`open_design`/`set_config`/`route`/`close`) replayable by
+/// `operon_serve --replay`. The `set_config` line carries exactly the
+/// knobs this CLI run changed from the defaults, so the daemon routes
+/// under the same configuration.
+fn trace_session(design: &operon_netlist::Design, config: &OperonConfig) -> String {
+    use operon::config::Selector;
+    use operon_exec::json::Value;
+
+    let mut lines = String::new();
+    let session = design.name();
+    lines.push_str(
+        &Value::object(vec![
+            ("op", "open_design".into()),
+            ("session", session.into()),
+            ("design", operon_netlist::io::write_design(design).into()),
+        ])
+        .compact(),
+    );
+    lines.push('\n');
+
+    let defaults = OperonConfig::default();
+    let mut knobs: Vec<(&str, Value)> = Vec::new();
+    if config.optical.max_loss_db != defaults.optical.max_loss_db {
+        knobs.push(("max_loss", Value::Float(config.optical.max_loss_db)));
+    }
+    if config.optical.wdm_capacity != defaults.optical.wdm_capacity {
+        knobs.push(("capacity", Value::Int(config.optical.wdm_capacity as i64)));
+    }
+    if config.max_delay_ps != defaults.max_delay_ps {
+        if let Some(ps) = config.max_delay_ps {
+            knobs.push(("max_delay", Value::Float(ps)));
+        }
+    }
+    if let Selector::Ilp { time_limit_secs } = config.selector {
+        knobs.push(("selector", "ilp".into()));
+        knobs.push(("ilp_secs", Value::Int(time_limit_secs as i64)));
+    }
+    if config.ilp_wave_size != defaults.ilp_wave_size {
+        knobs.push(("ilp_wave_size", Value::Int(config.ilp_wave_size as i64)));
+    }
+    if !knobs.is_empty() {
+        let mut fields = vec![("op", "set_config".into()), ("session", session.into())];
+        fields.extend(knobs);
+        lines.push_str(&Value::object(fields).compact());
+        lines.push('\n');
+    }
+
+    for op in ["route", "close"] {
+        lines.push_str(
+            &Value::object(vec![("op", op.into()), ("session", session.into())]).compact(),
+        );
+        lines.push('\n');
+    }
+    lines
+}
+
 /// Routes one design and renders its report (the batch driver calls this
 /// concurrently, so everything is returned as a string and printed in
-/// input order by the caller).
-fn route_one(path: &str, opts: &Options, exec: &Executor) -> Result<String, String> {
+/// input order by the caller). The second slot holds this design's
+/// request-trace session when `--emit-trace` is active.
+fn route_one(
+    path: &str,
+    opts: &Options,
+    exec: &Executor,
+) -> Result<(String, Option<String>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut design = operon_netlist::io::read_design(&text).map_err(|e| format!("{path}: {e}"))?;
     if let Some((n, d)) = opts.scale {
@@ -323,5 +413,6 @@ fn route_one(path: &str, opts: &Options, exec: &Executor) -> Result<String, Stri
         std::fs::write(svg_out, svg).map_err(|e| format!("cannot write {svg_out}: {e}"))?;
         writeln!(w, "layout written to {svg_out}").expect("write to string");
     }
-    Ok(out)
+    let trace = opts.emit_trace.then(|| trace_session(&design, &config));
+    Ok((out, trace))
 }

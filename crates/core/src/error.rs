@@ -15,6 +15,10 @@ pub enum OperonError {
     SelectionFailed(String),
     /// WDM placement/assignment cannot carry the demanded channels.
     WdmInfeasible(String),
+    /// An incremental engineering change order was rejected before any
+    /// state changed (e.g. it would move a pin off the die); the session
+    /// that refused it is still valid.
+    EcoRejected(String),
 }
 
 impl fmt::Display for OperonError {
@@ -24,6 +28,7 @@ impl fmt::Display for OperonError {
             OperonError::EmptyDesign => write!(f, "design contains no signal groups"),
             OperonError::SelectionFailed(msg) => write!(f, "candidate selection failed: {msg}"),
             OperonError::WdmInfeasible(msg) => write!(f, "WDM assignment infeasible: {msg}"),
+            OperonError::EcoRejected(msg) => write!(f, "ECO rejected: {msg}"),
         }
     }
 }

@@ -297,28 +297,7 @@ impl OperonFlow {
 
         let selection = {
             let mut stage = self.exec.stage("selection");
-            let sel = match config.selector {
-                Selector::Ilp { time_limit_secs } => {
-                    // Warm-start the exact solver with the fast LR heuristic
-                    // so limit-terminated solves still return a strong
-                    // incumbent.
-                    let warm = select_lr_with(&candidates, &crossings, &config, &self.exec);
-                    let mut ilp = select_ilp_with(
-                        &candidates,
-                        &crossings,
-                        &config.optical,
-                        Duration::from_secs(time_limit_secs),
-                        Some(&warm.choice),
-                        config.ilp_wave_size,
-                        &self.exec,
-                    )?;
-                    ilp.lr_stats = warm.lr_stats;
-                    ilp
-                }
-                Selector::LagrangianRelaxation => {
-                    select_lr_with(&candidates, &crossings, &config, &self.exec)
-                }
-            };
+            let sel = select_with(&candidates, &crossings, &config, &self.exec)?;
             record_ilp_stats(&mut stage, &sel);
             record_lr_stats(&mut stage, &sel);
             sel
@@ -498,25 +477,7 @@ impl OperonFlow {
         times.crossing = t.elapsed();
         let selection = {
             let mut stage = self.exec.stage("selection");
-            let sel = match resolved.selector {
-                Selector::Ilp { time_limit_secs } => {
-                    let warm = select_lr_with(&candidates, &crossings, &resolved, &self.exec);
-                    let mut ilp = select_ilp_with(
-                        &candidates,
-                        &crossings,
-                        &resolved.optical,
-                        Duration::from_secs(time_limit_secs),
-                        Some(&warm.choice),
-                        resolved.ilp_wave_size,
-                        &self.exec,
-                    )?;
-                    ilp.lr_stats = warm.lr_stats;
-                    ilp
-                }
-                Selector::LagrangianRelaxation => {
-                    select_lr_with(&candidates, &crossings, &resolved, &self.exec)
-                }
-            };
+            let sel = select_with(&candidates, &crossings, &resolved, &self.exec)?;
             record_ilp_stats(&mut stage, &sel);
             record_lr_stats(&mut stage, &sel);
             sel
@@ -558,10 +519,41 @@ impl OperonFlow {
     }
 }
 
+/// Runs the configured selector over a candidate/crossing pair: the
+/// exact ILP warm-started by the LR heuristic, or the LR heuristic
+/// alone. Shared between [`OperonFlow`] and the warm-session layer so
+/// both paths pick identical routes for identical inputs.
+pub(crate) fn select_with(
+    candidates: &[NetCandidates],
+    crossings: &CrossingIndex,
+    config: &OperonConfig,
+    exec: &Executor,
+) -> Result<SelectionResult, OperonError> {
+    match config.selector {
+        Selector::Ilp { time_limit_secs } => {
+            // Warm-start the exact solver with the fast LR heuristic so
+            // limit-terminated solves still return a strong incumbent.
+            let warm = select_lr_with(candidates, crossings, config, exec);
+            let mut ilp = select_ilp_with(
+                candidates,
+                crossings,
+                &config.optical,
+                Duration::from_secs(time_limit_secs),
+                Some(&warm.choice),
+                config.ilp_wave_size,
+                exec,
+            )?;
+            ilp.lr_stats = warm.lr_stats;
+            Ok(ilp)
+        }
+        Selector::LagrangianRelaxation => Ok(select_lr_with(candidates, crossings, config, exec)),
+    }
+}
+
 /// Surfaces the exact solver's search counters into the selection
 /// stage's run-report record (a no-op for the LR/baseline paths, which
 /// carry no ILP stats).
-fn record_ilp_stats(stage: &mut operon_exec::StageScope<'_>, sel: &SelectionResult) {
+pub(crate) fn record_ilp_stats(stage: &mut operon_exec::StageScope<'_>, sel: &SelectionResult) {
     if let Some(stats) = sel.ilp_stats {
         stage.record("ilp_nodes", stats.nodes_explored as u64);
         stage.record("ilp_lp_solves", stats.lp_solves as u64);
@@ -573,7 +565,7 @@ fn record_ilp_stats(stage: &mut operon_exec::StageScope<'_>, sel: &SelectionResu
 
 /// Surfaces the incremental-pricing counters into the selection stage's
 /// run-report record (a no-op for paths that never ran the LR loop).
-fn record_lr_stats(stage: &mut operon_exec::StageScope<'_>, sel: &SelectionResult) {
+pub(crate) fn record_lr_stats(stage: &mut operon_exec::StageScope<'_>, sel: &SelectionResult) {
     if let Some(stats) = sel.lr_stats {
         stage.record("lr_iterations", stats.iterations);
         stage.record("lr_priced_nets", stats.priced_nets);
@@ -585,7 +577,7 @@ fn record_lr_stats(stage: &mut operon_exec::StageScope<'_>, sel: &SelectionResul
 
 /// Surfaces the WDM stage's warm/cold network-solver counters into its
 /// run-report record.
-fn record_wdm_stats(stage: &mut operon_exec::StageScope<'_>, plan: &WdmPlan) {
+pub(crate) fn record_wdm_stats(stage: &mut operon_exec::StageScope<'_>, plan: &WdmPlan) {
     stage.record("wdm_cold_solves", plan.stats.cold_solves);
     stage.record("wdm_warm_trials", plan.stats.warm_trials);
     stage.record("wdm_dijkstra_passes", plan.stats.mcmf.dijkstra_passes);

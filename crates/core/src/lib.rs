@@ -46,6 +46,7 @@ pub mod formulation;
 pub mod lr;
 pub mod render;
 pub mod report;
+pub mod session;
 pub mod timing;
 pub mod topology;
 pub mod wdm;
@@ -55,3 +56,4 @@ pub use config::OperonConfig;
 pub use crossing::CrossingIndex;
 pub use error::OperonError;
 pub use flow::{FlowResult, OperonFlow};
+pub use session::{RouteSummary, SessionStats, WarmSession};

@@ -53,6 +53,18 @@ pub struct LrStats {
     pub reused_loads: u64,
 }
 
+impl LrStats {
+    /// Adds another selection's counters into this one (a session
+    /// accumulates its per-request LR work here).
+    pub fn accumulate(&mut self, other: &LrStats) {
+        self.iterations += other.iterations;
+        self.priced_nets += other.priced_nets;
+        self.reused_prices += other.reused_prices;
+        self.load_evals += other.load_evals;
+        self.reused_loads += other.reused_loads;
+    }
+}
+
 /// Runs the LR-based selection.
 ///
 /// Always returns a feasible selection; `proven_optimal` is always

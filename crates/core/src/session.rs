@@ -1,0 +1,686 @@
+//! Cross-request warm routing sessions.
+//!
+//! A [`WarmSession`] is the unit of residency behind the `operon_serve`
+//! daemon: it owns one design plus every expensive artifact the flow
+//! derives from it — hyper nets, per-net candidate pools, the
+//! [`CrossingIndex`], the latest selection, and the WDM plan together
+//! with its committed flow networks ([`ResidentAssignment`]) — and
+//! reuses them across requests instead of rebuilding per invocation.
+//!
+//! The contract mirrors [`OperonFlow::run_eco`]: after any sequence of
+//! ECOs, the session's resident result is **identical** to a fresh
+//! [`OperonFlow::run`] on the current design — warmth is purely a
+//! speed-up, never a different answer. That is what makes the serving
+//! layer's replay determinism possible: responses derived from session
+//! state are pure functions of the request history, independent of
+//! thread count and batch composition.
+//!
+//! What stays warm across a request:
+//!
+//! * unchanged groups keep their clustering and co-design candidates;
+//! * when every reused hyper net keeps its dense index, the crossing
+//!   index is patched via [`CrossingIndex::rebuild_delta`] instead of
+//!   rebuilt;
+//! * selection re-runs globally (a local change can shift the crossing
+//!   coupling anywhere), with the LR pricer's within-call dirty sets;
+//! * WDM planning re-runs via [`wdm::plan_resident_with`], and the
+//!   committed networks stay resident so deletion what-ifs
+//!   ([`WarmSession::probe_wdm`]) are transactional
+//!   checkout/reroute/rollback probes — `networks_cloned` stays 0 for
+//!   the whole session lifecycle.
+
+use crate::codesign::{generate_candidates, NetCandidates};
+use crate::config::OperonConfig;
+use crate::flow::{record_ilp_stats, record_lr_stats, record_wdm_stats, select_with};
+use crate::formulation::SelectionResult;
+use crate::lr::LrStats;
+use crate::wdm::{self, ResidentAssignment, WdmPlan, WdmProbe, WdmStats};
+use crate::{CrossingIndex, OperonError};
+use operon_cluster::{build_hyper_nets, HyperNet, HyperNetId};
+use operon_exec::Executor;
+use operon_geom::Point;
+use operon_netlist::{Bit, BitId, Design, GroupId, SignalGroup};
+use std::collections::BTreeMap;
+
+/// Deterministic work counters accumulated over a session's lifetime.
+///
+/// Every field is a pure function of the request history (thread-count
+/// invariant), so sessions can surface these in protocol responses
+/// without breaking the byte-identical replay contract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Route-producing requests handled (`route` + ECOs).
+    pub routes: u64,
+    /// Routes that ran the full cold pipeline.
+    pub cold_routes: u64,
+    /// Routes that reused warm per-group state incrementally.
+    pub warm_routes: u64,
+    /// `route` requests answered from the resident result outright.
+    pub cached_routes: u64,
+    /// Groups whose clustering + candidates were reused across ECOs.
+    pub groups_reused: u64,
+    /// Groups re-clustered because they changed.
+    pub groups_reclustered: u64,
+    /// Hyper nets whose candidate pools were reused.
+    pub nets_reused: u64,
+    /// Hyper nets whose candidates were regenerated.
+    pub nets_recoded: u64,
+    /// Crossing indexes patched via `rebuild_delta`.
+    pub crossing_delta_rebuilds: u64,
+    /// Crossing indexes built from scratch.
+    pub crossing_full_builds: u64,
+    /// WDM deletion what-if probes run.
+    pub probes: u64,
+    /// Configuration replacements.
+    pub config_changes: u64,
+    /// Accumulated LR pricing counters across all selections.
+    pub lr: LrStats,
+    /// Accumulated WDM/MCMF counters across all plans and probes.
+    pub wdm: WdmStats,
+}
+
+/// A compact, deterministic digest of one routed state — everything a
+/// protocol response reports about a route without touching wall-clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouteSummary {
+    /// Whether warm state (cached or incremental) served the request.
+    pub warm: bool,
+    /// Hyper nets routed.
+    pub hyper_nets: usize,
+    /// Hyper nets routed at least partly optically.
+    pub optical: usize,
+    /// Hyper nets routed fully electrically.
+    pub electrical: usize,
+    /// Total power of the selection, mW.
+    pub power_mw: f64,
+    /// Whether the selector proved optimality (ILP only).
+    pub proven_optimal: bool,
+    /// WDM count after sweep placement.
+    pub wdm_initial: usize,
+    /// WDM count after flow re-assignment + reduction.
+    pub wdm_final: usize,
+}
+
+/// The resident artifacts of a routed design.
+struct WarmState {
+    /// Config with the instance-resolved crossing-sharing factor.
+    resolved: OperonConfig,
+    hyper_nets: Vec<HyperNet>,
+    candidates: Vec<NetCandidates>,
+    crossings: CrossingIndex,
+    selection: SelectionResult,
+    wdm: WdmPlan,
+    resident: ResidentAssignment,
+}
+
+/// One design's long-lived routing session (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use operon::config::OperonConfig;
+/// use operon::session::WarmSession;
+/// use operon_exec::Executor;
+/// use operon_netlist::synth::{generate, SynthConfig};
+///
+/// let design = generate(&SynthConfig::small(), 7);
+/// let mut session =
+///     WarmSession::open(design, OperonConfig::default(), Executor::sequential())?;
+/// let first = session.route()?;
+/// let again = session.route()?; // answered from the resident result
+/// assert_eq!(first.power_mw, again.power_mw);
+/// assert!(again.warm);
+/// # Ok::<(), operon::OperonError>(())
+/// ```
+pub struct WarmSession {
+    config: OperonConfig,
+    exec: Executor,
+    design: Design,
+    state: Option<WarmState>,
+    stats: SessionStats,
+}
+
+impl WarmSession {
+    /// Opens a session over `design`. Validates eagerly; no routing work
+    /// happens until the first route-producing request.
+    ///
+    /// # Errors
+    ///
+    /// [`OperonError::InvalidConfig`] / [`OperonError::EmptyDesign`].
+    pub fn open(design: Design, config: OperonConfig, exec: Executor) -> Result<Self, OperonError> {
+        config.validate()?;
+        if design.groups().is_empty() {
+            return Err(OperonError::EmptyDesign);
+        }
+        Ok(Self {
+            config,
+            exec,
+            design,
+            state: None,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// The current design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OperonConfig {
+        &self.config
+    }
+
+    /// The accumulated work counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Whether a resident routed state exists.
+    pub fn is_routed(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// The resident selection, when routed.
+    pub fn selection(&self) -> Option<&SelectionResult> {
+        self.state.as_ref().map(|s| &s.selection)
+    }
+
+    /// The resident WDM plan, when routed.
+    pub fn wdm_plan(&self) -> Option<&WdmPlan> {
+        self.state.as_ref().map(|s| &s.wdm)
+    }
+
+    /// The resident hyper nets, when routed.
+    pub fn hyper_nets(&self) -> Option<&[HyperNet]> {
+        self.state.as_ref().map(|s| s.hyper_nets.as_slice())
+    }
+
+    /// Digest of the resident committed WDM networks (0 when unrouted).
+    /// Stable across probes; thread-count invariant.
+    pub fn fingerprint(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.resident.fingerprint())
+    }
+
+    /// Routes the current design: answers from the resident result when
+    /// one exists, otherwise runs the cold pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`crate::flow::OperonFlow::run`].
+    pub fn route(&mut self) -> Result<RouteSummary, OperonError> {
+        self.stats.routes += 1;
+        if let Some(state) = self.state.as_ref() {
+            self.stats.cached_routes += 1;
+            return Ok(Self::summarize(state, true));
+        }
+        self.stats.cold_routes += 1;
+        self.cold_route()
+    }
+
+    /// ECO: translates every pin of one group by `(dx, dy)` and
+    /// re-routes incrementally.
+    ///
+    /// # Errors
+    ///
+    /// [`OperonError::EcoRejected`] (nothing changed) when the group
+    /// index is out of range or a pin would leave the die; otherwise the
+    /// failure modes of [`crate::flow::OperonFlow::run`].
+    pub fn move_pins(
+        &mut self,
+        group: usize,
+        dx: i64,
+        dy: i64,
+    ) -> Result<RouteSummary, OperonError> {
+        let die = self.design.die();
+        let Some(target) = self.design.groups().get(group) else {
+            return Err(OperonError::EcoRejected(format!(
+                "no group {group} (design has {})",
+                self.design.group_count()
+            )));
+        };
+        let shift = |p: Point| Point::new(p.x + dx, p.y + dy);
+        for bit in target.bits() {
+            for pin in bit.pins() {
+                if !die.contains(shift(pin)) {
+                    return Err(OperonError::EcoRejected(format!(
+                        "moving group {group} by ({dx}, {dy}) pushes pin {pin} outside die {die}"
+                    )));
+                }
+            }
+        }
+        let mut next = Design::new(self.design.name(), die);
+        for sig in self.design.groups() {
+            if sig.id().index() == group {
+                let bits = sig
+                    .bits()
+                    .iter()
+                    .map(|b| {
+                        Bit::new(
+                            b.id(),
+                            shift(b.source()),
+                            b.sinks().iter().map(|&s| shift(s)).collect(),
+                        )
+                    })
+                    .collect();
+                next.push_group(SignalGroup::new(sig.id(), sig.name(), bits));
+            } else {
+                next.push_group(sig.clone());
+            }
+        }
+        self.apply_design(next)
+    }
+
+    /// ECO: appends a new `bits`-wide bus (one sink per bit, bits laid
+    /// out at `pitch` spacing along y) and re-routes incrementally.
+    /// Appending keeps every existing hyper net's dense index, so this
+    /// is the crossing index's `rebuild_delta` fast path.
+    ///
+    /// # Errors
+    ///
+    /// [`OperonError::EcoRejected`] (nothing changed) for an empty bus
+    /// or out-of-die pins; otherwise the failure modes of
+    /// [`crate::flow::OperonFlow::run`].
+    pub fn add_bus(
+        &mut self,
+        name: &str,
+        bits: usize,
+        source: Point,
+        sink: Point,
+        pitch: i64,
+    ) -> Result<RouteSummary, OperonError> {
+        if bits == 0 {
+            return Err(OperonError::EcoRejected(format!(
+                "bus {name:?} needs at least one bit"
+            )));
+        }
+        let die = self.design.die();
+        for i in 0..bits {
+            let off = pitch * i as i64;
+            for p in [
+                Point::new(source.x, source.y + off),
+                Point::new(sink.x, sink.y + off),
+            ] {
+                if !die.contains(p) {
+                    return Err(OperonError::EcoRejected(format!(
+                        "bus {name:?} pin {p} lies outside die {die}"
+                    )));
+                }
+            }
+        }
+        let group_bits = (0..bits)
+            .map(|i| {
+                let off = pitch * i as i64;
+                Bit::new(
+                    BitId::new(i as u32),
+                    Point::new(source.x, source.y + off),
+                    vec![Point::new(sink.x, sink.y + off)],
+                )
+            })
+            .collect();
+        let mut next = self.design.clone();
+        next.push_group(SignalGroup::new(
+            GroupId::new(self.design.group_count() as u32),
+            name,
+            group_bits,
+        ));
+        self.apply_design(next)
+    }
+
+    /// Replaces the configuration. Conservatively drops the resident
+    /// state (any knob can shift every stage), so the next
+    /// route-producing request runs cold under the new configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`OperonError::InvalidConfig`]; the old configuration and state
+    /// stay in place on failure.
+    pub fn set_config(&mut self, config: OperonConfig) -> Result<(), OperonError> {
+        config.validate()?;
+        self.config = config;
+        self.state = None;
+        self.stats.config_changes += 1;
+        Ok(())
+    }
+
+    /// What-if: for every final waveguide, could it be deleted, and at
+    /// what re-route cost? Routes first when unrouted. Probes run warm
+    /// on the resident committed networks and roll back transactionally
+    /// — [`fingerprint`](WarmSession::fingerprint) is unchanged and no
+    /// network is cloned.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`route`](WarmSession::route).
+    pub fn probe_wdm(&mut self) -> Result<Vec<WdmProbe>, OperonError> {
+        if self.state.is_none() {
+            self.route()?;
+        }
+        let Some(state) = self.state.as_mut() else {
+            return Err(OperonError::SelectionFailed(
+                "session has no routed state to probe".to_owned(),
+            ));
+        };
+        let mut stage = self.exec.stage("probe");
+        let (probes, mcmf) = state.resident.probe_deletions();
+        stage.record("probes", probes.len() as u64);
+        stage.record("probe_undo_entries", mcmf.undo_entries);
+        stage.record("probe_rollbacks", mcmf.rollbacks);
+        self.stats.probes += probes.len() as u64;
+        self.stats.wdm.mcmf.accumulate(&mcmf);
+        Ok(probes)
+    }
+
+    /// Closes the session, returning its lifetime counters.
+    pub fn close(self) -> SessionStats {
+        self.stats
+    }
+
+    /// Swaps in a new design and re-routes — incrementally when warm
+    /// state exists, cold otherwise.
+    fn apply_design(&mut self, next: Design) -> Result<RouteSummary, OperonError> {
+        self.stats.routes += 1;
+        if self.state.is_some() {
+            self.stats.warm_routes += 1;
+            self.incremental_route(next)
+        } else {
+            self.design = next;
+            self.stats.cold_routes += 1;
+            self.cold_route()
+        }
+    }
+
+    /// The full pipeline, identical to [`crate::flow::OperonFlow::run`]
+    /// but retaining the WDM stage's resident networks.
+    fn cold_route(&mut self) -> Result<RouteSummary, OperonError> {
+        let hyper_nets = {
+            let _stage = self.exec.stage("clustering");
+            build_hyper_nets(&self.design, &self.config.cluster)
+        };
+        self.stats.groups_reclustered += self.design.group_count() as u64;
+        let resolved = self
+            .config
+            .resolved_for(hyper_nets.iter().map(|n| n.bit_count()));
+        let candidates: Vec<NetCandidates> = {
+            let mut stage = self.exec.stage("codesign");
+            let out = self
+                .exec
+                .par_map_indexed(&hyper_nets, |i, net| generate_candidates(net, i, &resolved));
+            stage.record("nets_recoded", out.len() as u64);
+            out
+        };
+        self.stats.nets_recoded += candidates.len() as u64;
+        let crossings = {
+            let _stage = self.exec.stage("crossing");
+            CrossingIndex::build_with(&candidates, &self.exec)
+        };
+        self.stats.crossing_full_builds += 1;
+        self.finish_route(resolved, hyper_nets, candidates, crossings, false)
+    }
+
+    /// The incremental pipeline, identical in result to a fresh run on
+    /// `next`: unchanged groups reuse clustering + candidates; the
+    /// crossing index is delta-patched when every reused net keeps its
+    /// dense index.
+    fn incremental_route(&mut self, next: Design) -> Result<RouteSummary, OperonError> {
+        let Some(prev) = self.state.take() else {
+            self.design = next;
+            return self.cold_route();
+        };
+        let old_design = std::mem::replace(&mut self.design, next);
+
+        // Index the previous hyper nets and candidates by group,
+        // remembering each net's old dense index (BTreeMap for the
+        // deterministic iteration rule D001). State is moved, not
+        // cloned — reuse is pointer-cheap.
+        let mut prev_by_group: BTreeMap<GroupId, Vec<(HyperNet, NetCandidates, usize)>> =
+            BTreeMap::new();
+        for (old_idx, (net, cands)) in prev.hyper_nets.into_iter().zip(prev.candidates).enumerate()
+        {
+            prev_by_group
+                .entry(net.group())
+                .or_default()
+                .push((net, cands, old_idx));
+        }
+
+        let mut flat: Vec<(HyperNet, Option<(NetCandidates, usize)>)> = Vec::new();
+        {
+            let mut stage = self.exec.stage("clustering");
+            let mut reused = 0u64;
+            let mut reclustered = 0u64;
+            for group in self.design.groups() {
+                let unchanged = old_design.group(group.id()).is_some_and(|old| old == group);
+                if unchanged {
+                    reused += 1;
+                    flat.extend(
+                        prev_by_group
+                            .remove(&group.id())
+                            .unwrap_or_default()
+                            .into_iter()
+                            .map(|(net, cands, old_idx)| (net, Some((cands, old_idx)))),
+                    );
+                } else {
+                    reclustered += 1;
+                    flat.extend(
+                        operon_cluster::group_clusters(group, &self.config.cluster)
+                            .into_iter()
+                            .map(|(bits, pins)| {
+                                // Placeholder id; reassigned densely below.
+                                (
+                                    HyperNet::new(HyperNetId::new(0), group.id(), bits, pins),
+                                    None,
+                                )
+                            }),
+                    );
+                }
+            }
+            stage.record("groups_reused", reused);
+            stage.record("groups_reclustered", reclustered);
+            self.stats.groups_reused += reused;
+            self.stats.groups_reclustered += reclustered;
+        }
+
+        let resolved = self
+            .config
+            .resolved_for(flat.iter().map(|(n, _)| n.bit_count()));
+        let renumbered: Vec<(HyperNet, Option<(NetCandidates, usize)>)> = flat
+            .into_iter()
+            .enumerate()
+            .map(|(i, (net, reuse))| {
+                (
+                    HyperNet::new(
+                        HyperNetId::new(i as u32),
+                        net.group(),
+                        net.bits().to_vec(),
+                        net.pins().to_vec(),
+                    ),
+                    reuse,
+                )
+            })
+            .collect();
+
+        // The crossing delta patch is valid only when every reused net
+        // keeps its dense index (records are keyed by index); `changed`
+        // then lists exactly the regenerated rows.
+        let mut delta_ok = true;
+        let mut changed: Vec<usize> = Vec::new();
+        for (i, (_, reuse)) in renumbered.iter().enumerate() {
+            match reuse {
+                Some((_, old_idx)) if *old_idx == i => {}
+                Some(_) => delta_ok = false,
+                None => changed.push(i),
+            }
+        }
+
+        let candidates: Vec<NetCandidates> = {
+            let mut stage = self.exec.stage("codesign");
+            let out = self
+                .exec
+                .par_map_indexed(&renumbered, |i, (net, reuse)| match reuse {
+                    Some((nc, _)) => {
+                        let mut nc = nc.clone();
+                        nc.net_index = i;
+                        nc
+                    }
+                    None => generate_candidates(net, i, &resolved),
+                });
+            let recoded = changed.len() as u64;
+            let reused = out.len() as u64 - recoded;
+            stage.record("nets_reused", reused);
+            stage.record("nets_recoded", recoded);
+            self.stats.nets_reused += reused;
+            self.stats.nets_recoded += recoded;
+            out
+        };
+        let hyper_nets: Vec<HyperNet> = renumbered.into_iter().map(|(net, _)| net).collect();
+
+        let crossings = {
+            let mut stage = self.exec.stage("crossing");
+            if delta_ok {
+                stage.record("crossing_delta_rebuild", 1);
+                self.stats.crossing_delta_rebuilds += 1;
+                prev.crossings.rebuild_delta(&candidates, &changed)
+            } else {
+                self.stats.crossing_full_builds += 1;
+                CrossingIndex::build_with(&candidates, &self.exec)
+            }
+        };
+        self.finish_route(resolved, hyper_nets, candidates, crossings, true)
+    }
+
+    /// Shared tail of both routing paths: selection, WDM planning with
+    /// resident networks, stats accumulation, and state installation.
+    fn finish_route(
+        &mut self,
+        resolved: OperonConfig,
+        hyper_nets: Vec<HyperNet>,
+        candidates: Vec<NetCandidates>,
+        crossings: CrossingIndex,
+        warm: bool,
+    ) -> Result<RouteSummary, OperonError> {
+        let selection = {
+            let mut stage = self.exec.stage("selection");
+            let sel = select_with(&candidates, &crossings, &resolved, &self.exec)?;
+            record_ilp_stats(&mut stage, &sel);
+            record_lr_stats(&mut stage, &sel);
+            sel
+        };
+        if let Some(lr) = selection.lr_stats {
+            self.stats.lr.accumulate(&lr);
+        }
+        let (wdm, resident) = {
+            let mut stage = self.exec.stage("wdm");
+            let (plan, resident) = wdm::plan_resident_with(
+                &candidates,
+                &selection.choice,
+                &resolved.optical,
+                &self.exec,
+            )?;
+            record_wdm_stats(&mut stage, &plan);
+            (plan, resident)
+        };
+        self.stats.wdm.accumulate(&wdm.stats);
+        let state = WarmState {
+            resolved,
+            hyper_nets,
+            candidates,
+            crossings,
+            selection,
+            wdm,
+            resident,
+        };
+        let summary = Self::summarize(&state, warm);
+        self.state = Some(state);
+        Ok(summary)
+    }
+
+    fn summarize(state: &WarmState, warm: bool) -> RouteSummary {
+        let optical = state
+            .candidates
+            .iter()
+            .zip(&state.selection.choice)
+            .filter(|(nc, &j)| !nc.candidates[j].is_pure_electrical())
+            .count();
+        let _ = &state.resolved; // resolved config is kept for future delta checks
+        RouteSummary {
+            warm,
+            hyper_nets: state.hyper_nets.len(),
+            optical,
+            electrical: state.hyper_nets.len() - optical,
+            power_mw: state.selection.power_mw,
+            proven_optimal: state.selection.proven_optimal,
+            wdm_initial: state.wdm.initial_count,
+            wdm_final: state.wdm.final_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::OperonFlow;
+    use operon_netlist::synth::{generate, SynthConfig};
+
+    #[test]
+    fn cached_route_is_idempotent() {
+        let design = generate(&SynthConfig::small(), 3);
+        let mut s =
+            WarmSession::open(design, OperonConfig::default(), Executor::sequential()).unwrap();
+        let a = s.route().unwrap();
+        let b = s.route().unwrap();
+        assert!(!a.warm && b.warm);
+        assert_eq!(a.power_mw, b.power_mw);
+        assert_eq!(s.stats().cold_routes, 1);
+        assert_eq!(s.stats().cached_routes, 1);
+    }
+
+    #[test]
+    fn rejected_ecos_leave_the_session_intact() {
+        let design = generate(&SynthConfig::small(), 3);
+        let mut s =
+            WarmSession::open(design, OperonConfig::default(), Executor::sequential()).unwrap();
+        let routed = s.route().unwrap();
+        let fp = s.fingerprint();
+        assert!(matches!(
+            s.move_pins(999, 1, 1),
+            Err(OperonError::EcoRejected(_))
+        ));
+        assert!(matches!(
+            s.move_pins(0, i64::MAX / 2, 0),
+            Err(OperonError::EcoRejected(_))
+        ));
+        assert!(matches!(
+            s.add_bus("b", 0, Point::new(0, 0), Point::new(1, 1), 1),
+            Err(OperonError::EcoRejected(_))
+        ));
+        assert!(s.is_routed());
+        assert_eq!(s.fingerprint(), fp);
+        assert_eq!(s.route().unwrap().power_mw, routed.power_mw);
+    }
+
+    #[test]
+    fn set_config_drops_state_and_revalidates() {
+        let design = generate(&SynthConfig::small(), 3);
+        let mut s =
+            WarmSession::open(design, OperonConfig::default(), Executor::sequential()).unwrap();
+        s.route().unwrap();
+        let mut bad = OperonConfig::default();
+        bad.cluster.capacity = 7;
+        assert!(s.set_config(bad).is_err());
+        assert!(s.is_routed(), "failed set_config must not drop state");
+        let mut tighter = OperonConfig::default();
+        tighter.optical.max_loss_db *= 0.8;
+        s.set_config(tighter).unwrap();
+        assert!(!s.is_routed());
+        let again = s.route().unwrap();
+        assert!(!again.warm);
+        assert_eq!(
+            s.config().optical.max_loss_db,
+            OperonFlow::new(OperonConfig::default())
+                .config()
+                .optical
+                .max_loss_db
+                * 0.8
+        );
+    }
+}

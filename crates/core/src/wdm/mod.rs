@@ -221,9 +221,9 @@ fn assign_orientation(
     placed: Vec<Wdm>,
     lib: &OpticalLib,
     exec: &Executor,
-) -> Result<(Vec<Wdm>, WdmStats), OperonError> {
+) -> Result<(Vec<Wdm>, WdmStats, Option<OrientationResident>), OperonError> {
     if connections.is_empty() {
-        return Ok((Vec::new(), WdmStats::default()));
+        return Ok((Vec::new(), WdmStats::default(), None));
     }
     // Sweep WDM of each connection (for the feasibility edge).
     let mut sweep_wdm = vec![usize::MAX; connections.len()];
@@ -364,14 +364,26 @@ fn assign_orientation(
         }
     }
 
-    let wdms = best
+    // Emit the surviving waveguides (ascending `wi`, the plan order) and
+    // record each one's network index so the resident state can replay
+    // per-waveguide deletion probes against the committed network later.
+    let mut finals = Vec::new();
+    let wdms: Vec<Wdm> = best
         .into_iter()
         .enumerate()
-        .filter(|&(wi, _)| active[wi])
-        .map(|(_, w)| w)
-        .filter(|w| w.used() > 0)
+        .filter(|(wi, w)| active[*wi] && w.used() > 0)
+        .map(|(wi, w)| {
+            finals.push((wi, w.track, w.used()));
+            w
+        })
         .collect();
-    Ok((wdms, stats))
+    let resident = OrientationResident {
+        orientation: connections[0].1.orientation,
+        committed,
+        finals,
+        prior: prior_buf,
+    };
+    Ok((wdms, stats, Some(resident)))
 }
 
 /// The pre-warm-start reduction loop: every tentative deletion is a full
@@ -509,6 +521,128 @@ struct TrialScratch {
 struct AssignmentNetwork {
     g: McmfGraph,
     idx: NetIndex,
+}
+
+/// The outcome of tentatively deleting one final waveguide from the
+/// committed assignment (see [`ResidentAssignment::probe_deletions`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WdmProbe {
+    /// Track orientation of the probed waveguide.
+    pub orientation: TrackOrientation,
+    /// Track coordinate of the probed waveguide.
+    pub track: i64,
+    /// Channels currently assigned to it.
+    pub used: usize,
+    /// Whether the remaining waveguides could absorb its channels.
+    pub deletable: bool,
+    /// Flow units the deletion displaces (its sink-edge flow).
+    pub displaced: i64,
+    /// Cost of re-routing the displaced units (0 when infeasible or
+    /// nothing was displaced).
+    pub reroute_cost: i64,
+}
+
+/// One orientation's share of a [`ResidentAssignment`]: the committed
+/// solved network plus the identity of each emitted waveguide.
+struct OrientationResident {
+    orientation: TrackOrientation,
+    committed: AssignmentNetwork,
+    /// `(network wdm index, track, used)` of each final waveguide, in
+    /// the order [`WdmPlan::wdms`] lists them within this orientation.
+    finals: Vec<(usize, i64, usize)>,
+    /// Reusable warm-start potential buffer.
+    prior: Vec<i64>,
+}
+
+/// The committed assignment networks of a finished WDM plan, kept
+/// resident so a session can answer what-if questions warm — no network
+/// is ever rebuilt or cloned; every probe is a transactional
+/// checkout/reroute/rollback on the committed state, exactly the
+/// machinery the reduction loop used.
+///
+/// Returned by [`plan_resident_with`]; dropped (cheaply) by callers that
+/// only want the plan.
+pub struct ResidentAssignment {
+    parts: Vec<OrientationResident>,
+}
+
+impl ResidentAssignment {
+    /// Probes, for every final waveguide in plan order (horizontal
+    /// orientation first), whether deleting it would still leave a
+    /// feasible assignment, and at what re-route cost. Each probe is a
+    /// warm transactional trial rolled back before the next one starts,
+    /// so the committed networks are bitwise unchanged afterwards
+    /// ([`fingerprint`](ResidentAssignment::fingerprint) is invariant)
+    /// and `networks_cloned` stays zero. Returns the probes plus the
+    /// solver counters the probes added.
+    pub fn probe_deletions(&mut self) -> (Vec<WdmProbe>, McmfStats) {
+        let mut probes = Vec::new();
+        let mut stats = McmfStats::default();
+        for part in &mut self.parts {
+            let OrientationResident {
+                orientation,
+                committed,
+                finals,
+                prior,
+            } = part;
+            let AssignmentNetwork { g, idx } = committed;
+            for &(wi, track, used) in finals.iter() {
+                let before = g.stats();
+                prior.clear();
+                prior.extend_from_slice(g.potentials());
+                let t = g.node(1);
+                let wdm_node = g.node(2 + idx.conn_edges.len() + wi);
+                let mut txn = g.checkout();
+                let mut displaced = 0;
+                if let Some(sink) = idx.wdm_edges[wi] {
+                    displaced = txn.flow(sink);
+                    if displaced > 0 {
+                        txn.withdraw_edge_flow(sink, displaced);
+                    }
+                    txn.set_edge_capacity(sink, 0);
+                }
+                let r = txn.min_cost_reroute(wdm_node, t, displaced, prior);
+                txn.rollback();
+                stats.accumulate(&g.stats().delta_since(&before));
+                probes.push(WdmProbe {
+                    orientation: *orientation,
+                    track,
+                    used,
+                    deletable: r.flow == displaced,
+                    displaced,
+                    reroute_cost: if r.flow == displaced { r.cost } else { 0 },
+                });
+            }
+        }
+        (probes, stats)
+    }
+
+    /// Number of resident final waveguides across both orientations.
+    pub fn waveguides(&self) -> usize {
+        self.parts.iter().map(|p| p.finals.len()).sum()
+    }
+
+    /// FNV-1a digest over the committed networks
+    /// ([`McmfGraph::fingerprint`]) and the final waveguide identities.
+    /// Stable across rolled-back probes; thread-count invariant because
+    /// every solve that produced the committed state is.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(PRIME)
+        }
+        let mut h = eat(0xcbf2_9ce4_8422_2325, self.parts.len() as u64);
+        for part in &self.parts {
+            h = eat(h, part.orientation as u64);
+            h = eat(h, part.committed.g.fingerprint());
+            for &(wi, track, used) in &part.finals {
+                h = eat(h, wi as u64);
+                h = eat(h, track as u64);
+                h = eat(h, used as u64);
+            }
+        }
+        h
+    }
 }
 
 /// Edge handles of an assignment network, immutable once built.
@@ -659,8 +793,9 @@ pub fn plan(
 /// coarse parallel task. Results are concatenated in the fixed
 /// horizontal-then-vertical order, identical to the sequential [`plan`].
 /// One orientation's planning result: initial sweep count, final WDMs,
-/// and the reduction's work counters.
-type OrientationPlan = (usize, Vec<Wdm>, WdmStats);
+/// the reduction's work counters, and the resident committed network
+/// (`None` when the orientation has no connections).
+type OrientationPlan = (usize, Vec<Wdm>, WdmStats, Option<OrientationResident>);
 
 pub fn plan_with(
     nets: &[NetCandidates],
@@ -668,6 +803,23 @@ pub fn plan_with(
     lib: &OpticalLib,
     exec: &Executor,
 ) -> Result<WdmPlan, OperonError> {
+    plan_resident_with(nets, choice, lib, exec).map(|(plan, _)| plan)
+}
+
+/// [`plan_with`], additionally returning the [`ResidentAssignment`] —
+/// the committed per-orientation flow networks — so a session can keep
+/// them warm across requests and answer deletion what-ifs without
+/// re-planning. The plan itself is identical to [`plan_with`]'s.
+///
+/// # Errors
+///
+/// Same failure modes as [`plan`].
+pub fn plan_resident_with(
+    nets: &[NetCandidates],
+    choice: &[usize],
+    lib: &OpticalLib,
+    exec: &Executor,
+) -> Result<(WdmPlan, ResidentAssignment), OperonError> {
     let connections = extract_connections(nets, choice);
     let orientations = [TrackOrientation::Horizontal, TrackOrientation::Vertical];
     let per_orientation: Vec<Result<OrientationPlan, OperonError>> =
@@ -678,7 +830,7 @@ pub fn plan_with(
                 .filter(|(_, c)| c.orientation == orientation)
                 .collect();
             if oriented.is_empty() {
-                return Ok((0, Vec::new(), WdmStats::default()));
+                return Ok((0, Vec::new(), WdmStats::default(), None));
             }
             // Positions within `oriented` index its WDM assignments; remap the
             // sweep output to use those local positions consistently.
@@ -689,30 +841,37 @@ pub fn plan_with(
                 .collect();
             let placed = place_orientation(&local, lib)?;
             let initial = placed.len();
-            let (mut assigned, stats) = assign_orientation(&local, placed, lib, exec)?;
+            let (mut assigned, stats, resident) = assign_orientation(&local, placed, lib, exec)?;
             // Remap local connection positions back to global indices.
             for w in &mut assigned {
                 for slot in &mut w.assigned {
                     slot.0 = oriented[slot.0].0;
                 }
             }
-            Ok((initial, assigned, stats))
+            Ok((initial, assigned, stats, resident))
         });
     let mut wdms = Vec::new();
     let mut initial_count = 0usize;
     let mut stats = WdmStats::default();
+    let mut parts = Vec::new();
     for result in per_orientation {
-        let (initial, assigned, orientation_stats) = result?;
+        let (initial, assigned, orientation_stats, resident) = result?;
         initial_count += initial;
         wdms.extend(assigned);
         stats.accumulate(&orientation_stats);
+        if let Some(resident) = resident {
+            parts.push(resident);
+        }
     }
-    Ok(WdmPlan {
-        connections,
-        initial_count,
-        wdms,
-        stats,
-    })
+    Ok((
+        WdmPlan {
+            connections,
+            initial_count,
+            wdms,
+            stats,
+        },
+        ResidentAssignment { parts },
+    ))
 }
 
 /// The all-cold reference planner: identical placement, assignment and
@@ -797,7 +956,7 @@ mod tests {
         let lc = local(&conns);
         let placed = place_orientation(&lc, &l).expect("feasible");
         assert_eq!(placed.len(), 3, "sweep cannot pack 20+20 into one WDM");
-        let (final_wdms, stats) =
+        let (final_wdms, stats, _) =
             assign_orientation(&lc, placed, &l, &Executor::sequential()).expect("feasible");
         assert_eq!(final_wdms.len(), 2, "flow assignment saves one WDM");
         assert!(stats.cold_solves >= 2, "initial solve + committed deletion");
@@ -858,7 +1017,7 @@ mod tests {
         let conns: Vec<Connection> = (0..10).map(|i| conn(i * 50, 7)).collect();
         let lc = local(&conns);
         let placed = place_orientation(&lc, &l).expect("feasible");
-        let (final_wdms, _) =
+        let (final_wdms, _, _) =
             assign_orientation(&lc, placed, &l, &Executor::sequential()).expect("feasible");
         let total: usize = final_wdms.iter().map(Wdm::used).sum();
         assert_eq!(total, 70);
@@ -876,7 +1035,7 @@ mod tests {
         let lc = local(&conns);
         let placed = place_orientation(&lc, &l).expect("feasible");
         let initial = placed.len();
-        let (final_wdms, _) =
+        let (final_wdms, _, _) =
             assign_orientation(&lc, placed, &l, &Executor::sequential()).expect("feasible");
         assert!(final_wdms.len() <= initial);
         // Lower bound: ceil(total bits / capacity).

@@ -1,0 +1,155 @@
+//! Session-lifecycle integration tests: a [`WarmSession`] must produce
+//! exactly the result of a fresh [`OperonFlow::run`] after any ECO
+//! sequence, at any thread count, without ever cloning a flow network.
+
+use operon::config::OperonConfig;
+use operon::flow::OperonFlow;
+use operon::session::WarmSession;
+use operon_exec::Executor;
+use operon_geom::Point;
+use operon_netlist::synth::{generate, SynthConfig};
+use operon_netlist::{Bit, Design, SignalGroup};
+
+/// The same pin translation `move_pins` applies, rebuilt standalone so
+/// the fresh-run reference routes an identical design.
+fn shifted(design: &Design, group: usize, dx: i64, dy: i64) -> Design {
+    let mut next = Design::new(design.name(), design.die());
+    for g in design.groups() {
+        if g.id().index() == group {
+            let bits = g
+                .bits()
+                .iter()
+                .map(|b| {
+                    Bit::new(
+                        b.id(),
+                        Point::new(b.source().x + dx, b.source().y + dy),
+                        b.sinks()
+                            .iter()
+                            .map(|&s| Point::new(s.x + dx, s.y + dy))
+                            .collect(),
+                    )
+                })
+                .collect();
+            next.push_group(SignalGroup::new(g.id(), g.name(), bits));
+        } else {
+            next.push_group(g.clone());
+        }
+    }
+    next
+}
+
+#[test]
+fn session_lifecycle_matches_fresh_runs_and_never_clones_networks() {
+    let design = generate(&SynthConfig::small(), 42);
+    for threads in [1usize, 4] {
+        let exec = Executor::new(threads);
+        let mut session =
+            WarmSession::open(design.clone(), OperonConfig::default(), exec).expect("open");
+
+        // Cold route == fresh flow run.
+        let cold = session.route().expect("cold route");
+        assert!(!cold.warm);
+        let fresh = OperonFlow::new(OperonConfig::default())
+            .run(&design)
+            .expect("fresh run");
+        assert_eq!(cold.power_mw.to_bits(), fresh.total_power_mw().to_bits());
+        assert_eq!(cold.hyper_nets, fresh.hyper_nets.len());
+        assert_eq!(cold.optical, fresh.optical_net_count());
+        assert_eq!(cold.wdm_final, fresh.wdm.final_count());
+        assert_eq!(
+            session.selection().expect("routed").choice,
+            fresh.selection.choice
+        );
+
+        // Second route is answered from the resident result.
+        let cached = session.route().expect("cached route");
+        assert!(cached.warm);
+        assert_eq!(cached.power_mw.to_bits(), cold.power_mw.to_bits());
+
+        // Warm ECO re-routes == fresh runs on the mutated design.
+        let mut mutated = design.clone();
+        for (group, dx, dy) in [(0usize, 24i64, 0i64), (1, 0, -24), (0, -24, 0)] {
+            let eco = session.move_pins(group, dx, dy).expect("eco");
+            assert!(eco.warm, "ECO re-route must take the warm path");
+            mutated = shifted(&mutated, group, dx, dy);
+            let reference = OperonFlow::new(OperonConfig::default())
+                .run(&mutated)
+                .expect("fresh run");
+            assert_eq!(
+                eco.power_mw.to_bits(),
+                reference.total_power_mw().to_bits(),
+                "warm ECO diverged from a fresh run at {threads} threads"
+            );
+            assert_eq!(
+                session.selection().expect("routed").choice,
+                reference.selection.choice
+            );
+            assert_eq!(eco.wdm_final, reference.wdm.final_count());
+        }
+
+        // Appending a bus keeps every reused net's index: the crossing
+        // index must have been delta-patched at least once by now, and
+        // the appended route still matches a fresh run.
+        let die = design.die();
+        let eco = session
+            .add_bus(
+                "tail_bus",
+                4,
+                Point::new(die.lo().x + 40, die.lo().y + 40),
+                Point::new(die.hi().x - 40, die.lo().y + 40),
+                12,
+            )
+            .expect("add_bus");
+        assert!(eco.warm);
+        let reference = OperonFlow::new(OperonConfig::default())
+            .run(session.design())
+            .expect("fresh run");
+        assert_eq!(eco.power_mw.to_bits(), reference.total_power_mw().to_bits());
+
+        // Deletion probes run transactionally on the resident networks:
+        // the state digest is untouched.
+        let fingerprint = session.fingerprint();
+        let probes = session.probe_wdm().expect("probe");
+        assert_eq!(
+            probes.len(),
+            reference.wdm.final_count(),
+            "one probe per final waveguide"
+        );
+        assert_eq!(session.fingerprint(), fingerprint);
+
+        let stats = session.close();
+        assert_eq!(stats.routes, 6);
+        assert_eq!(stats.cold_routes, 1);
+        assert_eq!(stats.warm_routes, 4);
+        assert_eq!(stats.cached_routes, 1);
+        assert!(stats.crossing_delta_rebuilds >= 1, "{stats:?}");
+        assert!(stats.nets_reused > 0, "{stats:?}");
+        assert_eq!(
+            stats.wdm.mcmf.networks_cloned, 0,
+            "a session must never clone a flow network: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn session_stats_are_thread_invariant() {
+    let design = generate(&SynthConfig::small(), 7);
+    let run = |threads: usize| {
+        let mut session = WarmSession::open(
+            design.clone(),
+            OperonConfig::default(),
+            Executor::new(threads),
+        )
+        .expect("open");
+        session.route().expect("route");
+        session.move_pins(0, 24, 0).expect("eco");
+        session.probe_wdm().expect("probe");
+        (session.fingerprint(), session.close())
+    };
+    let (fp1, stats1) = run(1);
+    for threads in [2usize, 8] {
+        let (fp, stats) = run(threads);
+        assert_eq!(fp, fp1, "fingerprint diverged at {threads} threads");
+        assert_eq!(stats, stats1, "stats diverged at {threads} threads");
+    }
+}

@@ -1,0 +1,211 @@
+//! Admission scheduling for deterministic request batching.
+//!
+//! A long-lived server draining a request queue wants to hand the
+//! executor as much independent work as possible per dispatch — but
+//! never at the cost of determinism. [`Admission`] encodes the one
+//! policy that keeps replay byte-identical at any thread count: a batch
+//! may contain at most one request per conflict key (requests sharing a
+//! key mutate shared state and must serialize), and a request marked
+//! [`AdmissionKey::Exclusive`] always runs alone, in order.
+//!
+//! This subsumes the old outer-vs-inner batch policy knob of the CLI:
+//! instead of choosing up front whether to parallelize across designs
+//! or within one design, the scheduler admits as many *distinct*
+//! sessions as the capacity allows and lets each admitted request's
+//! inner stages use the same executor. Admission looks only at the
+//! queue prefix — never at timing — so the batch boundary sequence is a
+//! pure function of the request stream and the configured capacity.
+
+/// How a request interacts with shared state, for batching purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionKey<'a> {
+    /// Must run alone: mutates cross-session state (e.g. `open_design`,
+    /// `close`, `shutdown`) or could not be classified (parse errors).
+    Exclusive,
+    /// Touches only the state named by the key (e.g. one session); any
+    /// set of requests with pairwise-distinct keys may run concurrently.
+    Keyed(&'a str),
+}
+
+/// The admission scheduler: decides how many queued requests form the
+/// next batch, and counts what it decided.
+///
+/// # Examples
+///
+/// ```
+/// use operon_exec::admission::{Admission, AdmissionKey};
+///
+/// let mut adm = Admission::new(8);
+/// let queue = ["a", "b", "a", "c"];
+/// // "a" repeats at index 2, so only the distinct prefix is admitted.
+/// let n = adm.admit(&queue, |s| AdmissionKey::Keyed(s));
+/// assert_eq!(n, 2);
+/// ```
+#[derive(Debug)]
+pub struct Admission {
+    capacity: usize,
+    batches: u64,
+    admitted: u64,
+    largest_batch: u64,
+    exclusive_batches: u64,
+}
+
+impl Admission {
+    /// Creates a scheduler admitting at most `capacity` requests per
+    /// batch (clamped to at least one).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            batches: 0,
+            admitted: 0,
+            largest_batch: 0,
+            exclusive_batches: 0,
+        }
+    }
+
+    /// The per-batch capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Decides the next batch: returns the length of the queue prefix to
+    /// dispatch together. The prefix is the longest run of requests with
+    /// pairwise-distinct [`AdmissionKey::Keyed`] keys, capped at the
+    /// capacity; an [`AdmissionKey::Exclusive`] request at the front is
+    /// admitted alone, and one later in the queue ends the batch before
+    /// it. Returns 0 only for an empty queue.
+    pub fn admit<'a, T, F>(&mut self, pending: &'a [T], key: F) -> usize
+    where
+        F: Fn(&'a T) -> AdmissionKey<'a>,
+    {
+        if pending.is_empty() {
+            return 0;
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        let mut n = 0;
+        for item in pending {
+            match key(item) {
+                AdmissionKey::Exclusive => {
+                    if n == 0 {
+                        n = 1;
+                        self.exclusive_batches += 1;
+                    }
+                    break;
+                }
+                AdmissionKey::Keyed(k) => {
+                    if n >= self.capacity || seen.contains(&k) {
+                        break;
+                    }
+                    seen.push(k);
+                    n += 1;
+                }
+            }
+        }
+        self.batches += 1;
+        self.admitted += n as u64;
+        self.largest_batch = self.largest_batch.max(n as u64);
+        n
+    }
+
+    /// Batches dispatched so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Requests admitted across all batches.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Size of the largest batch dispatched.
+    pub fn largest_batch(&self) -> u64 {
+        self.largest_batch
+    }
+
+    /// Batches that ran a single exclusive request.
+    pub fn exclusive_batches(&self) -> u64 {
+        self.exclusive_batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyed(s: &str) -> AdmissionKey<'_> {
+        if s == "!" {
+            AdmissionKey::Exclusive
+        } else {
+            AdmissionKey::Keyed(s)
+        }
+    }
+
+    #[test]
+    fn empty_queue_admits_nothing() {
+        let mut adm = Admission::new(4);
+        assert_eq!(adm.admit(&[] as &[&str], |s| keyed(s)), 0);
+    }
+
+    #[test]
+    fn distinct_keys_batch_up_to_capacity() {
+        let mut adm = Admission::new(3);
+        let q = ["a", "b", "c", "d"];
+        assert_eq!(adm.admit(&q, |s| keyed(s)), 3);
+    }
+
+    #[test]
+    fn repeated_key_ends_the_batch() {
+        let mut adm = Admission::new(8);
+        let q = ["a", "b", "a", "c"];
+        assert_eq!(adm.admit(&q, |s| keyed(s)), 2);
+    }
+
+    #[test]
+    fn exclusive_runs_alone_and_in_order() {
+        let mut adm = Admission::new(8);
+        // Exclusive at the front: admitted alone.
+        assert_eq!(adm.admit(&["!", "a"], |s| keyed(s)), 1);
+        assert_eq!(adm.exclusive_batches(), 1);
+        // Exclusive behind keyed work: the batch stops before it.
+        assert_eq!(adm.admit(&["a", "b", "!", "c"], |s| keyed(s)), 2);
+        assert_eq!(adm.exclusive_batches(), 1);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let mut adm = Admission::new(0);
+        assert_eq!(adm.capacity(), 1);
+        assert_eq!(adm.admit(&["a", "b"], |s| keyed(s)), 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut adm = Admission::new(4);
+        adm.admit(&["a", "b"], |s| keyed(s));
+        adm.admit(&["c"], |s| keyed(s));
+        adm.admit(&["!"], |s| keyed(s));
+        assert_eq!(adm.batches(), 3);
+        assert_eq!(adm.admitted(), 4);
+        assert_eq!(adm.largest_batch(), 2);
+        assert_eq!(adm.exclusive_batches(), 1);
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_the_queue() {
+        // Same queue, same capacity → same batch boundaries, always.
+        let q = ["a", "b", "c", "a", "!", "d", "d", "e"];
+        let run = || {
+            let mut adm = Admission::new(4);
+            let mut cuts = Vec::new();
+            let mut rest: &[&str] = &q;
+            while !rest.is_empty() {
+                let n = adm.admit(rest, |s| keyed(s));
+                cuts.push(n);
+                rest = &rest[n..];
+            }
+            cuts
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run(), vec![3, 1, 1, 1, 2]);
+    }
+}

@@ -1,11 +1,14 @@
-//! A minimal JSON value tree and serializer.
+//! A minimal JSON value tree, serializer, and parser.
 //!
-//! The run report (and the bench harness's `BENCH_exec.json`) need to
-//! *write* JSON; nothing needs to parse it. With registry crates
-//! unreachable this ~hundred-line writer replaces a `serde_json`
-//! dependency. Output is RFC 8259-conformant: strings are escaped,
-//! non-finite floats serialize as `null`, and integers round-trip
-//! exactly.
+//! The run report (and the bench harness's `BENCH_exec.json`) *write*
+//! JSON; the `operon_serve` daemon additionally *reads* it, one request
+//! per line. With registry crates unreachable this module replaces a
+//! `serde_json` dependency. Output is RFC 8259-conformant: strings are
+//! escaped, non-finite floats serialize as `null`, and integers
+//! round-trip exactly. [`parse`] accepts exactly RFC 8259 documents and
+//! never panics on malformed input — it returns a [`JsonParseError`]
+//! carrying the byte offset of the first problem, which a long-lived
+//! server turns into an error response instead of a crash.
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,6 +47,56 @@ impl Value {
         let mut out = String::new();
         self.write(&mut out, Some(2), 0);
         out
+    }
+
+    /// Looks up a key in an object (first match; `None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a [`Value::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a float (integers widen losslessly up to
+    /// 2^53; beyond that the cast rounds like any i64→f64 conversion).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is a [`Value::Array`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
@@ -173,6 +226,311 @@ impl From<bool> for Value {
     }
 }
 
+/// A parse failure: the byte offset of the first offending character
+/// plus a short description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Maximum container nesting [`parse`] accepts. Recursive descent uses
+/// the call stack, so unbounded depth would let a hostile request line
+/// overflow it; 128 is far deeper than any OPERON protocol message.
+const MAX_PARSE_DEPTH: usize = 128;
+
+/// Parses one RFC 8259 JSON document.
+///
+/// Numbers without a fraction or exponent that fit an `i64` become
+/// [`Value::Int`]; everything else numeric becomes [`Value::Float`].
+/// Trailing non-whitespace input is an error (one document per call —
+/// callers splitting a JSONL stream pass one line at a time).
+///
+/// # Examples
+///
+/// ```
+/// use operon_exec::json::{parse, Value};
+///
+/// let v = parse(r#"{"op":"route","ids":[1,2]}"#).unwrap();
+/// assert_eq!(v.get("op").and_then(Value::as_str), Some("route"));
+/// assert!(parse("{oops").is_err());
+/// ```
+pub fn parse(text: &str) -> Result<Value, JsonParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.fail("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn fail(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Value) -> Result<Value, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.fail("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.fail("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.fail("unexpected character")),
+            None => Err(self.fail("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonParseError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Value::Array(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.fail("expected ',' or ']' in array"));
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonParseError> {
+        self.pos += 1; // '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.fail("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.fail("expected ':' after object key"));
+            }
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Value::Object(pairs));
+            }
+            if !self.eat(b',') {
+                return Err(self.fail("expected ',' or '}' in object"));
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.pos += 1; // opening '"'
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.fail("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.fail("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.fail("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.fail("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.fail("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.fail("invalid escape character")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.fail("raw control character in string")),
+                _ => {
+                    // Consume one UTF-8 scalar; the input is a &str, so
+                    // the continuation bytes are guaranteed well-formed.
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.fail("invalid utf-8 in string")),
+                    }
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.fail("truncated unicode escape"));
+            };
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.fail("invalid hex digit in unicode escape")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonParseError> {
+        let start = self.pos;
+        self.eat(b'-');
+        // Integer part: a lone 0, or a nonzero digit run.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.fail("invalid number")),
+        }
+        let mut integral = true;
+        if self.eat(b'.') {
+            integral = false;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.fail("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.fail("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // The scanned range is ASCII by construction.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.fail("invalid number"))?;
+        if integral {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Value::Float(x)),
+            Err(_) => Err(self.fail("number out of range")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +580,99 @@ mod tests {
     fn pretty_output_is_indented() {
         let v = Value::object(vec![("a", Value::from(1u64))]);
         assert_eq!(v.pretty(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(parse("2e3").unwrap(), Value::Float(2000.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_containers_and_accessors() {
+        let v = parse(r#"{"op":"route","session":"a","ids":[1,2,3],"ok":true,"x":1.25}"#).unwrap();
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("route"));
+        assert_eq!(
+            v.get("ids").and_then(Value::as_array).map(<[_]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("ids").unwrap().as_array().unwrap()[1].as_i64(),
+            Some(2)
+        );
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("x").and_then(Value::as_f64), Some(1.25));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("op"), None);
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = parse(r#""a\"b\\c\nd\te\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\teAé😀"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"\\q\"",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "\"\\ud800\"",
+            "nan",
+            "+1",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_depth_is_bounded() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn serializer_output_round_trips() {
+        let v = Value::object(vec![
+            ("s", Value::from("quote\" slash\\ tab\t")),
+            ("i", Value::from(-5i64)),
+            ("f", Value::from(0.1)),
+            ("b", Value::from(false)),
+            ("n", Value::Null),
+            ("a", Value::Array(vec![Value::from(1u64), Value::from("x")])),
+            ("o", Value::object(vec![("k", Value::from(2u64))])),
+        ]);
+        assert_eq!(parse(&v.compact()).unwrap(), v);
+        assert_eq!(parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parsed_floats_round_trip_bitwise() {
+        // The serve replay contract depends on float round-tripping:
+        // `{:?}` emits the shortest string that parses back to the same
+        // bits, and `parse` must preserve them.
+        for x in [0.1, 1.0 / 3.0, 6.02e23, -1.5e-300, 123456.789] {
+            let s = Value::from(x).compact();
+            let back = parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "float {s} changed bits");
+        }
     }
 }

@@ -39,9 +39,11 @@
 //! assert_eq!(squares, seq);
 //! ```
 
+pub mod admission;
 pub mod executor;
 pub mod json;
 pub mod metrics;
 
+pub use admission::{Admission, AdmissionKey};
 pub use executor::Executor;
 pub use metrics::{RunReport, StageRecord, StageScope, Stopwatch};

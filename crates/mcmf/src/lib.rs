@@ -391,6 +391,42 @@ impl McmfGraph {
         self.txn_active
     }
 
+    /// A 64-bit FNV-1a digest of the network's structure and committed
+    /// state: node count, arc heads, arc costs, residual capacities,
+    /// stored edge capacities, and potentials.
+    ///
+    /// Work counters and transaction bookkeeping (undo logs, epoch
+    /// marks) are deliberately excluded, so the fingerprint is exactly
+    /// the state a [`Transaction::rollback`] promises to restore. A
+    /// session that holds a committed network across requests uses this
+    /// to certify that what-if probes left the network bitwise intact,
+    /// and — because every solve is deterministic — as a compact
+    /// thread-invariance witness in reports.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(PRIME)
+        }
+        let mut h = eat(OFFSET, self.n_nodes as u64);
+        for &a in &self.arc_to {
+            h = eat(h, u64::from(a));
+        }
+        for &c in &self.arc_cost {
+            h = eat(h, c as u64);
+        }
+        for &c in &self.arc_cap {
+            h = eat(h, c as u64);
+        }
+        for &c in &self.edge_cap {
+            h = eat(h, c as u64);
+        }
+        for &p in &self.potential {
+            h = eat(h, p as u64);
+        }
+        h
+    }
+
     /// Opens a transaction: every capacity and potential write made until
     /// the returned guard is rolled back (explicitly or by drop) records
     /// its pre-image in an append-only undo log, first write per slot.
@@ -400,6 +436,17 @@ impl McmfGraph {
     ///
     /// Work counters ([`stats`](McmfGraph::stats)) are *not* rolled back:
     /// they measure work performed, which the rollback cannot unperform.
+    ///
+    /// # Session-held lifecycle
+    ///
+    /// A long-lived session may keep the committed network resident
+    /// across many requests and open a fresh transaction per what-if
+    /// probe. The intended shape is strictly request-scoped: checkout,
+    /// probe (`withdraw_edge_flow` / `set_edge_capacity` /
+    /// [`min_cost_reroute`](McmfGraph::min_cost_reroute)), then rollback
+    /// before the request completes — never holding a guard across
+    /// requests. [`fingerprint`](McmfGraph::fingerprint) before and
+    /// after a probe certifies the restore was bitwise.
     ///
     /// ```
     /// use operon_mcmf::McmfGraph;
@@ -1086,6 +1133,38 @@ mod tests {
         let mut g = McmfGraph::new(2);
         let (a, b) = (g.node(0), g.node(1));
         let _ = g.add_edge(a, b, -1, 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_committed_state_not_probes() {
+        let mut g = McmfGraph::new(3);
+        let (s, a, t) = (g.node(0), g.node(1), g.node(2));
+        let e = g.add_edge(s, a, 4, 1);
+        g.add_edge(a, t, 4, 1);
+        let empty = g.fingerprint();
+        g.min_cost_max_flow(s, t);
+        let committed = g.fingerprint();
+        assert_ne!(empty, committed, "a solve must change the fingerprint");
+
+        // A rolled-back transaction restores the fingerprint exactly,
+        // even though it performed work (stats advance).
+        let stats_before = g.stats();
+        {
+            let mut txn = g.checkout();
+            txn.withdraw_edge_flow(e, 4);
+            txn.set_edge_capacity(e, 0);
+            txn.rollback();
+        }
+        assert_eq!(g.fingerprint(), committed);
+        assert!(g.stats().delta_since(&stats_before).undo_entries > 0);
+
+        // A committed mutation does change it.
+        {
+            let mut txn = g.checkout();
+            txn.set_edge_capacity(e, 1);
+            txn.commit();
+        }
+        assert_ne!(g.fingerprint(), committed);
     }
 
     #[test]

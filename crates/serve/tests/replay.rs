@@ -1,0 +1,135 @@
+//! Replay-determinism integration test: a recorded ~100-request ECO
+//! trace must replay byte-for-byte identically at 1, 2 and 8 worker
+//! threads, with thread-invariant session counters throughout.
+
+use operon_exec::json::{self, Value};
+use operon_exec::Executor;
+use operon_netlist::synth::{generate, SynthConfig};
+use operon_serve::Server;
+
+/// Builds a ~100-request two-session ECO trace: open both sessions,
+/// route, then interleaved `eco_move_pins` nudges (each group moved
+/// away from and back to its home position so every ECO is feasible),
+/// a `probe_wdm` every 10 requests and a `report` every 25, then close.
+fn build_trace() -> String {
+    let design = generate(&SynthConfig::small(), 42);
+    let design_text = operon_netlist::io::write_design(&design);
+    let die = design.die();
+    let mut lines: Vec<String> = Vec::new();
+    for session in ["left", "right"] {
+        lines.push(
+            Value::object(vec![
+                ("op", "open_design".into()),
+                ("session", session.into()),
+                ("design", design_text.as_str().into()),
+            ])
+            .compact(),
+        );
+        lines.push(format!("{{\"op\":\"route\",\"session\":\"{session}\"}}"));
+    }
+
+    // Feasible nudge per group: a direction that keeps every pin on the
+    // die, applied and undone alternately.
+    const NUDGE: i64 = 24;
+    let directions: Vec<Option<(i64, i64)>> = design
+        .groups()
+        .iter()
+        .map(|group| {
+            [(NUDGE, 0i64), (-NUDGE, 0), (0, NUDGE), (0, -NUDGE)]
+                .into_iter()
+                .find(|&(dx, dy)| {
+                    group.bits().iter().all(|b| {
+                        b.pins()
+                            .all(|p| die.contains(operon_geom::Point::new(p.x + dx, p.y + dy)))
+                    })
+                })
+        })
+        .collect();
+
+    let mut away = vec![true; directions.len()];
+    let mut group = 0usize;
+    let mut emitted = 0usize;
+    while emitted < 88 {
+        if let Some((dx, dy)) = directions[group] {
+            let session = if emitted.is_multiple_of(2) {
+                "left"
+            } else {
+                "right"
+            };
+            let sign = if away[group] { 1 } else { -1 };
+            lines.push(format!(
+                "{{\"op\":\"eco_move_pins\",\"session\":\"{session}\",\"group\":{group},\
+                 \"dx\":{},\"dy\":{}}}",
+                sign * dx,
+                sign * dy
+            ));
+            away[group] = !away[group];
+            emitted += 1;
+            if emitted.is_multiple_of(10) {
+                lines.push(format!(
+                    "{{\"op\":\"probe_wdm\",\"session\":\"{session}\"}}"
+                ));
+            }
+            if emitted.is_multiple_of(25) {
+                lines.push(format!("{{\"op\":\"report\",\"session\":\"{session}\"}}"));
+            }
+        }
+        group = (group + 1) % directions.len();
+    }
+    for session in ["left", "right"] {
+        lines.push(format!("{{\"op\":\"report\",\"session\":\"{session}\"}}"));
+        lines.push(format!("{{\"op\":\"close\",\"session\":\"{session}\"}}"));
+    }
+    lines.join("\n") + "\n"
+}
+
+#[test]
+fn replay_is_byte_identical_across_thread_counts() {
+    let trace = build_trace();
+    assert!(
+        trace.lines().count() >= 100,
+        "the trace must be ~100 requests, got {}",
+        trace.lines().count()
+    );
+
+    let reference = Server::new(Executor::new(1), 1).run_trace(&trace);
+    assert_eq!(
+        reference.lines().count(),
+        trace.lines().count(),
+        "one response per request"
+    );
+    for line in reference.lines() {
+        assert!(line.contains("\"ok\":true"), "request failed: {line}");
+    }
+
+    for threads in [2usize, 8] {
+        let replay = Server::new(Executor::new(threads), threads).run_trace(&trace);
+        assert_eq!(
+            replay, reference,
+            "replay diverged at {threads} worker threads"
+        );
+    }
+
+    // The byte equality above already pins every counter in every
+    // report response across thread counts; spot-check the session
+    // invariants inside the final reports.
+    let last_reports: Vec<Value> = reference
+        .lines()
+        .filter(|l| l.contains("\"op\":\"report\""))
+        .map(|l| json::parse(l).expect("report response is valid JSON"))
+        .collect();
+    assert!(last_reports.len() >= 4);
+    for report in &last_reports {
+        assert_eq!(
+            report.get("wdm_networks_cloned").and_then(Value::as_i64),
+            Some(0),
+            "warm sessions must never clone a flow network"
+        );
+        assert_eq!(report.get("cold_routes").and_then(Value::as_i64), Some(1));
+        let fingerprint = report
+            .get("fingerprint")
+            .and_then(Value::as_str)
+            .expect("report carries the state digest");
+        assert_eq!(fingerprint.len(), 16);
+    }
+}
