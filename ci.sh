@@ -16,7 +16,7 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> operon-lint --workspace"
+echo "==> operon-lint --workspace (v2: call graph + R003/N001/P002, zero deny)"
 cargo run -p operon-lint --release -q -- --workspace
 
 echo "==> cargo test -q (tier-1)"
@@ -33,5 +33,8 @@ cargo run -p operon-bench --release -q --bin wdm_bench -- --smoke
 
 echo "==> serve_bench --smoke (warm-session identity gate)"
 cargo run -p operon-bench --release -q --bin serve_bench -- --smoke
+
+echo "==> lint_bench --smoke (scan-cache identity gate)"
+cargo run -p operon-bench --release -q --bin lint_bench -- --smoke
 
 echo "CI green."

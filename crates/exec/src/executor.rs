@@ -165,6 +165,7 @@ impl Executor {
         self.par_map_indexed_min(items, 2, |_, item| f(item))
     }
 
+    // operon-lint: allow(R003, reason = "the gather-lock expects only fire after a worker panicked; propagating that panic to the caller is the executor's contract")
     fn par_map_indexed_min<T, R, F>(&self, items: &[T], min_parallel: usize, f: F) -> Vec<R>
     where
         T: Sync,

@@ -1,0 +1,446 @@
+//! Incremental scan cache.
+//!
+//! Persists every file's [`FileAnalysis`] under `target/operon-lint/`,
+//! keyed by an FNV-1a content hash, so a warm re-scan skips lexing,
+//! parsing and the token-pattern rules for unchanged files entirely.
+//! The workspace phases (symbol table → call graph → R003/W001) always
+//! re-run over the full summary set — they are cheap, and re-deriving
+//! them from cached per-file facts is what makes a cached scan
+//! byte-identical to a cold one.
+//!
+//! The whole cache is invalidated when the configuration or the rule
+//! engine changes: entries are stored under a fingerprint combining
+//! [`RULES_VERSION`] with a hash of the parsed `Lint.toml`.
+//!
+//! The on-disk format is a plain line-oriented text file (one record per
+//! line, free-text field last) — dependency-free, diffable, and
+//! deterministic. Any parse surprise drops the entry (or the whole
+//! file), degrading to a cold scan rather than wrong output.
+
+use crate::config::Config;
+use crate::diagnostics::{Diagnostic, Level};
+use crate::rules::FileRole;
+use crate::symbols::{AllowSite, CallRef, FileAnalysis, FnSummary, PanicSite};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever rule logic changes in a way that affects per-file
+/// analysis output, invalidating every cached entry.
+pub const RULES_VERSION: u32 = 2;
+
+const HEADER: &str = "OPERON-LINT-CACHE v1";
+
+/// FNV-1a, 64-bit. Stable across platforms and runs (unlike
+/// `DefaultHasher`), and fast enough that hashing is never the
+/// bottleneck next to I/O.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of everything that affects per-file analysis besides the
+/// file contents: the parsed configuration and the rule-engine version.
+pub fn config_fingerprint(config: &Config) -> u64 {
+    // `Config` is all `String`s, `Vec`s and `BTreeMap`s, so its Debug
+    // form is deterministic.
+    fnv1a(format!("v{RULES_VERSION}:{config:?}").as_bytes())
+}
+
+/// The in-memory cache: path → (content hash, analysis).
+#[derive(Default)]
+pub struct Cache {
+    fingerprint: u64,
+    entries: BTreeMap<String, (u64, FileAnalysis)>,
+}
+
+/// Location of the cache file under a workspace root.
+pub fn cache_path(root: &Path) -> PathBuf {
+    root.join("target").join("operon-lint").join("cache.v1")
+}
+
+impl Cache {
+    /// An empty cache for `config`.
+    pub fn new(config: &Config) -> Self {
+        Cache {
+            fingerprint: config_fingerprint(config),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Loads the cache for `root`, discarding it wholesale when missing,
+    /// unreadable, or written under a different fingerprint.
+    pub fn load(root: &Path, config: &Config) -> Self {
+        let mut cache = Cache::new(config);
+        let Ok(text) = fs::read_to_string(cache_path(root)) else {
+            return cache;
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return cache;
+        }
+        let Some(fp) = lines.next().and_then(|l| l.parse::<u64>().ok()) else {
+            return cache;
+        };
+        if fp != cache.fingerprint {
+            return cache;
+        }
+        let mut lines = lines.peekable();
+        while lines.peek().is_some() {
+            let Some((path, hash, analysis)) = parse_entry(&mut lines) else {
+                // A malformed entry poisons only the remainder; what was
+                // parsed so far is still valid.
+                break;
+            };
+            cache.entries.insert(path, (hash, analysis));
+        }
+        cache
+    }
+
+    /// The cached analysis for `path` at exactly `hash`, if present.
+    pub fn lookup(&self, path: &str, hash: u64) -> Option<&FileAnalysis> {
+        self.entries
+            .get(path)
+            .filter(|(h, _)| *h == hash)
+            .map(|(_, a)| a)
+    }
+
+    /// The cached analysis for `path` regardless of content hash — the
+    /// `--changed` fast path, where the caller asserts the file is clean
+    /// and the cache skips even reading it.
+    pub fn lookup_path(&self, path: &str) -> Option<&FileAnalysis> {
+        self.entries.get(path).map(|(_, a)| a)
+    }
+
+    /// Like [`Self::lookup_path`], with the stored content hash (so a
+    /// trusted entry can be carried forward into the next cache).
+    pub fn get(&self, path: &str) -> Option<(u64, &FileAnalysis)> {
+        self.entries.get(path).map(|(h, a)| (*h, a))
+    }
+
+    /// Records `analysis` for `path` at `hash`.
+    pub fn insert(&mut self, path: &str, hash: u64, analysis: FileAnalysis) {
+        self.entries.insert(path.to_owned(), (hash, analysis));
+    }
+
+    /// Moves the cached analysis for `path` at exactly `hash` out of the
+    /// cache. The warm-scan fast path: a hit transfers ownership instead
+    /// of cloning, and whatever is left after the scan loop is exactly
+    /// the stale remainder (deleted files, changed content).
+    pub fn take(&mut self, path: &str, hash: u64) -> Option<FileAnalysis> {
+        match self.entries.get(path) {
+            Some((h, _)) if *h == hash => self.entries.remove(path).map(|(_, a)| a),
+            _ => None,
+        }
+    }
+
+    /// Like [`Self::take`], but trusting the entry regardless of content
+    /// hash — the `--changed` fast path, where the caller asserts the
+    /// file is clean and the cache skips even reading it.
+    pub fn take_path(&mut self, path: &str) -> Option<(u64, FileAnalysis)> {
+        self.entries.remove(path)
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Writes the cache under `root` (atomically: temp file + rename).
+    /// Failures are reported but safe to ignore — the next scan is
+    /// merely cold.
+    pub fn store(&self, root: &Path) -> std::io::Result<()> {
+        store_entries(
+            root,
+            self.fingerprint,
+            self.entries.iter().map(|(f, (h, a))| (f.as_str(), *h, a)),
+        )
+    }
+}
+
+/// Writes a cache file from borrowed entries, without requiring them to
+/// live in a [`Cache`] (the scan pipeline owns its analyses directly).
+/// Entries must arrive in ascending path order for deterministic output.
+pub fn store_entries<'a>(
+    root: &Path,
+    fingerprint: u64,
+    entries: impl Iterator<Item = (&'a str, u64, &'a FileAnalysis)>,
+) -> std::io::Result<()> {
+    let path = cache_path(root);
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("{fingerprint}\n"));
+    for (file, hash, analysis) in entries {
+        serialize_entry(&mut out, file, hash, analysis);
+    }
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, out)?;
+    fs::rename(&tmp, &path)
+}
+
+/// Interns a rule name back to the `&'static str` diagnostics carry.
+/// Unknown names (a cache written by a future version) fail the entry.
+fn static_rule(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "D001" => "D001",
+        "D002" => "D002",
+        "D003" => "D003",
+        "R001" => "R001",
+        "R002" => "R002",
+        "R003" => "R003",
+        "P001" => "P001",
+        "P002" => "P002",
+        "N001" => "N001",
+        "W001" => "W001",
+        "L000" => "L000",
+        _ => return None,
+    })
+}
+
+/// Strips anything that would break the one-record-per-line format.
+/// Cached strings never legitimately contain newlines; this is a
+/// belt-and-braces guard, not an escape scheme.
+fn clean(s: &str) -> String {
+    if s.contains('\n') || s.contains('\r') {
+        s.replace(['\n', '\r'], " ")
+    } else {
+        s.to_owned()
+    }
+}
+
+fn serialize_entry(out: &mut String, file: &str, hash: u64, a: &FileAnalysis) {
+    out.push_str(&format!("ENTRY {hash} {}\n", clean(file)));
+    out.push_str(&format!("C {}\n", clean(&a.crate_name)));
+    let role = match a.role {
+        Some(FileRole::Lib) => "Lib",
+        Some(FileRole::Bin) => "Bin",
+        Some(FileRole::Other) => "Other",
+        None => "-",
+    };
+    out.push_str(&format!("R {role}\n"));
+    for d in &a.diags {
+        out.push_str(&format!(
+            "D {}|{}|{}|{}|{}\n",
+            d.rule,
+            d.level.as_str(),
+            d.line,
+            d.col,
+            clean(&d.message)
+        ));
+    }
+    for f in &a.fns {
+        out.push_str(&format!(
+            "F {}|{}|{}|{}|{}|{}|{}\n",
+            f.line,
+            f.col,
+            u8::from(f.is_pub),
+            u8::from(f.is_test),
+            clean(&f.module_path.join("/")),
+            clean(f.impl_type.as_deref().unwrap_or("-")),
+            clean(&f.name),
+        ));
+        for c in &f.calls {
+            out.push_str(&format!(
+                "  CALL {}|{}|{}|{}\n",
+                u8::from(c.method),
+                c.line,
+                c.col,
+                clean(&c.segs.join("::"))
+            ));
+        }
+        for p in &f.panics {
+            out.push_str(&format!("  PAN {}|{}|{}\n", p.line, p.col, clean(&p.what)));
+        }
+    }
+    for al in &a.allows {
+        out.push_str(&format!(
+            "A {}|{}|{}|{}|{}\n",
+            al.line,
+            al.col,
+            al.target_line,
+            u8::from(al.used),
+            clean(&al.rules.join(","))
+        ));
+    }
+    out.push_str("END\n");
+}
+
+/// Splits off `n - 1` leading `|`-separated fields, leaving the free-text
+/// remainder as the `n`-th.
+fn fields(line: &str, n: usize) -> Option<Vec<&str>> {
+    let mut out: Vec<&str> = Vec::with_capacity(n);
+    let mut rest = line;
+    for _ in 0..n - 1 {
+        let (head, tail) = rest.split_once('|')?;
+        out.push(head);
+        rest = tail;
+    }
+    out.push(rest);
+    Some(out)
+}
+
+fn parse_entry<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut std::iter::Peekable<I>,
+) -> Option<(String, u64, FileAnalysis)> {
+    let head = lines.next()?;
+    let rest = head.strip_prefix("ENTRY ")?;
+    let (hash, path) = rest.split_once(' ')?;
+    let hash: u64 = hash.parse().ok()?;
+    let mut a = FileAnalysis {
+        path: path.to_owned(),
+        ..FileAnalysis::default()
+    };
+    a.crate_name = lines.next()?.strip_prefix("C ")?.to_owned();
+    a.role = match lines.next()?.strip_prefix("R ")? {
+        "Lib" => Some(FileRole::Lib),
+        "Bin" => Some(FileRole::Bin),
+        "Other" => Some(FileRole::Other),
+        "-" => None,
+        _ => return None,
+    };
+    loop {
+        let line = lines.next()?;
+        if line == "END" {
+            return Some((path.to_owned(), hash, a));
+        }
+        if let Some(body) = line.strip_prefix("D ") {
+            let f = fields(body, 5)?;
+            a.diags.push(Diagnostic {
+                rule: static_rule(f[0])?,
+                level: match f[1] {
+                    "deny" => Level::Deny,
+                    "warn" => Level::Warn,
+                    _ => return None,
+                },
+                file: path.to_owned(),
+                line: f[2].parse().ok()?,
+                col: f[3].parse().ok()?,
+                message: f[4].to_owned(),
+            });
+        } else if let Some(body) = line.strip_prefix("F ") {
+            let f = fields(body, 7)?;
+            a.fns.push(FnSummary {
+                line: f[0].parse().ok()?,
+                col: f[1].parse().ok()?,
+                is_pub: f[2] == "1",
+                is_test: f[3] == "1",
+                module_path: if f[4].is_empty() {
+                    Vec::new()
+                } else {
+                    f[4].split('/').map(str::to_owned).collect()
+                },
+                impl_type: if f[5] == "-" {
+                    None
+                } else {
+                    Some(f[5].to_owned())
+                },
+                name: f[6].to_owned(),
+                calls: Vec::new(),
+                panics: Vec::new(),
+            });
+        } else if let Some(body) = line.strip_prefix("  CALL ") {
+            let f = fields(body, 4)?;
+            a.fns.last_mut()?.calls.push(CallRef {
+                method: f[0] == "1",
+                line: f[1].parse().ok()?,
+                col: f[2].parse().ok()?,
+                segs: f[3].split("::").map(str::to_owned).collect(),
+            });
+        } else if let Some(body) = line.strip_prefix("  PAN ") {
+            let f = fields(body, 3)?;
+            a.fns.last_mut()?.panics.push(PanicSite {
+                line: f[0].parse().ok()?,
+                col: f[1].parse().ok()?,
+                what: f[2].to_owned(),
+            });
+        } else if let Some(body) = line.strip_prefix("A ") {
+            let f = fields(body, 5)?;
+            a.allows.push(AllowSite {
+                line: f[0].parse().ok()?,
+                col: f[1].parse().ok()?,
+                target_line: f[2].parse().ok()?,
+                used: f[3] == "1",
+                rules: f[4].split(',').map(str::to_owned).collect(),
+            });
+        } else {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::analyze_source;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn round_trips_a_real_analysis() {
+        let src = r#"
+// operon-lint: allow(R001, reason = "caller guarantees Some")
+pub fn api(x: Option<u32>) -> u32 { crate::inner::go(x).unwrap() }
+mod inner {
+    pub fn go(x: Option<u32>) -> Option<u32> { operon_mcmf::relabel(x) }
+}
+fn loops() { for i in 0..3 { let v: Vec<u32> = Vec::new(); } }
+"#;
+        let config = Config::default();
+        let a = analyze_source("crates/core/src/x.rs", src, &config);
+        assert!(!a.fns.is_empty());
+        assert!(!a.allows.is_empty());
+        assert!(!a.diags.is_empty(), "the P002 in loops() should fire");
+
+        let mut cache = Cache::new(&config);
+        cache.insert("crates/core/src/x.rs", 42, a.clone());
+        let mut out = String::new();
+        serialize_entry(&mut out, "crates/core/src/x.rs", 42, &a);
+        let mut lines = out.lines().peekable();
+        let (path, hash, back) = parse_entry(&mut lines).expect("parses back");
+        assert_eq!(path, "crates/core/src/x.rs");
+        assert_eq!(hash, 42);
+        assert_eq!(back.crate_name, a.crate_name);
+        assert_eq!(back.role, a.role);
+        assert_eq!(back.diags, a.diags);
+        assert_eq!(back.fns, a.fns);
+        assert_eq!(back.allows, a.allows);
+    }
+
+    #[test]
+    fn store_and_load_via_disk() {
+        let config = Config::default();
+        let root =
+            std::env::temp_dir().join(format!("operon-lint-cache-test-{}", std::process::id()));
+        let a = analyze_source("crates/core/src/y.rs", "pub fn f() {}\n", &config);
+        let mut cache = Cache::new(&config);
+        cache.insert("crates/core/src/y.rs", fnv1a(b"pub fn f() {}\n"), a);
+        cache.store(&root).expect("store succeeds");
+
+        let loaded = Cache::load(&root, &config);
+        assert!(loaded
+            .lookup("crates/core/src/y.rs", fnv1a(b"pub fn f() {}\n"))
+            .is_some());
+        assert!(loaded.lookup("crates/core/src/y.rs", 7).is_none());
+        assert!(loaded.lookup_path("crates/core/src/y.rs").is_some());
+
+        // A different config fingerprint discards everything.
+        let mut other = config.clone();
+        other.solver_crates.push("bench".to_owned());
+        let discarded = Cache::load(&root, &other);
+        assert!(discarded.lookup_path("crates/core/src/y.rs").is_none());
+
+        let _ = fs::remove_dir_all(&root);
+    }
+}

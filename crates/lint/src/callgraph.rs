@@ -1,0 +1,478 @@
+//! Workspace-level rules over the cross-file call graph.
+//!
+//! Built from every file's [`FileAnalysis`]: a [`SymbolTable`] resolves
+//! each recorded call site to workspace definitions, giving a call graph
+//! whose edges this module walks for the two global rules:
+//!
+//! * **R003 panic-reachability** — a function that contains an
+//!   unsanctioned panic-capable site *and* is reachable from the public
+//!   API of a solver crate is flagged, with the shortest public→function
+//!   call chain rendered in the diagnostic. Sanctioning composes with
+//!   the existing allow machinery:
+//!   - an `allow(R001, …)` or `allow(R003, …)` covering a panic site's
+//!     line vets that site (the workspace's existing reasoned R001
+//!     allows therefore carry over);
+//!   - an `allow(R003, …)` covering a `fn` definition line makes the
+//!     function *opaque*: it is never flagged and its panic potential
+//!     does not propagate to callers (reachability still flows through
+//!     it — its callees are still called at runtime);
+//!   - an `allow(R003, …)` covering a call site's line cuts that edge.
+//!
+//! * **W001 stale-allow** — an `// operon-lint: allow(…)` that neither
+//!   suppressed a local finding nor participated in R003 sanctioning is
+//!   itself reported, so dead suppressions cannot accumulate.
+//!
+//! Method calls resolve by name against every workspace `impl` — a
+//!   deliberate over-approximation (no type inference), kept honest by
+//! the reasoned-allow escape hatch.
+
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::rules::{allow_covering, FileRole};
+use crate::symbols::{crate_ident, file_module_path, FileAnalysis, FnId, SymbolTable};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Runs the workspace rules (R003, W001) over all analyzed files.
+/// Returns the global findings, canonically sorted.
+pub fn workspace_rules(files: &[FileAnalysis], config: &Config) -> Vec<Diagnostic> {
+    let graph = CallGraph::build(files);
+    let mut diags = graph.r003(files, config);
+    diags.extend(stale_allows(files, config, &graph.used_allows));
+    crate::diagnostics::sort_canonical(&mut diags);
+    diags
+}
+
+/// The resolved call graph plus per-function panic facts.
+struct CallGraph {
+    /// Flat function ids, sorted: `order[idx]` is the `FnId`.
+    order: Vec<FnId>,
+    /// Forward edges (caller idx → callee idxs), sorted and deduped.
+    edges: Vec<Vec<usize>>,
+    /// Unsanctioned panic sites per function (indices into the fn's
+    /// `panics` list).
+    sources: Vec<Vec<usize>>,
+    /// Functions made opaque by an `allow(R003)` on their `fn` line,
+    /// with the sanctioning allow's location.
+    opaque: Vec<Option<(usize, usize)>>,
+    /// Allows consulted by the global pass that actually sanctioned
+    /// something: `(file index, allow index)`.
+    used_allows: BTreeSet<(usize, usize)>,
+}
+
+impl CallGraph {
+    fn build(files: &[FileAnalysis]) -> Self {
+        let table = SymbolTable::build(files);
+        let mut order: Vec<FnId> = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            for gi in 0..file.fns.len() {
+                order.push((fi, gi));
+            }
+        }
+        let index: BTreeMap<FnId, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(idx, id)| (*id, idx))
+            .collect();
+        let n = order.len();
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut sources: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut opaque: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut used_allows: BTreeSet<(usize, usize)> = BTreeSet::new();
+        // Cut edges awaiting a "did the allow matter" verdict:
+        // (callee idx, file idx, allow idx).
+        let mut cut_edges: Vec<(usize, usize, usize)> = Vec::new();
+
+        for (idx, &(fi, gi)) in order.iter().enumerate() {
+            let file = &files[fi];
+            let f = &file.fns[gi];
+            // Opaque: allow(R003) covering the fn definition line.
+            if let Some(ai) = allow_covering(&file.allows, f.line, "R003") {
+                opaque[idx] = Some((fi, ai));
+            }
+            // Panic sites, minus sanctioned ones.
+            for (pi, p) in f.panics.iter().enumerate() {
+                let sanction = allow_covering(&file.allows, p.line, "R001")
+                    .or_else(|| allow_covering(&file.allows, p.line, "R003"));
+                match sanction {
+                    Some(ai) => {
+                        used_allows.insert((fi, ai));
+                    }
+                    None => sources[idx].push(pi),
+                }
+            }
+            // Call edges.
+            let module = {
+                let mut m = file_module_path(&file.path);
+                m.extend(f.module_path.iter().cloned());
+                m
+            };
+            for call in &f.calls {
+                let targets =
+                    table.resolve(call, &file.crate_name, &module, f.impl_type.as_deref());
+                if targets.is_empty() {
+                    continue;
+                }
+                let cut = allow_covering(&file.allows, call.line, "R003");
+                for id in targets {
+                    let Some(&t) = index.get(&id) else { continue };
+                    if t == idx {
+                        continue; // self-recursion adds nothing
+                    }
+                    match cut {
+                        Some(ai) => cut_edges.push((t, fi, ai)),
+                        None => edges[idx].push(t),
+                    }
+                }
+            }
+            edges[idx].sort_unstable();
+            edges[idx].dedup();
+        }
+
+        // Fixpoint: can_panic flows callee → caller, but an opaque
+        // function's potential never escapes it.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (caller, callees) in edges.iter().enumerate() {
+            for &callee in callees {
+                rev[callee].push(caller);
+            }
+        }
+        let mut can_panic: Vec<bool> = sources.iter().map(|s| !s.is_empty()).collect();
+        let mut queue: VecDeque<usize> = (0..n)
+            .filter(|&i| can_panic[i] && opaque[i].is_none())
+            .collect();
+        while let Some(i) = queue.pop_front() {
+            for &caller in &rev[i] {
+                if !can_panic[caller] {
+                    can_panic[caller] = true;
+                    if opaque[caller].is_none() {
+                        queue.push_back(caller);
+                    }
+                }
+            }
+        }
+        // An opaque allow is "used" when it actually contains something;
+        // a cut-edge allow is "used" when the callee had potential.
+        for (i, o) in opaque.iter().enumerate() {
+            if let Some(mark) = o {
+                if can_panic[i] {
+                    used_allows.insert(*mark);
+                }
+            }
+        }
+        for (callee, fi, ai) in cut_edges {
+            if can_panic[callee] && opaque[callee].is_none() {
+                used_allows.insert((fi, ai));
+            }
+        }
+
+        CallGraph {
+            order,
+            edges,
+            sources,
+            opaque,
+            used_allows,
+        }
+    }
+
+    /// Whether `id` is a public-API root: a `pub fn` in the library code
+    /// of a configured solver crate, outside test gates.
+    fn is_root(&self, files: &[FileAnalysis], config: &Config, id: FnId) -> bool {
+        let file = &files[id.0];
+        let f = &file.fns[id.1];
+        f.is_pub
+            && !f.is_test
+            && file.role == Some(FileRole::Lib)
+            && config.solver_crates.iter().any(|c| c == &file.crate_name)
+    }
+
+    /// R003: flag reachable panic-bearing functions, rendering the
+    /// shortest public→function chain.
+    fn r003(&self, files: &[FileAnalysis], config: &Config) -> Vec<Diagnostic> {
+        let Some(level) = config.level("R003") else {
+            return Vec::new();
+        };
+        // BFS from all roots at once gives every function its shortest
+        // chain from *some* public entry point; iteration order over the
+        // sorted `order` keeps parents (and thus chains) deterministic.
+        let n = self.order.len();
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut reached: Vec<bool> = vec![false; n];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for (idx, &id) in self.order.iter().enumerate() {
+            if self.is_root(files, config, id) {
+                reached[idx] = true;
+                queue.push_back(idx);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for &callee in &self.edges[i] {
+                if !reached[callee] {
+                    reached[callee] = true;
+                    parent[callee] = Some(i);
+                    queue.push_back(callee);
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        for (idx, &(fi, gi)) in self.order.iter().enumerate() {
+            if !reached[idx] || self.sources[idx].is_empty() || self.opaque[idx].is_some() {
+                continue;
+            }
+            let file = &files[fi];
+            let f = &file.fns[gi];
+            if f.is_test {
+                continue;
+            }
+            if config.path_allowed("R003", &file.path)
+                || config.path_out_of_scope("R003", &file.path)
+            {
+                continue;
+            }
+            // Render the chain root → … → this fn.
+            let mut chain_idx: Vec<usize> = vec![idx];
+            let mut cur = idx;
+            while let Some(p) = parent[cur] {
+                chain_idx.push(p);
+                cur = p;
+            }
+            chain_idx.reverse();
+            let chain: Vec<String> = chain_idx
+                .iter()
+                .map(|&i| self.qualified_name(files, self.order[i]))
+                .collect();
+            let first = &f.panics[self.sources[idx][0]];
+            let extra = match self.sources[idx].len() {
+                1 => String::new(),
+                more => format!(" (and {} more panic-capable sites)", more - 1),
+            };
+            let via = if chain.len() == 1 {
+                format!("`{}` is itself public solver API", chain[0])
+            } else {
+                format!(
+                    "reachable from public solver API via `{}`",
+                    chain.join(" -> ")
+                )
+            };
+            out.push(Diagnostic {
+                rule: "R003",
+                level,
+                file: file.path.clone(),
+                line: f.line,
+                col: f.col,
+                message: format!(
+                    "`{}` can panic: {} at line {}{extra}; {via}; return a typed \
+                     error, or vet the site with `// operon-lint: allow(R001, \
+                     reason = ...)` / make the function opaque with \
+                     `// operon-lint: allow(R003, reason = ...)` on the `fn` line",
+                    self.qualified_name(files, (fi, gi)),
+                    first.what,
+                    first.line,
+                ),
+            });
+        }
+        out
+    }
+
+    /// `operon_mcmf::McmfGraph::solve`-style display name.
+    fn qualified_name(&self, files: &[FileAnalysis], id: FnId) -> String {
+        let file = &files[id.0];
+        let f = &file.fns[id.1];
+        let mut parts: Vec<String> = vec![crate_ident(&file.crate_name)];
+        parts.extend(file_module_path(&file.path));
+        parts.extend(f.module_path.iter().cloned());
+        if let Some(ty) = &f.impl_type {
+            parts.push(ty.clone());
+        }
+        parts.push(f.name.clone());
+        parts.join("::")
+    }
+}
+
+/// W001: report every allow that suppressed nothing — locally during the
+/// per-file pass, and globally during R003 sanctioning.
+fn stale_allows(
+    files: &[FileAnalysis],
+    config: &Config,
+    global_used: &BTreeSet<(usize, usize)>,
+) -> Vec<Diagnostic> {
+    let Some(level) = config.level("W001") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        if file.role.is_none() {
+            continue;
+        }
+        if config.path_allowed("W001", &file.path) || config.path_out_of_scope("W001", &file.path) {
+            continue;
+        }
+        for (ai, allow) in file.allows.iter().enumerate() {
+            if allow.used || global_used.contains(&(fi, ai)) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "W001",
+                level,
+                file: file.path.clone(),
+                line: allow.line,
+                col: allow.col,
+                message: format!(
+                    "stale suppression: `allow({})` no longer suppresses any \
+                     finding on line {}; delete the comment (or fix the rule \
+                     list if it was meant to cover something else)",
+                    allow.rules.join(", "),
+                    allow.target_line,
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::analyze_source;
+
+    fn analyze_all(sources: &[(&str, &str)], config: &Config) -> Vec<FileAnalysis> {
+        sources
+            .iter()
+            .map(|(path, src)| analyze_source(path, src, config))
+            .collect()
+    }
+
+    #[test]
+    fn r003_flags_transitive_panic_with_chain() {
+        let config = Config::default();
+        let files = analyze_all(
+            &[
+                (
+                    "crates/core/src/session.rs",
+                    "pub fn warm_solve(x: Option<u32>) -> u32 { crate::lr::price(x) }\n",
+                ),
+                (
+                    "crates/core/src/lr.rs",
+                    // Not pub: only reachable through warm_solve. The
+                    // helper lives in exec, a non-solver crate, so R001
+                    // never sees it — only R003 can.
+                    "fn price(x: Option<u32>) -> u32 { operon_exec::join_all(x) }\n",
+                ),
+                (
+                    "crates/exec/src/lib.rs",
+                    "pub fn join_all(x: Option<u32>) -> u32 { x.unwrap() }\n",
+                ),
+            ],
+            &config,
+        );
+        let diags = workspace_rules(&files, &config);
+        let r003: Vec<_> = diags.iter().filter(|d| d.rule == "R003").collect();
+        assert_eq!(r003.len(), 1, "{diags:?}");
+        assert_eq!(r003[0].file, "crates/exec/src/lib.rs");
+        assert!(r003[0].message.contains("`.unwrap()`"));
+        assert!(
+            r003[0].message.contains(
+                "operon::session::warm_solve -> operon::lr::price -> operon_exec::join_all"
+            ),
+            "{}",
+            r003[0].message
+        );
+    }
+
+    #[test]
+    fn r003_ignores_unreachable_and_sanctioned_panics() {
+        let config = Config::default();
+        let files = analyze_all(
+            &[
+                // Private fn, never called: not reachable.
+                (
+                    "crates/exec/src/lib.rs",
+                    "fn orphan(x: Option<u32>) -> u32 { x.unwrap() }\n",
+                ),
+                // Reachable but the site carries a reasoned R001 allow.
+                (
+                    "crates/core/src/flow.rs",
+                    "pub fn api(x: Option<u32>) -> u32 {\n    // operon-lint: allow(R001, reason = \"guarded above\")\n    x.unwrap()\n}\n",
+                ),
+            ],
+            &config,
+        );
+        let diags = workspace_rules(&files, &config);
+        assert!(diags.iter().all(|d| d.rule != "R003"), "{diags:?}");
+    }
+
+    #[test]
+    fn r003_opaque_fn_suppresses_and_allow_counts_as_used() {
+        let config = Config::default();
+        let files = analyze_all(
+            &[(
+                "crates/core/src/flow.rs",
+                "// operon-lint: allow(R003, reason = \"bounded retry; panic is a can't-happen invariant\")\npub fn api(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            )],
+            &config,
+        );
+        let diags = workspace_rules(&files, &config);
+        // The unwrap is also a local R001 finding — check the R003/W001 side.
+        assert!(diags.iter().all(|d| d.rule != "R003"), "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule != "W001"), "{diags:?}");
+    }
+
+    #[test]
+    fn w001_reports_dead_allows() {
+        let config = Config::default();
+        let files = analyze_all(
+            &[(
+                "crates/core/src/flow.rs",
+                "// operon-lint: allow(R001, reason = \"was an unwrap here once\")\npub fn fine(x: u32) -> u32 { x + 1 }\n",
+            )],
+            &config,
+        );
+        let diags = workspace_rules(&files, &config);
+        let w: Vec<_> = diags.iter().filter(|d| d.rule == "W001").collect();
+        assert_eq!(w.len(), 1, "{diags:?}");
+        assert!(w[0].message.contains("allow(R001)"));
+    }
+
+    #[test]
+    fn w001_keeps_working_allows() {
+        let config = Config::default();
+        let files = analyze_all(
+            &[(
+                "crates/core/src/flow.rs",
+                "pub fn api(x: Option<u32>) -> u32 {\n    // operon-lint: allow(R001, reason = \"guarded\")\n    x.unwrap()\n}\n",
+            )],
+            &config,
+        );
+        let diags = workspace_rules(&files, &config);
+        assert!(diags.iter().all(|d| d.rule != "W001"), "{diags:?}");
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name_across_crates() {
+        let config = Config::default();
+        let files = analyze_all(
+            &[
+                (
+                    "crates/core/src/wdm/mod.rs",
+                    "pub fn plan(exec: &Executor) { exec.run_waves(3); }\n",
+                ),
+                (
+                    "crates/exec/src/executor.rs",
+                    "impl Executor { pub fn run_waves(&self, n: u32) -> u32 { inner(n) } }\nfn inner(n: u32) -> u32 { if n > 2 { panic!(\"depth\") } else { n } }\n",
+                ),
+            ],
+            &config,
+        );
+        let diags = workspace_rules(&files, &config);
+        let r003: Vec<_> = diags.iter().filter(|d| d.rule == "R003").collect();
+        assert_eq!(r003.len(), 1, "{diags:?}");
+        assert!(r003[0].message.contains("`panic!`"));
+        assert!(
+            r003[0]
+                .message
+                .contains("Executor::run_waves -> operon_exec::executor::inner"),
+            "{}",
+            r003[0].message
+        );
+    }
+}

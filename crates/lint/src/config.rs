@@ -50,6 +50,10 @@ impl Default for Config {
         rules.insert("D003".to_owned(), RuleConfig::new(Level::Deny));
         rules.insert("R001".to_owned(), RuleConfig::new(Level::Deny));
         rules.insert("P001".to_owned(), RuleConfig::new(Level::Deny));
+        rules.insert("P002".to_owned(), RuleConfig::new(Level::Deny));
+        rules.insert("R003".to_owned(), RuleConfig::new(Level::Deny));
+        rules.insert("N001".to_owned(), RuleConfig::new(Level::Deny));
+        rules.insert("W001".to_owned(), RuleConfig::new(Level::Warn));
         let mut r002 = RuleConfig::new(Level::Warn);
         r002.only_paths = Vec::new();
         rules.insert("R002".to_owned(), r002);

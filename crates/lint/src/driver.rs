@@ -1,9 +1,18 @@
-//! Workspace walker: finds every `.rs` file, classifies it, and runs the
-//! rule engine, producing one canonically-sorted finding list.
+//! Workspace walker and scan pipeline.
+//!
+//! A scan has two phases. The per-file phase (lex → parse → local rules
+//! → [`FileAnalysis`]) is cached under `target/operon-lint/` keyed by
+//! content hash; the workspace phase (symbol table → call graph →
+//! R003/W001) always re-runs over the full summary set, which is what
+//! makes a warm scan byte-identical to a cold one.
 
+use crate::cache::{config_fingerprint, fnv1a, store_entries, Cache};
+use crate::callgraph::workspace_rules;
 use crate::config::Config;
 use crate::diagnostics::{sort_canonical, Diagnostic};
-use crate::rules::lint_source;
+use crate::rules::analyze_source;
+use crate::symbols::FileAnalysis;
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -13,6 +22,32 @@ pub struct ScanReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of files actually linted (classified Lib/Bin, not excluded).
     pub files_scanned: usize,
+    /// Files whose per-file analysis came from the cache.
+    pub cache_hits: usize,
+    /// Files analyzed from source this run.
+    pub cache_misses: usize,
+}
+
+/// Knobs for a scan.
+pub struct ScanOptions {
+    /// Load/store the on-disk cache (workspace scans only).
+    pub use_cache: bool,
+    /// `--changed` mode: paths in this list are re-analyzed from source;
+    /// every other file is trusted to its cached entry without even
+    /// re-reading it. The workspace phases still run over everything, so
+    /// the changed files' call-graph neighborhood (callers whose R003
+    /// chains pass through them, allows they sanctioned) refreshes
+    /// automatically.
+    pub changed: Option<Vec<String>>,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            use_cache: true,
+            changed: None,
+        }
+    }
 }
 
 /// Directory names never descended into, independent of `Lint.toml`.
@@ -46,32 +81,116 @@ pub fn collect_rs_files(root: &Path) -> Result<Vec<String>, String> {
     Ok(out)
 }
 
-/// Scans the workspace rooted at `root` with `config`.
+/// Scans the workspace rooted at `root` with `config` and the default
+/// options (cache on).
 pub fn scan_workspace(root: &Path, config: &Config) -> Result<ScanReport, String> {
-    let files = collect_rs_files(root)?;
-    scan_files(root, &files, config)
+    scan_workspace_with(root, config, &ScanOptions::default())
 }
 
-/// Lints an explicit list of workspace-relative files.
+/// Scans the workspace rooted at `root` with explicit options.
+pub fn scan_workspace_with(
+    root: &Path,
+    config: &Config,
+    opts: &ScanOptions,
+) -> Result<ScanReport, String> {
+    let files = collect_rs_files(root)?;
+    run_scan(root, &files, config, opts)
+}
+
+/// Lints an explicit list of workspace-relative files. No cache: a
+/// partial file list is a partial workspace view (R003 reachability and
+/// W001 usage are computed over just these files).
 pub fn scan_files(root: &Path, files: &[String], config: &Config) -> Result<ScanReport, String> {
-    let mut diagnostics = Vec::new();
-    let mut files_scanned = 0usize;
+    run_scan(
+        root,
+        files,
+        config,
+        &ScanOptions {
+            use_cache: false,
+            changed: None,
+        },
+    )
+}
+
+fn run_scan(
+    root: &Path,
+    files: &[String],
+    config: &Config,
+    opts: &ScanOptions,
+) -> Result<ScanReport, String> {
+    let mut cache = if opts.use_cache {
+        Cache::load(root, config)
+    } else {
+        Cache::new(config)
+    };
+    let changed: Option<BTreeSet<&str>> = opts
+        .changed
+        .as_ref()
+        .map(|c| c.iter().map(String::as_str).collect());
+
+    // Hits are *moved* out of the loaded cache (no clone); `hashes`
+    // stays aligned with `analyses` so the cache can be rewritten from
+    // borrows. `files` is sorted, so the pair is in ascending path order.
+    let mut hashes: Vec<u64> = Vec::new();
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+
     for rel in files {
         if config.excluded(rel) {
             continue;
         }
+        // `--changed` fast path: trust the cached entry without reading.
+        if let Some(changed) = &changed {
+            if !changed.contains(rel.as_str()) {
+                if let Some((hash, a)) = cache.take_path(rel) {
+                    cache_hits += 1;
+                    hashes.push(hash);
+                    analyses.push(a);
+                    continue;
+                }
+            }
+        }
         let source = fs::read_to_string(root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
-        diagnostics.extend(lint_source(rel, &source, config));
-        if crate::rules::classify(rel)
-            .is_some_and(|(_, role)| role != crate::rules::FileRole::Other)
-        {
-            files_scanned += 1;
+        let hash = fnv1a(source.as_bytes());
+        match cache.take(rel, hash) {
+            Some(a) => {
+                cache_hits += 1;
+                hashes.push(hash);
+                analyses.push(a);
+            }
+            None => {
+                cache_misses += 1;
+                hashes.push(hash);
+                analyses.push(analyze_source(rel, &source, config));
+            }
         }
     }
+    // Leftover entries are stale (deleted files, superseded content);
+    // a fully-warm scan with no leftovers needs no rewrite at all.
+    if opts.use_cache && (cache_misses > 0 || !cache.is_empty()) {
+        // Store *before* the workspace phase so cached entries never
+        // carry global allow-usage marks; a failure just means the next
+        // scan is cold.
+        let _ = store_entries(
+            root,
+            config_fingerprint(config),
+            analyses
+                .iter()
+                .zip(&hashes)
+                .map(|(a, &h)| (a.path.as_str(), h, a)),
+        );
+    }
+
+    let mut diagnostics: Vec<Diagnostic> = analyses.iter().flat_map(|a| a.diags.clone()).collect();
+    diagnostics.extend(workspace_rules(&analyses, config));
     sort_canonical(&mut diagnostics);
+    let files_scanned = analyses.iter().filter(|a| a.role.is_some()).count();
     Ok(ScanReport {
         diagnostics,
         files_scanned,
+        cache_hits,
+        cache_misses,
     })
 }
 

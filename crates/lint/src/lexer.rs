@@ -36,6 +36,10 @@ pub struct Token {
     pub line: u32,
     /// 1-based column (in characters) of the token's first character.
     pub col: u32,
+    /// Byte offset of the token's first character in the source.
+    pub start: u32,
+    /// Byte offset one past the token's last character.
+    pub end: u32,
 }
 
 impl Token {
@@ -265,6 +269,8 @@ fn push(out: &mut Vec<Token>, kind: TokenKind, cur: &Cursor, start: usize, line:
         text,
         line,
         col,
+        start: start as u32,
+        end: cur.pos as u32,
     });
 }
 

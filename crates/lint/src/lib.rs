@@ -6,19 +6,29 @@
 //! `DESIGN.md` § "Static analysis & invariants" for the rule catalog and
 //! `Lint.toml` for the checked-in configuration.
 //!
-//! The analyzer is deliberately dependency-free: a hand-rolled lexer
-//! (`lexer`), token-pattern rules (`rules`), a minimal `Lint.toml`
-//! parser (`config`), and stable human/JSON renderers (`diagnostics`).
+//! v2 pipeline: a hand-rolled lexer (`lexer`) feeds a lightweight item
+//! parser (`parse`); per-file facts (`symbols::FileAnalysis`) are
+//! produced by the token-pattern rules (`rules`), cached by content hash
+//! (`cache`), and joined into a workspace call graph (`callgraph`) for
+//! the global rules — R003 panic-reachability and W001 stale-allow.
+//! Configuration is a minimal `Lint.toml` parser (`config`); output goes
+//! through stable human/JSON renderers (`diagnostics`). The whole crate
+//! is deliberately dependency-free.
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod callgraph;
 pub mod config;
 pub mod diagnostics;
 pub mod driver;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod symbols;
 
 pub use config::Config;
 pub use diagnostics::{Diagnostic, Level};
-pub use driver::{scan_files, scan_workspace, ScanReport};
+pub use driver::{scan_files, scan_workspace, scan_workspace_with, ScanOptions, ScanReport};
 pub use rules::{classify, lint_source, FileRole};
+pub use symbols::FileAnalysis;

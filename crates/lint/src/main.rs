@@ -1,9 +1,9 @@
-//! CLI entry point: `operon-lint --workspace [--format json]`.
+//! CLI entry point: `operon-lint --workspace [--changed FILE...]`.
 
 #![forbid(unsafe_code)]
 
 use operon_lint::diagnostics::{render_json, Level};
-use operon_lint::driver::{load_config, scan_files, scan_workspace, ScanReport};
+use operon_lint::driver::{load_config, scan_files, scan_workspace_with, ScanOptions, ScanReport};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -11,6 +11,8 @@ struct Args {
     root: PathBuf,
     json: bool,
     workspace: bool,
+    changed: bool,
+    no_cache: bool,
     files: Vec<String>,
 }
 
@@ -19,12 +21,16 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         json: false,
         workspace: false,
+        changed: false,
+        no_cache: false,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workspace" => args.workspace = true,
+            "--changed" => args.changed = true,
+            "--no-cache" => args.no_cache = true,
             "--root" => {
                 args.root = PathBuf::from(it.next().ok_or("--root requires a path argument")?);
             }
@@ -38,10 +44,16 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "operon-lint: determinism/robustness static analysis\n\n\
-                     USAGE: operon-lint [--root DIR] [--format json|human] \
-                     (--workspace | FILE...)\n\n\
+                     USAGE: operon-lint [--root DIR] [--format json|human] [--no-cache]\n\
+                            (--workspace | --changed FILE... | FILE...)\n\n\
                      FILEs are workspace-relative .rs paths. Configuration is\n\
-                     read from <root>/Lint.toml when present."
+                     read from <root>/Lint.toml when present.\n\n\
+                     --changed scans the whole workspace but re-analyzes only the\n\
+                     listed files, trusting the cache for everything else; the\n\
+                     call-graph rules (R003/W001) still see every file, so the\n\
+                     changed files' neighborhood refreshes automatically.\n\
+                     --no-cache forces a cold scan (output is byte-identical\n\
+                     either way)."
                 );
                 std::process::exit(0);
             }
@@ -51,8 +63,11 @@ fn parse_args() -> Result<Args, String> {
             file => args.files.push(file.to_owned()),
         }
     }
-    if !args.workspace && args.files.is_empty() {
-        return Err("nothing to lint: pass --workspace or one or more files".to_owned());
+    if args.changed && args.files.is_empty() {
+        return Err("--changed requires at least one changed file".to_owned());
+    }
+    if !args.workspace && !args.changed && args.files.is_empty() {
+        return Err("nothing to lint: pass --workspace, --changed FILE..., or FILE...".to_owned());
     }
     Ok(args)
 }
@@ -65,8 +80,14 @@ fn run() -> Result<ExitCode, String> {
     let ScanReport {
         diagnostics,
         files_scanned,
-    } = if args.workspace {
-        scan_workspace(&args.root, &config)?
+        cache_hits,
+        cache_misses,
+    } = if args.workspace || args.changed {
+        let opts = ScanOptions {
+            use_cache: !args.no_cache,
+            changed: args.changed.then(|| args.files.clone()),
+        };
+        scan_workspace_with(&args.root, &config, &opts)?
     } else {
         scan_files(&args.root, &args.files, &config)?
     };
@@ -85,7 +106,8 @@ fn run() -> Result<ExitCode, String> {
         }
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
         println!(
-            "operon-lint: {deny} deny, {warn} warn across {files_scanned} files ({elapsed_ms:.1} ms)"
+            "operon-lint: {deny} deny, {warn} warn across {files_scanned} files \
+             ({cache_hits} cached, {cache_misses} analyzed, {elapsed_ms:.1} ms)"
         );
     }
     Ok(if deny == 0 {

@@ -1,0 +1,422 @@
+//! Cross-file symbol information.
+//!
+//! [`FileAnalysis`] is the per-file unit of work: everything the
+//! workspace-level rules need, with the token stream already thrown
+//! away. It is what the incremental cache persists — re-running the
+//! global phases (symbol table → call graph → R003/W001) over cached
+//! `FileAnalysis` values is byte-identical to a cold scan.
+//!
+//! [`SymbolTable`] indexes every recognized function in the workspace
+//! by module path, impl type, and bare method name, so the call graph
+//! can resolve workspace-local call paths without type information.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::FileRole;
+use std::collections::BTreeMap;
+
+/// A call site, normalized against the file's `use` map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallRef {
+    /// Path segments (`["crate", "wdm", "plan"]`) — or the bare method
+    /// name when `method` is true.
+    pub segs: Vec<String>,
+    /// Whether this was a `.method(…)` call (resolved by name against
+    /// every workspace impl).
+    pub method: bool,
+    /// 1-based line of the callee name.
+    pub line: u32,
+    /// 1-based column of the callee name.
+    pub col: u32,
+}
+
+/// A site inside a function body that can panic at runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanicSite {
+    /// Human description (`` `.unwrap()` ``, `` `panic!` ``, `index into
+    /// a call result`).
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One function, summarized for the call graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FnSummary {
+    /// Name of the function.
+    pub name: String,
+    /// In-file module path (file-level path is added by the table).
+    pub module_path: Vec<String>,
+    /// Self type of the enclosing impl block, if any.
+    pub impl_type: Option<String>,
+    /// Whether the item carries a `pub` marker.
+    pub is_pub: bool,
+    /// Whether the function is test-gated (`#[test]`/`#[cfg(test)]`).
+    pub is_test: bool,
+    /// 1-based position of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Call sites in the body, in source order.
+    pub calls: Vec<CallRef>,
+    /// Panic-capable sites in the body, in source order.
+    pub panics: Vec<PanicSite>,
+}
+
+/// One `// operon-lint: allow(…)` suppression comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowSite {
+    /// 1-based line of the comment itself.
+    pub line: u32,
+    /// 1-based column of the comment itself.
+    pub col: u32,
+    /// The line whose findings this allow suppresses (its own line for a
+    /// trailing comment, the next code line for a standalone one).
+    pub target_line: u32,
+    /// Rules listed in the allow.
+    pub rules: Vec<String>,
+    /// Whether the allow suppressed at least one same-file finding.
+    /// Workspace rules (R003) may additionally mark an allow used during
+    /// the global phase.
+    pub used: bool,
+}
+
+/// Everything the workspace phases need to know about one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileAnalysis {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Owning crate (directory name under `crates/`).
+    pub crate_name: String,
+    /// Library / binary role.
+    pub role: Option<FileRole>,
+    /// Local findings (token-pattern rules), already suppressed and
+    /// level-filtered.
+    pub diags: Vec<Diagnostic>,
+    /// Recognized functions.
+    pub fns: Vec<FnSummary>,
+    /// Suppression comments, with local usage already marked.
+    pub allows: Vec<AllowSite>,
+}
+
+/// A function's global identity: (file index, fn index within file).
+pub type FnId = (usize, usize);
+
+/// The crate ident used in source paths for a crate directory name
+/// (`mcmf` → `operon_mcmf`, `core` → `operon`).
+pub fn crate_ident(crate_name: &str) -> String {
+    match crate_name {
+        "core" => "operon".to_owned(),
+        "operon-repro" => "operon_repro".to_owned(),
+        other => format!("operon_{other}"),
+    }
+}
+
+/// The module path a file's items live under within its crate
+/// (`crates/core/src/wdm/mod.rs` → `["wdm"]`, `src/lib.rs` → `[]`).
+pub fn file_module_path(path: &str) -> Vec<String> {
+    let rest = path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split_once('/'))
+        .map_or(path, |(_, tail)| tail);
+    let Some(in_src) = rest.strip_prefix("src/") else {
+        return Vec::new();
+    };
+    let mut parts: Vec<&str> = in_src.split('/').collect();
+    let Some(last) = parts.pop() else {
+        return Vec::new();
+    };
+    // Binaries are separate crate roots; their items live at the root.
+    if parts.first() == Some(&"bin") {
+        return Vec::new();
+    }
+    let mut out: Vec<String> = parts.iter().map(|s| (*s).to_owned()).collect();
+    match last.strip_suffix(".rs") {
+        Some("lib") | Some("main") | Some("mod") | None => {}
+        Some(stem) => out.push(stem.to_owned()),
+    }
+    out
+}
+
+/// Index over every recognized workspace function.
+pub struct SymbolTable {
+    /// `(crate, module path, fn name)` → definitions.
+    by_module: BTreeMap<(String, Vec<String>, String), Vec<FnId>>,
+    /// `(crate, impl type, fn name)` → definitions.
+    by_impl: BTreeMap<(String, String, String), Vec<FnId>>,
+    /// Bare method name → every impl-block definition in the workspace.
+    by_method: BTreeMap<String, Vec<FnId>>,
+    /// crate ident (`operon_mcmf`) → crate name (`mcmf`).
+    idents: BTreeMap<String, String>,
+}
+
+impl SymbolTable {
+    /// Builds the table over all analyzed files.
+    pub fn build(files: &[FileAnalysis]) -> Self {
+        let mut table = SymbolTable {
+            by_module: BTreeMap::new(),
+            by_impl: BTreeMap::new(),
+            by_method: BTreeMap::new(),
+            idents: BTreeMap::new(),
+        };
+        for (fi, file) in files.iter().enumerate() {
+            table
+                .idents
+                .insert(crate_ident(&file.crate_name), file.crate_name.clone());
+            let base = file_module_path(&file.path);
+            for (gi, f) in file.fns.iter().enumerate() {
+                let id: FnId = (fi, gi);
+                let mut module = base.clone();
+                module.extend(f.module_path.iter().cloned());
+                table
+                    .by_module
+                    .entry((file.crate_name.clone(), module, f.name.clone()))
+                    .or_default()
+                    .push(id);
+                if let Some(ty) = &f.impl_type {
+                    table
+                        .by_impl
+                        .entry((file.crate_name.clone(), ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                    table.by_method.entry(f.name.clone()).or_default().push(id);
+                }
+            }
+        }
+        table
+    }
+
+    /// The crate name for a leading path segment that names a workspace
+    /// crate (`operon_mcmf` → `mcmf`), if any.
+    pub fn crate_of_ident(&self, ident: &str) -> Option<&str> {
+        self.idents.get(ident).map(String::as_str)
+    }
+
+    /// All impl-block definitions of a bare method name.
+    pub fn methods_named(&self, name: &str) -> &[FnId] {
+        self.by_method.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Definitions of `name` as a free function in `module` of `crate`.
+    pub fn fn_in_module(&self, crate_name: &str, module: &[String], name: &str) -> &[FnId] {
+        self.by_module
+            .get(&(crate_name.to_owned(), module.to_vec(), name.to_owned()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Definitions of `Type::name` in `crate` (any module).
+    pub fn fn_in_impl(&self, crate_name: &str, ty: &str, name: &str) -> &[FnId] {
+        self.by_impl
+            .get(&(crate_name.to_owned(), ty.to_owned(), name.to_owned()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolves one call from `(crate, module, impl type)` context to
+    /// workspace definitions. Returns an empty list for std/extern
+    /// calls. The result is deterministic (sorted, deduped).
+    pub fn resolve(
+        &self,
+        call: &CallRef,
+        from_crate: &str,
+        from_module: &[String],
+        from_impl: Option<&str>,
+    ) -> Vec<FnId> {
+        let mut out: Vec<FnId> = Vec::new();
+        if call.method {
+            out.extend_from_slice(self.methods_named(&call.segs[0]));
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        }
+        let segs = &call.segs;
+        let (target_crate, rel): (&str, Vec<String>) = match segs[0].as_str() {
+            "crate" => (from_crate, segs[1..].to_vec()),
+            "self" => {
+                let mut m: Vec<String> = from_module.to_vec();
+                m.extend(segs[1..].iter().cloned());
+                (from_crate, m)
+            }
+            "super" => {
+                let mut m: Vec<String> = from_module.to_vec();
+                m.pop();
+                m.extend(segs[1..].iter().cloned());
+                (from_crate, m)
+            }
+            "Self" => {
+                if let (Some(ty), true) = (from_impl, segs.len() == 2) {
+                    out.extend_from_slice(self.fn_in_impl(from_crate, ty, &segs[1]));
+                }
+                out.sort_unstable();
+                out.dedup();
+                return out;
+            }
+            head => match self.crate_of_ident(head) {
+                Some(c) => (c, segs[1..].to_vec()),
+                None => {
+                    // Unqualified: search the current module chain, then
+                    // the crate root, then `Type::name` in this crate.
+                    if segs.len() == 1 {
+                        let mut m = from_module.to_vec();
+                        loop {
+                            let hit = self.fn_in_module(from_crate, &m, &segs[0]);
+                            if !hit.is_empty() {
+                                out.extend_from_slice(hit);
+                                break;
+                            }
+                            if m.pop().is_none() {
+                                break;
+                            }
+                        }
+                    } else {
+                        // Module-relative or root-relative path.
+                        let mut m = from_module.to_vec();
+                        m.extend(segs[..segs.len() - 1].iter().cloned());
+                        out.extend_from_slice(self.fn_in_module(
+                            from_crate,
+                            &m,
+                            &segs[segs.len() - 1],
+                        ));
+                        if out.is_empty() {
+                            out.extend_from_slice(self.fn_in_module(
+                                from_crate,
+                                &segs[..segs.len() - 1],
+                                &segs[segs.len() - 1],
+                            ));
+                        }
+                        if out.is_empty() && segs.len() >= 2 {
+                            out.extend_from_slice(self.fn_in_impl(
+                                from_crate,
+                                &segs[segs.len() - 2],
+                                &segs[segs.len() - 1],
+                            ));
+                        }
+                    }
+                    out.sort_unstable();
+                    out.dedup();
+                    return out;
+                }
+            },
+        };
+        if rel.is_empty() {
+            return out;
+        }
+        let name = &rel[rel.len() - 1];
+        let module = &rel[..rel.len() - 1];
+        out.extend_from_slice(self.fn_in_module(target_crate, module, name));
+        if out.is_empty() && !module.is_empty() {
+            // `path::Type::name` — an associated function.
+            out.extend_from_slice(self.fn_in_impl(target_crate, &module[module.len() - 1], name));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_fn(name: &str, module: &[&str], impl_type: Option<&str>) -> FnSummary {
+        FnSummary {
+            name: name.to_owned(),
+            module_path: module.iter().map(|s| (*s).to_owned()).collect(),
+            impl_type: impl_type.map(str::to_owned),
+            is_pub: true,
+            is_test: false,
+            line: 1,
+            col: 1,
+            calls: Vec::new(),
+            panics: Vec::new(),
+        }
+    }
+
+    fn fake_file(path: &str, crate_name: &str, fns: Vec<FnSummary>) -> FileAnalysis {
+        FileAnalysis {
+            path: path.to_owned(),
+            crate_name: crate_name.to_owned(),
+            role: Some(FileRole::Lib),
+            diags: Vec::new(),
+            fns,
+            allows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn file_module_paths() {
+        assert!(file_module_path("crates/core/src/lib.rs").is_empty());
+        assert_eq!(file_module_path("crates/core/src/lr.rs"), vec!["lr"]);
+        assert_eq!(file_module_path("crates/core/src/wdm/mod.rs"), vec!["wdm"]);
+        assert_eq!(
+            file_module_path("crates/core/src/wdm/residual.rs"),
+            vec!["wdm", "residual"]
+        );
+        assert!(file_module_path("crates/core/src/bin/operon_route.rs").is_empty());
+        assert_eq!(file_module_path("src/power.rs"), vec!["power"]);
+    }
+
+    #[test]
+    fn resolves_cross_crate_and_local_calls() {
+        let files = vec![
+            fake_file(
+                "crates/mcmf/src/lib.rs",
+                "mcmf",
+                vec![
+                    fake_fn("shortest_path", &[], None),
+                    fake_fn("solve", &[], Some("McmfGraph")),
+                ],
+            ),
+            fake_file(
+                "crates/core/src/wdm/mod.rs",
+                "core",
+                vec![fake_fn("plan", &[], None)],
+            ),
+        ];
+        let table = SymbolTable::build(&files);
+
+        let call = |segs: &[&str]| CallRef {
+            segs: segs.iter().map(|s| (*s).to_owned()).collect(),
+            method: false,
+            line: 1,
+            col: 1,
+        };
+        // Cross-crate free fn.
+        assert_eq!(
+            table.resolve(&call(&["operon_mcmf", "shortest_path"]), "core", &[], None),
+            vec![(0, 0)]
+        );
+        // Cross-crate associated fn.
+        assert_eq!(
+            table.resolve(
+                &call(&["operon_mcmf", "McmfGraph", "solve"]),
+                "core",
+                &[],
+                None
+            ),
+            vec![(0, 1)]
+        );
+        // crate:: path from within core.
+        assert_eq!(
+            table.resolve(&call(&["crate", "wdm", "plan"]), "core", &[], None),
+            vec![(1, 0)]
+        );
+        // Same-module unqualified call.
+        assert_eq!(
+            table.resolve(&call(&["plan"]), "core", &["wdm".to_owned()], None),
+            vec![(1, 0)]
+        );
+        // Method-name fallback.
+        let m = CallRef {
+            segs: vec!["solve".to_owned()],
+            method: true,
+            line: 1,
+            col: 1,
+        };
+        assert_eq!(table.resolve(&m, "core", &[], None), vec![(0, 1)]);
+        // std calls resolve to nothing.
+        assert!(table
+            .resolve(&call(&["std", "mem", "take"]), "core", &[], None)
+            .is_empty());
+    }
+}

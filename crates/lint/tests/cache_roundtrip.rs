@@ -1,0 +1,125 @@
+//! Cache correctness: a cached re-scan must render byte-identical JSON
+//! to a cold scan — including after one file changes, when every other
+//! file's per-file analysis comes from the cache but the workspace
+//! phases (R003 reachability, W001 usage) recompute over the full set.
+
+use operon_lint::diagnostics::render_json;
+use operon_lint::driver::scan_workspace_with;
+use operon_lint::{Config, ScanOptions};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const CALLER_V1: &str = "\
+//! Caller half of the two-file workspace.
+use crate::helper::pick;
+
+/// Public root: reaches `pick`'s unwrap through the call graph.
+pub fn solve(xs: &[u64]) -> u64 {
+    pick(xs)
+}
+";
+
+const HELPER_PANICKY: &str = "\
+//! Helper half — panic-capable.
+
+pub(crate) fn pick(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}
+";
+
+const HELPER_FIXED: &str = "\
+//! Helper half — panic-free after the fix.
+
+pub(crate) fn pick(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or(0)
+}
+";
+
+/// Builds a throwaway two-file workspace under the test temp dir.
+fn mini_workspace(tag: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("cache-roundtrip-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("crates/core/src")).expect("mkdir workspace");
+    fs::write(root.join("crates/core/src/caller.rs"), CALLER_V1).expect("write caller");
+    fs::write(root.join("crates/core/src/helper.rs"), HELPER_PANICKY).expect("write helper");
+    root
+}
+
+fn scan_json(root: &Path, opts: &ScanOptions) -> (String, usize, usize) {
+    let config = Config::default();
+    let report = scan_workspace_with(root, &config, opts).expect("scan succeeds");
+    (
+        render_json(&report.diagnostics),
+        report.cache_hits,
+        report.cache_misses,
+    )
+}
+
+#[test]
+fn cached_rescan_is_byte_identical_after_touching_one_file() {
+    let root = mini_workspace("touch");
+    let cached = ScanOptions::default();
+    let uncached = ScanOptions {
+        use_cache: false,
+        changed: None,
+    };
+
+    // Cold scan populates the cache; the unwrap is R001 + R003 material.
+    let (cold, hits, misses) = scan_json(&root, &cached);
+    assert_eq!(hits, 0, "first scan must be fully cold");
+    assert_eq!(misses, 2);
+    assert!(
+        cold.contains("\"rule\": \"R003\""),
+        "chain finding expected:\n{cold}"
+    );
+
+    // Warm scan with nothing changed: all hits, byte-identical.
+    let (warm, hits, misses) = scan_json(&root, &cached);
+    assert_eq!((hits, misses), (2, 0), "second scan must be fully cached");
+    assert_eq!(cold, warm, "warm scan diverged from cold");
+
+    // Touch one file (the fix removes the panic). The cached scan must
+    // match a from-scratch scan byte for byte: helper re-analyzed,
+    // caller served from cache, R003 recomputed over both.
+    fs::write(root.join("crates/core/src/helper.rs"), HELPER_FIXED).expect("rewrite helper");
+    let (after_cached, hits, misses) = scan_json(&root, &cached);
+    assert_eq!((hits, misses), (1, 1), "only the touched file re-analyzes");
+    let (after_cold, _, _) = scan_json(&root, &uncached);
+    assert_eq!(
+        after_cached, after_cold,
+        "cached scan after touch diverged from cold scan"
+    );
+    assert!(
+        !after_cached.contains("\"rule\": \"R003\""),
+        "fix must clear the reachability finding:\n{after_cached}"
+    );
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn changed_mode_matches_cold_scan() {
+    let root = mini_workspace("changed");
+    let cached = ScanOptions::default();
+
+    // Populate the cache, then edit the helper and re-scan in
+    // `--changed` mode naming only the edited file.
+    let (_, _, _) = scan_json(&root, &cached);
+    fs::write(root.join("crates/core/src/helper.rs"), HELPER_FIXED).expect("rewrite helper");
+    let changed = ScanOptions {
+        use_cache: true,
+        changed: Some(vec!["crates/core/src/helper.rs".to_string()]),
+    };
+    let (via_changed, _, misses) = scan_json(&root, &changed);
+    assert_eq!(misses, 1, "only the listed file re-analyzes");
+
+    let uncached = ScanOptions {
+        use_cache: false,
+        changed: None,
+    };
+    let (cold, _, _) = scan_json(&root, &uncached);
+    assert_eq!(via_changed, cold, "--changed scan diverged from cold scan");
+
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,0 +1,45 @@
+//! P002 fixture: per-iteration allocation in solver-crate loops.
+
+/// Fresh `Vec` per iteration — flagged; the buffer should be hoisted.
+pub fn per_iter_vec(nets: &[Net]) -> f64 {
+    let mut acc = 0.0;
+    for n in nets {
+        let mut tmp = Vec::new();
+        for &w in n.weights() {
+            tmp.push(w * 2.0);
+        }
+        acc += tmp.len() as f64;
+    }
+    acc
+}
+
+/// `format!` allocates a `String` every iteration — flagged.
+pub fn per_iter_format(nets: &[Net]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, _) in nets.iter().enumerate() {
+        out.push(format!("net-{i}"));
+    }
+    out
+}
+
+/// Hoisted scratch buffer refilled in place — fine.
+pub fn hoisted(nets: &[Net]) -> f64 {
+    let mut scratch = vec![0.0f64; 8];
+    let mut acc = 0.0;
+    for n in nets {
+        scratch.iter_mut().for_each(|s| *s = 0.0);
+        acc += n.load(&mut scratch);
+    }
+    acc
+}
+
+/// A reasoned allow keeps an intentional per-iteration allocation —
+/// rows escape to the caller, so there is nothing to reuse.
+pub fn sanctioned(nets: &[Net]) -> Vec<Vec<f64>> {
+    let mut rows = Vec::new();
+    for n in nets {
+        // operon-lint: allow(P002, reason = "rows are returned to the caller; no reuse possible")
+        rows.push(n.weights().to_vec());
+    }
+    rows
+}

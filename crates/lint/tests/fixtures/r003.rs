@@ -1,0 +1,32 @@
+//! R003 fixture: panic-reachability over the call graph.
+//!
+//! Linted as `crates/core/src/r003.rs`, so every `pub fn` here is a
+//! solver-API reachability root.
+
+/// Reachability root: public solver-crate API.
+pub fn solve(xs: &[u64]) -> u64 {
+    stage_one(xs)
+}
+
+fn stage_one(xs: &[u64]) -> u64 {
+    deep_helper(xs)
+}
+
+/// Directly panic-capable and reachable from `solve` — flagged, with the
+/// shortest call chain rendered in the message.
+fn deep_helper(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}
+
+/// Panic-capable but unreachable from any public root — R003 stays
+/// quiet. (R001 still fires on the raw unwrap; both appear below.)
+fn orphan(xs: &[u64]) -> u64 {
+    xs.iter().copied().max().unwrap()
+}
+
+/// A site-level allow sanctions the panic for both the local R001 pass
+/// and the global R003 reachability pass.
+pub fn sanctioned(xs: &[u64]) -> u64 {
+    // operon-lint: allow(R001, R003, reason = "caller guarantees non-empty input")
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,15 @@
+//! W001 fixture: allows that no longer suppress anything.
+
+/// This allow earns its keep: it suppresses the R001 finding on the
+/// unwrap below (and sanctions the site for R003 reachability).
+pub fn active(xs: &[u64]) -> u64 {
+    // operon-lint: allow(R001, R003, reason = "caller guarantees non-empty input")
+    xs.first().copied().unwrap()
+}
+
+/// This allow is stale — the unwrap it once covered was refactored into
+/// `unwrap_or`, so the allow suppresses nothing and W001 flags it.
+pub fn stale(xs: &[u64]) -> u64 {
+    // operon-lint: allow(R001, reason = "left behind after a refactor")
+    xs.first().copied().unwrap_or(0)
+}

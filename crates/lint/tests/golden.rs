@@ -9,7 +9,9 @@
 //! BLESS=1 cargo test -p operon-lint --test golden
 //! ```
 
+use operon_lint::callgraph::workspace_rules;
 use operon_lint::diagnostics::render_json;
+use operon_lint::rules::analyze_source;
 use operon_lint::{lint_source, Config};
 use std::path::{Path, PathBuf};
 
@@ -20,14 +22,34 @@ fn fixture_dir() -> PathBuf {
 /// Lints `<fixture>.rs` under the default config and compares the JSON
 /// rendering to `<fixture>.json`.
 fn check(fixture: &str) {
+    let label = format!("crates/core/src/{fixture}.rs");
+    compare(fixture, |source| {
+        lint_source(&label, source, &Config::default())
+    });
+}
+
+/// Like [`check`], but additionally runs the workspace rules (R003
+/// panic-reachability, W001 stale-allow) over the single-file
+/// "workspace" the fixture forms — its `pub fn`s are the roots.
+fn check_global(fixture: &str) {
+    let label = format!("crates/core/src/{fixture}.rs");
+    compare(fixture, |source| {
+        let config = Config::default();
+        let analysis = analyze_source(&label, source, &config);
+        let mut diags = analysis.diags.clone();
+        diags.extend(workspace_rules(&[analysis], &config));
+        diags
+    });
+}
+
+fn compare(fixture: &str, lint: impl FnOnce(&str) -> Vec<operon_lint::Diagnostic>) {
     let rs = fixture_dir().join(format!("{fixture}.rs"));
     let golden = fixture_dir().join(format!("{fixture}.json"));
     let source = std::fs::read_to_string(&rs).expect("fixture source exists");
 
-    // Label the fixture as solver-crate library code so every rule
+    // Fixtures are labeled as solver-crate library code so every rule
     // applies; the default config has no path scoping.
-    let label = format!("crates/core/src/{fixture}.rs");
-    let mut diags = lint_source(&label, &source, &Config::default());
+    let mut diags = lint(&source);
     operon_lint::diagnostics::sort_canonical(&mut diags);
     let got = render_json(&diags);
 
@@ -86,4 +108,24 @@ fn allow_without_reason_is_denied() {
 #[test]
 fn lexer_tricky_cases() {
     check("lexer_tricky");
+}
+
+#[test]
+fn r003_panic_reachability() {
+    check_global("r003");
+}
+
+#[test]
+fn n001_parallel_order_taint() {
+    check("n001");
+}
+
+#[test]
+fn p002_allocation_in_loop() {
+    check("p002");
+}
+
+#[test]
+fn w001_stale_allow() {
+    check_global("w001");
 }

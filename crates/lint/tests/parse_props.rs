@@ -1,0 +1,118 @@
+//! Property tests for the brace-tree parser.
+//!
+//! Random balanced nestings are rendered to source interleaved with
+//! noise whose braces must NOT count — string literals, char literals,
+//! and comments. The forest built by [`brace_forest`] must round-trip
+//! the exact pairing a reference stack computes over the code tokens,
+//! and [`matching_pairs`] must agree with it token-for-token.
+
+use operon_lint::lexer::{tokenize, Token};
+use operon_lint::parse::{brace_forest, matching_pairs, BraceNode};
+use proptest::prelude::*;
+
+/// Renders one op of the generated program. Ops 0–1 open a brace, 2
+/// closes one (when the depth allows), 3–6 emit noise that contains
+/// brace characters only inside tokens the lexer must skip.
+fn render(ops: &[u8]) -> String {
+    let mut src = String::new();
+    let mut depth = 0usize;
+    for &op in ops {
+        match op {
+            0 | 1 => {
+                src.push_str("mod m {\n");
+                depth += 1;
+            }
+            2 => {
+                if depth > 0 {
+                    src.push_str("}\n");
+                    depth -= 1;
+                }
+            }
+            3 => src.push_str("let x = 1;\n"),
+            4 => src.push_str("let s = \"{ not } a { brace\";\n"),
+            5 => src.push_str("// { comment braces } don't count\n"),
+            6 => src.push_str("let c = '{'; let d = '}';\n"),
+            _ => src.push_str("/* { block } */ call();\n"),
+        }
+    }
+    for _ in 0..depth {
+        src.push_str("}\n");
+    }
+    src
+}
+
+/// Flattens the forest into `(open, close)` spans, depth-first in
+/// source order.
+fn flatten(nodes: &[BraceNode], out: &mut Vec<(usize, usize)>) {
+    for n in nodes {
+        out.push((n.open, n.close));
+        flatten(&n.children, out);
+    }
+}
+
+/// The pairing an independent stack computes over the code tokens — the
+/// ground truth the forest must reproduce.
+fn reference_pairs(code: &[&Token]) -> Vec<(usize, usize)> {
+    let mut stack = Vec::new();
+    let mut pairs = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.is_punct('{') {
+            stack.push(i);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                pairs.push((open, i));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The brace forest round-trips the token spans of every generated
+    /// nesting: same pair set as the reference stack, properly nested
+    /// children, and agreement with `matching_pairs`.
+    #[test]
+    fn brace_forest_round_trips_spans(
+        ops in proptest::collection::vec(0u8..8, 0..80),
+    ) {
+        let src = render(&ops);
+        let tokens = tokenize(&src);
+        let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+
+        let forest = brace_forest(&code);
+        let mut spans = Vec::new();
+        flatten(&forest, &mut spans);
+        spans.sort_unstable();
+
+        // Round-trip: the forest's spans are exactly the reference pairing.
+        prop_assert_eq!(&spans, &reference_pairs(&code));
+
+        // Every span is a real brace pair in token space.
+        for &(open, close) in &spans {
+            prop_assert!(open < close, "span {open}..{close} inverted");
+            prop_assert!(code[open].is_punct('{'));
+            prop_assert!(code[close].is_punct('}'));
+        }
+
+        // Children sit strictly inside their parent, in source order.
+        fn well_nested(nodes: &[BraceNode]) -> bool {
+            nodes.windows(2).all(|w| w[0].close < w[1].open)
+                && nodes.iter().all(|n| {
+                    n.children
+                        .iter()
+                        .all(|c| n.open < c.open && c.close < n.close)
+                        && well_nested(&n.children)
+                })
+        }
+        prop_assert!(well_nested(&forest));
+
+        // matching_pairs agrees with the forest on every brace token.
+        let pairs = matching_pairs(&code);
+        for &(open, close) in &spans {
+            prop_assert_eq!(pairs[open], close);
+        }
+    }
+}

@@ -45,10 +45,13 @@ fn checked_in_config_pins_the_contract() {
     let config = load_config(&workspace_root()).expect("Lint.toml parses");
     // The determinism and robustness gates must stay deny — loosening
     // them is an intentional, reviewed change to this test.
-    for rule in ["D001", "D002", "D003", "R001", "P001"] {
+    for rule in [
+        "D001", "D002", "D003", "R001", "P001", "P002", "R003", "N001",
+    ] {
         assert_eq!(config.level(rule), Some(Level::Deny), "rule {rule}");
     }
     assert_eq!(config.level("R002"), Some(Level::Warn));
+    assert_eq!(config.level("W001"), Some(Level::Warn));
     for solver in ["core", "steiner", "ilp", "mcmf", "optics"] {
         assert!(
             config.solver_crates.iter().any(|c| c == solver),

@@ -763,12 +763,15 @@ impl McmfGraph {
         self.ensure_csr();
         if prior.len() == self.n_nodes {
             let cancel_budget = self.n_nodes + self.edge_cap.len();
+            // One scratch buffer across cancel retries; each round
+            // restarts from the caller's prior potentials.
+            let mut potential = vec![0i64; self.n_nodes];
             for _ in 0..=cancel_budget {
-                let mut potential = prior.to_vec();
+                potential.copy_from_slice(prior);
                 if self.repair_potentials(&mut potential) {
                     let pre_flow = self.flow_value(s);
                     let pre_cost = self.flow_cost();
-                    let pushed = self.run_ssp(s, t, i64::MAX, potential);
+                    let pushed = self.run_ssp(s, t, i64::MAX, std::mem::take(&mut potential));
                     return FlowResult {
                         flow: pre_flow + pushed.flow,
                         cost: pre_cost + pushed.cost,

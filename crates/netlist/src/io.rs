@@ -112,7 +112,9 @@ pub fn read_design(text: &str) -> Result<Design, ParseDesignError> {
             continue;
         }
         let mut tokens = line.split_whitespace();
-        let keyword = tokens.next().expect("non-empty line has a token");
+        let Some(keyword) = tokens.next() else {
+            continue; // unreachable: the line was trimmed and is non-empty
+        };
         match keyword {
             "design" => {
                 let n: Vec<&str> = tokens.collect();
@@ -185,7 +187,12 @@ pub fn read_design(text: &str) -> Result<Design, ParseDesignError> {
                 if bits.is_empty() {
                     return Err(ParseDesignError::new(lineno, "group has no bits"));
                 }
-                let d = design.as_mut().expect("group required design");
+                let Some(d) = design.as_mut() else {
+                    return Err(ParseDesignError::new(
+                        lineno,
+                        "group before design/die header",
+                    ));
+                };
                 let die = d.die();
                 for bit in &bits {
                     for p in bit.pins() {

@@ -69,6 +69,7 @@ impl Bit {
 
     /// The tightest box enclosing every pin of the bit.
     pub fn bounding_box(&self) -> BoundingBox {
+        // operon-lint: allow(R003, reason = "pins() always yields the source point first, so from_points never sees an empty iterator")
         BoundingBox::from_points(self.pins()).expect("bit always has pins")
     }
 }
@@ -160,6 +161,7 @@ impl SignalGroup {
     /// The tightest box enclosing every pin of every bit.
     pub fn bounding_box(&self) -> BoundingBox {
         BoundingBox::from_points(self.bits.iter().flat_map(Bit::pins))
+            // operon-lint: allow(R003, reason = "groups are constructed non-empty (read_design rejects empty groups) and every bit has a source pin")
             .expect("group always has pins")
     }
 }
