@@ -9,27 +9,48 @@
 //! reads the same index when pricing candidates against the previous
 //! iterate (Eq. (5)).
 //!
-//! # The spatial build
+//! # Build strategies
 //!
-//! [`CrossingIndex::build_with`] buckets every candidate segment into a
-//! uniform [`SegmentGrid`] and tests only pairs that co-occupy a cell.
-//! Two segments can only cross where they overlap, and the grid's
-//! coverage invariant guarantees the cell containing the crossing point
-//! holds both segments, so no crossing is missed. A segment pair sharing
-//! several cells is discovered several times; every discovered crossing
-//! is emitted as a `(pair key, segment a, segment b)` tuple and the
-//! tuples are globally sorted and deduplicated, which makes the result a
-//! pure function of the candidate set — independent of cell count, cell
-//! iteration order, and thread count. The pre-grid all-pairs scan (the
-//! paper's "remove those crossing variables belonging to the pair of
-//! hyper nets with non-overlapped bounding boxes" prefilter) is retained
-//! as [`CrossingIndex::build_reference`], the equivalence oracle for
-//! tests and benchmarks.
+//! Three interchangeable builders produce byte-identical indexes:
+//!
+//! * **Brute force** ([`CrossingIndex::build_reference`]) — all candidate
+//!   pairs behind net- and candidate-level bounding-box prefilters (the
+//!   paper's "non-overlapped bounding boxes" variable reduction).
+//!   Retained as the equivalence oracle for tests and benchmarks.
+//! * **Grid** — buckets every candidate segment into a uniform
+//!   [`SegmentGrid`] and tests only pairs that co-occupy a cell. Below a
+//!   deterministic work threshold the per-cell tests run inline instead
+//!   of on the executor, because the fan-out/merge overhead exceeds the
+//!   work at small sizes.
+//! * **Sweep** — the Bentley–Ottmann sweep line
+//!   ([`operon_geom::sweep_crossings`]), output-sensitive
+//!   `O((n + k) log n)`. Wins when segment lengths are widely dispersed:
+//!   a few die-spanning trunks force uniform grid cells to be either too
+//!   coarse for the short segments or too numerous for the long ones.
+//!
+//! [`CrossingIndex::build_with`] picks grid vs sweep with a documented
+//! segment-length dispersion heuristic (see [`BuildStrategy::Auto`]).
+//! Every strategy funnels its discovered crossings through the same
+//! packed-hit global sort + dedup + assembly (see `Hit`), so the
+//! index is a pure function of the candidate set — independent of
+//! strategy, cell count, iteration order, and thread count.
+//!
+//! # Arena layout
+//!
+//! The index stores sorted flat vectors only — no tree maps on any hot
+//! path. `keys`/`records` are parallel arrays in sorted [`PairKey`]
+//! order; `pair()` is a binary search. Neighbor lists live in one CSR
+//! arena (`adj_keys`/`adj_off`/`adj`), and the net-level coupling graph
+//! incremental LR pricing walks every iteration is a second CSR
+//! (`net_neighbors`), precomputed once per build. Record handles are
+//! stable `u32` indexes; [`CrossingIndex::rebuild_delta`] re-derives the
+//! arena from retained rows plus a localized re-sweep of the dirty
+//! neighborhood, so handles stay valid across ECOs exactly when the rows
+//! they name are unchanged.
 
 use crate::codesign::NetCandidates;
 use operon_exec::Executor;
-use operon_geom::{BoundingBox, Segment, SegmentGrid};
-use std::collections::BTreeMap;
+use operon_geom::{sweep_crossings, BoundingBox, Segment, SegmentGrid, SWEEP_COORD_LIMIT};
 
 /// Crossing counts between one ordered pair of candidates.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -50,8 +71,7 @@ pub type PathCounts = [(usize, usize)];
 
 /// One entry of a candidate's neighbor list: a candidate of another net
 /// that it crosses, plus a direct handle to the shared crossing record so
-/// hot pricing loops read per-path counts without a `pairs` map walk per
-/// query.
+/// hot pricing loops read per-path counts without any map walk per query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Neighbor {
     /// The crossing net.
@@ -72,23 +92,117 @@ impl Neighbor {
     }
 }
 
+/// Which crossing builder to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BuildStrategy {
+    /// Pick grid vs sweep by segment-length dispersion: the deciles of
+    /// the Manhattan length distribution are compared, and `p90 ≥ 4·p10`
+    /// selects the sweep. Widely dispersed lengths are exactly the
+    /// regime where no uniform cell size fits both tails; tightly
+    /// clustered lengths let the grid's O(n) bucketing win.
+    #[default]
+    Auto,
+    /// All-pairs scan with bounding-box prefilters (the oracle).
+    BruteForce,
+    /// Uniform-grid cell bucketing.
+    Grid,
+    /// Bentley–Ottmann sweep line.
+    Sweep,
+}
+
+/// How an index was actually constructed — recorded for run reports.
+/// Not part of the index's semantic value: equality ignores it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChosenBuild {
+    /// All-pairs reference scan.
+    BruteForce,
+    /// Uniform-grid cell bucketing.
+    #[default]
+    Grid,
+    /// Bentley–Ottmann sweep line.
+    Sweep,
+    /// Incremental [`CrossingIndex::rebuild_delta`] patch.
+    Delta,
+}
+
+impl ChosenBuild {
+    /// Stable counter suffix for the run report.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            ChosenBuild::BruteForce => "brute",
+            ChosenBuild::Grid => "grid",
+            ChosenBuild::Sweep => "sweep",
+            ChosenBuild::Delta => "delta",
+        }
+    }
+}
+
+/// Provenance of the last build: which strategy ran and whether the pair
+/// tests used the executor's workers or the sequential small-input path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// The strategy that actually ran (never `Auto`).
+    pub strategy: ChosenBuild,
+    /// Whether pair tests were spread over the executor's workers.
+    /// `false` for the sweep (sequential by design), for delta patches,
+    /// and for grid builds under the parallel work threshold.
+    pub parallel: bool,
+}
+
+/// Estimated grid pair tests below which the build runs inline.
+///
+/// `grid_by_threads` in `BENCH_crossing.json` showed threads 2 and 8
+/// consistently *slower* than 1 up to and including the dense_core
+/// fixture (~1M cell pair tests): the executor's fan-out/merge overhead
+/// dominates until roughly this much work. The estimate — Σ per cell of
+/// `|cell|·(|cell|−1)/2` — is a pure function of the candidate set and
+/// grid dims, so the chosen path is deterministic; either path yields
+/// the identical index because of the global sort + dedup.
+const GRID_PARALLEL_MIN_PAIR_TESTS: u64 = 4_000_000;
+
+/// One flattened candidate segment: the unit all builders work on.
+struct SegRef {
+    net: u32,
+    cand: u32,
+    seg: u32,
+    s: Segment,
+}
+
 /// All pairwise crossing counts over a candidate set.
 ///
-/// The maps are `BTreeMap`s deliberately: selection algorithms iterate
-/// them (directly or through the neighbor lists) while accumulating
-/// floating-point losses, so the iteration order must not depend on a
-/// hash seed for runs to be bit-reproducible. Records live in a dense
-/// vector (in sorted `PairKey` order) that both sides' neighbor entries
-/// point into.
-#[derive(Clone, Debug, Default, PartialEq)]
+/// Flat sorted arenas throughout (see the module docs): parallel
+/// `keys`/`records` arrays, one CSR neighbor arena, and a CSR net-level
+/// coupling graph. Iteration order is the sorted key order, so runs are
+/// bit-reproducible without any tree map.
+#[derive(Clone, Debug, Default)]
 pub struct CrossingIndex {
-    pairs: BTreeMap<PairKey, u32>,
-    /// Crossing records, one per `pairs` entry, in sorted key order.
+    /// Sorted pair keys; `records[i]` belongs to `keys[i]`.
+    keys: Vec<PairKey>,
+    /// Crossing records in sorted key order.
     records: Vec<PairCross>,
-    /// Adjacency: `(net, cand)` → the candidates it crosses. Lets
-    /// selection algorithms iterate actual coupling instead of scanning
-    /// every net.
-    neighbors: BTreeMap<(usize, usize), Vec<Neighbor>>,
+    /// Sorted distinct `(net, cand)` owners of neighbor lists.
+    adj_keys: Vec<(usize, usize)>,
+    /// CSR offsets into `adj`; `adj_keys.len() + 1` entries.
+    adj_off: Vec<u32>,
+    /// Neighbor arena: owner `adj_keys[i]`'s list is
+    /// `adj[adj_off[i]..adj_off[i + 1]]`.
+    adj: Vec<Neighbor>,
+    /// CSR offsets into `net_adj`, one row per net id up to the highest
+    /// net with a crossing.
+    net_adj_off: Vec<u32>,
+    /// Sorted, deduplicated coupled-net ids per row.
+    net_adj: Vec<u32>,
+    /// Provenance of the last build (excluded from equality).
+    info: BuildInfo,
+}
+
+impl PartialEq for CrossingIndex {
+    fn eq(&self, other: &Self) -> bool {
+        // The CSR arenas are pure functions of `keys`, and `info` is
+        // provenance, not content: two indexes are equal iff their pair
+        // maps are.
+        self.keys == other.keys && self.records == other.records
+    }
 }
 
 impl CrossingIndex {
@@ -98,56 +212,73 @@ impl CrossingIndex {
         Self::build_with(nets, &Executor::sequential())
     }
 
-    /// [`build`](Self::build) with the per-cell pair tests spread over
-    /// `exec`'s workers. The global sort/dedup merge makes the index
-    /// identical for every thread count.
+    /// [`build`](Self::build) with strategy [`BuildStrategy::Auto`]: the
+    /// dispersion heuristic picks grid or sweep, and grid pair tests are
+    /// spread over `exec`'s workers when the estimated work clears the
+    /// parallel threshold. Identical output for every choice.
     pub fn build_with(nets: &[NetCandidates], exec: &Executor) -> Self {
-        Self::build_with_grid_dims(nets, exec, None)
+        Self::build_with_strategy(nets, exec, BuildStrategy::Auto)
     }
 
-    /// Grid build with explicit cell dimensions (`None` = auto-sized);
-    /// the escape hatch the equivalence proptests use to vary cell sizes.
+    /// Builds with an explicit strategy. All strategies produce
+    /// byte-identical indexes; only the work profile differs.
+    pub fn build_with_strategy(
+        nets: &[NetCandidates],
+        exec: &Executor,
+        strategy: BuildStrategy,
+    ) -> Self {
+        match strategy {
+            BuildStrategy::BruteForce => Self::build_reference_with(nets, exec),
+            BuildStrategy::Grid => Self::build_grid(nets, exec, None),
+            BuildStrategy::Sweep => {
+                let segs = collect_segments(nets);
+                Self::build_sweep(nets, &segs)
+            }
+            BuildStrategy::Auto => {
+                let segs = collect_segments(nets);
+                if pick_sweep(&segs) {
+                    Self::build_sweep(nets, &segs)
+                } else {
+                    Self::build_grid_from_segs(nets, exec, None, segs)
+                }
+            }
+        }
+    }
+
+    /// Provenance of the build that produced this index.
+    #[inline]
+    pub fn build_info(&self) -> BuildInfo {
+        self.info
+    }
+
+    /// Grid build (auto-sized cells unless `dims` is given; the explicit
+    /// dims are the escape hatch the equivalence proptests use).
+    fn build_grid(nets: &[NetCandidates], exec: &Executor, dims: Option<(usize, usize)>) -> Self {
+        let segs = collect_segments(nets);
+        Self::build_grid_from_segs(nets, exec, dims, segs)
+    }
+
+    #[cfg(test)]
     fn build_with_grid_dims(
         nets: &[NetCandidates],
         exec: &Executor,
         dims: Option<(usize, usize)>,
     ) -> Self {
-        // Flatten every non-degenerate optical segment in
-        // (net, cand, seg) order; degenerate segments can never properly
-        // cross anything.
-        struct SegRef {
-            net: u32,
-            cand: u32,
-            seg: u32,
-            s: Segment,
-        }
-        let mut segs: Vec<SegRef> = Vec::new();
-        let mut extent: Option<BoundingBox> = None;
-        for (i, nc) in nets.iter().enumerate() {
-            for (j, c) in nc.candidates.iter().enumerate() {
-                for (k, s) in c.optical_segments.iter().enumerate() {
-                    if s.is_degenerate() {
-                        continue;
-                    }
-                    let bb = BoundingBox::new(s.a, s.b);
-                    extent = Some(match extent {
-                        Some(e) => e.union(&bb),
-                        None => bb,
-                    });
-                    segs.push(SegRef {
-                        net: i as u32,
-                        cand: j as u32,
-                        seg: k as u32,
-                        s: *s,
-                    });
-                }
-            }
-        }
-        let Some(extent) = extent else {
-            return Self::default();
-        };
+        Self::build_grid(nets, exec, dims)
+    }
+
+    fn build_grid_from_segs(
+        nets: &[NetCandidates],
+        exec: &Executor,
+        dims: Option<(usize, usize)>,
+        segs: Vec<SegRef>,
+    ) -> Self {
         if segs.len() < 2 {
             return Self::default();
+        }
+        let mut extent = BoundingBox::new(segs[0].s.a, segs[0].s.b);
+        for sr in &segs[1..] {
+            extent = extent.union(&BoundingBox::new(sr.s.a, sr.s.b));
         }
 
         let mut grid = match dims {
@@ -163,11 +294,19 @@ impl CrossingIndex {
             .into_iter()
             .filter(|&c| grid.cell_items(c).len() >= 2)
             .collect();
+
         // Every properly-crossing segment pair co-occupies the cell of
         // its crossing point, so testing within cells finds all of them;
         // a pair sharing several cells is found several times and
         // deduplicated by the sort below.
-        let hits: Vec<Vec<(PairKey, u32, u32)>> = exec.par_map(&cells, |&cell| {
+        let pair_tests: u64 = cells
+            .iter()
+            .map(|&c| {
+                let n = grid.cell_items(c).len() as u64;
+                n * (n - 1) / 2
+            })
+            .sum();
+        let test_cell = |cell: usize| {
             let ids = grid.cell_items(cell);
             let mut out = Vec::new();
             for (x, &ia) in ids.iter().enumerate() {
@@ -178,44 +317,60 @@ impl CrossingIndex {
                         continue;
                     }
                     let (p, q) = if a.net < b.net { (a, b) } else { (b, a) };
-                    out.push((
-                        (
-                            p.net as usize,
-                            p.cand as usize,
-                            q.net as usize,
-                            q.cand as usize,
-                        ),
-                        p.seg,
-                        q.seg,
-                    ));
+                    out.push(pack_hit(p, q));
                 }
             }
             out
-        });
-        let mut hits: Vec<(PairKey, u32, u32)> = hits.into_iter().flatten().collect();
+        };
+        let parallel = pair_tests >= GRID_PARALLEL_MIN_PAIR_TESTS;
+        let mut hits: Vec<Hit> = if parallel {
+            let per_cell: Vec<Vec<Hit>> = exec.par_map(&cells, |&cell| test_cell(cell));
+            per_cell.into_iter().flatten().collect()
+        } else {
+            // Small build: the executor's fan-out overhead exceeds the
+            // pair-test work, so run the cells inline. The global sort
+            // below makes both paths byte-identical.
+            let mut flat = Vec::new();
+            for &cell in &cells {
+                flat.append(&mut test_cell(cell));
+            }
+            flat
+        };
         hits.sort_unstable();
         hits.dedup();
+        Self::from_hits(
+            nets,
+            &hits,
+            BuildInfo {
+                strategy: ChosenBuild::Grid,
+                parallel,
+            },
+        )
+    }
 
-        // Assemble one record per key from its contiguous run of hits,
-        // reproducing `count_pair`'s attribution exactly.
-        let mut pairs: BTreeMap<PairKey, PairCross> = BTreeMap::new();
-        let mut i = 0;
-        while i < hits.len() {
-            let key = hits[i].0;
-            let mut j = i + 1;
-            while j < hits.len() && hits[j].0 == key {
-                j += 1;
-            }
-            pairs.insert(key, assemble_pair(nets, key, &hits[i..j]));
-            i = j;
+    /// Sweep-line build: one global Bentley–Ottmann pass over every
+    /// candidate segment, then the same assembly as the other builders.
+    fn build_sweep(nets: &[NetCandidates], segs: &[SegRef]) -> Self {
+        if segs.len() < 2 {
+            return Self::default();
         }
-        Self::from_pairs(pairs)
+        let mut hits = sweep_hits(segs);
+        hits.sort_unstable();
+        hits.dedup();
+        Self::from_hits(
+            nets,
+            &hits,
+            BuildInfo {
+                strategy: ChosenBuild::Sweep,
+                parallel: false,
+            },
+        )
     }
 
     /// The pre-grid all-pairs build: scans every net pair with a
     /// bounding-box prefilter, then every candidate pair with overlapping
-    /// optical boxes. Retained as the equivalence oracle — the grid build
-    /// must produce a byte-identical index.
+    /// optical boxes. Retained as the equivalence oracle — the grid and
+    /// sweep builds must produce a byte-identical index.
     pub fn build_reference(nets: &[NetCandidates]) -> Self {
         Self::build_reference_with(nets, &Executor::sequential())
     }
@@ -257,13 +412,27 @@ impl CrossingIndex {
             row
         });
 
-        Self::from_pairs(rows.into_iter().flatten().collect())
+        Self::from_pair_list(
+            rows.into_iter().flatten().collect(),
+            BuildInfo {
+                strategy: ChosenBuild::BruteForce,
+                parallel: true,
+            },
+        )
     }
 
     /// Rebuilds the index after the candidates of `changed` nets were
     /// replaced, reusing every record that involves no changed net.
     /// Equivalent to a full [`build`](Self::build) of the new candidate
     /// set, at the cost of the changed rows only.
+    ///
+    /// Implementation: retained rows are copied across; the dirty
+    /// neighborhood — changed nets plus every net whose bounding box
+    /// overlaps a changed net's — is re-swept locally, which patches
+    /// exactly the event ranges the change invalidated instead of
+    /// replaying the whole event queue. Pairs between two unchanged
+    /// nets found by the local sweep are discarded (their retained rows
+    /// are already exact), so the merge is conflict-free.
     pub fn rebuild_delta(&self, nets: &[NetCandidates], changed: &[usize]) -> Self {
         let mut is_changed = vec![false; nets.len()];
         for &i in changed {
@@ -271,80 +440,166 @@ impl CrossingIndex {
                 is_changed[i] = true;
             }
         }
-        let mut pairs: BTreeMap<PairKey, PairCross> = BTreeMap::new();
-        for (key, &r) in &self.pairs {
+        // Retained rows: both nets unchanged. Record contents are cloned
+        // into the new arena; their new handles follow the sorted order.
+        let mut list: Vec<(PairKey, PairCross)> = Vec::with_capacity(self.keys.len());
+        for (key, rec) in self.keys.iter().zip(&self.records) {
             if key.0 < nets.len() && key.2 < nets.len() && !is_changed[key.0] && !is_changed[key.2]
             {
-                pairs.insert(*key, self.records[r as usize].clone());
+                list.push((*key, rec.clone()));
             }
         }
+
+        // Dirty neighborhood: changed nets and bbox-overlapping others.
+        // A pair crossing a changed net must overlap its bbox, so the
+        // local sweep sees every pair that needs recounting.
         let net_bbox = net_bboxes(nets);
-        for a in 0..nets.len() {
-            if !is_changed[a] {
-                continue;
-            }
-            let Some(bb_a) = net_bbox[a] else { continue };
-            for b in 0..nets.len() {
-                // Changed-changed rows meet twice; count them once.
-                if b == a || (is_changed[b] && b < a) {
-                    continue;
-                }
-                let Some(bb_b) = net_bbox[b] else { continue };
-                if !bb_a.overlaps(&bb_b) {
-                    continue;
-                }
-                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-                for (ai, ca) in nets[lo].candidates.iter().enumerate() {
-                    let Some(cbb_a) = ca.optical_bbox else {
-                        continue;
-                    };
-                    for (bi, cb) in nets[hi].candidates.iter().enumerate() {
-                        let Some(cbb_b) = cb.optical_bbox else {
-                            continue;
-                        };
-                        if !cbb_a.overlaps(&cbb_b) {
-                            continue;
-                        }
-                        let cross = count_pair(ca, cb);
-                        if cross.total > 0 {
-                            pairs.insert((lo, ai, hi, bi), cross);
-                        }
-                    }
-                }
+        let changed_boxes: Vec<BoundingBox> = (0..nets.len())
+            .filter(|&i| is_changed[i])
+            .filter_map(|i| net_bbox[i])
+            .collect();
+        let mut involved = vec![false; nets.len()];
+        for (i, bb) in net_bbox.iter().enumerate() {
+            let Some(bb) = bb else { continue };
+            if is_changed[i] || changed_boxes.iter().any(|cb| cb.overlaps(bb)) {
+                involved[i] = true;
             }
         }
-        Self::from_pairs(pairs)
+        let segs = collect_involved_segments(nets, &involved);
+        let mut hits = if segs
+            .iter()
+            .all(|sr| in_sweep_range(sr.s.a) && in_sweep_range(sr.s.b))
+        {
+            sweep_hits(&segs)
+        } else {
+            // Out-of-range coordinates (beyond the sweep's exactness
+            // bound) fall back to brute pair tests over the same set.
+            brute_hits(&segs)
+        };
+        hits.retain(|&(key, _)| {
+            is_changed[(key >> 96) as usize] || is_changed[(key >> 32) as u32 as usize]
+        });
+        hits.sort_unstable();
+        hits.dedup();
+
+        let mut runs = assemble_runs(nets, &hits);
+        list.append(&mut runs);
+        Self::from_pair_list(
+            list,
+            BuildInfo {
+                strategy: ChosenBuild::Delta,
+                parallel: false,
+            },
+        )
     }
 
-    /// Assembles the dense record vector and both-direction neighbor
-    /// lists from a finished key → record map. Keys arrive in sorted
-    /// order, so records and every neighbor list come out sorted too.
-    fn from_pairs(map: BTreeMap<PairKey, PairCross>) -> Self {
-        let mut pairs = BTreeMap::new();
-        let mut records = Vec::with_capacity(map.len());
-        let mut neighbors: BTreeMap<(usize, usize), Vec<Neighbor>> = BTreeMap::new();
-        for (idx, (key, pc)) in map.into_iter().enumerate() {
+    /// Assembles the arena from deduplicated, globally sorted packed
+    /// crossing hits.
+    fn from_hits(nets: &[NetCandidates], hits: &[Hit], info: BuildInfo) -> Self {
+        Self::from_pair_list(assemble_runs(nets, hits), info)
+    }
+
+    /// Assembles the dense record vector, the CSR neighbor arena, and
+    /// the net-level coupling CSR from a `(key, record)` list. The list
+    /// need not be sorted; keys must be unique.
+    fn from_pair_list(mut list: Vec<(PairKey, PairCross)>, info: BuildInfo) -> Self {
+        // Keys are unique, so an unstable sort is exact; spatial builds
+        // hand the list over already sorted and pay only the scan.
+        list.sort_unstable_by_key(|x| x.0);
+        let n = list.len();
+        let mut keys = Vec::with_capacity(n);
+        let mut records = Vec::with_capacity(n);
+        // Both directions of every record, keyed by owner and ordered by
+        // (owner, record handle). The a-side entries inherit that order
+        // from the sorted key list (a record's a-owner is its key
+        // prefix), so only the b-side is sorted, then a linear two-way
+        // merge assembles the CSR without an intermediate 2n-entry sort.
+        let mut b_side: Vec<(u128, Neighbor)> = Vec::with_capacity(n);
+        for (idx, (key, pc)) in list.into_iter().enumerate() {
             let (na, ca, nb, cb) = key;
-            let record = idx as u32;
-            pairs.insert(key, record);
-            neighbors.entry((na, ca)).or_default().push(Neighbor {
-                net: nb,
-                cand: cb,
-                record,
-                owner_is_a: true,
-            });
-            neighbors.entry((nb, cb)).or_default().push(Neighbor {
-                net: na,
-                cand: ca,
-                record,
-                owner_is_a: false,
-            });
+            keys.push(key);
             records.push(pc);
+            b_side.push((
+                pack_owner(nb, cb),
+                Neighbor {
+                    net: na,
+                    cand: ca,
+                    record: idx as u32,
+                    owner_is_a: false,
+                },
+            ));
         }
+        b_side.sort_unstable_by_key(|&(owner, nb)| (owner, nb.record));
+
+        let mut adj_keys: Vec<(usize, usize)> = Vec::new();
+        let mut adj_off: Vec<u32> = Vec::new();
+        let mut adj: Vec<Neighbor> = Vec::with_capacity(2 * n);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < n || j < b_side.len() {
+            let take_a = if i == n {
+                false
+            } else if j == b_side.len() {
+                true
+            } else {
+                let (na, ca, _, _) = keys[i];
+                (pack_owner(na, ca), i as u32) <= (b_side[j].0, b_side[j].1.record)
+            };
+            let (owner, nb) = if take_a {
+                let (na, ca, onet, ocand) = keys[i];
+                let nb = Neighbor {
+                    net: onet,
+                    cand: ocand,
+                    record: i as u32,
+                    owner_is_a: true,
+                };
+                i += 1;
+                ((na, ca), nb)
+            } else {
+                let (packed, nb) = b_side[j];
+                j += 1;
+                (unpack_owner(packed), nb)
+            };
+            if adj_keys.last() != Some(&owner) {
+                adj_keys.push(owner);
+                adj_off.push(adj.len() as u32);
+            }
+            adj.push(nb);
+        }
+        adj_off.push(adj.len() as u32);
+
+        // Net-level coupling CSR: sorted deduplicated rows, one per net
+        // id up to the highest net that crosses anything. Pairs are
+        // packed into u64s so the sort runs on plain integers.
+        let net_hi = keys.iter().map(|k| k.2 + 1).max().unwrap_or(0);
+        let mut pairs_nn: Vec<u64> = Vec::with_capacity(2 * keys.len());
+        for &(a, _, b, _) in &keys {
+            pairs_nn.push(((a as u64) << 32) | b as u64);
+            pairs_nn.push(((b as u64) << 32) | a as u64);
+        }
+        pairs_nn.sort_unstable();
+        pairs_nn.dedup();
+        let mut net_adj_off = vec![0u32; net_hi + 1];
+        let mut net_adj = Vec::with_capacity(pairs_nn.len());
+        for packed in pairs_nn {
+            let (n, o) = ((packed >> 32) as usize, packed as u32);
+            net_adj.push(o);
+            net_adj_off[n + 1] = net_adj.len() as u32;
+        }
+        for i in 0..net_hi {
+            if net_adj_off[i + 1] < net_adj_off[i] {
+                net_adj_off[i + 1] = net_adj_off[i];
+            }
+        }
+
         Self {
-            pairs,
+            keys,
             records,
-            neighbors,
+            adj_keys,
+            adj_off,
+            adj,
+            net_adj_off,
+            net_adj,
+            info,
         }
     }
 
@@ -362,7 +617,7 @@ impl CrossingIndex {
         } else {
             (net_b, cand_b, net_a, cand_a)
         };
-        self.pairs.get(&key).map(|&r| &self.records[r as usize])
+        self.keys.binary_search(&key).ok().map(|i| &self.records[i])
     }
 
     /// The crossing record behind a neighbor-list entry — no map walk.
@@ -409,46 +664,224 @@ impl CrossingIndex {
     }
 
     /// Iterates over all crossing pairs as
-    /// `((net_a, cand_a, net_b, cand_b), record)`.
+    /// `((net_a, cand_a, net_b, cand_b), record)` in sorted key order.
     pub fn iter(&self) -> impl Iterator<Item = (PairKey, &PairCross)> {
-        self.pairs
-            .iter()
-            .map(|(&k, &r)| (k, &self.records[r as usize]))
+        self.keys.iter().copied().zip(self.records.iter())
     }
 
     /// The candidates of other nets that cross `(net, cand)`.
     pub fn neighbors(&self, net: usize, cand: usize) -> &[Neighbor] {
-        self.neighbors.get(&(net, cand)).map_or(&[], Vec::as_slice)
+        match self.adj_keys.binary_search(&(net, cand)) {
+            Ok(i) => &self.adj[self.adj_off[i] as usize..self.adj_off[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// The nets coupled to `net` through at least one crossing candidate
+    /// pair, sorted ascending — a borrowed CSR row, precomputed at build
+    /// time so pricing loops pay no per-call assembly.
+    #[inline]
+    pub fn net_neighbors(&self, net: usize) -> &[u32] {
+        if net + 1 >= self.net_adj_off.len() {
+            return &[];
+        }
+        &self.net_adj[self.net_adj_off[net] as usize..self.net_adj_off[net + 1] as usize]
     }
 
     /// Net-level adjacency over `net_count` nets: `adj[i]` lists, sorted
     /// ascending, the nets sharing at least one crossing candidate pair
-    /// with net `i`. This is the coupling graph incremental pricing uses
-    /// for its dirty sets.
+    /// with net `i`. Materialized from the CSR rows; hot paths should
+    /// use [`net_neighbors`](Self::net_neighbors) directly.
     pub fn net_adjacency(&self, net_count: usize) -> Vec<Vec<usize>> {
-        let mut adj = vec![Vec::new(); net_count];
-        for key in self.pairs.keys() {
-            if key.0 < net_count && key.2 < net_count {
-                adj[key.0].push(key.2);
-                adj[key.2].push(key.0);
-            }
-        }
-        for list in &mut adj {
-            list.sort_unstable();
-            list.dedup();
-        }
-        adj
+        (0..net_count)
+            .map(|i| {
+                self.net_neighbors(i)
+                    .iter()
+                    .map(|&n| n as usize)
+                    .filter(|&n| n < net_count)
+                    .collect()
+            })
+            .collect()
     }
 
     /// Number of crossing candidate pairs.
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        self.keys.len()
     }
 
     /// Whether no candidate pair crosses.
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.keys.is_empty()
     }
+}
+
+/// A spatial-build crossing tuple in packed form: the candidate-pair
+/// key folded into a `u128` whose integer order equals [`PairKey`]
+/// order (all handles are `u32`), and the crossing segment indexes
+/// folded into a `u64`. Sorting and deduplicating millions of these is
+/// a fraction of the cost of the 40-byte tuple they replace.
+type Hit = (u128, u64);
+
+#[inline]
+fn pack_hit(p: &SegRef, q: &SegRef) -> Hit {
+    (
+        ((p.net as u128) << 96)
+            | ((p.cand as u128) << 64)
+            | ((q.net as u128) << 32)
+            | q.cand as u128,
+        ((p.seg as u64) << 32) | q.seg as u64,
+    )
+}
+
+#[inline]
+fn hit_key(packed: u128) -> PairKey {
+    (
+        (packed >> 96) as usize,
+        (packed >> 64) as u32 as usize,
+        (packed >> 32) as u32 as usize,
+        packed as u32 as usize,
+    )
+}
+
+/// `(net, cand)` packed so that integer order equals tuple order.
+#[inline]
+fn pack_owner(net: usize, cand: usize) -> u128 {
+    ((net as u128) << 64) | cand as u128
+}
+
+#[inline]
+fn unpack_owner(packed: u128) -> (usize, usize) {
+    ((packed >> 64) as usize, packed as u64 as usize)
+}
+
+/// Flattens every non-degenerate optical segment in (net, cand, seg)
+/// order; degenerate segments can never properly cross anything.
+fn collect_segments(nets: &[NetCandidates]) -> Vec<SegRef> {
+    let mut segs: Vec<SegRef> = Vec::new();
+    for (i, nc) in nets.iter().enumerate() {
+        for (j, c) in nc.candidates.iter().enumerate() {
+            for (k, s) in c.optical_segments.iter().enumerate() {
+                if s.is_degenerate() {
+                    continue;
+                }
+                segs.push(SegRef {
+                    net: i as u32,
+                    cand: j as u32,
+                    seg: k as u32,
+                    s: *s,
+                });
+            }
+        }
+    }
+    segs
+}
+
+/// [`collect_segments`] restricted to nets flagged in `involved`.
+fn collect_involved_segments(nets: &[NetCandidates], involved: &[bool]) -> Vec<SegRef> {
+    let mut segs: Vec<SegRef> = Vec::new();
+    for (i, nc) in nets.iter().enumerate() {
+        if !involved[i] {
+            continue;
+        }
+        for (j, c) in nc.candidates.iter().enumerate() {
+            for (k, s) in c.optical_segments.iter().enumerate() {
+                if s.is_degenerate() {
+                    continue;
+                }
+                segs.push(SegRef {
+                    net: i as u32,
+                    cand: j as u32,
+                    seg: k as u32,
+                    s: *s,
+                });
+            }
+        }
+    }
+    segs
+}
+
+fn in_sweep_range(p: operon_geom::Point) -> bool {
+    p.x.abs() < SWEEP_COORD_LIMIT && p.y.abs() < SWEEP_COORD_LIMIT
+}
+
+/// The documented strategy heuristic: decile dispersion of Manhattan
+/// segment lengths. `p90 ≥ 4 · p10` means the length distribution has
+/// both short and long tails — short segments demand fine grid cells,
+/// long ones then smear across many of them, so the output-sensitive
+/// sweep wins. Pure integer math over the candidate set: deterministic.
+fn pick_sweep(segs: &[SegRef]) -> bool {
+    if segs.len() < 2 {
+        return false;
+    }
+    if !segs
+        .iter()
+        .all(|sr| in_sweep_range(sr.s.a) && in_sweep_range(sr.s.b))
+    {
+        // Beyond the sweep's exact-arithmetic bound: the grid handles
+        // arbitrary i64 coordinates.
+        return false;
+    }
+    let mut lens: Vec<i64> = segs.iter().map(|sr| sr.s.manhattan_length()).collect();
+    lens.sort_unstable();
+    let p10 = lens[lens.len() / 10];
+    let p90 = lens[(9 * lens.len()) / 10];
+    p90 >= 4 * p10.max(1)
+}
+
+/// Runs the sweep over the flattened segments and maps segment-id pairs
+/// back to packed hits (same-net pairs drop).
+fn sweep_hits(segs: &[SegRef]) -> Vec<Hit> {
+    let shapes: Vec<Segment> = segs.iter().map(|sr| sr.s).collect();
+    let crossing_ids = sweep_crossings(&shapes);
+    let mut hits: Vec<Hit> = Vec::with_capacity(crossing_ids.len());
+    for (ia, ib) in crossing_ids {
+        let a = &segs[ia as usize];
+        let b = &segs[ib as usize];
+        if a.net == b.net {
+            continue;
+        }
+        let (p, q) = if a.net < b.net { (a, b) } else { (b, a) };
+        hits.push(pack_hit(p, q));
+    }
+    hits
+}
+
+/// All-pairs packed hits over the flattened segments (the delta
+/// fallback for coordinates beyond the sweep's exactness bound).
+fn brute_hits(segs: &[SegRef]) -> Vec<Hit> {
+    let mut hits: Vec<Hit> = Vec::new();
+    for (x, a) in segs.iter().enumerate() {
+        for b in &segs[x + 1..] {
+            if a.net == b.net || !a.s.crosses(&b.s) {
+                continue;
+            }
+            let (p, q) = if a.net < b.net { (a, b) } else { (b, a) };
+            hits.push(pack_hit(p, q));
+        }
+    }
+    hits
+}
+
+/// Groups sorted hit tuples into per-key runs and assembles one record
+/// per run, reproducing `count_pair`'s attribution exactly. Attribution
+/// runs over a lazily-built per-candidate inverted path index plus
+/// reusable accumulator scratch, so a candidate's path structure is
+/// walked once no matter how many pairs it participates in.
+fn assemble_runs(nets: &[NetCandidates], hits: &[Hit]) -> Vec<(PairKey, PairCross)> {
+    let mut out: Vec<(PairKey, PairCross)> = Vec::with_capacity(hits.len());
+    let mut scratch = AssembleScratch::new(nets);
+    let mut i = 0;
+    while i < hits.len() {
+        let packed = hits[i].0;
+        let mut j = i + 1;
+        while j < hits.len() && hits[j].0 == packed {
+            j += 1;
+        }
+        let key = hit_key(packed);
+        out.push((key, scratch.assemble_pair(nets, key, &hits[i..j])));
+        i = j;
+    }
+    out
 }
 
 /// Union bbox of each net's optical candidates (the net-level prefilter).
@@ -492,22 +925,128 @@ fn count_pair(
     }
 }
 
-/// Builds one pair record from the deduplicated `(key, seg_a, seg_b)`
-/// crossing tuples the grid build found for `key`.
-fn assemble_pair(nets: &[NetCandidates], key: PairKey, hits: &[(PairKey, u32, u32)]) -> PairCross {
-    let (na, ca, nb, cb) = key;
-    let a = &nets[na].candidates[ca];
-    let b = &nets[nb].candidates[cb];
-    let mut seg_a = vec![0usize; a.optical_segments.len()];
-    let mut seg_b = vec![0usize; b.optical_segments.len()];
-    for &(_, sa, sb) in hits {
-        seg_a[sa as usize] += 1;
-        seg_b[sb as usize] += 1;
+/// Per-candidate inverted path index: for each optical segment, the
+/// detector paths that traverse it (CSR, with multiplicity). The
+/// transpose of `PathLoss::segments`, so hit attribution touches only
+/// the segments that actually cross instead of every path × segment.
+struct SegPathIndex {
+    off: Vec<u32>,
+    paths: Vec<u32>,
+    n_paths: usize,
+}
+
+fn seg_path_index(c: &crate::codesign::CandidateRoute) -> SegPathIndex {
+    let nsegs = c.optical_segments.len();
+    let mut off = vec![0u32; nsegs + 1];
+    for p in &c.paths {
+        for &s in &p.segments {
+            off[s + 1] += 1;
+        }
     }
-    PairCross {
-        per_path_a: attribute(&a.paths, &seg_a),
-        per_path_b: attribute(&b.paths, &seg_b),
-        total: hits.len(),
+    for i in 0..nsegs {
+        off[i + 1] += off[i];
+    }
+    let mut cursor = off.clone();
+    let mut paths = vec![0u32; off[nsegs] as usize];
+    for (pi, p) in c.paths.iter().enumerate() {
+        for &s in &p.segments {
+            paths[cursor[s] as usize] = pi as u32;
+            cursor[s] += 1;
+        }
+    }
+    SegPathIndex {
+        off,
+        paths,
+        n_paths: c.paths.len(),
+    }
+}
+
+/// Reusable state for [`assemble_runs`]: lazily-built inverted indexes
+/// (one slot per candidate, filled the first time the candidate appears
+/// in a hit) and the path-count accumulator, zeroed between uses via the
+/// touched list.
+struct AssembleScratch {
+    cand_off: Vec<usize>,
+    inv: Vec<Option<SegPathIndex>>,
+    acc: Vec<usize>,
+    touched: Vec<u32>,
+}
+
+impl AssembleScratch {
+    fn new(nets: &[NetCandidates]) -> Self {
+        let mut cand_off = Vec::with_capacity(nets.len() + 1);
+        cand_off.push(0usize);
+        for nc in nets {
+            let prev = *cand_off.last().unwrap_or(&0);
+            cand_off.push(prev + nc.candidates.len());
+        }
+        let total = *cand_off.last().unwrap_or(&0);
+        let mut inv: Vec<Option<SegPathIndex>> = Vec::new();
+        inv.resize_with(total, || None);
+        Self {
+            cand_off,
+            inv,
+            acc: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Builds one pair record from the deduplicated packed hits a
+    /// spatial build found for `key`.
+    fn assemble_pair(&mut self, nets: &[NetCandidates], key: PairKey, hits: &[Hit]) -> PairCross {
+        let (na, ca, nb, cb) = key;
+        PairCross {
+            per_path_a: self.per_path_side(nets, na, ca, hits, true),
+            per_path_b: self.per_path_side(nets, nb, cb, hits, false),
+            total: hits.len(),
+        }
+    }
+
+    /// Path attribution for one side of a pair: ascending
+    /// `(path index, count)` over paths with at least one crossing —
+    /// byte-identical to [`attribute`] over per-segment counts.
+    fn per_path_side(
+        &mut self,
+        nets: &[NetCandidates],
+        net: usize,
+        cand: usize,
+        hits: &[Hit],
+        side_a: bool,
+    ) -> Vec<(usize, usize)> {
+        let slot = self.cand_off[net] + cand;
+        if self.inv[slot].is_none() {
+            self.inv[slot] = Some(seg_path_index(&nets[net].candidates[cand]));
+        }
+        let Some(idx) = self.inv[slot].as_ref() else {
+            return Vec::new();
+        };
+        if self.acc.len() < idx.n_paths {
+            self.acc.resize(idx.n_paths, 0);
+        }
+        self.touched.clear();
+        for &(_, segs) in hits {
+            let s = if side_a {
+                segs >> 32
+            } else {
+                segs as u32 as u64
+            } as usize;
+            for &p in &idx.paths[idx.off[s] as usize..idx.off[s + 1] as usize] {
+                if self.acc[p as usize] == 0 {
+                    self.touched.push(p);
+                }
+                self.acc[p as usize] += 1;
+            }
+        }
+        self.touched.sort_unstable();
+        let out: Vec<(usize, usize)> = self
+            .touched
+            .iter()
+            .map(|&p| (p as usize, self.acc[p as usize]))
+            .collect();
+        for &p in &self.touched {
+            self.acc[p as usize] = 0;
+        }
+        out
     }
 }
 
@@ -586,13 +1125,18 @@ mod tests {
         }
     }
 
+    /// Full structural equality: semantic value (keys + records) plus the
+    /// derived CSR arenas, so a builder that corrupted neighbor lists or
+    /// the net coupling graph cannot hide behind the `PartialEq` impl.
     fn assert_index_eq(a: &CrossingIndex, b: &CrossingIndex, label: &str) {
         assert_eq!(a.len(), b.len(), "{label}: pair count");
-        for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
-            assert_eq!(ka, kb, "{label}: keys");
-            assert_eq!(va, vb, "{label}: records");
-        }
-        assert_eq!(a.neighbors, b.neighbors, "{label}: neighbor lists");
+        assert_eq!(a.keys, b.keys, "{label}: keys");
+        assert_eq!(a.records, b.records, "{label}: records");
+        assert_eq!(a.adj_keys, b.adj_keys, "{label}: neighbor owners");
+        assert_eq!(a.adj_off, b.adj_off, "{label}: neighbor offsets");
+        assert_eq!(a.adj, b.adj, "{label}: neighbor arena");
+        assert_eq!(a.net_adj_off, b.net_adj_off, "{label}: net CSR offsets");
+        assert_eq!(a.net_adj, b.net_adj, "{label}: net CSR");
     }
 
     #[test]
@@ -704,7 +1248,7 @@ mod tests {
         let idx = CrossingIndex::build(&nets);
         // Every pair entry appears in both endpoints' neighbor lists, and
         // every neighbor entry resolves to the same record via the cached
-        // handle and the map lookup.
+        // handle and the binary-search lookup.
         for ((na, ca, nb, cb), pc) in idx.iter() {
             assert!(idx.neighbors(na, ca).iter().any(|n| n.key() == (nb, cb)));
             assert!(idx.neighbors(nb, cb).iter().any(|n| n.key() == (na, ca)));
@@ -742,9 +1286,30 @@ mod tests {
         let reference = CrossingIndex::build_reference(&nets);
         assert!(!reference.is_empty());
         for threads in [1, 2, 4, 8] {
-            let grid = CrossingIndex::build_with(&nets, &Executor::new(threads));
+            let exec = Executor::new(threads);
+            let grid = CrossingIndex::build_with_strategy(&nets, &exec, BuildStrategy::Grid);
             assert_index_eq(&grid, &reference, &format!("threads={threads}"));
         }
+    }
+
+    #[test]
+    fn sweep_build_matches_reference_on_spanning_diagonals() {
+        let nets: Vec<NetCandidates> = (0..24)
+            .map(|k| {
+                let y0 = (k as i64) * 700;
+                optical_net(k, Point::new(0, y0), Point::new(20_000, 18_000 - y0))
+            })
+            .collect();
+        let reference = CrossingIndex::build_reference(&nets);
+        assert!(!reference.is_empty());
+        let sweep = CrossingIndex::build_with_strategy(
+            &nets,
+            &Executor::sequential(),
+            BuildStrategy::Sweep,
+        );
+        assert_index_eq(&sweep, &reference, "sweep vs reference");
+        assert_eq!(sweep.build_info().strategy, ChosenBuild::Sweep);
+        assert!(!sweep.build_info().parallel);
     }
 
     #[test]
@@ -763,6 +1328,54 @@ mod tests {
     }
 
     #[test]
+    fn small_grid_build_runs_inline() {
+        // Two crossing diagonals are far below the parallel threshold:
+        // the build must take the sequential path and say so.
+        let nets = vec![
+            optical_net(0, Point::new(0, 0), Point::new(100, 100)),
+            optical_net(1, Point::new(0, 100), Point::new(100, 0)),
+        ];
+        let idx = CrossingIndex::build_with_strategy(&nets, &Executor::new(8), BuildStrategy::Grid);
+        assert_eq!(idx.build_info().strategy, ChosenBuild::Grid);
+        assert!(!idx.build_info().parallel);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn auto_strategy_picks_sweep_on_dispersed_lengths() {
+        // A few die-spanning trunks over a field of short stubs: decile
+        // dispersion far beyond 4x, so Auto must choose the sweep.
+        let mut nets: Vec<NetCandidates> = (0..12)
+            .map(|k| {
+                let x = 10 + (k as i64) * 40;
+                optical_net(k, Point::new(x, 0), Point::new(x + 8, 9))
+            })
+            .collect();
+        for t in 0..3 {
+            nets.push(optical_net(
+                12 + t,
+                Point::new(0, 2 + t as i64),
+                Point::new(1000, 7 - t as i64),
+            ));
+        }
+        let idx = CrossingIndex::build(&nets);
+        assert_eq!(idx.build_info().strategy, ChosenBuild::Sweep);
+        assert_index_eq(&idx, &CrossingIndex::build_reference(&nets), "auto sweep");
+    }
+
+    #[test]
+    fn auto_strategy_picks_grid_on_uniform_lengths() {
+        let nets: Vec<NetCandidates> = (0..8)
+            .map(|k| {
+                let y0 = (k as i64) * 90;
+                optical_net(k, Point::new(0, y0), Point::new(1000, 900 - y0))
+            })
+            .collect();
+        let idx = CrossingIndex::build(&nets);
+        assert_eq!(idx.build_info().strategy, ChosenBuild::Grid);
+    }
+
+    #[test]
     fn rebuild_delta_equals_full_build() {
         let mut nets: Vec<NetCandidates> = (0..10)
             .map(|k| {
@@ -778,6 +1391,7 @@ mod tests {
         let delta = before.rebuild_delta(&nets, &[3, 7]);
         let full = CrossingIndex::build(&nets);
         assert_index_eq(&delta, &full, "delta vs full");
+        assert_eq!(delta.build_info().strategy, ChosenBuild::Delta);
         // No-op delta reproduces the index too.
         let noop = before.rebuild_delta(
             &(0..10)
@@ -803,6 +1417,11 @@ mod tests {
         assert_eq!(adj[0], vec![1]);
         assert_eq!(adj[1], vec![0]);
         assert!(adj[2].is_empty());
+        // The CSR rows agree with the materialized lists.
+        assert_eq!(idx.net_neighbors(0), &[1]);
+        assert_eq!(idx.net_neighbors(1), &[0]);
+        assert!(idx.net_neighbors(2).is_empty());
+        assert!(idx.net_neighbors(99).is_empty());
     }
 
     #[test]
@@ -813,12 +1432,25 @@ mod tests {
         assert!(idx.neighbors(5, 9).is_empty());
     }
 
+    fn random_nets(raw: &[Vec<Vec<(i64, i64)>>]) -> Vec<NetCandidates> {
+        raw.iter()
+            .enumerate()
+            .map(|(i, chains)| {
+                let pts: Vec<Vec<Point>> = chains
+                    .iter()
+                    .map(|c| c.iter().map(|&(x, y)| Point::new(x, y)).collect())
+                    .collect();
+                chain_net(i, &pts)
+            })
+            .collect()
+    }
+
     proptest! {
         /// The tentpole equivalence contract: for random multi-candidate,
         /// multi-segment nets — including collinear, shared-endpoint, and
-        /// zero-length segments from the cramped coordinate range — the
-        /// grid build equals the brute-force reference byte for byte, for
-        /// every cell size and thread count.
+        /// zero-length segments from the cramped coordinate range — every
+        /// build strategy equals the brute-force reference byte for byte,
+        /// for every cell size and thread count.
         #[test]
         fn grid_build_equals_reference_on_random_candidate_sets(
             raw in proptest::collection::vec(
@@ -831,22 +1463,12 @@ mod tests {
             cols in 1usize..20,
             rows in 1usize..20,
         ) {
-            let nets: Vec<NetCandidates> = raw
-                .iter()
-                .enumerate()
-                .map(|(i, chains)| {
-                    let pts: Vec<Vec<Point>> = chains
-                        .iter()
-                        .map(|c| c.iter().map(|&(x, y)| Point::new(x, y)).collect())
-                        .collect();
-                    chain_net(i, &pts)
-                })
-                .collect();
+            let nets = random_nets(&raw);
             let reference = CrossingIndex::build_reference(&nets);
             for threads in [1usize, 2, 8] {
                 let exec = Executor::new(threads);
                 let auto = CrossingIndex::build_with(&nets, &exec);
-                assert_index_eq(&auto, &reference, &format!("auto grid, threads={threads}"));
+                assert_index_eq(&auto, &reference, &format!("auto, threads={threads}"));
                 let sized = CrossingIndex::build_with_grid_dims(
                     &nets,
                     &exec,
@@ -858,6 +1480,63 @@ mod tests {
                     &format!("{cols}x{rows} grid, threads={threads}"),
                 );
             }
+        }
+
+        /// Sweep-specific equivalence pin: the cramped 0..24 range packs
+        /// the segments with collinear overlaps, shared endpoints, and
+        /// verticals — the sweep's event-bundling edge cases — and the
+        /// index must still match the reference at every thread count.
+        #[test]
+        fn sweep_build_equals_reference_on_random_candidate_sets(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec((0i64..24, 0i64..24), 2..6),
+                    1..3,
+                ),
+                2..8,
+            ),
+        ) {
+            let nets = random_nets(&raw);
+            let reference = CrossingIndex::build_reference(&nets);
+            for threads in [1usize, 2, 8] {
+                let exec = Executor::new(threads);
+                let sweep = CrossingIndex::build_with_strategy(
+                    &nets,
+                    &exec,
+                    BuildStrategy::Sweep,
+                );
+                assert_index_eq(&sweep, &reference, &format!("sweep, threads={threads}"));
+            }
+        }
+
+        /// `rebuild_delta` (localized sweep patch) against a full rebuild
+        /// after replacing a random subset of nets.
+        #[test]
+        fn rebuild_delta_equals_full_rebuild_on_random_changes(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec((0i64..48, 0i64..48), 2..5),
+                    1..3,
+                ),
+                3..8,
+            ),
+            replacement in proptest::collection::vec(
+                proptest::collection::vec((0i64..48, 0i64..48), 2..5),
+                1..3,
+            ),
+            which in 0usize..8,
+        ) {
+            let mut nets = random_nets(&raw);
+            let before = CrossingIndex::build(&nets);
+            let target = which % nets.len();
+            let pts: Vec<Vec<Point>> = replacement
+                .iter()
+                .map(|c| c.iter().map(|&(x, y)| Point::new(x, y)).collect())
+                .collect();
+            nets[target] = chain_net(target, &pts);
+            let delta = before.rebuild_delta(&nets, &[target]);
+            let full = CrossingIndex::build(&nets);
+            assert_index_eq(&delta, &full, "random delta vs full");
         }
     }
 }

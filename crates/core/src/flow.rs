@@ -4,7 +4,7 @@ use crate::baselines::BaselineSelection;
 use crate::codesign::{generate_candidates, NetCandidates};
 use crate::config::{OperonConfig, Selector};
 use crate::formulation::{select_ilp_with, selection_feasible, SelectionResult};
-use crate::lr::select_lr_with;
+use crate::lr::select_lr_in;
 use crate::report::{power_maps, PowerMaps};
 use crate::wdm::{self, WdmPlan};
 use crate::{CrossingIndex, OperonError};
@@ -290,8 +290,10 @@ impl OperonFlow {
         // Stage 3: crossing coupling + selection.
         let t = operon_exec::Stopwatch::start();
         let crossings = {
-            let _stage = self.exec.stage("crossing");
-            CrossingIndex::build_with(&candidates, &self.exec)
+            let mut stage = self.exec.stage("crossing");
+            let idx = CrossingIndex::build_with(&candidates, &self.exec);
+            record_crossing_stats(&mut stage, &idx);
+            idx
         };
         times.crossing = t.elapsed();
 
@@ -471,8 +473,10 @@ impl OperonFlow {
         // Stages 3 + 4 run globally, exactly as in `run`.
         let t = operon_exec::Stopwatch::start();
         let crossings = {
-            let _stage = self.exec.stage("crossing");
-            CrossingIndex::build_with(&candidates, &self.exec)
+            let mut stage = self.exec.stage("crossing");
+            let idx = CrossingIndex::build_with(&candidates, &self.exec);
+            record_crossing_stats(&mut stage, &idx);
+            idx
         };
         times.crossing = t.elapsed();
         let selection = {
@@ -529,11 +533,30 @@ pub(crate) fn select_with(
     config: &OperonConfig,
     exec: &Executor,
 ) -> Result<SelectionResult, OperonError> {
+    select_in(
+        candidates,
+        crossings,
+        config,
+        exec,
+        &mut crate::lr::LrWorkspace::new(),
+    )
+}
+
+/// [`select_with`] against a caller-owned LR workspace, so resident
+/// sessions reuse the pricing arenas across requests. Results are
+/// identical for any workspace history.
+pub(crate) fn select_in(
+    candidates: &[NetCandidates],
+    crossings: &CrossingIndex,
+    config: &OperonConfig,
+    exec: &Executor,
+    lr_ws: &mut crate::lr::LrWorkspace,
+) -> Result<SelectionResult, OperonError> {
     match config.selector {
         Selector::Ilp { time_limit_secs } => {
             // Warm-start the exact solver with the fast LR heuristic so
             // limit-terminated solves still return a strong incumbent.
-            let warm = select_lr_with(candidates, crossings, config, exec);
+            let warm = select_lr_in(candidates, crossings, config, exec, lr_ws);
             let mut ilp = select_ilp_with(
                 candidates,
                 crossings,
@@ -546,7 +569,9 @@ pub(crate) fn select_with(
             ilp.lr_stats = warm.lr_stats;
             Ok(ilp)
         }
-        Selector::LagrangianRelaxation => Ok(select_lr_with(candidates, crossings, config, exec)),
+        Selector::LagrangianRelaxation => {
+            Ok(select_lr_in(candidates, crossings, config, exec, lr_ws))
+        }
     }
 }
 
@@ -573,6 +598,24 @@ pub(crate) fn record_lr_stats(stage: &mut operon_exec::StageScope<'_>, sel: &Sel
         stage.record("lr_load_evals", stats.load_evals);
         stage.record("lr_reused_loads", stats.reused_loads);
     }
+}
+
+/// Surfaces the crossing build's provenance into its stage record: which
+/// strategy ran (`crossing_build_{brute,grid,sweep,delta} = 1`), whether
+/// the pair tests used the executor's workers, and the pair count. All
+/// three are pure functions of the candidate set, so run reports stay
+/// thread-count invariant.
+pub(crate) fn record_crossing_stats(stage: &mut operon_exec::StageScope<'_>, idx: &CrossingIndex) {
+    let info = idx.build_info();
+    let counter = match info.strategy {
+        crate::crossing::ChosenBuild::BruteForce => "crossing_build_brute",
+        crate::crossing::ChosenBuild::Grid => "crossing_build_grid",
+        crate::crossing::ChosenBuild::Sweep => "crossing_build_sweep",
+        crate::crossing::ChosenBuild::Delta => "crossing_build_delta",
+    };
+    stage.record(counter, 1);
+    stage.record("crossing_build_parallel", info.parallel as u64);
+    stage.record("crossing_pairs", idx.len() as u64);
 }
 
 /// Surfaces the WDM stage's warm/cold network-solver counters into its

@@ -53,7 +53,7 @@ pub mod wdm;
 
 pub use codesign::{CandidateRoute, EdgeMedium, NetCandidates, PathLoss};
 pub use config::OperonConfig;
-pub use crossing::CrossingIndex;
+pub use crossing::{BuildInfo, BuildStrategy, ChosenBuild, CrossingIndex};
 pub use error::OperonError;
 pub use flow::{FlowResult, OperonFlow};
 pub use session::{RouteSummary, SessionStats, WarmSession};

@@ -26,6 +26,20 @@
 //! feeding the sub-gradient. The iterate sequence is therefore identical
 //! to the full recomputation loop, which is retained as
 //! [`select_lr_reference`] and pinned by fixture tests.
+//!
+//! # Arena state
+//!
+//! All per-call state lives in flat arenas inside [`LrWorkspace`]: the
+//! multipliers are one contiguous `Vec<f64>` indexed through CSR offsets
+//! (`LambdaArena`), the dirty bits are refilled in place, and the cached
+//! load vectors are scattered into persistent rows. A [`LrWorkspace`] is
+//! reusable across calls — `WarmSession` owns one, so resident re-solves
+//! allocate nothing proportional to the design in the iteration loop
+//! (the P002 lint keeps this path allocation-free). The coupling graph
+//! consulted by the dirty sets is the crossing index's precomputed CSR
+//! ([`CrossingIndex::net_neighbors`]); building a per-call adjacency here
+//! was what made incremental pricing slower than the reference at small
+//! iteration counts.
 
 use crate::codesign::NetCandidates;
 use crate::config::OperonConfig;
@@ -65,6 +79,107 @@ impl LrStats {
     }
 }
 
+/// Flat multiplier arena: one `f64` per (net, candidate, path), indexed
+/// through CSR offsets. `paths(net, cand)` is two offset loads and a
+/// slice — the hot pricing loop's replacement for `lambda[i][j]` chasing
+/// three heap levels.
+#[derive(Clone, Debug, Default)]
+struct LambdaArena {
+    /// All multipliers, candidate path blocks back to back in
+    /// (net, candidate) order.
+    vals: Vec<f64>,
+    /// Start of each candidate's block; one sentinel entry at the end.
+    cand_off: Vec<u32>,
+    /// First candidate slot of each net; one sentinel entry at the end.
+    cand_base: Vec<u32>,
+}
+
+impl LambdaArena {
+    /// Re-initializes for a candidate set, reusing the allocations:
+    /// every path's multiplier starts proportional to its net's
+    /// electrical-fallback power (Algorithm 1, line 1).
+    fn init(&mut self, nets: &[NetCandidates], lib: &OpticalLib) {
+        self.vals.clear();
+        self.cand_off.clear();
+        self.cand_base.clear();
+        for nc in nets {
+            self.cand_base.push(self.cand_off.len() as u32);
+            let pe = nc.electrical().total_power_mw().max(1e-6);
+            let init = 0.01 * pe / lib.max_loss_db;
+            for c in &nc.candidates {
+                self.cand_off.push(self.vals.len() as u32);
+                self.vals.resize(self.vals.len() + c.paths.len(), init);
+            }
+        }
+        self.cand_base.push(self.cand_off.len() as u32);
+        self.cand_off.push(self.vals.len() as u32);
+    }
+
+    /// The multipliers of `(net, cand)`'s paths.
+    #[inline]
+    fn paths(&self, net: usize, cand: usize) -> &[f64] {
+        let s = self.cand_base[net] as usize + cand;
+        &self.vals[self.cand_off[s] as usize..self.cand_off[s + 1] as usize]
+    }
+
+    /// Mutable view of `(net, cand)`'s path multipliers.
+    #[inline]
+    fn paths_mut(&mut self, net: usize, cand: usize) -> &mut [f64] {
+        let s = self.cand_base[net] as usize + cand;
+        &mut self.vals[self.cand_off[s] as usize..self.cand_off[s + 1] as usize]
+    }
+}
+
+/// Persistent scratch state of the incremental LR loop.
+///
+/// Owning one across calls (as `WarmSession` does) makes repeated
+/// selections allocation-free in the iteration loop: the multiplier
+/// arena, the dirty bits, and the load rows are all resized in place.
+/// The workspace carries no results between calls — every call fully
+/// re-initializes it — so reuse can never change an outcome, only skip
+/// allocator traffic.
+#[derive(Clone, Debug, Default)]
+pub struct LrWorkspace {
+    lambda: LambdaArena,
+    /// Whether net `i`'s multipliers moved in the last update.
+    lambda_changed: Vec<bool>,
+    /// Whether net `i`'s selection moved in the previous iteration.
+    prev_selection_changed: Vec<bool>,
+    /// Per-iteration dirty bits, refilled in place.
+    price_dirty: Vec<bool>,
+    selection_changed: Vec<bool>,
+    loads_dirty: Vec<bool>,
+    /// Cached loaded-loss vectors of the previous iteration; rows of
+    /// clean nets survive untouched (the old implementation cloned them
+    /// through the executor every iteration).
+    loads: Vec<Vec<f64>>,
+}
+
+impl LrWorkspace {
+    /// An empty workspace; grows to fit on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes every buffer for `nets` and resets the per-call flags.
+    fn reset(&mut self, nets: &[NetCandidates], lib: &OpticalLib) {
+        let n = nets.len();
+        self.lambda.init(nets, lib);
+        self.lambda_changed.clear();
+        self.lambda_changed.resize(n, true);
+        self.prev_selection_changed.clear();
+        self.prev_selection_changed.resize(n, true);
+        self.price_dirty.clear();
+        self.price_dirty.resize(n, false);
+        self.selection_changed.clear();
+        self.selection_changed.resize(n, false);
+        self.loads_dirty.clear();
+        self.loads_dirty.resize(n, false);
+        self.loads.truncate(n);
+        self.loads.resize_with(n, Vec::new);
+    }
+}
+
 /// Runs the LR-based selection.
 ///
 /// Always returns a feasible selection; `proven_optimal` is always
@@ -79,75 +194,82 @@ pub fn select_lr(
 
 /// [`select_lr`] with the per-net work spread over `exec`'s workers.
 ///
-/// Each iteration's pricing subproblems (line 5 of Algorithm 1) read only
-/// the *previous* iterate and the multipliers, so every net prices
-/// independently; the loaded-loss evaluations feeding the sub-gradient
-/// are likewise per-net pure functions of the frozen joint selection.
-/// Multiplier updates and the repair/polish pass stay sequential — they
-/// are order-dependent by construction. Results are identical to the
-/// sequential [`select_lr`] for every thread count.
+/// Allocates a fresh [`LrWorkspace`]; resident callers should hold one
+/// and use [`select_lr_in`] instead.
 pub fn select_lr_with(
     nets: &[NetCandidates],
     crossings: &CrossingIndex,
     config: &OperonConfig,
     exec: &Executor,
 ) -> SelectionResult {
+    select_lr_in(nets, crossings, config, exec, &mut LrWorkspace::new())
+}
+
+/// [`select_lr_with`] against a caller-owned workspace.
+///
+/// Each iteration's pricing subproblems (line 5 of Algorithm 1) read only
+/// the *previous* iterate and the multipliers, so every net prices
+/// independently; the loaded-loss evaluations feeding the sub-gradient
+/// are likewise per-net pure functions of the frozen joint selection.
+/// Multiplier updates and the repair/polish pass stay sequential — they
+/// are order-dependent by construction. Results are identical to the
+/// sequential [`select_lr`] for every thread count and any workspace
+/// history.
+pub fn select_lr_in(
+    nets: &[NetCandidates],
+    crossings: &CrossingIndex,
+    config: &OperonConfig,
+    exec: &Executor,
+    ws: &mut LrWorkspace,
+) -> SelectionResult {
     let start = operon_exec::Stopwatch::start();
     let lib = &config.optical;
 
-    // λ_p per (net, candidate, path), initialized proportional to the
-    // net's electrical-fallback power (Algorithm 1, line 1).
-    let mut lambda: Vec<Vec<Vec<f64>>> = nets
-        .iter()
-        .map(|nc| {
-            let pe = nc.electrical().total_power_mw().max(1e-6);
-            nc.candidates
-                .iter()
-                .map(|c| vec![0.01 * pe / lib.max_loss_db; c.paths.len()])
-                .collect()
-        })
-        .collect();
+    ws.reset(nets, lib);
+    // Split borrows: the pricing closures read `lambda` and the dirty
+    // bits concurrently while the sequential update below writes them.
+    let LrWorkspace {
+        lambda,
+        lambda_changed,
+        prev_selection_changed,
+        price_dirty,
+        selection_changed,
+        loads_dirty,
+        loads,
+    } = ws;
 
     // Start from the unloaded greedy selection.
     let mut choice: Vec<usize> = exec.par_map_indexed(nets, |i, nc| {
-        best_candidate(nc, i, &lambda, None, crossings, lib)
+        best_candidate(nc, i, lambda, None, crossings, lib)
     });
 
     let mut prev_power = f64::INFINITY;
     let mut prev_violation = f64::INFINITY;
-
-    // Incremental-pricing bookkeeping. A clean net's fresh argmin would
-    // bitwise equal the cached one (all its inputs are unchanged), so
-    // skipping it is a pure recomputation saving, never an approximation;
-    // the net-level coupling graph says whose inputs those are.
     let mut stats = LrStats::default();
-    let net_adj = crossings.net_adjacency(nets.len());
-    let mut lambda_changed = vec![true; nets.len()];
-    let mut prev_selection_changed = vec![true; nets.len()];
-    let mut loads_cache: Vec<Vec<f64>> = Vec::new();
-    // Per-iteration dirty bits, hoisted and refilled in place.
-    let mut price_dirty = vec![false; nets.len()];
-    let mut selection_changed = vec![false; nets.len()];
-    let mut loads_dirty = vec![false; nets.len()];
+    // Whether `loads` holds this call's previous-iteration vectors.
+    let mut loads_primed = false;
 
     for iter in 1..=config.lr_max_iters {
         stats.iterations += 1;
         // Select per net against the previous iterate (lines 5). Net `i`
         // must re-price iff its own or a neighbor's multipliers moved, or
         // a neighbor's previous selection moved. Iteration 1 prices all:
-        // the cold start ran without crossing terms.
+        // the cold start ran without crossing terms. The coupling graph
+        // is the crossing index's precomputed CSR rows — nothing is
+        // built per call.
         let previous = choice;
         let first = iter == 1;
         for (i, dirty) in price_dirty.iter_mut().enumerate() {
             *dirty = first
                 || lambda_changed[i]
-                || net_adj[i]
+                || crossings
+                    .net_neighbors(i)
                     .iter()
-                    .any(|&m| lambda_changed[m] || prev_selection_changed[m]);
+                    .any(|&m| lambda_changed[m as usize] || prev_selection_changed[m as usize]);
         }
         choice = exec.par_map_indexed(nets, |i, nc| {
             if price_dirty[i] {
-                best_candidate(nc, i, &lambda, Some(&previous), crossings, lib)
+                best_candidate(nc, i, lambda, Some(&previous), crossings, lib)
             } else {
                 previous[i]
             }
@@ -158,48 +280,55 @@ pub fn select_lr_with(
 
         // Violations under the current joint selection (line 6). The
         // loaded losses are pure per-net functions of the frozen
-        // `choice`, so they batch-evaluate in parallel — and a net whose
-        // selection and neighbor selections are unchanged reuses last
-        // iteration's vector. The multiplier updates below consume them
-        // in net order.
+        // `choice`, so the dirty ones batch-evaluate in parallel; a net
+        // whose selection and neighbor selections are unchanged keeps
+        // last iteration's row in place — no clone, no copy. The
+        // multiplier updates below consume them in net order.
         for (i, changed) in selection_changed.iter_mut().enumerate() {
             *changed = choice[i] != previous[i];
         }
         for (i, dirty) in loads_dirty.iter_mut().enumerate() {
-            *dirty = loads_cache.is_empty()
+            *dirty = !loads_primed
                 || selection_changed[i]
-                || net_adj[i].iter().any(|&m| selection_changed[m]);
+                || crossings
+                    .net_neighbors(i)
+                    .iter()
+                    .any(|&m| selection_changed[m as usize]);
         }
-        let all_loads: Vec<Vec<f64>> = exec.par_map_indexed(nets, |i, _| {
-            if loads_dirty[i] {
-                loaded_path_losses(nets, crossings, &choice, i, lib)
-            } else {
-                loads_cache[i].clone()
-            }
+        let fresh: Vec<Option<Vec<f64>>> = exec.par_map_indexed(nets, |i, _| {
+            loads_dirty[i].then(|| loaded_path_losses(nets, crossings, &choice, i, lib))
         });
+        for (row, f) in loads.iter_mut().zip(fresh) {
+            if let Some(v) = f {
+                *row = v;
+            }
+        }
+        loads_primed = true;
         let evaluated = loads_dirty.iter().filter(|&&d| d).count() as u64;
         stats.load_evals += evaluated;
         stats.reused_loads += nets.len() as u64 - evaluated;
 
         let mut total_violation = 0.0f64;
         let step = 1.0 / iter as f64;
-        for (i, loaded) in all_loads.iter().enumerate() {
+        for (i, loaded) in loads.iter().enumerate() {
+            let ci = choice[i];
             let mut changed = false;
+            let lam_sel = lambda.paths_mut(i, ci);
             for (pi, &load) in loaded.iter().enumerate() {
                 let subgradient = load - lib.max_loss_db;
                 if subgradient > 0.0 {
                     total_violation += subgradient;
                 }
-                let l = &mut lambda[i][choice[i]][pi];
+                let l = &mut lam_sel[pi];
                 let updated = (*l + step * subgradient * 0.1).max(0.0);
                 changed |= updated.to_bits() != l.to_bits();
                 *l = updated;
             }
             // Paths of unselected candidates relax toward zero (their
             // constraint LHS is 0, sub-gradient -l_m).
-            for (j, lam_j) in lambda[i].iter_mut().enumerate() {
-                if j != choice[i] {
-                    for l in lam_j.iter_mut() {
+            for j in 0..nets[i].candidates.len() {
+                if j != ci {
+                    for l in lambda.paths_mut(i, j) {
                         let updated = (*l - step * lib.max_loss_db * 0.01).max(0.0);
                         changed |= updated.to_bits() != l.to_bits();
                         *l = updated;
@@ -208,8 +337,7 @@ pub fn select_lr_with(
             }
             lambda_changed[i] = changed;
         }
-        std::mem::swap(&mut prev_selection_changed, &mut selection_changed);
-        loads_cache = all_loads;
+        std::mem::swap(prev_selection_changed, selection_changed);
 
         let power = selection_power_mw(nets, &choice);
         let power_gain = (prev_power - power) / prev_power.max(1e-12);
@@ -277,16 +405,8 @@ pub fn select_lr_reference(
     let start = operon_exec::Stopwatch::start();
     let lib = &config.optical;
 
-    let mut lambda: Vec<Vec<Vec<f64>>> = nets
-        .iter()
-        .map(|nc| {
-            let pe = nc.electrical().total_power_mw().max(1e-6);
-            nc.candidates
-                .iter()
-                .map(|c| vec![0.01 * pe / lib.max_loss_db; c.paths.len()])
-                .collect()
-        })
-        .collect();
+    let mut lambda = LambdaArena::default();
+    lambda.init(nets, lib);
 
     let mut choice: Vec<usize> = nets
         .iter()
@@ -303,7 +423,7 @@ pub fn select_lr_reference(
             .iter()
             .enumerate()
             .map(|(i, nc)| best_candidate(nc, i, &lambda, Some(&previous), crossings, lib))
-            // operon-lint: allow(P002, reason = "cold sequential reference oracle; the warm path in select_lr_with is the hot one and reuses buffers")
+            // operon-lint: allow(P002, reason = "cold sequential reference oracle; the warm path in select_lr_in is the hot one and reuses buffers")
             .collect();
 
         let all_loads: Vec<Vec<f64>> = (0..nets.len())
@@ -313,17 +433,19 @@ pub fn select_lr_reference(
         let mut total_violation = 0.0f64;
         let step = 1.0 / iter as f64;
         for (i, loaded) in all_loads.into_iter().enumerate() {
+            let ci = choice[i];
+            let lam_sel = lambda.paths_mut(i, ci);
             for (pi, load) in loaded.into_iter().enumerate() {
                 let subgradient = load - lib.max_loss_db;
                 if subgradient > 0.0 {
                     total_violation += subgradient;
                 }
-                let l = &mut lambda[i][choice[i]][pi];
+                let l = &mut lam_sel[pi];
                 *l = (*l + step * subgradient * 0.1).max(0.0);
             }
-            for (j, lam_j) in lambda[i].iter_mut().enumerate() {
-                if j != choice[i] {
-                    for l in lam_j.iter_mut() {
+            for j in 0..nets[i].candidates.len() {
+                if j != ci {
+                    for l in lambda.paths_mut(i, j) {
                         *l = (*l - step * lib.max_loss_db * 0.01).max(0.0);
                     }
                 }
@@ -411,6 +533,9 @@ fn repair_and_polish(
 struct LoadCache {
     /// `loads[i][pi]` = loaded loss of path `pi` of net `i`'s selection.
     loads: Vec<Vec<f64>>,
+    /// Scratch for `move_is_feasible`'s per-neighbor load deltas, sized
+    /// to the neighbor under test and reused across calls.
+    delta: Vec<f64>,
 }
 
 impl LoadCache {
@@ -424,6 +549,7 @@ impl LoadCache {
             loads: (0..nets.len())
                 .map(|i| loaded_path_losses(nets, crossings, choice, i, lib))
                 .collect(),
+            delta: Vec::new(),
         }
     }
 
@@ -496,7 +622,7 @@ impl LoadCache {
     /// Whether moving net `i` to candidate `j` keeps every path of every
     /// net within budget.
     fn move_is_feasible(
-        &self,
+        &mut self,
         nets: &[NetCandidates],
         crossings: &CrossingIndex,
         choice: &[usize],
@@ -517,8 +643,8 @@ impl LoadCache {
             if choice[m] != sel_m {
                 continue;
             }
-            // operon-lint: allow(P002, reason = "sized by the neighbor's path count, which varies per net; a flat arena is tracked on the ROADMAP")
-            let mut delta = vec![0.0f64; self.loads[m].len()];
+            self.delta.clear();
+            self.delta.resize(self.loads[m].len(), 0.0);
             if let Some(pc) = crossings.pair(i, old_j, m, sel_m) {
                 let per_path_m = if i < m {
                     &pc.per_path_b
@@ -526,14 +652,14 @@ impl LoadCache {
                     &pc.per_path_a
                 };
                 for &(pm, n) in per_path_m {
-                    delta[pm] -= lib.crossing_loss_db(n);
+                    self.delta[pm] -= lib.crossing_loss_db(n);
                 }
             }
             let (_, per_path_m) = crossings.per_path(nb);
             for &(pm, n) in per_path_m {
-                delta[pm] += lib.crossing_loss_db(n);
+                self.delta[pm] += lib.crossing_loss_db(n);
             }
-            for (load, d) in self.loads[m].iter().zip(&delta) {
+            for (load, d) in self.loads[m].iter().zip(&self.delta) {
                 if load + d > lib.max_loss_db + 1e-9 {
                     return false;
                 }
@@ -620,7 +746,7 @@ fn cheapest_feasible(
 fn best_candidate(
     nc: &NetCandidates,
     i: usize,
-    lambda: &[Vec<Vec<f64>>],
+    lambda: &LambdaArena,
     previous: Option<&[usize]>,
     crossings: &CrossingIndex,
     lib: &OpticalLib,
@@ -628,10 +754,11 @@ fn best_candidate(
     let mut best = nc.electrical_idx;
     let mut best_cost = f64::INFINITY;
     for (j, cand) in nc.candidates.iter().enumerate() {
+        let lam_own = lambda.paths(i, j);
         let mut cost = cand.total_power_mw();
         // λ-weighted fixed loss of this candidate's own paths.
         for (pi, path) in cand.paths.iter().enumerate() {
-            cost += lambda[i][j][pi] * path.fixed_db;
+            cost += lam_own[pi] * path.fixed_db;
         }
         if let Some(prev) = previous {
             // Only candidates this one actually crosses contribute; the
@@ -643,12 +770,13 @@ fn best_candidate(
                 let (per_path_own, per_path_other) = crossings.per_path(nb);
                 // Crossing load on this candidate's own paths.
                 for &(pi, cnt) in per_path_own {
-                    cost += lambda[i][j][pi] * lib.crossing_loss_db(cnt);
+                    cost += lam_own[pi] * lib.crossing_loss_db(cnt);
                 }
                 // Loss inflicted on the previously selected paths of other
                 // nets (the a_mn · a'_ij term of Eq. (5)).
+                let lam_other = lambda.paths(nb.net, nb.cand);
                 for &(pm, cnt) in per_path_other {
-                    cost += lambda[nb.net][nb.cand][pm] * lib.crossing_loss_db(cnt);
+                    cost += lam_other[pm] * lib.crossing_loss_db(cnt);
                 }
             }
         }
@@ -824,6 +952,41 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_workspace() {
+        // A workspace that just solved a different (larger) instance must
+        // produce bit-identical results on the next instance: reuse only
+        // skips allocations, never carries state.
+        let lib = OpticalLib::paper_defaults();
+        let big: Vec<NetCandidates> = (0..12)
+            .map(|k| {
+                let y0 = (k as i64) * 2_500;
+                two_pin_net(k, Point::new(0, y0), Point::new(30_000, 30_000 - y0), 2)
+            })
+            .collect();
+        let mut small: Vec<NetCandidates> = (0..6)
+            .map(|k| {
+                let y0 = (k as i64) * 5_000;
+                two_pin_net(k, Point::new(0, y0), Point::new(30_000, 30_000 - y0), 1)
+            })
+            .collect();
+        for nc in small.iter_mut().step_by(2) {
+            for p in &mut nc.candidates[0].paths {
+                p.fixed_db = lib.max_loss_db - 1.0;
+            }
+        }
+        let exec = Executor::sequential();
+        let mut ws = LrWorkspace::new();
+        let big_idx = CrossingIndex::build(&big);
+        let _ = select_lr_in(&big, &big_idx, &config(), &exec, &mut ws);
+        let small_idx = CrossingIndex::build(&small);
+        let warm = select_lr_in(&small, &small_idx, &config(), &exec, &mut ws);
+        let cold = select_lr_with(&small, &small_idx, &config(), &exec);
+        assert_eq!(warm.choice, cold.choice);
+        assert_eq!(warm.power_mw.to_bits(), cold.power_mw.to_bits());
+        assert_eq!(warm.lr_stats, cold.lr_stats);
     }
 
     #[test]

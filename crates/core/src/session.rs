@@ -31,9 +31,11 @@
 
 use crate::codesign::{generate_candidates, NetCandidates};
 use crate::config::OperonConfig;
-use crate::flow::{record_ilp_stats, record_lr_stats, record_wdm_stats, select_with};
+use crate::flow::{
+    record_crossing_stats, record_ilp_stats, record_lr_stats, record_wdm_stats, select_in,
+};
 use crate::formulation::SelectionResult;
-use crate::lr::LrStats;
+use crate::lr::{LrStats, LrWorkspace};
 use crate::wdm::{self, ResidentAssignment, WdmPlan, WdmProbe, WdmStats};
 use crate::{CrossingIndex, OperonError};
 use operon_cluster::{build_hyper_nets, HyperNet, HyperNetId};
@@ -138,6 +140,10 @@ pub struct WarmSession {
     design: Design,
     state: Option<WarmState>,
     stats: SessionStats,
+    /// Persistent LR pricing arenas, reused by every selection this
+    /// session runs (reuse never changes results, only skips allocator
+    /// traffic — see [`LrWorkspace`]).
+    lr_ws: LrWorkspace,
 }
 
 impl WarmSession {
@@ -158,6 +164,7 @@ impl WarmSession {
             design,
             state: None,
             stats: SessionStats::default(),
+            lr_ws: LrWorkspace::new(),
         })
     }
 
@@ -411,8 +418,10 @@ impl WarmSession {
         };
         self.stats.nets_recoded += candidates.len() as u64;
         let crossings = {
-            let _stage = self.exec.stage("crossing");
-            CrossingIndex::build_with(&candidates, &self.exec)
+            let mut stage = self.exec.stage("crossing");
+            let idx = CrossingIndex::build_with(&candidates, &self.exec);
+            record_crossing_stats(&mut stage, &idx);
+            idx
         };
         self.stats.crossing_full_builds += 1;
         self.finish_route(resolved, hyper_nets, candidates, crossings, false)
@@ -536,14 +545,16 @@ impl WarmSession {
 
         let crossings = {
             let mut stage = self.exec.stage("crossing");
-            if delta_ok {
+            let idx = if delta_ok {
                 stage.record("crossing_delta_rebuild", 1);
                 self.stats.crossing_delta_rebuilds += 1;
                 prev.crossings.rebuild_delta(&candidates, &changed)
             } else {
                 self.stats.crossing_full_builds += 1;
                 CrossingIndex::build_with(&candidates, &self.exec)
-            }
+            };
+            record_crossing_stats(&mut stage, &idx);
+            idx
         };
         self.finish_route(resolved, hyper_nets, candidates, crossings, true)
     }
@@ -560,7 +571,13 @@ impl WarmSession {
     ) -> Result<RouteSummary, OperonError> {
         let selection = {
             let mut stage = self.exec.stage("selection");
-            let sel = select_with(&candidates, &crossings, &resolved, &self.exec)?;
+            let sel = select_in(
+                &candidates,
+                &crossings,
+                &resolved,
+                &self.exec,
+                &mut self.lr_ws,
+            )?;
             record_ilp_stats(&mut stage, &sel);
             record_lr_stats(&mut stage, &sel);
             sel

@@ -92,9 +92,23 @@ impl Segment {
     }
 
     /// Orientation of the triple `(p, q, r)`.
+    #[inline]
     pub fn orientation(p: Point, q: Point, r: Point) -> Orientation {
-        let cross =
-            (q.x - p.x) as i128 * (r.y - p.y) as i128 - (q.y - p.y) as i128 * (r.x - p.x) as i128;
+        // Die-scale fast path: with every coordinate under 2^30 the
+        // differences fit 31 bits and the cross product is exact in
+        // i64 — no 128-bit multiplies on the hot pair-test predicate.
+        const M: i64 = 1 << 30;
+        let cross = if p.x.abs() < M
+            && p.y.abs() < M
+            && q.x.abs() < M
+            && q.y.abs() < M
+            && r.x.abs() < M
+            && r.y.abs() < M
+        {
+            ((q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x)) as i128
+        } else {
+            (q.x - p.x) as i128 * (r.y - p.y) as i128 - (q.y - p.y) as i128 * (r.x - p.x) as i128
+        };
         match cross {
             c if c > 0 => Orientation::CounterClockwise,
             c if c < 0 => Orientation::Clockwise,
@@ -104,6 +118,7 @@ impl Segment {
 
     /// Tests whether the closed segments intersect (share at least one
     /// point), including touching endpoints and collinear overlap.
+    #[inline]
     pub fn intersects(&self, other: &Segment) -> bool {
         let o1 = Self::orientation(self.a, self.b, other.a);
         let o2 = Self::orientation(self.a, self.b, other.b);
@@ -128,6 +143,7 @@ impl Segment {
     /// This is the predicate used to count waveguide crossings: two
     /// waveguides that merely touch at a shared branch point do not incur
     /// crossing loss, but transversal intersections do.
+    #[inline]
     pub fn crosses(&self, other: &Segment) -> bool {
         let o1 = Self::orientation(self.a, self.b, other.a);
         let o2 = Self::orientation(self.a, self.b, other.b);

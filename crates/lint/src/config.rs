@@ -87,6 +87,17 @@ impl Config {
         })
     }
 
+    /// Whether `rule` names `path` explicitly in its `only_paths`.
+    ///
+    /// Solver-scoped rules use this to opt individual files of
+    /// non-solver crates into the gate — e.g. P002 on the geom sweep
+    /// kernel, which is hot-path code in an infrastructure crate.
+    pub fn path_explicitly_scoped(&self, rule: &str, path: &str) -> bool {
+        self.rules
+            .get(rule)
+            .is_some_and(|r| r.only_paths.iter().any(|g| glob_match(g, path)))
+    }
+
     /// Whether `path` is excluded from scanning entirely.
     pub fn excluded(&self, path: &str) -> bool {
         self.exclude.iter().any(|g| glob_match(g, path))

@@ -19,7 +19,10 @@
 //!
 //! Rules skip `#[cfg(test)]` modules and `#[test]` functions; D001,
 //! R001, P001 and P002 additionally apply only to library
-//! (non-`src/bin`) code of the configured solver crates.
+//! (non-`src/bin`) code of the configured solver crates. P002 alone
+//! also fires in non-solver crates on files named explicitly in its
+//! `only_paths` — hot-path kernels hosted by infrastructure crates
+//! (the geom sweep builder) opt into the allocation gate that way.
 
 use crate::config::Config;
 use crate::diagnostics::{Diagnostic, Level};
@@ -112,6 +115,11 @@ pub fn analyze_source(path: &str, source: &str, config: &Config) -> FileAnalysis
     let parsed = parse::parse_file(&code);
     let (mut allows, mut diags) = parse_allows(path, &tokens, &code);
     let solver = config.solver_crates.iter().any(|c| c == &crate_name);
+    // P002 also gates files of non-solver crates when they are named
+    // explicitly in its `only_paths` — hot-path kernels living in
+    // infrastructure crates (e.g. `crates/geom/src/sweep.rs`) carry the
+    // same no-per-iteration-allocation contract as solver code.
+    let p002_opt_in = config.path_explicitly_scoped("P002", path);
 
     let fire = |rule: &'static str,
                 line: u32,
@@ -296,7 +304,11 @@ pub fn analyze_source(path: &str, source: &str, config: &Config) -> FileAnalysis
         }
 
         // P002 — per-iteration allocation inside loop bodies.
-        if solver && role == FileRole::Lib && in_loop[i] && tok.kind == TokenKind::Ident {
+        if (solver || p002_opt_in)
+            && role == FileRole::Lib
+            && in_loop[i]
+            && tok.kind == TokenKind::Ident
+        {
             let pattern: Option<String> = if (tok.text == "vec" || tok.text == "format")
                 && next(1).is_some_and(|t| t.is_punct('!'))
             {
@@ -1327,6 +1339,27 @@ fn f(exec: &Executor, items: &[f64]) {
         let src = "fn f() { let x = items()[0]; }\n";
         assert_eq!(lint_source("crates/core/src/hot.rs", src, &config).len(), 1);
         assert!(lint_source("crates/core/src/cold.rs", src, &config).is_empty());
+    }
+
+    #[test]
+    fn p002_fires_in_explicitly_scoped_non_solver_paths() {
+        let mut config = Config::default();
+        config
+            .rules
+            .get_mut("P002")
+            .expect("P002 configured")
+            .only_paths = vec![
+            "crates/core/src/lr.rs".to_owned(),
+            "crates/geom/src/sweep.rs".to_owned(),
+        ];
+        let src = "fn f(n: u32) {\n    for _ in 0..n {\n        let v: Vec<u32> = Vec::new();\n        drop(v);\n    }\n}\n";
+        // Named explicitly in only_paths: the allocation gate applies
+        // even though geom is not a solver crate.
+        let d = lint_source("crates/geom/src/sweep.rs", src, &config);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "P002");
+        // Geom files the scope does not name stay exempt.
+        assert!(lint_source("crates/geom/src/poly.rs", src, &config).is_empty());
     }
 
     #[test]
