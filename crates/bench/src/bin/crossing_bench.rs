@@ -253,6 +253,7 @@ fn strategy_name(chosen: ChosenBuild) -> &'static str {
         ChosenBuild::Grid => "grid",
         ChosenBuild::Sweep => "sweep",
         ChosenBuild::Delta => "delta",
+        ChosenBuild::Sharded => "sharded",
     }
 }
 

@@ -144,6 +144,7 @@ fn main() {
             Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(8)]),
         ),
         ("identical_results", Value::from(true)),
+        ("peak_rss_kib", Value::from(operon_exec::peak_rss_kib())),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, out.pretty() + "\n").expect("write BENCH_serve.json");

@@ -64,7 +64,7 @@ pub struct PairCross {
 }
 
 /// Key: `(net_a, cand_a, net_b, cand_b)` with `net_a < net_b`.
-type PairKey = (usize, usize, usize, usize);
+pub(crate) type PairKey = (usize, usize, usize, usize);
 
 /// One side's `(path index, crossings)` counts of a crossing record.
 pub type PathCounts = [(usize, usize)];
@@ -123,6 +123,9 @@ pub enum ChosenBuild {
     Sweep,
     /// Incremental [`CrossingIndex::rebuild_delta`] patch.
     Delta,
+    /// Tile-sharded build: per-tile hit discovery merged in tile order
+    /// (see [`crate::shard`]).
+    Sharded,
 }
 
 impl ChosenBuild {
@@ -133,6 +136,7 @@ impl ChosenBuild {
             ChosenBuild::Grid => "grid",
             ChosenBuild::Sweep => "sweep",
             ChosenBuild::Delta => "delta",
+            ChosenBuild::Sharded => "sharded",
         }
     }
 }
@@ -276,66 +280,7 @@ impl CrossingIndex {
         if segs.len() < 2 {
             return Self::default();
         }
-        let mut extent = BoundingBox::new(segs[0].s.a, segs[0].s.b);
-        for sr in &segs[1..] {
-            extent = extent.union(&BoundingBox::new(sr.s.a, sr.s.b));
-        }
-
-        let mut grid = match dims {
-            Some((cols, rows)) => SegmentGrid::new(extent, cols, rows),
-            None => SegmentGrid::sized(extent, segs.len()),
-        };
-        for (id, sr) in segs.iter().enumerate() {
-            grid.insert(id as u32, sr.s);
-        }
-
-        let cells: Vec<usize> = grid
-            .nonempty_cells()
-            .into_iter()
-            .filter(|&c| grid.cell_items(c).len() >= 2)
-            .collect();
-
-        // Every properly-crossing segment pair co-occupies the cell of
-        // its crossing point, so testing within cells finds all of them;
-        // a pair sharing several cells is found several times and
-        // deduplicated by the sort below.
-        let pair_tests: u64 = cells
-            .iter()
-            .map(|&c| {
-                let n = grid.cell_items(c).len() as u64;
-                n * (n - 1) / 2
-            })
-            .sum();
-        let test_cell = |cell: usize| {
-            let ids = grid.cell_items(cell);
-            let mut out = Vec::new();
-            for (x, &ia) in ids.iter().enumerate() {
-                let a = &segs[ia as usize];
-                for &ib in &ids[x + 1..] {
-                    let b = &segs[ib as usize];
-                    if a.net == b.net || !a.s.crosses(&b.s) {
-                        continue;
-                    }
-                    let (p, q) = if a.net < b.net { (a, b) } else { (b, a) };
-                    out.push(pack_hit(p, q));
-                }
-            }
-            out
-        };
-        let parallel = pair_tests >= GRID_PARALLEL_MIN_PAIR_TESTS;
-        let mut hits: Vec<Hit> = if parallel {
-            let per_cell: Vec<Vec<Hit>> = exec.par_map(&cells, |&cell| test_cell(cell));
-            per_cell.into_iter().flatten().collect()
-        } else {
-            // Small build: the executor's fan-out overhead exceeds the
-            // pair-test work, so run the cells inline. The global sort
-            // below makes both paths byte-identical.
-            let mut flat = Vec::new();
-            for &cell in &cells {
-                flat.append(&mut test_cell(cell));
-            }
-            flat
-        };
+        let (mut hits, parallel) = grid_hits(&segs, dims, exec);
         hits.sort_unstable();
         hits.dedup();
         Self::from_hits(
@@ -494,15 +439,20 @@ impl CrossingIndex {
     }
 
     /// Assembles the arena from deduplicated, globally sorted packed
-    /// crossing hits.
-    fn from_hits(nets: &[NetCandidates], hits: &[Hit], info: BuildInfo) -> Self {
+    /// crossing hits. `pub(crate)` so the tile-sharded build
+    /// ([`crate::shard`]) can funnel its ordered merge through the same
+    /// canonical assembly as every other builder.
+    pub(crate) fn from_hits(nets: &[NetCandidates], hits: &[Hit], info: BuildInfo) -> Self {
         Self::from_pair_list(assemble_runs(nets, hits), info)
     }
 
     /// Assembles the dense record vector, the CSR neighbor arena, and
     /// the net-level coupling CSR from a `(key, record)` list. The list
-    /// need not be sorted; keys must be unique.
-    fn from_pair_list(mut list: Vec<(PairKey, PairCross)>, info: BuildInfo) -> Self {
+    /// need not be sorted; keys must be unique. `pub(crate)` so the
+    /// tile-sharded build can drop its per-tile hit lists *before* the
+    /// arena is built — the peak-memory edge over the monolithic path,
+    /// which must keep its hit buffer alive through this call.
+    pub(crate) fn from_pair_list(mut list: Vec<(PairKey, PairCross)>, info: BuildInfo) -> Self {
         // Keys are unique, so an unstable sort is exact; spatial builds
         // hand the list over already sorted and pay only the scan.
         list.sort_unstable_by_key(|x| x.0);
@@ -720,7 +670,7 @@ impl CrossingIndex {
 /// order (all handles are `u32`), and the crossing segment indexes
 /// folded into a `u64`. Sorting and deduplicating millions of these is
 /// a fraction of the cost of the 40-byte tuple they replace.
-type Hit = (u128, u64);
+pub(crate) type Hit = (u128, u64);
 
 #[inline]
 fn pack_hit(p: &SegRef, q: &SegRef) -> Hit {
@@ -741,6 +691,13 @@ fn hit_key(packed: u128) -> PairKey {
         (packed >> 32) as u32 as usize,
         packed as u32 as usize,
     )
+}
+
+/// The `(net_a, net_b)` pair of a packed hit key (`net_a < net_b`) —
+/// the tile-sharded build's retain filters classify hits by net id.
+#[inline]
+pub(crate) fn hit_nets(packed: u128) -> (usize, usize) {
+    ((packed >> 96) as usize, (packed >> 32) as u32 as usize)
 }
 
 /// `(net, cand)` packed so that integer order equals tuple order.
@@ -846,6 +803,94 @@ fn sweep_hits(segs: &[SegRef]) -> Vec<Hit> {
     hits
 }
 
+/// Grid-bucketed packed hits over the flattened segments: the body of
+/// the grid build, shared with [`subset_hits`]. Returns the raw
+/// (unsorted, possibly duplicated) hits and whether the pair tests ran
+/// on the executor's workers.
+fn grid_hits(segs: &[SegRef], dims: Option<(usize, usize)>, exec: &Executor) -> (Vec<Hit>, bool) {
+    if segs.len() < 2 {
+        return (Vec::new(), false);
+    }
+    let mut extent = BoundingBox::new(segs[0].s.a, segs[0].s.b);
+    for sr in &segs[1..] {
+        extent = extent.union(&BoundingBox::new(sr.s.a, sr.s.b));
+    }
+
+    let mut grid = match dims {
+        Some((cols, rows)) => SegmentGrid::new(extent, cols, rows),
+        None => SegmentGrid::sized(extent, segs.len()),
+    };
+    for (id, sr) in segs.iter().enumerate() {
+        grid.insert(id as u32, sr.s);
+    }
+
+    let cells: Vec<usize> = grid
+        .nonempty_cells()
+        .into_iter()
+        .filter(|&c| grid.cell_items(c).len() >= 2)
+        .collect();
+
+    // Every properly-crossing segment pair co-occupies the cell of
+    // its crossing point, so testing within cells finds all of them;
+    // a pair sharing several cells is found several times and
+    // deduplicated by the caller's sort.
+    let pair_tests: u64 = cells
+        .iter()
+        .map(|&c| {
+            let n = grid.cell_items(c).len() as u64;
+            n * (n - 1) / 2
+        })
+        .sum();
+    let test_cell = |cell: usize| {
+        let ids = grid.cell_items(cell);
+        let mut out = Vec::new();
+        for (x, &ia) in ids.iter().enumerate() {
+            let a = &segs[ia as usize];
+            for &ib in &ids[x + 1..] {
+                let b = &segs[ib as usize];
+                if a.net == b.net || !a.s.crosses(&b.s) {
+                    continue;
+                }
+                let (p, q) = if a.net < b.net { (a, b) } else { (b, a) };
+                out.push(pack_hit(p, q));
+            }
+        }
+        out
+    };
+    let parallel = pair_tests >= GRID_PARALLEL_MIN_PAIR_TESTS;
+    let hits: Vec<Hit> = if parallel {
+        let per_cell: Vec<Vec<Hit>> = exec.par_map(&cells, |&cell| test_cell(cell));
+        per_cell.into_iter().flatten().collect()
+    } else {
+        // Small build: the executor's fan-out overhead exceeds the
+        // pair-test work, so run the cells inline. The caller's global
+        // sort makes both paths byte-identical.
+        let mut flat = Vec::new();
+        for &cell in &cells {
+            flat.append(&mut test_cell(cell));
+        }
+        flat
+    };
+    (hits, parallel)
+}
+
+/// Packed hits among the nets flagged in `involved`, using the same
+/// strategy heuristic as [`CrossingIndex::build_with`] on the subset's
+/// segments. Raw output — unsorted and possibly duplicated; the caller
+/// owns the sort + dedup (the tile-sharded build filters, merges, and
+/// deduplicates tile outputs before assembly).
+pub(crate) fn subset_hits(nets: &[NetCandidates], involved: &[bool], exec: &Executor) -> Vec<Hit> {
+    let segs = collect_involved_segments(nets, involved);
+    if segs.len() < 2 {
+        return Vec::new();
+    }
+    if pick_sweep(&segs) {
+        sweep_hits(&segs)
+    } else {
+        grid_hits(&segs, None, exec).0
+    }
+}
+
 /// All-pairs packed hits over the flattened segments (the delta
 /// fallback for coordinates beyond the sweep's exactness bound).
 fn brute_hits(segs: &[SegRef]) -> Vec<Hit> {
@@ -884,8 +929,52 @@ fn assemble_runs(nets: &[NetCandidates], hits: &[Hit]) -> Vec<(PairKey, PairCros
     out
 }
 
-/// Union bbox of each net's optical candidates (the net-level prefilter).
-fn net_bboxes(nets: &[NetCandidates]) -> Vec<Option<BoundingBox>> {
+/// Assembles crossing records from several sorted, deduplicated,
+/// **key-disjoint** hit runs via a k-way merge — the tile-sharded
+/// build's funnel. Equivalent to concatenating the runs, sorting,
+/// deduplicating, and calling [`assemble_runs`], but without ever
+/// materializing the merged hit buffer: the peak is one record list
+/// instead of two hit copies.
+///
+/// Disjointness (no key occurs in two runs) is what the shard retain
+/// rule guarantees; every hit of a key therefore sits contiguously in
+/// exactly one run, so each group can be assembled straight from its
+/// run slice.
+pub(crate) fn assemble_sorted_runs(
+    nets: &[NetCandidates],
+    runs: &[&[Hit]],
+) -> Vec<(PairKey, PairCross)> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out: Vec<(PairKey, PairCross)> = Vec::with_capacity(total);
+    let mut scratch = AssembleScratch::new(nets);
+    let mut pos = vec![0usize; runs.len()];
+    loop {
+        // The run holding the smallest unconsumed key.
+        let mut best: Option<usize> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if pos[r] < run.len() && best.is_none_or(|b: usize| run[pos[r]].0 < runs[b][pos[b]].0) {
+                best = Some(r);
+            }
+        }
+        let Some(r) = best else { break };
+        let run = runs[r];
+        let i = pos[r];
+        let packed = run[i].0;
+        let mut j = i + 1;
+        while j < run.len() && run[j].0 == packed {
+            j += 1;
+        }
+        let key = hit_key(packed);
+        out.push((key, scratch.assemble_pair(nets, key, &run[i..j])));
+        pos[r] = j;
+    }
+    debug_assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "runs not disjoint");
+    out
+}
+
+/// Union bbox of each net's optical candidates (the net-level prefilter;
+/// also the tile-sharded build's interior/boundary classifier).
+pub(crate) fn net_bboxes(nets: &[NetCandidates]) -> Vec<Option<BoundingBox>> {
     nets.iter()
         .map(|nc| {
             nc.candidates
@@ -1361,6 +1450,59 @@ mod tests {
         let idx = CrossingIndex::build(&nets);
         assert_eq!(idx.build_info().strategy, ChosenBuild::Sweep);
         assert_index_eq(&idx, &CrossingIndex::build_reference(&nets), "auto sweep");
+    }
+
+    /// The dispersed-length mix of `auto_strategy_picks_sweep_on_dispersed_lengths`,
+    /// translated so every coordinate sits near `offset`.
+    fn dispersed_nets_at(offset: i64) -> Vec<NetCandidates> {
+        let mut nets: Vec<NetCandidates> = (0..12)
+            .map(|k| {
+                let x = offset + 10 + (k as i64) * 40;
+                optical_net(k, Point::new(x, offset), Point::new(x + 8, offset + 9))
+            })
+            .collect();
+        for t in 0..3 {
+            nets.push(optical_net(
+                12 + t,
+                Point::new(offset, offset + 2 + t as i64),
+                Point::new(offset + 1000, offset + 7 - t as i64),
+            ));
+        }
+        nets
+    }
+
+    #[test]
+    fn auto_strategy_falls_back_to_grid_beyond_the_sweep_coord_limit() {
+        // The same length dispersion that picks the sweep at die scale,
+        // but translated past the sweep's exact-arithmetic bound: Auto
+        // must fall back to the grid (which handles arbitrary i64
+        // coordinates) instead of tripping the sweep's range assert —
+        // and still match the brute-force reference exactly.
+        let nets = dispersed_nets_at(SWEEP_COORD_LIMIT);
+        for threads in [1, 8] {
+            let idx = CrossingIndex::build_with(&nets, &Executor::new(threads));
+            assert_eq!(idx.build_info().strategy, ChosenBuild::Grid);
+            assert_index_eq(
+                &idx,
+                &CrossingIndex::build_reference(&nets),
+                "grid fallback beyond 2^40",
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_stays_selected_and_exact_just_below_the_coord_limit() {
+        // Every coordinate within the bound (if only just): the
+        // dispersion heuristic keeps the sweep, whose rationals must
+        // stay exact at these magnitudes.
+        let nets = dispersed_nets_at(SWEEP_COORD_LIMIT - 2_000);
+        let idx = CrossingIndex::build(&nets);
+        assert_eq!(idx.build_info().strategy, ChosenBuild::Sweep);
+        assert_index_eq(
+            &idx,
+            &CrossingIndex::build_reference(&nets),
+            "sweep just below 2^40",
+        );
     }
 
     #[test]

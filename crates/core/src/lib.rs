@@ -47,6 +47,7 @@ pub mod lr;
 pub mod render;
 pub mod report;
 pub mod session;
+pub mod shard;
 pub mod timing;
 pub mod topology;
 pub mod wdm;
@@ -57,3 +58,4 @@ pub use crossing::{BuildInfo, BuildStrategy, ChosenBuild, CrossingIndex};
 pub use error::OperonError;
 pub use flow::{FlowResult, OperonFlow};
 pub use session::{RouteSummary, SessionStats, WarmSession};
+pub use shard::{ShardPartition, TileGrid};

@@ -3,13 +3,19 @@
 //! # Scheduling
 //!
 //! A `par_map` call splits `0..n` into one contiguous range per worker.
-//! Each worker pops indices from the *front* of its own range; a worker
-//! whose range is exhausted scans the others and steals the *back half*
-//! of the largest remaining range (the classic range-splitting variant
-//! of work stealing — cache-friendly for the owner, coarse-grained for
-//! the thief). Ranges are packed into a single `AtomicU64` per worker
-//! (`start` in the high 32 bits, `end` in the low 32), so both pop and
-//! steal are one CAS with no locks anywhere on the hot path.
+//! Each worker claims a *chunk* of indices from the front of its own
+//! range (coarse range splitting: up to [`CLAIM_CHUNK_MAX`] indices per
+//! CAS, so large maps don't pay one atomic round-trip per item); a
+//! worker whose range is exhausted scans the others and steals the
+//! *back half* of the largest remaining range (the classic
+//! range-splitting variant of work stealing — cache-friendly for the
+//! owner, coarse-grained for the thief). Ranges are packed into a
+//! single `AtomicU64` per worker (`start` in the high 32 bits, `end` in
+//! the low 32), so both claim and steal are one CAS with no locks
+//! anywhere on the hot path. A thief that keeps losing races backs off
+//! (yield first, then bounded sleeps) instead of spinning — on
+//! oversubscribed or few-core hosts a hot thief starves the very
+//! workers it waits on.
 //!
 //! # Determinism
 //!
@@ -26,6 +32,21 @@ use std::time::Instant;
 /// Below this many items a `par_map` runs inline: spawning threads costs
 /// more than the loop.
 const PARALLEL_THRESHOLD: usize = 16;
+
+/// Most indices one front claim may take. Claims adapt to the remaining
+/// range (an eighth, so plenty stays stealable) but never exceed this —
+/// a bounded chunk caps how stale the skew can get when per-item cost is
+/// wildly uneven.
+const CLAIM_CHUNK_MAX: u32 = 32;
+
+/// Consecutive failed claim attempts a worker tolerates before switching
+/// from `yield_now` to sleeping.
+const BACKOFF_YIELD_LIMIT: u32 = 8;
+
+/// Longest single backoff sleep, in microseconds (reached after repeated
+/// contention; short enough that work appearing on a victim is picked up
+/// promptly).
+const BACKOFF_SLEEP_MAX_US: u64 = 200;
 
 /// A work range packed as `start << 32 | end`.
 fn pack(start: u32, end: u32) -> u64 {
@@ -209,17 +230,37 @@ impl Executor {
                     let mut steals = 0u64;
                     // operon-lint: allow(D002, reason = "worker busy-time feeds the metrics this rule protects")
                     let busy = Instant::now();
+                    let mut misses = 0u32;
                     loop {
                         match claim(deques, w) {
-                            Claim::Index(i) => {
-                                local.push((i, f(i as usize, &items[i as usize])));
-                                tasks += 1;
+                            Claim::Range(s, e) => {
+                                for i in s..e {
+                                    local.push((i, f(i as usize, &items[i as usize])));
+                                }
+                                tasks += u64::from(e - s);
+                                misses = 0;
                             }
-                            Claim::Stolen => steals += 1,
+                            Claim::Stolen => {
+                                steals += 1;
+                                misses = 0;
+                            }
                             // Don't busy-wait on contention: on few-core
                             // machines a spinning thief starves the very
-                            // worker it is waiting on.
-                            Claim::Retry => std::thread::yield_now(),
+                            // worker it is waiting on. Yield first; under
+                            // sustained contention escalate to bounded
+                            // sleeps so dozens of thieves don't thrash
+                            // the scheduler.
+                            Claim::Retry => {
+                                misses += 1;
+                                if misses <= BACKOFF_YIELD_LIMIT {
+                                    std::thread::yield_now();
+                                } else {
+                                    let over = u64::from(misses - BACKOFF_YIELD_LIMIT);
+                                    std::thread::sleep(std::time::Duration::from_micros(
+                                        (over * 10).min(BACKOFF_SLEEP_MAX_US),
+                                    ));
+                                }
+                            }
                             Claim::Done => break,
                         }
                     }
@@ -244,36 +285,39 @@ impl Executor {
 
 /// One scheduling decision for a worker.
 enum Claim {
-    /// Execute this index.
-    Index(u32),
+    /// Execute this contiguous `[start, end)` chunk of indices.
+    Range(u32, u32),
     /// A steal succeeded; the worker's own deque was refilled.
     Stolen,
-    /// Contention (victim drained or a CAS lost); yield and rescan.
+    /// Contention (victim drained or a CAS lost); back off and rescan.
     Retry,
     /// No work anywhere; exit.
     Done,
 }
 
-/// Pops the front of worker `w`'s own range, or steals the back half of
-/// the largest other range.
+/// Claims a chunk off the front of worker `w`'s own range, or steals the
+/// back half of the largest other range.
 fn claim(deques: &[AtomicU64], w: usize) -> Claim {
-    // Fast path: pop from our own range's front.
+    // Fast path: claim a chunk from our own range's front. Taking an
+    // eighth (capped) amortizes the CAS over many items while leaving
+    // most of the range visible to thieves.
     loop {
         let cur = deques[w].load(Ordering::Acquire);
         let (start, end) = unpack(cur);
         if start >= end {
             break;
         }
+        let take = ((end - start) / 8).clamp(1, CLAIM_CHUNK_MAX);
         if deques[w]
             .compare_exchange_weak(
                 cur,
-                pack(start + 1, end),
+                pack(start + take, end),
                 Ordering::AcqRel,
                 Ordering::Acquire,
             )
             .is_ok()
         {
-            return Claim::Index(start);
+            return Claim::Range(start, start + take);
         }
     }
     // Steal: take the back half of the largest remaining range.

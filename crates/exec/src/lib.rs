@@ -46,4 +46,4 @@ pub mod metrics;
 
 pub use admission::{Admission, AdmissionKey};
 pub use executor::Executor;
-pub use metrics::{RunReport, StageRecord, StageScope, Stopwatch};
+pub use metrics::{peak_rss_kib, RunReport, StageRecord, StageScope, Stopwatch};

@@ -52,6 +52,57 @@ impl Default for Stopwatch {
     }
 }
 
+/// Peak resident-set size (`VmHWM`) of the current process, in kibibytes.
+///
+/// Reads `/proc/self/status`; returns 0 where the file or the field is
+/// unavailable (non-Linux hosts), so callers can treat the value as
+/// best-effort. Lives beside [`Stopwatch`] because it is the same kind of
+/// choke point: solver crates never read `/proc` (or the clock) directly —
+/// all process-level instrumentation goes through this module.
+///
+/// `VmHWM` is a per-process high-water mark: it only ever grows, so a
+/// sample taken at a stage boundary is the peak over everything the
+/// process has done *so far*, not the stage alone. Benches that need a
+/// per-variant peak run each variant in its own child process.
+pub fn peak_rss_kib() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kib| kib.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Most recent [`peak_rss_kib`] sample taken at a stage close, shared
+/// process-wide (`VmHWM` is a per-process value, so one cache serves
+/// every executor in the process).
+static LAST_STAGE_PEAK_KIB: AtomicU64 = AtomicU64::new(0);
+
+/// Minimum stage wall time that justifies a fresh `/proc` read when the
+/// stage closes. A procfs read costs tens of microseconds; warm-session
+/// serving closes thousands of sub-millisecond ECO stages per second,
+/// and sampling each one would dominate warm latency (serve_bench's 3x
+/// warm-speed gate). Stages shorter than this reuse the cached sample.
+const RSS_SAMPLE_MIN_WALL: Duration = Duration::from_millis(1);
+
+/// Per-stage peak-RSS sample: fresh for stages long enough that the
+/// procfs read is noise (or while no sample exists yet), cached
+/// otherwise. Reusing a stale sample stays sound because `VmHWM` is
+/// monotone — the cache is always a valid peak-so-far lower bound.
+fn stage_peak_kib(wall: Duration) -> u64 {
+    let cached = LAST_STAGE_PEAK_KIB.load(Ordering::Relaxed);
+    if wall < RSS_SAMPLE_MIN_WALL && cached != 0 {
+        return cached;
+    }
+    let kib = peak_rss_kib();
+    LAST_STAGE_PEAK_KIB.store(kib, Ordering::Relaxed);
+    kib
+}
+
 /// Shared atomic counters plus the accumulated stage records.
 #[derive(Debug)]
 pub struct Metrics {
@@ -135,6 +186,7 @@ impl Metrics {
             total_steals: self.steals(),
             total_par_calls: self.par_calls(),
             total_waves: self.waves(),
+            peak_rss_kib: peak_rss_kib(),
         }
     }
 }
@@ -178,9 +230,10 @@ impl StageScope<'_> {
 
 impl Drop for StageScope<'_> {
     fn drop(&mut self) {
+        let wall = self.start.elapsed();
         let record = StageRecord {
             name: std::mem::take(&mut self.name),
-            wall: self.start.elapsed(),
+            wall,
             busy: Duration::from_nanos(
                 self.metrics
                     .busy_nanos
@@ -190,6 +243,7 @@ impl Drop for StageScope<'_> {
             tasks: self.metrics.tasks().saturating_sub(self.tasks0),
             steals: self.metrics.steals().saturating_sub(self.steals0),
             waves: self.metrics.waves().saturating_sub(self.waves0),
+            peak_rss_kib: stage_peak_kib(wall),
             counters: std::mem::take(&mut self.counters),
         };
         self.metrics.stages.lock().expect("stage lock").push(record);
@@ -212,6 +266,13 @@ pub struct StageRecord {
     pub steals: u64,
     /// Synchronized `wave_map` rounds inside the scope.
     pub waves: u64,
+    /// Process peak RSS (`VmHWM`, kibibytes) sampled when the stage
+    /// closed. Monotone across stages of one process — see
+    /// [`peak_rss_kib`]. Sub-millisecond stages reuse the most recent
+    /// sample instead of re-reading `/proc` (see `stage_peak_kib`), so
+    /// the value can lag on very short stages. Zero where `/proc` is
+    /// unavailable.
+    pub peak_rss_kib: u64,
     /// Caller-recorded named counters (see [`StageScope::record`]), e.g.
     /// the selection stage's branch-and-bound statistics.
     pub counters: Vec<(String, u64)>,
@@ -233,6 +294,9 @@ pub struct RunReport {
     pub total_par_calls: u64,
     /// Synchronized `wave_map` rounds across the whole run.
     pub total_waves: u64,
+    /// Process peak RSS (`VmHWM`, kibibytes) when the report was taken;
+    /// zero where `/proc` is unavailable.
+    pub peak_rss_kib: u64,
 }
 
 impl RunReport {
@@ -250,6 +314,7 @@ impl RunReport {
                     ("tasks", Value::from(s.tasks)),
                     ("steals", Value::from(s.steals)),
                     ("waves", Value::from(s.waves)),
+                    ("peak_rss_kib", Value::from(s.peak_rss_kib)),
                 ];
                 if !s.counters.is_empty() {
                     let counters = s
@@ -268,6 +333,7 @@ impl RunReport {
             ("total_steals", Value::from(self.total_steals)),
             ("total_par_calls", Value::from(self.total_par_calls)),
             ("total_waves", Value::from(self.total_waves)),
+            ("peak_rss_kib", Value::from(self.peak_rss_kib)),
             ("stages", Value::Array(stages)),
         ])
         .pretty()
@@ -313,6 +379,26 @@ mod tests {
         let opens = json.matches('{').count() + json.matches('[').count();
         let closes = json.matches('}').count() + json.matches(']').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn peak_rss_is_sampled_on_linux() {
+        // On Linux /proc/self/status always carries VmHWM and a running
+        // process has touched at least a few pages; elsewhere the sampler
+        // degrades to 0 rather than erroring.
+        let kib = peak_rss_kib();
+        if cfg!(target_os = "linux") {
+            assert!(kib > 0, "VmHWM should be readable and positive");
+        }
+        let exec = Executor::new(2);
+        {
+            let _s = exec.stage("rss");
+            let _ = exec.par_map(&(0..100).collect::<Vec<_>>(), |&x: &i32| x);
+        }
+        let report = exec.report();
+        assert_eq!(report.stages[0].peak_rss_kib > 0, kib > 0);
+        assert!(report.peak_rss_kib >= report.stages[0].peak_rss_kib);
+        assert!(report.to_json().contains("peak_rss_kib"));
     }
 
     #[test]

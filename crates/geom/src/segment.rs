@@ -323,10 +323,103 @@ mod tests {
         in_unit(qpxs, rxs) && in_unit(qpxr, rxs)
     }
 
+    #[test]
+    fn predicates_stay_exact_at_sweep_limit_magnitudes() {
+        // One-dbu discriminations at |coord| ~ 2^40 — the top of the
+        // sweep's supported range. The i64 fast path must defer to the
+        // i128 cross product here; an inexact predicate would collapse
+        // these parallel-by-one-dbu cases into false crossings.
+        const L: i64 = (1 << 40) - 1;
+        let diag = seg(-L, -L, L, L);
+        let shifted = seg(-L, -L + 1, L, L + 1);
+        assert!(!diag.intersects(&shifted), "parallel 1-dbu offset");
+        assert!(!diag.crosses(&shifted));
+        let anti = seg(-L, L, L, -L);
+        assert!(diag.crosses(&anti), "transversal at the origin");
+        // Shares diag's right endpoint, 1 dbu off-line at the left:
+        // touches but never properly crosses.
+        let graze = seg(-L, -L + 1, L, L);
+        assert!(diag.intersects(&graze));
+        assert!(!diag.crosses(&graze));
+        assert!(diag.contains(Point::new(123_456_789, 123_456_789)));
+        assert!(!diag.contains(Point::new(123_456_789, 123_456_790)));
+    }
+
+    /// Direct `i128` evaluation of the orientation cross product — the
+    /// oracle for the windowed `i64` fast path.
+    fn orientation_oracle(p: Point, q: Point, r: Point) -> Orientation {
+        let cross =
+            (q.x - p.x) as i128 * (r.y - p.y) as i128 - (q.y - p.y) as i128 * (r.x - p.x) as i128;
+        match cross {
+            c if c > 0 => Orientation::CounterClockwise,
+            c if c < 0 => Orientation::Clockwise,
+            _ => Orientation::Collinear,
+        }
+    }
+
+    /// Segments confined to a small window around `(sx, sy) * (2^40 - 200)`
+    /// — large enough that every coordinate product overflows i64, small
+    /// enough that the two segments still interact.
+    fn arb_seg_near_limit() -> impl Strategy<Value = Segment> {
+        const BASE: i64 = (1 << 40) - 200;
+        (
+            any::<bool>(),
+            any::<bool>(),
+            0i64..150,
+            0i64..150,
+            0i64..150,
+            0i64..150,
+        )
+            .prop_map(|(nx, ny, ax, ay, bx, by)| {
+                let sx = if nx { -1 } else { 1 };
+                let sy = if ny { -1 } else { 1 };
+                seg(
+                    sx * (BASE + ax),
+                    sy * (BASE + ay),
+                    sx * (BASE + bx),
+                    sy * (BASE + by),
+                )
+            })
+    }
+
+    /// Point coordinates straddling the 2^30 fast-path cutoff of
+    /// [`Segment::orientation`], either sign.
+    fn arb_boundary_coord() -> impl Strategy<Value = i64> {
+        const M: i64 = 1 << 30;
+        (any::<bool>(), M - 1_000..M + 1_000).prop_map(|(neg, c)| if neg { -c } else { c })
+    }
+
     proptest! {
         #[test]
         fn intersects_matches_rational_oracle(a in arb_seg(), b in arb_seg()) {
             prop_assert_eq!(a.intersects(&b), intersects_oracle(&a, &b));
+        }
+
+        #[test]
+        fn intersects_matches_oracle_near_the_sweep_limit(
+            a in arb_seg_near_limit(),
+            b in arb_seg_near_limit(),
+        ) {
+            prop_assert_eq!(a.intersects(&b), intersects_oracle(&a, &b));
+            prop_assert_eq!(a.crosses(&b), b.crosses(&a));
+        }
+
+        #[test]
+        fn orientation_fast_path_agrees_at_the_i64_boundary(
+            coords in (
+                arb_boundary_coord(),
+                arb_boundary_coord(),
+                arb_boundary_coord(),
+                arb_boundary_coord(),
+                arb_boundary_coord(),
+                arb_boundary_coord(),
+            ),
+        ) {
+            // The window straddles the fast-path cutoff, so triples mix
+            // both evaluation paths; each must match the pure i128 form.
+            let (px, py, qx, qy, rx, ry) = coords;
+            let (p, q, r) = (Point::new(px, py), Point::new(qx, qy), Point::new(rx, ry));
+            prop_assert_eq!(Segment::orientation(p, q, r), orientation_oracle(p, q, r));
         }
 
         #[test]
