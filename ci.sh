@@ -40,4 +40,7 @@ cargo run -p operon-bench --release -q --bin lint_bench -- --smoke
 echo "==> shard_bench --smoke (tile-sharded flow identity gate)"
 cargo run -p operon-bench --release -q --bin shard_bench -- --smoke
 
+echo "==> explore_bench --smoke (warm-sweep identity gate)"
+cargo run -p operon-bench --release -q --bin explore_bench -- --smoke
+
 echo "CI green."

@@ -1,0 +1,190 @@
+//! Measures the warm-artifact sweep driver against cold-per-point
+//! evaluation on a 64-point config lattice, and writes
+//! `BENCH_explore.json` at the repository root.
+//!
+//! ```text
+//! cargo run -p operon-bench --release --bin explore_bench
+//! cargo run -p operon-bench --release --bin explore_bench -- --smoke
+//! ```
+//!
+//! The fixture lattice crosses a co-design knob (`max_delay`, 4
+//! values) with a selection knob (`lr_iters`, 4 values) and a WDM knob
+//! (`wdm_displacement`, 4 values) on the medium synthetic die: 64
+//! points in 4 warm groups of 16, so the warm driver pays 4 cold
+//! pipelines and 60 selection- or WDM-tier suffixes where the cold
+//! baseline pays 64 full pipelines. `max_delay` trades launch power
+//! against thermal tuning and `wdm_displacement` trades wavelength
+//! count, so the sweep lands on a genuine front (16 distinct objective
+//! vectors, 16 front members). Three criteria:
+//!
+//! 1. **Identity**: the warm sweep's objective vectors are bitwise
+//!    equal to the cold sweep's, point by point (asserted always).
+//! 2. **Front determinism**: the Pareto front is identical at 1, 2 and
+//!    8 threads (1 and 2 under `--smoke`), warm and cold.
+//! 3. **Warm speed**: on one worker thread (schedule parity), the warm
+//!    sweep must evaluate at least 2x more points per second than
+//!    cold-per-point — the PR's acceptance criterion, asserted
+//!    in-process from the same run that writes the JSON.
+//!
+//! `--smoke` shrinks the lattice, keeps every identity assertion, and
+//! skips the timing criterion and the JSON write — the cheap CI gate.
+//!
+//! Numbers in the committed `BENCH_explore.json` come from whatever
+//! machine last ran this binary; `hardware_threads` records the truth.
+
+use operon_exec::json::Value;
+use operon_exec::{Executor, Stopwatch};
+use operon_explore::lattice::{Axis, Lattice};
+use operon_explore::sweep::{sweep, SweepOptions, SweepResult};
+use operon_netlist::synth::{generate, SynthConfig};
+
+fn lattice(smoke: bool) -> Lattice {
+    let (delay, iters, displacement) = if smoke {
+        (
+            "max_delay=260,300",
+            "lr_iters=6,12",
+            "wdm_displacement=60,600",
+        )
+    } else {
+        (
+            "max_delay=240,260,280,300",
+            "lr_iters=6,8,10,12",
+            "wdm_displacement=30,60,120,600",
+        )
+    };
+    Lattice::new(
+        vec![],
+        vec![
+            Axis::parse(delay).expect("valid axis"),
+            Axis::parse(iters).expect("valid axis"),
+            Axis::parse(displacement).expect("valid axis"),
+        ],
+    )
+    .expect("valid lattice")
+}
+
+fn assert_identical(warm: &SweepResult, cold: &SweepResult, what: &str) {
+    assert_eq!(warm.points.len(), cold.points.len(), "{what}: point count");
+    for (w, c) in warm.points.iter().zip(&cold.points) {
+        assert_eq!(w.index, c.index);
+        assert_eq!(w.fingerprint, c.fingerprint);
+        let (wv, cv) = (w.objectives.vector(), c.objectives.vector());
+        for (k, (x, y)) in wv.iter().zip(&cv).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: objective {k} of point {} diverged",
+                w.index
+            );
+        }
+    }
+    assert_eq!(warm.front, cold.front, "{what}: Pareto front diverged");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let hardware = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let design = generate(&SynthConfig::medium(), 42);
+    let lattice = lattice(smoke);
+    let n = lattice.len();
+    let warm_opts = SweepOptions::default();
+    let cold_opts = SweepOptions {
+        cold: true,
+        ..SweepOptions::default()
+    };
+
+    // Criterion 3 (and the identity fixture): timed on ONE worker
+    // thread so warm-vs-cold compares pipeline work, not scheduling.
+    let exec = Executor::new(1);
+    let sw = Stopwatch::start();
+    let warm = sweep(&design, &lattice, &exec, &warm_opts).expect("warm sweep");
+    let warm_s = sw.elapsed().as_secs_f64();
+    let sw = Stopwatch::start();
+    let cold = sweep(&design, &lattice, &exec, &cold_opts).expect("cold sweep");
+    let cold_s = sw.elapsed().as_secs_f64();
+
+    // Criterion 1: bitwise objective identity, warm vs cold.
+    assert_identical(&warm, &cold, "warm vs cold");
+    assert_eq!(cold.stages_reused, 0);
+    assert!(
+        warm.stages_rerun < cold.stages_rerun,
+        "warm sweep must re-run strictly fewer whole stages"
+    );
+
+    // Criterion 2: the front never moves with the thread count or the
+    // schedule seed.
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 8] };
+    for &threads in thread_counts {
+        let exec = Executor::new(threads);
+        let replay = sweep(
+            &design,
+            &lattice,
+            &exec,
+            &SweepOptions {
+                seed: 7 + threads as u64,
+                ..SweepOptions::default()
+            },
+        )
+        .expect("replay sweep");
+        assert_identical(&warm, &replay, &format!("warm at {threads} threads"));
+    }
+
+    if smoke {
+        println!(
+            "explore_bench --smoke: {n} points, {} groups, all identity checks passed",
+            warm.groups
+        );
+        return;
+    }
+
+    let warm_pps = n as f64 / warm_s;
+    let cold_pps = n as f64 / cold_s;
+    let speedup = warm_pps / cold_pps;
+    assert!(
+        speedup >= 2.0,
+        "warm sweep must evaluate at least 2x more points/sec than \
+         cold-per-point (got {speedup:.2}x: warm {warm_s:.3} s vs cold {cold_s:.3} s \
+         over {n} points)"
+    );
+    println!(
+        "explore: {n} points in {g} groups, warm {warm_s:.3} s ({warm_pps:.2} pts/s) vs \
+         cold {cold_s:.3} s ({cold_pps:.2} pts/s) = {speedup:.2}x; front {f} points; \
+         stages {r}/{t} reused",
+        g = warm.groups,
+        f = warm.front.len(),
+        r = warm.stages_reused,
+        t = warm.stages_reused + warm.stages_rerun,
+    );
+
+    let out = Value::object(vec![
+        ("benchmark", Value::from("explore_warm_sweep")),
+        ("hardware_threads", Value::from(hardware)),
+        ("lattice_points", Value::from(n)),
+        ("warm_groups", Value::from(warm.groups)),
+        ("warm_total_s", Value::from(warm_s)),
+        ("cold_total_s", Value::from(cold_s)),
+        ("warm_points_per_s", Value::from(warm_pps)),
+        ("cold_points_per_s", Value::from(cold_pps)),
+        ("speedup", Value::from(speedup)),
+        ("front_size", Value::from(warm.front.len())),
+        (
+            "front",
+            Value::Array(warm.front.iter().map(|&i| Value::Int(i as i64)).collect()),
+        ),
+        ("stages_reused", Value::from(warm.stages_reused)),
+        (
+            "stages_total",
+            Value::from(warm.stages_reused + warm.stages_rerun),
+        ),
+        (
+            "replay_thread_counts",
+            Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(8)]),
+        ),
+        ("identical_results", Value::from(true)),
+        ("peak_rss_kib", Value::from(operon_exec::peak_rss_kib())),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    std::fs::write(path, out.pretty() + "\n").expect("write BENCH_explore.json");
+    println!("wrote {path}");
+}

@@ -50,9 +50,7 @@ fn main() {
         "cap", "power(mW)", "optical", "WDMs"
     );
     for cap in [8usize, 16, 32, 64] {
-        let mut config = base.clone();
-        config.optical.wdm_capacity = cap;
-        config.cluster.capacity = cap;
+        let config = base.clone().with_wdm_capacity(cap);
         let (p, opt, total, wdms) = run(&design, config);
         println!("{cap:>6} {p:>11.1} {opt:>8}/{total:<3} {wdms:>7}");
     }

@@ -136,8 +136,7 @@ fn main() -> ExitCode {
                 let Some(cap) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
                     return usage();
                 };
-                opts.config.optical.wdm_capacity = cap;
-                opts.config.cluster.capacity = cap;
+                opts.config = opts.config.with_wdm_capacity(cap);
                 i += 2;
             }
             "--max-loss" => {

@@ -246,6 +246,16 @@ impl OperonFlow {
         &self.config
     }
 
+    /// Stamps the configuration's fingerprint
+    /// ([`OperonConfig::fingerprint`]) on a stage record, so every run
+    /// report attributes its stages to an exact config lattice point.
+    fn label_fingerprint(&self, stage: &mut operon_exec::StageScope<'_>) {
+        stage.label(
+            "config_fingerprint",
+            format!("{:016x}", self.config.fingerprint()),
+        );
+    }
+
     /// Runs the full flow on `design`.
     ///
     /// # Errors
@@ -267,7 +277,8 @@ impl OperonFlow {
         // Stage 1: signal processing.
         let t = operon_exec::Stopwatch::start();
         let hyper_nets = {
-            let _stage = self.exec.stage("clustering");
+            let mut stage = self.exec.stage("clustering");
+            self.label_fingerprint(&mut stage);
             build_hyper_nets(design, &self.config.cluster)
         };
         times.clustering = t.elapsed();
@@ -363,7 +374,8 @@ impl OperonFlow {
         // and already cheap).
         let t = operon_exec::Stopwatch::start();
         let hyper_nets = {
-            let _stage = self.exec.stage("clustering");
+            let mut stage = self.exec.stage("clustering");
+            self.label_fingerprint(&mut stage);
             build_hyper_nets(design, &self.config.cluster)
         };
         times.clustering = t.elapsed();
@@ -580,7 +592,8 @@ impl OperonFlow {
             })
             .collect();
         let candidates: Vec<NetCandidates> = {
-            let _stage = self.exec.stage("codesign");
+            let mut stage = self.exec.stage("codesign");
+            self.label_fingerprint(&mut stage);
             self.exec
                 .par_map_indexed(&renumbered, |i, (net, reuse)| match reuse {
                     Some(nc) => {
@@ -778,6 +791,22 @@ mod tests {
 
     fn small_design() -> Design {
         generate(&SynthConfig::small(), 21)
+    }
+
+    #[test]
+    fn run_report_carries_config_fingerprint_label() {
+        let flow = OperonFlow::new(OperonConfig::default());
+        flow.run(&small_design()).unwrap();
+        let report = flow.executor().report();
+        let expected = format!("{:016x}", flow.config().fingerprint());
+        assert!(
+            report.stages.iter().any(|s| s
+                .labels
+                .iter()
+                .any(|(k, v)| k == "config_fingerprint" && *v == expected)),
+            "every run must stamp its config fingerprint on a stage"
+        );
+        assert!(report.to_json().contains(&expected));
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod topology;
 pub mod wdm;
 
 pub use codesign::{CandidateRoute, EdgeMedium, NetCandidates, PathLoss};
-pub use config::OperonConfig;
+pub use config::{DirtyStage, OperonConfig};
 pub use crossing::{BuildInfo, BuildStrategy, ChosenBuild, CrossingIndex};
 pub use error::OperonError;
 pub use flow::{FlowResult, OperonFlow};

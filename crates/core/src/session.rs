@@ -34,7 +34,7 @@
 //!   the whole session lifecycle.
 
 use crate::codesign::{generate_candidates, NetCandidates};
-use crate::config::OperonConfig;
+use crate::config::{DirtyStage, OperonConfig};
 use crate::flow::{
     record_crossing_stats, record_ilp_stats, record_lr_stats, record_wdm_stats, select_in_ordered,
 };
@@ -64,6 +64,18 @@ pub struct SessionStats {
     pub warm_routes: u64,
     /// `route` requests answered from the resident result outright.
     pub cached_routes: u64,
+    /// Warm routes that re-ran only the dirty pipeline suffix after a
+    /// configuration change (a subset of `warm_routes`).
+    pub partial_routes: u64,
+    /// Whole pipeline stages (of the five: clustering, codesign,
+    /// crossing, selection, WDM) answered from resident artifacts,
+    /// summed over every route. Cached routes count all five; a
+    /// config-partial route counts its clean prefix; ECO routes count
+    /// zero (their reuse is finer-grained — see the group/net/tile
+    /// counters).
+    pub stages_reused: u64,
+    /// Whole pipeline stages re-run, summed over every route.
+    pub stages_rerun: u64,
     /// Groups whose clustering + candidates were reused across ECOs.
     pub groups_reused: u64,
     /// Groups re-clustered because they changed.
@@ -113,6 +125,12 @@ pub struct RouteSummary {
     pub wdm_initial: usize,
     /// WDM count after flow re-assignment + reduction.
     pub wdm_final: usize,
+    /// Whole pipeline stages this route answered from resident
+    /// artifacts (5 for a cached answer, 0 for a cold run; a
+    /// config-partial route reports its clean prefix length).
+    pub stages_reused: u32,
+    /// Whole pipeline stages this route re-ran.
+    pub stages_rerun: u32,
 }
 
 /// The resident artifacts of a routed design.
@@ -159,6 +177,11 @@ pub struct WarmSession {
     /// resident result is identical either way.
     tiles: Option<(usize, usize)>,
     state: Option<WarmState>,
+    /// First pipeline stage the resident state is stale for, escalated
+    /// across `set_config` calls since the last route. Meaningful only
+    /// while `state` is `Some`; `Clean` means the resident result
+    /// answers the current configuration outright.
+    dirty: DirtyStage,
     stats: SessionStats,
     /// Persistent LR pricing arenas, reused by every selection this
     /// session runs (reuse never changes results, only skips allocator
@@ -184,6 +207,7 @@ impl WarmSession {
             design,
             tiles: None,
             state: None,
+            dirty: DirtyStage::Clean,
             stats: SessionStats::default(),
             lr_ws: LrWorkspace::new(),
         })
@@ -203,6 +227,7 @@ impl WarmSession {
         assert!(cols > 0 && rows > 0, "tile grid needs at least one tile");
         self.tiles = Some((cols, rows));
         self.state = None;
+        self.dirty = DirtyStage::Clean;
         self
     }
 
@@ -241,6 +266,11 @@ impl WarmSession {
         self.state.as_ref().map(|s| s.hyper_nets.as_slice())
     }
 
+    /// The resident per-net candidate pools, when routed.
+    pub fn candidates(&self) -> Option<&[NetCandidates]> {
+        self.state.as_ref().map(|s| s.candidates.as_slice())
+    }
+
     /// Digest of the resident committed WDM networks (0 when unrouted).
     /// Stable across probes; thread-count invariant.
     pub fn fingerprint(&self) -> u64 {
@@ -248,16 +278,26 @@ impl WarmSession {
     }
 
     /// Routes the current design: answers from the resident result when
-    /// one exists, otherwise runs the cold pipeline.
+    /// it is current, re-runs only the dirty pipeline suffix after a
+    /// configuration change (see [`WarmSession::set_config`]), and runs
+    /// the cold pipeline otherwise.
     ///
     /// # Errors
     ///
     /// Same failure modes as [`crate::flow::OperonFlow::run`].
     pub fn route(&mut self) -> Result<RouteSummary, OperonError> {
         self.stats.routes += 1;
+        if self.state.is_some() && self.dirty != DirtyStage::Clean {
+            let dirty = std::mem::replace(&mut self.dirty, DirtyStage::Clean);
+            self.stats.warm_routes += 1;
+            self.stats.partial_routes += 1;
+            return self.partial_route(dirty);
+        }
         if let Some(state) = self.state.as_ref() {
+            let summary = Self::summarize(state, true, DirtyStage::Clean);
             self.stats.cached_routes += 1;
-            return Ok(Self::summarize(state, true));
+            self.accumulate_stage_reuse(DirtyStage::Clean);
+            return Ok(summary);
         }
         self.stats.cold_routes += 1;
         self.cold_route()
@@ -372,9 +412,18 @@ impl WarmSession {
         self.apply_design(next)
     }
 
-    /// Replaces the configuration. Conservatively drops the resident
-    /// state (any knob can shift every stage), so the next
-    /// route-producing request runs cold under the new configuration.
+    /// Replaces the configuration. The diff against the active
+    /// configuration is classified by
+    /// [`OperonConfig::first_dirty_stage`] and the still-valid prefix of
+    /// the resident state is kept: the next [`route`](WarmSession::route)
+    /// re-runs only the dirty suffix (selection knobs keep clustering +
+    /// candidates + crossings; WDM pitch knobs additionally keep the
+    /// selection; co-design knobs keep clustering only). Clustering-tier
+    /// changes drop everything, so the next route runs cold. Several
+    /// `set_config` calls between routes escalate to the deepest dirty
+    /// stage. The partial re-run is bit-identical to a cold run under
+    /// the new configuration — each stage is a pure function of its
+    /// config slice and the previous stage's output.
     ///
     /// # Errors
     ///
@@ -382,9 +431,16 @@ impl WarmSession {
     /// stay in place on failure.
     pub fn set_config(&mut self, config: OperonConfig) -> Result<(), OperonError> {
         config.validate()?;
+        let stage = self.config.first_dirty_stage(&config);
         self.config = config;
-        self.state = None;
         self.stats.config_changes += 1;
+        if self.state.is_some() {
+            self.dirty = self.dirty.max(stage);
+            if self.dirty >= DirtyStage::Clustering {
+                self.state = None;
+                self.dirty = DirtyStage::Clean;
+            }
+        }
         Ok(())
     }
 
@@ -425,6 +481,14 @@ impl WarmSession {
     /// state exists, cold otherwise.
     fn apply_design(&mut self, next: Design) -> Result<RouteSummary, OperonError> {
         self.stats.routes += 1;
+        // Candidates generated under a stale co-design config must not
+        // be reused by the ECO path; selection-or-later staleness is
+        // fine because the incremental route re-runs selection + WDM
+        // under the current configuration anyway.
+        if self.dirty >= DirtyStage::Codesign {
+            self.state = None;
+        }
+        self.dirty = DirtyStage::Clean;
         if self.state.is_some() {
             self.stats.warm_routes += 1;
             self.incremental_route(next)
@@ -439,7 +503,8 @@ impl WarmSession {
     /// but retaining the WDM stage's resident networks.
     fn cold_route(&mut self) -> Result<RouteSummary, OperonError> {
         let hyper_nets = {
-            let _stage = self.exec.stage("clustering");
+            let mut stage = self.exec.stage("clustering");
+            self.label_fingerprint(&mut stage);
             build_hyper_nets(&self.design, &self.config.cluster)
         };
         self.stats.groups_reclustered += self.design.group_count() as u64;
@@ -472,7 +537,106 @@ impl WarmSession {
             (idx, shard)
         };
         self.stats.crossing_full_builds += 1;
-        self.finish_route(resolved, hyper_nets, candidates, crossings, shard, false)
+        self.finish_route(
+            resolved,
+            hyper_nets,
+            candidates,
+            crossings,
+            shard,
+            false,
+            DirtyStage::Clustering,
+        )
+    }
+
+    /// Re-runs only the dirty pipeline suffix after a configuration
+    /// change, reusing the resident prefix. The result is identical to
+    /// a cold run under the current configuration: the candidate pool
+    /// is a pure function of the co-design config slice and the hyper
+    /// nets, the crossing index of the candidate pool, the selection of
+    /// (candidates, crossings, selection knobs), and the WDM plan of
+    /// (candidates, choice, WDM knobs). The instance-resolved
+    /// crossing-sharing factor is recomputed from the resident hyper
+    /// nets, exactly as a cold run would derive it.
+    fn partial_route(&mut self, dirty: DirtyStage) -> Result<RouteSummary, OperonError> {
+        let Some(prev) = self.state.take() else {
+            return self.cold_route();
+        };
+        let resolved = self
+            .config
+            .resolved_for(prev.hyper_nets.iter().map(|n| n.bit_count()));
+        match dirty {
+            // Unreachable by construction (`route` answers Clean from
+            // the resident state; `set_config` drops state at the
+            // Clustering tier) — recover by running cold.
+            DirtyStage::Clean | DirtyStage::Clustering => self.cold_route(),
+            DirtyStage::Wdm => {
+                let (wdm, resident) = {
+                    let mut stage = self.exec.stage("wdm");
+                    self.label_fingerprint(&mut stage);
+                    let (plan, resident) = wdm::plan_resident_with(
+                        &prev.candidates,
+                        &prev.selection.choice,
+                        &resolved.optical,
+                        &self.exec,
+                    )?;
+                    record_wdm_stats(&mut stage, &plan);
+                    (plan, resident)
+                };
+                self.stats.wdm.accumulate(&wdm.stats);
+                let state = WarmState {
+                    resolved,
+                    wdm,
+                    resident,
+                    ..prev
+                };
+                let summary = Self::summarize(&state, true, dirty);
+                self.accumulate_stage_reuse(dirty);
+                self.state = Some(state);
+                Ok(summary)
+            }
+            DirtyStage::Selection => self.finish_route(
+                resolved,
+                prev.hyper_nets,
+                prev.candidates,
+                prev.crossings,
+                prev.shard,
+                true,
+                dirty,
+            ),
+            DirtyStage::Codesign => {
+                let hyper_nets = prev.hyper_nets;
+                let candidates: Vec<NetCandidates> = {
+                    let mut stage = self.exec.stage("codesign");
+                    self.label_fingerprint(&mut stage);
+                    let out = self.exec.par_map_indexed(&hyper_nets, |i, net| {
+                        generate_candidates(net, i, &resolved)
+                    });
+                    stage.record("nets_recoded", out.len() as u64);
+                    out
+                };
+                self.stats.nets_recoded += candidates.len() as u64;
+                let (crossings, shard) = {
+                    let mut stage = self.exec.stage("crossing");
+                    let (idx, shard) = match self.tiles {
+                        Some((cols, rows)) => {
+                            let grid = TileGrid::new(self.design.die(), cols, rows);
+                            let cache = crate::shard::build_cache(&candidates, grid, &self.exec);
+                            let resharded = cache.pass_count() as u64;
+                            stage.record("tiles_resharded", resharded);
+                            self.stats.tiles_resharded += resharded;
+                            (cache.assemble(&candidates), Some(cache))
+                        }
+                        None => (CrossingIndex::build_with(&candidates, &self.exec), None),
+                    };
+                    record_crossing_stats(&mut stage, &idx);
+                    (idx, shard)
+                };
+                self.stats.crossing_full_builds += 1;
+                self.finish_route(
+                    resolved, hyper_nets, candidates, crossings, shard, true, dirty,
+                )
+            }
+        }
     }
 
     /// The incremental pipeline, identical in result to a fresh run on
@@ -503,6 +667,7 @@ impl WarmSession {
         let mut flat: Vec<(HyperNet, Option<(NetCandidates, usize)>)> = Vec::new();
         {
             let mut stage = self.exec.stage("clustering");
+            self.label_fingerprint(&mut stage);
             let mut reused = 0u64;
             let mut reclustered = 0u64;
             for group in self.design.groups() {
@@ -637,11 +802,23 @@ impl WarmSession {
             record_crossing_stats(&mut stage, &idx);
             (idx, shard)
         };
-        self.finish_route(resolved, hyper_nets, candidates, crossings, shard, true)
+        self.finish_route(
+            resolved,
+            hyper_nets,
+            candidates,
+            crossings,
+            shard,
+            true,
+            DirtyStage::Clustering,
+        )
     }
 
-    /// Shared tail of both routing paths: selection, WDM planning with
+    /// Shared tail of the routing paths: selection, WDM planning with
     /// resident networks, stats accumulation, and state installation.
+    /// `dirty` is the first re-run pipeline stage, for the reuse
+    /// accounting (cold and ECO routes pass `Clustering`: every stage
+    /// re-ran at whole-stage granularity).
+    #[allow(clippy::too_many_arguments)]
     fn finish_route(
         &mut self,
         resolved: OperonConfig,
@@ -650,6 +827,7 @@ impl WarmSession {
         crossings: CrossingIndex,
         shard: Option<ShardCache>,
         warm: bool,
+        dirty: DirtyStage,
     ) -> Result<RouteSummary, OperonError> {
         // Sharded sessions price net-parallel maps on the tile schedule
         // (interior tiles in order, boundary last); the scatter restores
@@ -657,6 +835,9 @@ impl WarmSession {
         let order = shard.as_ref().map(|cache| cache.part.schedule());
         let selection = {
             let mut stage = self.exec.stage("selection");
+            if dirty == DirtyStage::Selection {
+                self.label_fingerprint(&mut stage);
+            }
             let sel = select_in_ordered(
                 &candidates,
                 &crossings,
@@ -694,12 +875,27 @@ impl WarmSession {
             wdm,
             resident,
         };
-        let summary = Self::summarize(&state, warm);
+        let summary = Self::summarize(&state, warm, dirty);
+        self.accumulate_stage_reuse(dirty);
         self.state = Some(state);
         Ok(summary)
     }
 
-    fn summarize(state: &WarmState, warm: bool) -> RouteSummary {
+    /// Stamps the current configuration's fingerprint on a stage record
+    /// so run reports attribute the work to an exact lattice point.
+    fn label_fingerprint(&self, stage: &mut operon_exec::StageScope<'_>) {
+        stage.label(
+            "config_fingerprint",
+            format!("{:016x}", self.config.fingerprint()),
+        );
+    }
+
+    fn accumulate_stage_reuse(&mut self, dirty: DirtyStage) {
+        self.stats.stages_reused += u64::from(dirty.stages_reused());
+        self.stats.stages_rerun += u64::from(dirty.stages_rerun());
+    }
+
+    fn summarize(state: &WarmState, warm: bool, dirty: DirtyStage) -> RouteSummary {
         let optical = state
             .candidates
             .iter()
@@ -716,6 +912,8 @@ impl WarmSession {
             proven_optimal: state.selection.proven_optimal,
             wdm_initial: state.wdm.initial_count,
             wdm_final: state.wdm.final_count(),
+            stages_reused: dirty.stages_reused(),
+            stages_rerun: dirty.stages_rerun(),
         }
     }
 }
@@ -886,7 +1084,7 @@ mod tests {
     }
 
     #[test]
-    fn set_config_drops_state_and_revalidates() {
+    fn set_config_revalidates_and_classifies_the_diff() {
         let design = generate(&SynthConfig::small(), 3);
         let mut s =
             WarmSession::open(design, OperonConfig::default(), Executor::sequential()).unwrap();
@@ -895,12 +1093,17 @@ mod tests {
         bad.cluster.capacity = 7;
         assert!(s.set_config(bad).is_err());
         assert!(s.is_routed(), "failed set_config must not drop state");
+
+        // A co-design-tier change keeps the clustering resident; the
+        // next route is a warm partial re-run, not a cold one.
         let mut tighter = OperonConfig::default();
         tighter.optical.max_loss_db *= 0.8;
         s.set_config(tighter).unwrap();
-        assert!(!s.is_routed());
+        assert!(s.is_routed(), "codesign-tier change keeps the prefix");
         let again = s.route().unwrap();
-        assert!(!again.warm);
+        assert!(again.warm);
+        assert_eq!(again.stages_reused, 1);
+        assert_eq!(again.stages_rerun, 4);
         assert_eq!(
             s.config().optical.max_loss_db,
             OperonFlow::new(OperonConfig::default())
@@ -909,5 +1112,176 @@ mod tests {
                 .max_loss_db
                 * 0.8
         );
+
+        // A clustering-tier change (the coupled capacity knob) drops
+        // everything; the next route runs cold.
+        s.set_config(OperonConfig::default().with_wdm_capacity(16))
+            .unwrap();
+        assert!(!s.is_routed());
+        let cold = s.route().unwrap();
+        assert!(!cold.warm);
+        assert_eq!(cold.stages_reused, 0);
+    }
+
+    /// For every dirty tier, a `set_config` + partial re-route must be
+    /// bit-identical to a fresh cold session under the same config.
+    #[test]
+    fn partial_reroute_matches_fresh_cold_run_per_tier() {
+        let design = generate(&SynthConfig::small(), 9);
+        let base = OperonConfig::default();
+
+        let mut wdm_cfg = base.clone();
+        wdm_cfg.optical.wdm_min_pitch += 4;
+        let mut sel_cfg = base.clone();
+        sel_cfg.lr_max_iters = 4;
+        sel_cfg.lr_converge_ratio = 0.05;
+        let mut codesign_cfg = base.clone();
+        codesign_cfg.optical.max_loss_db *= 0.85;
+        codesign_cfg.max_candidates = 5;
+
+        for (cfg, reused) in [(wdm_cfg, 4u32), (sel_cfg, 3), (codesign_cfg, 1)] {
+            let mut warm =
+                WarmSession::open(design.clone(), base.clone(), Executor::sequential()).unwrap();
+            warm.route().unwrap();
+            warm.set_config(cfg.clone()).unwrap();
+            let partial = warm.route().unwrap();
+            assert!(partial.warm);
+            assert_eq!(partial.stages_reused, reused, "wrong prefix for {cfg:?}");
+
+            let mut cold =
+                WarmSession::open(design.clone(), cfg.clone(), Executor::sequential()).unwrap();
+            let fresh = cold.route().unwrap();
+            assert_eq!(
+                partial.power_mw.to_bits(),
+                fresh.power_mw.to_bits(),
+                "partial power diverged for {cfg:?}"
+            );
+            assert_eq!(partial.wdm_final, fresh.wdm_final);
+            assert_eq!(partial.optical, fresh.optical);
+            assert_eq!(
+                warm.selection().unwrap().choice,
+                cold.selection().unwrap().choice,
+                "partial selection diverged for {cfg:?}"
+            );
+            assert_eq!(warm.fingerprint(), cold.fingerprint());
+
+            let stats = warm.stats();
+            assert_eq!(stats.partial_routes, 1);
+            assert_eq!(stats.stages_reused, u64::from(reused));
+        }
+    }
+
+    #[test]
+    fn dirty_stage_escalates_across_config_changes() {
+        let design = generate(&SynthConfig::small(), 3);
+        let base = OperonConfig::default();
+        let mut s = WarmSession::open(design, base.clone(), Executor::sequential()).unwrap();
+        s.route().unwrap();
+
+        // Selection-tier change, then a revert to the exact original
+        // config: the diff of the second call is Clean, but the state
+        // is already stale at the selection tier — it must not be
+        // answered as cached.
+        let mut sel = base.clone();
+        sel.lr_max_iters = 3;
+        s.set_config(sel).unwrap();
+        s.set_config(base.clone()).unwrap();
+        let rerouted = s.route().unwrap();
+        assert!(rerouted.warm);
+        assert_eq!(
+            rerouted.stages_reused, 3,
+            "revert must still re-run the escalated suffix"
+        );
+
+        // Identical result to never having touched the config.
+        let mut fresh = WarmSession::open(
+            generate(&SynthConfig::small(), 3),
+            base,
+            Executor::sequential(),
+        )
+        .unwrap();
+        let cold = fresh.route().unwrap();
+        assert_eq!(rerouted.power_mw.to_bits(), cold.power_mw.to_bits());
+    }
+
+    #[test]
+    fn eco_after_config_change_stays_identical_to_fresh_run() {
+        let design = generate(&SynthConfig::small(), 5);
+        let base = OperonConfig::default();
+        for (mk, _name) in [
+            (
+                (|| OperonConfig {
+                    lr_max_iters: 4,
+                    ..OperonConfig::default()
+                }) as fn() -> OperonConfig,
+                "selection",
+            ),
+            (
+                || {
+                    let mut c = OperonConfig::default();
+                    c.optical.max_loss_db *= 0.85;
+                    c
+                },
+                "codesign",
+            ),
+        ] {
+            let cfg = mk();
+            let mut s =
+                WarmSession::open(design.clone(), base.clone(), Executor::sequential()).unwrap();
+            s.route().unwrap();
+            s.set_config(cfg.clone()).unwrap();
+            // ECO while config-dirty: the reused candidates must belong
+            // to the *new* config, or be regenerated.
+            let eco = s
+                .add_bus("late", 3, Point::new(50, 50), Point::new(900, 900), 8)
+                .unwrap();
+
+            let mut fresh = WarmSession::open(design.clone(), cfg, Executor::sequential()).unwrap();
+            fresh.route().unwrap();
+            let fresh_eco = fresh
+                .add_bus("late", 3, Point::new(50, 50), Point::new(900, 900), 8)
+                .unwrap();
+            assert_eq!(eco.power_mw.to_bits(), fresh_eco.power_mw.to_bits());
+            assert_eq!(eco.wdm_final, fresh_eco.wdm_final);
+            assert_eq!(
+                s.selection().unwrap().choice,
+                fresh.selection().unwrap().choice
+            );
+        }
+    }
+
+    #[test]
+    fn partial_reuse_stats_are_thread_invariant() {
+        let design = generate(&SynthConfig::medium(), 5);
+        let mut baseline = None;
+        for threads in [1, 2, 8] {
+            let mut s = WarmSession::open(
+                design.clone(),
+                OperonConfig::default(),
+                Executor::new(threads),
+            )
+            .unwrap();
+            s.route().unwrap();
+            let sel = OperonConfig {
+                lr_max_iters: 4,
+                ..OperonConfig::default()
+            };
+            s.set_config(sel).unwrap();
+            s.route().unwrap();
+            let mut loss = OperonConfig {
+                lr_max_iters: 4,
+                ..OperonConfig::default()
+            };
+            loss.optical.max_loss_db *= 0.9;
+            s.set_config(loss).unwrap();
+            s.route().unwrap();
+            let stats = s.close();
+            assert_eq!(stats.partial_routes, 2);
+            assert_eq!(stats.stages_reused, 3 + 1);
+            match &baseline {
+                None => baseline = Some(stats),
+                Some(b) => assert_eq!(*b, stats, "stats diverged at {threads} threads"),
+            }
+        }
     }
 }

@@ -174,6 +174,7 @@ impl Metrics {
             busy0: self.busy_nanos.load(Ordering::Relaxed),
             waves0: self.waves.load(Ordering::Relaxed),
             counters: Vec::new(),
+            labels: Vec::new(),
         }
     }
 
@@ -217,6 +218,7 @@ pub struct StageScope<'a> {
     busy0: u64,
     waves0: u64,
     counters: Vec<(String, u64)>,
+    labels: Vec<(String, String)>,
 }
 
 impl StageScope<'_> {
@@ -225,6 +227,15 @@ impl StageScope<'_> {
     /// the JSON run report, keyed in insertion order.
     pub fn record(&mut self, key: impl Into<String>, value: u64) {
         self.counters.push((key.into(), value));
+    }
+
+    /// Attaches a named string annotation to the stage record (e.g. the
+    /// `config_fingerprint` hex identity of the lattice point a run was
+    /// routed under — full 64-bit hashes don't fit the signed counter
+    /// JSON encoding). Labels land in [`StageRecord::labels`] and in the
+    /// JSON run report, keyed in insertion order.
+    pub fn label(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.labels.push((key.into(), value.into()));
     }
 }
 
@@ -245,6 +256,7 @@ impl Drop for StageScope<'_> {
             waves: self.metrics.waves().saturating_sub(self.waves0),
             peak_rss_kib: stage_peak_kib(wall),
             counters: std::mem::take(&mut self.counters),
+            labels: std::mem::take(&mut self.labels),
         };
         self.metrics.stages.lock().expect("stage lock").push(record);
     }
@@ -276,6 +288,9 @@ pub struct StageRecord {
     /// Caller-recorded named counters (see [`StageScope::record`]), e.g.
     /// the selection stage's branch-and-bound statistics.
     pub counters: Vec<(String, u64)>,
+    /// Caller-recorded string annotations (see [`StageScope::label`]),
+    /// e.g. the configuration fingerprint a run was routed under.
+    pub labels: Vec<(String, String)>,
 }
 
 /// A full run's instrumentation snapshot.
@@ -324,6 +339,14 @@ impl RunReport {
                         .collect();
                     fields.push(("counters", Value::Object(counters)));
                 }
+                if !s.labels.is_empty() {
+                    let labels = s
+                        .labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::from(v.as_str())))
+                        .collect();
+                    fields.push(("labels", Value::Object(labels)));
+                }
                 Value::object(fields)
             })
             .collect();
@@ -362,6 +385,33 @@ mod tests {
         assert_eq!(report.stages[0].tasks, 100);
         assert_eq!(report.stages[1].tasks, 0);
         assert_eq!(report.total_tasks, 100);
+    }
+
+    #[test]
+    fn stage_labels_land_in_record_and_json() {
+        let exec = Executor::new(2);
+        {
+            let mut s = exec.stage("labelled");
+            s.record("items", 7);
+            s.label("config_fingerprint", "00deadbeef15dead");
+        }
+        let report = exec.report();
+        assert_eq!(
+            report.stages[0].labels,
+            vec![(
+                "config_fingerprint".to_owned(),
+                "00deadbeef15dead".to_owned()
+            )]
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"labels\""));
+        assert!(json.contains("\"config_fingerprint\": \"00deadbeef15dead\""));
+        // A label-free stage must not emit an empty labels object.
+        let bare = Executor::new(1);
+        {
+            let _s = bare.stage("bare");
+        }
+        assert!(!bare.report().to_json().contains("labels"));
     }
 
     #[test]

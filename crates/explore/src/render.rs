@@ -1,0 +1,213 @@
+//! SVG rendering of a sweep's objective space.
+//!
+//! Three panels project the 4-dimensional objective space onto
+//! power-vs-X scatter plots (X = WDM count, worst delay, thermal
+//! tuning). Dominated points draw gray; Pareto-front points draw
+//! highlighted with a staircase polyline through the front's 2-D
+//! projection. Output is deterministic: byte-equal for byte-equal
+//! sweep results.
+
+use crate::sweep::{SweepResult, OBJECTIVE_NAMES};
+use std::fmt::Write as _;
+
+const PANEL_W: f64 = 340.0;
+const PANEL_H: f64 = 280.0;
+const MARGIN: f64 = 52.0;
+const GAP: f64 = 28.0;
+
+/// One objective's padded display range over every point.
+fn range(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    let span = (hi - lo).max(1e-9);
+    (lo - 0.05 * span, hi + 0.05 * span)
+}
+
+/// Renders the sweep's Pareto front as a standalone SVG document.
+pub fn render_front_svg(result: &SweepResult) -> String {
+    let panels: [usize; 3] = [1, 2, 3]; // x-objective per panel; y is power (0)
+    let width = MARGIN + panels.len() as f64 * (PANEL_W + GAP) + MARGIN - GAP;
+    let height = MARGIN + PANEL_H + MARGIN;
+    let vectors: Vec<[f64; 4]> = result
+        .points
+        .iter()
+        .map(|p| p.objectives.vector())
+        .collect();
+    let on_front = |i: usize| result.front.binary_search(&i).is_ok();
+
+    let mut svg = String::with_capacity(16 * 1024);
+    let _ = writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"monospace\" font-size=\"11\">"
+    );
+    let _ = writeln!(
+        svg,
+        "<rect width=\"{width:.0}\" height=\"{height:.0}\" fill=\"white\"/>"
+    );
+    let _ = writeln!(
+        svg,
+        "<text x=\"{MARGIN}\" y=\"20\" font-size=\"13\">Pareto front: {} of {} points \
+         ({} groups)</text>",
+        result.front.len(),
+        result.points.len(),
+        result.groups
+    );
+
+    let (y_lo, y_hi) = range(vectors.iter().map(|v| v[0]));
+    for (slot, &xi) in panels.iter().enumerate() {
+        let x0 = MARGIN + slot as f64 * (PANEL_W + GAP);
+        let y0 = MARGIN;
+        let (x_lo, x_hi) = range(vectors.iter().map(|v| v[xi]));
+        let px = |v: f64| x0 + (v - x_lo) / (x_hi - x_lo) * PANEL_W;
+        let py = |v: f64| y0 + PANEL_H - (v - y_lo) / (y_hi - y_lo) * PANEL_H;
+
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{x0:.1}\" y=\"{y0:.1}\" width=\"{PANEL_W}\" height=\"{PANEL_H}\" \
+             fill=\"none\" stroke=\"#555\"/>"
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            x0 + PANEL_W / 2.0,
+            y0 + PANEL_H + 32.0,
+            OBJECTIVE_NAMES[xi]
+        );
+        if slot == 0 {
+            let _ = writeln!(
+                svg,
+                "<text x=\"{:.1}\" y=\"{:.1}\" transform=\"rotate(-90 {:.1} {:.1})\" \
+                 text-anchor=\"middle\">{}</text>",
+                x0 - 36.0,
+                y0 + PANEL_H / 2.0,
+                x0 - 36.0,
+                y0 + PANEL_H / 2.0,
+                OBJECTIVE_NAMES[0]
+            );
+        }
+        let _ = writeln!(
+            svg,
+            "<text x=\"{x0:.1}\" y=\"{:.1}\" font-size=\"9\">{x_lo:.2}</text>\
+             <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"9\" text-anchor=\"end\">{x_hi:.2}</text>",
+            y0 + PANEL_H + 14.0,
+            x0 + PANEL_W,
+            y0 + PANEL_H + 14.0,
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"9\" text-anchor=\"end\">{y_hi:.2}</text>\
+             <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"9\" text-anchor=\"end\">{y_lo:.2}</text>",
+            x0 - 4.0,
+            y0 + 8.0,
+            x0 - 4.0,
+            y0 + PANEL_H,
+        );
+
+        // Dominated points first, so front markers draw on top.
+        for (i, v) in vectors.iter().enumerate() {
+            if !on_front(i) {
+                let _ = writeln!(
+                    svg,
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"#9aa\" \
+                     fill-opacity=\"0.6\"/>",
+                    px(v[xi]),
+                    py(v[0])
+                );
+            }
+        }
+        // Staircase through the front's (x, power) projection.
+        let mut steps: Vec<(f64, f64)> = result
+            .front
+            .iter()
+            .map(|&i| (vectors[i][xi], vectors[i][0]))
+            .collect();
+        steps.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if steps.len() > 1 {
+            let mut d = String::new();
+            for (k, (x, y)) in steps.iter().enumerate() {
+                if k == 0 {
+                    let _ = write!(d, "M {:.1} {:.1}", px(*x), py(*y));
+                } else {
+                    let _ = write!(
+                        d,
+                        " L {:.1} {:.1} L {:.1} {:.1}",
+                        px(*x),
+                        py(steps[k - 1].1),
+                        px(*x),
+                        py(*y)
+                    );
+                }
+            }
+            let _ = writeln!(
+                svg,
+                "<path d=\"{d}\" fill=\"none\" stroke=\"#c22\" stroke-width=\"1\" \
+                 stroke-dasharray=\"3 2\"/>"
+            );
+        }
+        for &i in &result.front {
+            let v = &vectors[i];
+            let _ = writeln!(
+                svg,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"4\" fill=\"#c22\"><title>point {}: \
+                 {:.3} mW</title></circle>",
+                px(v[xi]),
+                py(v[0]),
+                i,
+                v[0]
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{Objectives, PointRecord};
+
+    fn fake_result() -> SweepResult {
+        let mk = |index: usize, power: f64, wdm: usize| PointRecord {
+            index,
+            knobs: vec![],
+            fingerprint: index as u64,
+            objectives: Objectives {
+                power_mw: power,
+                wdm_count: wdm,
+                worst_delay_ps: 100.0 + power,
+                thermal_tuning_mw: power / 2.0,
+            },
+            warm: index > 0,
+            stages_reused: 0,
+            stages_rerun: 5,
+        };
+        SweepResult {
+            points: vec![mk(0, 10.0, 4), mk(1, 8.0, 6), mk(2, 12.0, 8)],
+            front: vec![0, 1],
+            groups: 1,
+            stages_reused: 0,
+            stages_rerun: 15,
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_deterministic() {
+        let result = fake_result();
+        let a = render_front_svg(&result);
+        let b = render_front_svg(&result);
+        assert_eq!(a, b);
+        assert!(a.starts_with("<svg"));
+        assert!(a.trim_end().ends_with("</svg>"));
+        assert_eq!(a.matches("<rect").count(), 1 + 3, "backdrop + 3 panels");
+        // 2 front markers per panel + 1 dominated point per panel.
+        assert_eq!(a.matches("<circle").count(), 3 * 3);
+        assert!(a.contains("worst_delay_ps"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: the incremental dominance filter against the O(n²)
+//! brute-force oracle, including duplicates, ties, and offer-order
+//! permutations.
+
+use operon_explore::pareto::{dominates, pareto_reference, ParetoFront};
+use proptest::prelude::*;
+
+/// Small integer coordinates force plenty of duplicates and ties.
+fn point_set() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0i64..5).prop_map(|v| v as f64), 4),
+        1..40,
+    )
+}
+
+/// Slices every vector down to `dims` leading objectives.
+fn sliced(points: &[Vec<f64>], dims: usize) -> Vec<Vec<f64>> {
+    points.iter().map(|p| p[..dims].to_vec()).collect()
+}
+
+proptest! {
+    #[test]
+    fn incremental_front_matches_oracle(points in point_set(), dims in 2usize..=4) {
+        let points = sliced(&points, dims);
+        let oracle = pareto_reference(&points);
+        let mut front = ParetoFront::new(dims);
+        for (i, p) in points.iter().enumerate() {
+            front.offer(i, p);
+        }
+        prop_assert_eq!(front.indices(), oracle);
+    }
+
+    #[test]
+    fn front_is_offer_order_invariant(points in point_set(), salt in 0u64..1000) {
+        let dims = 4;
+        // A deterministic permutation derived from the salt.
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        let mut state = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut forward = ParetoFront::new(dims);
+        for (i, p) in points.iter().enumerate() {
+            forward.offer(i, p);
+        }
+        let mut permuted = ParetoFront::new(dims);
+        for &i in &order {
+            permuted.offer(i, &points[i]);
+        }
+        prop_assert_eq!(forward.indices(), permuted.indices());
+    }
+
+    #[test]
+    fn every_front_member_is_undominated(points in point_set()) {
+        let mut front = ParetoFront::new(4);
+        for (i, p) in points.iter().enumerate() {
+            front.offer(i, p);
+        }
+        // No resident entry is dominated by ANY offered point, and no
+        // non-member is undominated (completeness).
+        let members = front.indices();
+        for &m in &members {
+            prop_assert!(
+                !points.iter().any(|p| dominates(p, &points[m])),
+                "front member {} is dominated", m
+            );
+        }
+        for i in 0..points.len() {
+            if !members.contains(&i) {
+                prop_assert!(
+                    points.iter().any(|p| dominates(p, &points[i])),
+                    "non-member {} is undominated", i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_is_a_strict_partial_order(
+        a in proptest::collection::vec((0i64..5).prop_map(|v| v as f64), 3),
+        b in proptest::collection::vec((0i64..5).prop_map(|v| v as f64), 3),
+    ) {
+        prop_assert!(!dominates(&a, &a), "irreflexive");
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)), "asymmetric");
+    }
+}

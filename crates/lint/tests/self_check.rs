@@ -4,7 +4,7 @@
 //! keeps `cargo test` sufficient to catch regressions.
 
 use operon_lint::driver::{load_config, scan_workspace};
-use operon_lint::Level;
+use operon_lint::{lint_source, Level};
 use std::path::Path;
 
 fn workspace_root() -> std::path::PathBuf {
@@ -56,6 +56,63 @@ fn checked_in_config_pins_the_contract() {
         assert!(
             config.solver_crates.iter().any(|c| c == solver),
             "{solver} must stay under the solver-crate contract"
+        );
+    }
+}
+
+/// The sweep driver fans groups out through `par_map_coarse`, so the
+/// executor-closure rule must cover `crates/explore` under the real
+/// checked-in config: a racy accumulation attributed to the sweep
+/// module has to come back as an N001 deny, and the crate's hot files
+/// sit inside R002's indexing scope.
+#[test]
+fn n001_covers_the_explore_sweep_crate() {
+    let config = load_config(&workspace_root()).expect("Lint.toml parses");
+
+    let racy = r#"
+pub fn merge_fronts(exec: &Executor, groups: &[Group]) -> Vec<Point> {
+    let mut merged = Vec::new();
+    exec.par_map_coarse(groups, |group| {
+        merged.extend(group.points.clone());
+        group.points.len()
+    });
+    merged
+}
+"#;
+    let diags = lint_source("crates/explore/src/sweep.rs", racy, &config);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "N001" && d.level == Level::Deny),
+        "racy par_map_coarse accumulation in crates/explore must trip N001, got: {:?}",
+        diags.iter().map(|d| d.rule).collect::<Vec<_>>()
+    );
+
+    // The same snippet written as an ordered scatter over the returned
+    // vector is the pattern sweep.rs actually uses — clean.
+    let ordered = r#"
+pub fn merge_fronts(exec: &Executor, groups: &[Group]) -> Vec<Point> {
+    let evaluated = exec.par_map_coarse(groups, |group| group.points.clone());
+    let mut merged = Vec::new();
+    for points in evaluated {
+        merged.extend(points);
+    }
+    merged
+}
+"#;
+    let diags = lint_source("crates/explore/src/sweep.rs", ordered, &config);
+    assert!(
+        !diags.iter().any(|d| d.rule == "N001"),
+        "ordered post-join merge must stay clean"
+    );
+
+    for hot in [
+        "crates/explore/src/sweep.rs",
+        "crates/explore/src/pareto.rs",
+    ] {
+        assert!(
+            !config.path_out_of_scope("R002", hot),
+            "{hot} must sit inside R002's hot-path scope"
         );
     }
 }

@@ -119,6 +119,18 @@ pub enum Request {
         ilp_secs: Option<u64>,
         /// `ilp_wave_size` — branch-and-bound wave width.
         ilp_wave_size: Option<usize>,
+        /// `lr_iters` — LR iteration cap.
+        lr_iters: Option<usize>,
+        /// `lr_converge` — LR convergence ratio.
+        lr_converge: Option<f64>,
+        /// `wdm_pitch` — minimum WDM waveguide pitch, dbu.
+        wdm_pitch: Option<i64>,
+        /// `wdm_displacement` — WDM placement displacement bound, dbu.
+        wdm_displacement: Option<i64>,
+        /// `max_candidates` — co-design candidates kept per hyper net.
+        max_candidates: Option<usize>,
+        /// `merge_threshold` — clustering merge threshold.
+        merge_threshold: Option<f64>,
     },
     /// Per-waveguide deletion what-ifs on the resident networks.
     Probe {
@@ -274,6 +286,18 @@ impl Request {
                     .get("ilp_wave_size")
                     .and_then(Value::as_i64)
                     .and_then(|s| usize::try_from(s).ok()),
+                lr_iters: value
+                    .get("lr_iters")
+                    .and_then(Value::as_i64)
+                    .and_then(|s| usize::try_from(s).ok()),
+                lr_converge: value.get("lr_converge").and_then(Value::as_f64),
+                wdm_pitch: value.get("wdm_pitch").and_then(Value::as_i64),
+                wdm_displacement: value.get("wdm_displacement").and_then(Value::as_i64),
+                max_candidates: value
+                    .get("max_candidates")
+                    .and_then(Value::as_i64)
+                    .and_then(|s| usize::try_from(s).ok()),
+                merge_threshold: value.get("merge_threshold").and_then(Value::as_f64),
             }),
             "probe_wdm" => Ok(Request::Probe {
                 session: session()?,
@@ -615,6 +639,11 @@ fn handle_session_request(
             ("power_mw", Value::Float(summary.power_mw)),
             ("wdms", Value::Int(summary.wdm_final as i64)),
             ("proven_optimal", Value::Bool(summary.proven_optimal)),
+            (
+                "stages_reused",
+                Value::Int(i64::from(summary.stages_reused)),
+            ),
+            ("stages_rerun", Value::Int(i64::from(summary.stages_rerun))),
         ])
         .compact()
     };
@@ -642,6 +671,12 @@ fn handle_session_request(
             selector,
             ilp_secs,
             ilp_wave_size,
+            lr_iters,
+            lr_converge,
+            wdm_pitch,
+            wdm_displacement,
+            max_candidates,
+            merge_threshold,
             ..
         } => {
             let mut config = session.config().clone();
@@ -649,11 +684,28 @@ fn handle_session_request(
                 config.optical.max_loss_db = *db;
             }
             if let Some(cap) = capacity {
-                config.optical.wdm_capacity = *cap;
-                config.cluster.capacity = *cap;
+                config = config.with_wdm_capacity(*cap);
             }
             if let Some(ps) = max_delay {
                 config.max_delay_ps = Some(*ps);
+            }
+            if let Some(iters) = lr_iters {
+                config.lr_max_iters = *iters;
+            }
+            if let Some(ratio) = lr_converge {
+                config.lr_converge_ratio = *ratio;
+            }
+            if let Some(pitch) = wdm_pitch {
+                config.optical.wdm_min_pitch = *pitch;
+            }
+            if let Some(disp) = wdm_displacement {
+                config.optical.wdm_max_displacement = *disp;
+            }
+            if let Some(cands) = max_candidates {
+                config.max_candidates = *cands;
+            }
+            if let Some(merge) = merge_threshold {
+                config.cluster.merge_threshold = *merge;
             }
             match selector.as_deref() {
                 Some("lr") => config.selector = Selector::LagrangianRelaxation,
@@ -723,6 +775,9 @@ fn handle_session_request(
                 ("cold_routes", Value::Int(stats.cold_routes as i64)),
                 ("warm_routes", Value::Int(stats.warm_routes as i64)),
                 ("cached_routes", Value::Int(stats.cached_routes as i64)),
+                ("partial_routes", Value::Int(stats.partial_routes as i64)),
+                ("stages_reused", Value::Int(stats.stages_reused as i64)),
+                ("stages_rerun", Value::Int(stats.stages_rerun as i64)),
                 ("groups_reused", Value::Int(stats.groups_reused as i64)),
                 (
                     "groups_reclustered",
@@ -756,6 +811,10 @@ fn handle_session_request(
                 (
                     "fingerprint",
                     format!("{:016x}", session.fingerprint()).into(),
+                ),
+                (
+                    "config_fingerprint",
+                    format!("{:016x}", session.config().fingerprint()).into(),
                 ),
             ])
             .compact()
